@@ -1,0 +1,82 @@
+// Ablation (§3.4): the checksum algorithm and rate bound VeCycle's
+// migration time once the link is fast enough. Sweeps MD5 / SHA-1 / FNV
+// and 1/10/40 GbE for a high-similarity 2 GiB migration, plus the
+// multi-threading lever the paper names for faster links.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vecycle;
+
+migration::MigrationStats Run(sim::LinkConfig link, DigestAlgorithm algorithm,
+                              std::uint32_t threads) {
+  sim::ChecksumEngineConfig cpu;
+  cpu.threads = threads;
+
+  sim::Simulator simulator;
+  core::Cluster cluster(simulator);
+  core::MigrationOrchestrator orchestrator(cluster);
+  cluster.AddHost({"A", sim::DiskConfig::Hdd(), cpu, {}});
+  cluster.AddHost({"B", sim::DiskConfig::Hdd(), cpu, {}});
+  cluster.Connect("A", "B", link);
+
+  auto vm = bench::MakeBestCaseVm(GiB(2), 0x5eed);
+  orchestrator.Deploy(vm, "A");
+  migration::MigrationConfig full;
+  full.strategy = migration::Strategy::kFull;
+  full.algorithm = algorithm;
+  orchestrator.Migrate(vm, "B", full);
+
+  migration::MigrationConfig hashes;
+  hashes.strategy = migration::Strategy::kHashes;
+  hashes.algorithm = algorithm;
+  return orchestrator.Migrate(vm, "A", hashes);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: checksum algorithm and link speed (2 GiB idle VM)");
+
+  const std::vector<std::pair<const char*, sim::LinkConfig>> links = {
+      {"1 GbE", {GigabitsPerSecond(1.0), Milliseconds(0.2), Bytes{0}}},
+      {"10 GbE", {GigabitsPerSecond(10.0), Milliseconds(0.2), Bytes{0}}},
+      {"40 GbE", {GigabitsPerSecond(40.0), Milliseconds(0.2), Bytes{0}}},
+  };
+  const std::vector<std::pair<const char*, DigestAlgorithm>> algorithms = {
+      {"md5", DigestAlgorithm::kMd5},
+      {"sha1", DigestAlgorithm::kSha1},
+      {"fnv1a", DigestAlgorithm::kFnv1a},
+  };
+
+  analysis::Table table({"Link", "Algorithm", "Threads", "VeCycle time",
+                         "Full-copy time @link"});
+  for (const auto& [link_label, link] : links) {
+    const double full_copy_s =
+        ToSeconds(link.EffectiveBandwidth().TimeFor(GiB(2))) * 1538.0 /
+        1448.0;
+    for (const auto& [alg_label, algorithm] : algorithms) {
+      const auto one = Run(link, algorithm, 1);
+      table.AddRow({link_label, alg_label, "1",
+                    FormatDuration(one.total_time),
+                    analysis::Table::Num(full_copy_s, 1) + " s"});
+    }
+    // The §3.4 remedy for fast links: multi-threaded checksumming.
+    const auto four = Run(link, DigestAlgorithm::kMd5, 4);
+    table.AddRow({link_label, "md5", "4", FormatDuration(four.total_time),
+                  analysis::Table::Num(full_copy_s, 1) + " s"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "Paper (§3.4): on 1 GbE the 350 MiB/s MD5 rate is ~3x the link, so\n"
+      "checksums are not the bottleneck; on 10/40 GbE the migration time\n"
+      "is dominated by the checksum rate — remedied by a cheaper checksum,\n"
+      "or multi-threading.\n");
+  return 0;
+}

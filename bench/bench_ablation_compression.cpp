@@ -1,0 +1,81 @@
+// Ablation: wire compression (Svärd et al. [24]) combined with VeCycle.
+// The paper's related-work section claims compression "helps to reduce
+// the data volume" and that "all the insights from these works... can be
+// combined with VeCycle". This bench stacks the two: a 2 GiB VM returning
+// to a stale checkpoint after moderate churn, under baseline / compression
+// / VeCycle / VeCycle+compression, on LAN and WAN.
+//
+// Expected shape: compression roughly halves baseline traffic; VeCycle
+// removes the still-matching pages entirely; the combination compresses
+// only the genuinely new pages, giving the lowest traffic of all — but on
+// a fast LAN the compression CPU cost can erase the *time* advantage,
+// which is exactly why such techniques pay off mainly on slow links.
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vecycle;
+
+migration::MigrationStats Run(sim::LinkConfig link,
+                              migration::Strategy strategy,
+                              bool compression) {
+  bench::TwoHostWorld world(link);
+  auto vm = bench::MakeBestCaseVm(GiB(2), 0x5eed);
+  world.orchestrator.Deploy(vm, "A");
+  world.orchestrator.Migrate(
+      vm, "B", bench::StrategyConfig(migration::Strategy::kFull));
+
+  // Moderate churn: ~25% of pages rewritten before the return trip.
+  vm::UniformRandomWorkload churn(150.0, 0x77);
+  churn.Advance(vm.Memory(), Minutes(20));
+  world.simulator.RunUntil(world.simulator.Now() + Minutes(20));
+
+  migration::MigrationConfig config;
+  config.strategy = strategy;
+  config.compression.enabled = compression;
+  return world.orchestrator.Migrate(vm, "A", config);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: wire compression x checkpoint recycling (2 GiB VM)");
+
+  analysis::Table table(
+      {"Network", "Scheme", "Time", "Traffic", "Payload saved"});
+  for (const auto& [net_label, link] :
+       {std::pair<const char*, sim::LinkConfig>{"LAN",
+                                                sim::LinkConfig::Lan()},
+        {"WAN", sim::LinkConfig::Wan()}}) {
+    const struct {
+      const char* name;
+      migration::Strategy strategy;
+      bool compress;
+    } schemes[] = {
+        {"baseline", migration::Strategy::kFull, false},
+        {"baseline+zlib", migration::Strategy::kFull, true},
+        {"vecycle", migration::Strategy::kHashes, false},
+        {"vecycle+zlib", migration::Strategy::kHashes, true},
+    };
+    for (const auto& scheme : schemes) {
+      const auto stats = Run(link, scheme.strategy, scheme.compress);
+      const Bytes saved =
+          stats.payload_bytes_original - stats.payload_bytes_on_wire;
+      table.AddRow({net_label, scheme.name,
+                    FormatDuration(stats.total_time),
+                    FormatBytes(stats.tx_bytes), FormatBytes(saved)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "Related work [24] + §5: compression composes with VeCycle. The\n"
+      "combination ships the least data; on the WAN it is also fastest,\n"
+      "while on the LAN the compressor's CPU cost can dominate the\n"
+      "checksum-bound VeCycle time.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Ablation: a consolidation control loop (Verma et al. [26]) running for
+// a simulated work week over 8 desktops, with and without VeCycle.
+//
+// This closes the paper's loop: dynamic consolidation is one of the
+// §1/§2.2 hypotheses for *why* VMs ping-pong between just two hosts —
+// and once they do, checkpoint recycling makes the policy's migrations
+// nearly free, which in turn lets operators run the policy aggressively
+// (the [22]/[26] pain point was precisely migration traffic).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "core/consolidation.hpp"
+
+namespace {
+
+using namespace vecycle;
+
+/// Office-hours guest: busy hotspot writes by day, trickle by night.
+class DiurnalWorkload : public vm::Workload {
+ public:
+  DiurnalWorkload(std::uint64_t seed, int phase_hours)
+      : phase_hours_(phase_hours) {
+    // The working set is the hot 8% of RAM; an 8-hour day at this scale
+    // must not wander across all of memory or no checkpoint similarity
+    // survives (desktops re-touch the same buffers, they don't stream).
+    vm::HotspotWorkload::Config busy;
+    busy.write_rate_pages_per_s = 800.0;
+    busy.hot_fraction = 0.08;
+    busy.hot_probability = 0.999;
+    busy.seed = seed;
+    busy_ = std::make_unique<vm::HotspotWorkload>(busy);
+    vm::IdleWorkload::Config idle;
+    idle.write_rate_pages_per_s = 1.0;
+    idle.seed = seed ^ 0xff;
+    idle_ = std::make_unique<vm::IdleWorkload>(idle);
+  }
+
+  void Advance(vm::GuestMemory& memory, SimDuration dt) override {
+    const int hour =
+        static_cast<int>((ToSeconds(clock_) / 3600.0)) % 24;
+    clock_ += dt;
+    const bool day =
+        hour >= 9 + phase_hours_ % 3 && hour < 17 + phase_hours_ % 3;
+    if (day) {
+      busy_->Advance(memory, dt);
+    } else {
+      idle_->Advance(memory, dt);
+    }
+  }
+
+ private:
+  int phase_hours_;
+  SimTime clock_ = kSimEpoch;
+  std::unique_ptr<vm::HotspotWorkload> busy_;
+  std::unique_ptr<vm::IdleWorkload> idle_;
+};
+
+core::ConsolidationManager::Stats RunWeek(migration::Strategy strategy) {
+  sim::Simulator simulator;
+  core::Cluster cluster(simulator);
+  core::MigrationOrchestrator orchestrator(cluster);
+  cluster.AddHost({"consol", sim::DiskConfig::Hdd(), {}, {}});
+
+  constexpr std::size_t kVms = 8;
+  std::vector<std::unique_ptr<core::VmInstance>> vms;
+  for (std::size_t i = 0; i < kVms; ++i) {
+    const std::string worker = "worker-" + std::to_string(i);
+    cluster.AddHost({worker, sim::DiskConfig::Hdd(), {}, {}});
+    cluster.Connect(worker, "consol", sim::LinkConfig::Lan());
+    auto vm = std::make_unique<core::VmInstance>(
+        "vm-" + std::to_string(i), MiB(512), vm::ContentMode::kSeedOnly);
+    Xoshiro256 rng(40 + i);
+    vm::MemoryProfile{}.Apply(vm->Memory(), rng);
+    vm->SetWorkload(std::make_unique<DiurnalWorkload>(70 + i,
+                                                      static_cast<int>(i)));
+    orchestrator.Deploy(*vm, worker);
+    vms.push_back(std::move(vm));
+  }
+
+  core::ConsolidationPolicy policy;
+  policy.idle_threshold_writes_per_s = 20.0;
+  policy.active_threshold_writes_per_s = 200.0;
+  policy.min_dwell = Hours(1);
+  migration::MigrationConfig config;
+  config.strategy = strategy;
+  core::ConsolidationManager manager(cluster, orchestrator, "consol",
+                                     policy, config);
+  for (std::size_t i = 0; i < kVms; ++i) {
+    manager.Register(*vms[i], "worker-" + std::to_string(i));
+  }
+
+  // Five days at 30-minute control ticks.
+  for (int tick = 0; tick < 5 * 48; ++tick) {
+    manager.Tick(Minutes(30));
+  }
+  return manager.GetStats();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: consolidation loop, 8 x 512 MiB desktops, 5 weekdays");
+
+  analysis::Table table({"Scheme", "Consolidations", "Activations",
+                         "Migration traffic", "Migration time"});
+  for (const auto& [label, strategy] :
+       {std::pair<const char*, migration::Strategy>{
+            "full pre-copy", migration::Strategy::kFull},
+        {"VeCycle", migration::Strategy::kHashes}}) {
+    const auto stats = RunWeek(strategy);
+    table.AddRow({label, std::to_string(stats.consolidations),
+                  std::to_string(stats.activations),
+                  FormatBytes(stats.migration_traffic),
+                  FormatDuration(stats.migration_time)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "Same policy, same migration schedule — only the transfer mechanism\n"
+      "differs. VeCycle turns the consolidation loop's recurring\n"
+      "ping-pongs into checksum traffic, removing the operational cost\n"
+      "that made aggressive consolidation unattractive [22, 26].\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation (§4.4/§4.5 claim): storing the checkpoint on SSD instead of a
+// spinning disk does not change VeCycle's migration time — the sequential
+// checkpoint scan happens in the unmeasured setup phase, and during the
+// copy the checksum/network pipeline, not the disk, is the bottleneck.
+// The exception the model exposes: remap-heavy guests whose matches are
+// satisfied by *random* checkpoint reads at the destination.
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vecycle;
+
+migration::MigrationStats RunIdle(sim::DiskConfig disk) {
+  vm::IdleWorkload idle{vm::IdleWorkload::Config{}};
+  return bench::MeasureReturnMigration(sim::LinkConfig::Lan(), GiB(2),
+                                       migration::Strategy::kHashes, &idle,
+                                       Minutes(2), disk);
+}
+
+migration::MigrationStats RunRemapHeavy(sim::DiskConfig disk) {
+  vm::PageRemapWorkload remap(2000.0, /*seed=*/0xabc);
+  return bench::MeasureReturnMigration(sim::LinkConfig::Lan(), GiB(2),
+                                       migration::Strategy::kHashes, &remap,
+                                       Minutes(2), disk);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: checkpoint on HDD vs SSD (2 GiB VM, LAN)");
+
+  analysis::Table table({"Workload", "Disk", "Migration time", "Setup time",
+                         "Ckpt reads"});
+  for (const auto& [label, run] :
+       {std::pair<const char*,
+                  migration::MigrationStats (*)(sim::DiskConfig)>{
+            "idle", &RunIdle},
+        {"remap-heavy", &RunRemapHeavy}}) {
+    const auto hdd = run(sim::DiskConfig::Hdd());
+    const auto ssd = run(sim::DiskConfig::Ssd());
+    table.AddRow({label, "HDD", FormatDuration(hdd.total_time),
+                  FormatDuration(hdd.setup_time),
+                  std::to_string(hdd.pages_from_checkpoint)});
+    table.AddRow({label, "SSD", FormatDuration(ssd.total_time),
+                  FormatDuration(ssd.setup_time),
+                  std::to_string(ssd.pages_from_checkpoint)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "Paper: \"We repeated the same set of experiments with a solid state\n"
+      "disk, but the migration times did not change.\" — holds for the\n"
+      "idle case; the remap-heavy case shows where random checkpoint reads\n"
+      "would make the HDD visible.\n");
+  return 0;
+}

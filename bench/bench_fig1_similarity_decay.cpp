@@ -1,0 +1,66 @@
+// Figure 1: snapshot-similarity time series for two servers, two laptops
+// and two web crawlers — minimum, average and maximum similarity per
+// 30-minute time-delta bin up to 24 hours.
+//
+// Paper shape targets: similarity decays with delta; servers/laptops
+// retain 20-40% at 24 h (Server B ~0.40, Server C ~0.20); crawlers drop to
+// ~0.40 within an hour and below 0.20 by five hours; the min/max envelope
+// is wide (activity-dependent).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/binning.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "traces/synthesizer.hpp"
+
+int main() {
+  using namespace vecycle;
+
+  bench::PrintHeader("Figure 1: memory similarity vs time between snapshots");
+
+  const std::vector<std::string> machines = {"Server A", "Server B",
+                                             "Laptop A", "Laptop B",
+                                             "Crawler A", "Crawler B"};
+  const std::vector<double> report_hours = {0.5, 1, 2, 4, 8, 16, 24};
+
+  for (const auto& name : machines) {
+    const auto spec = traces::FindMachine(name);
+    const auto trace = traces::SynthesizeTrace(spec);
+
+    analysis::SimilarityDecayOptions options;
+    options.max_delta = Hours(24);
+    options.max_pairs_per_bin = 192;
+    const auto decay = analysis::SimilarityDecay(trace, options);
+
+    std::printf("--- %s (%s, %s) — %zu fingerprints ---\n", name.c_str(),
+                spec.os.c_str(), FormatBytes(spec.nominal_ram).c_str(),
+                trace.Size());
+    analysis::Table table({"dt [h]", "min", "avg", "max", "pairs"});
+    for (const double hours : report_hours) {
+      // Pick the bin whose center is closest to the requested delta.
+      const analysis::BinStat* best = nullptr;
+      for (const auto& bin : decay) {
+        if (best == nullptr ||
+            std::abs(ToSeconds(bin.center) - hours * 3600.0) <
+                std::abs(ToSeconds(best->center) - hours * 3600.0)) {
+          best = &bin;
+        }
+      }
+      if (best == nullptr) continue;
+      table.AddRow({analysis::Table::Num(ToSeconds(best->center) / 3600.0, 1),
+                    analysis::Table::Num(best->min, 2),
+                    analysis::Table::Num(best->mean, 2),
+                    analysis::Table::Num(best->max, 2),
+                    std::to_string(best->pairs)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  std::printf(
+      "Paper: avg similarity at 24 h between 0.40 (Server B) and 0.20\n"
+      "(Server C); crawlers ~0.40 at 1 h, <0.20 after 5 h; minima drop\n"
+      "below 0.20 quickly for all systems.\n");
+  return 0;
+}

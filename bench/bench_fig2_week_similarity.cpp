@@ -1,0 +1,46 @@
+// Figure 2: Server C's snapshot similarity over the entire 7-day trace
+// period. Paper shape: even after one week, ~20% of the memory content is
+// unchanged; the maximum stays high early, the minimum collapses fast.
+#include <cstdio>
+
+#include "analysis/binning.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "traces/synthesizer.hpp"
+
+int main() {
+  using namespace vecycle;
+
+  bench::PrintHeader("Figure 2: Server C similarity over the full 7 days");
+
+  const auto spec = traces::FindMachine("Server C");
+  const auto trace = traces::SynthesizeTrace(spec);
+
+  analysis::SimilarityDecayOptions options;
+  options.bin_width = Hours(4);  // coarser bins over the long range
+  options.max_delta = Hours(168);
+  options.max_pairs_per_bin = 128;
+  const auto decay = analysis::SimilarityDecay(trace, options);
+
+  analysis::Table table({"dt [h]", "min", "avg", "max", "pairs"});
+  for (const auto& bin : decay) {
+    const double hours = ToSeconds(bin.center) / 3600.0;
+    // Print every 3rd bin to keep the series readable (12-hour steps).
+    if (static_cast<int>(hours) % 12 != 0) continue;
+    table.AddRow({analysis::Table::Num(hours, 0),
+                  analysis::Table::Num(bin.min, 2),
+                  analysis::Table::Num(bin.mean, 2),
+                  analysis::Table::Num(bin.max, 2),
+                  std::to_string(bin.pairs)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // Headline number: average similarity at the one-week delta.
+  const auto& last = decay.back();
+  std::printf("Measured: avg similarity at ~%.0f h = %.2f\n",
+              ToSeconds(last.center) / 3600.0, last.mean);
+  std::printf(
+      "Paper: \"Even after one week about 20%% of the memory content is\n"
+      "unchanged.\"\n");
+  return 0;
+}

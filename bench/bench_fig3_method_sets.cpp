@@ -1,0 +1,60 @@
+// Figure 3, quantified. The paper's Figure 3 is a conceptual sketch:
+// "different methods exist to reduce the network traffic during a
+// migration and each method identifies a distinct set of pages to
+// transfer... In the common case, deduplication transfers the most pages,
+// followed by dirty page tracking. Checksum-based redundancy elimination
+// typically performs better than dirty page tracking."
+//
+// This bench measures those sets and their overlaps on the synthetic
+// corpus at a 4-hour and a 24-hour migration delta, making the sketch's
+// claims checkable: hashes ⊆ dirty always; dirty \ hashes (moved or
+// identically-rewritten content) is exactly Miyakodori's overestimate.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "analysis/technique.hpp"
+#include "bench_util.hpp"
+#include "traces/synthesizer.hpp"
+
+int main() {
+  using namespace vecycle;
+
+  bench::PrintHeader("Figure 3 (quantified): page sets per method");
+
+  analysis::Table table({"Machine", "dt [h]", "dirty", "hashes",
+                         "dirty\\hashes", "dup pos", "dirty&dup",
+                         "hashes&dup"});
+  for (const char* name : {"Server A", "Server B", "Server C", "Laptop A"}) {
+    const auto trace = traces::SynthesizeTrace(traces::FindMachine(name));
+    for (const int hours : {4, 24}) {
+      // Fingerprints are 30 minutes apart; index = 2 * hours later.
+      const std::size_t a = 0;
+      const std::size_t b = static_cast<std::size_t>(2 * hours);
+      if (b >= trace.Size()) continue;
+      const auto sets =
+          analysis::ComputeMethodSets(trace.At(a), trace.At(b));
+      const auto pct = [&](std::uint64_t n) {
+        return analysis::Table::Pct(
+            static_cast<double>(n) /
+                static_cast<double>(sets.total_pages),
+            1);
+      };
+      table.AddRow({name, std::to_string(hours), pct(sets.dirty),
+                    pct(sets.hashes), pct(sets.dirty_not_hashes),
+                    pct(sets.dup_positions), pct(sets.dirty_and_dup),
+                    pct(sets.hashes_and_dup)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "Reading the sketch off the numbers: the hashes set is always a\n"
+      "subset of the dirty set; their difference (dirty\\hashes) is\n"
+      "content that moved between frames or was rewritten identically —\n"
+      "pages Miyakodori transfers and VeCycle does not. Duplicate\n"
+      "positions straddle both sets, which is why dedup composes with\n"
+      "either technique (Fig. 3's overlapping circles).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 4: percentage of duplicate pages over the 7-day trace for the
+// three servers and three laptops, plus zero-page percentage for the
+// servers. Paper shape: servers 5-20% duplicates (Server A lowest ~5%,
+// Server C ~20%), laptops 10-20%; zero pages stable below ~5%.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/binning.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "traces/synthesizer.hpp"
+
+namespace {
+
+struct Series {
+  std::string name;
+  vecycle::analysis::CompositionSeries data;
+};
+
+double MeanOf(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return values.empty() ? 0.0 : sum / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace vecycle;
+
+  bench::PrintHeader("Figure 4: duplicate pages and zero pages over time");
+
+  const std::vector<std::string> machines = {"Server A", "Server B",
+                                             "Server C", "Laptop A",
+                                             "Laptop B", "Laptop C"};
+  std::vector<Series> series;
+  for (const auto& name : machines) {
+    const auto trace = traces::SynthesizeTrace(traces::FindMachine(name));
+    series.push_back({name, analysis::ComputeComposition(trace)});
+  }
+
+  // Time series sampled every 24 hours (as the figure's x axis spans
+  // 0-168 h).
+  analysis::Table dup_table({"t [h]", "Server A", "Server B", "Server C",
+                             "Laptop A", "Laptop B", "Laptop C"});
+  for (int hour = 0; hour <= 168; hour += 24) {
+    std::vector<std::string> row = {std::to_string(hour)};
+    for (const auto& s : series) {
+      // Closest fingerprint to this time (laptops have gaps).
+      double value = -1.0;
+      double best_delta = 1e18;
+      for (std::size_t i = 0; i < s.data.timestamps.size(); ++i) {
+        const double delta =
+            std::abs(ToSeconds(s.data.timestamps[i]) - hour * 3600.0);
+        if (delta < best_delta) {
+          best_delta = delta;
+          value = s.data.duplicate_fraction[i];
+        }
+      }
+      row.push_back(value < 0 ? "-" : analysis::Table::Pct(value, 1));
+    }
+    dup_table.AddRow(row);
+  }
+  std::printf("Duplicate pages [%% of RAM]:\n%s\n",
+              dup_table.Render().c_str());
+
+  analysis::Table summary({"Machine", "mean dup", "mean zero"});
+  for (const auto& s : series) {
+    summary.AddRow({s.name,
+                    analysis::Table::Pct(MeanOf(s.data.duplicate_fraction), 1),
+                    analysis::Table::Pct(MeanOf(s.data.zero_fraction), 1)});
+  }
+  std::printf("%s\n", summary.Render().c_str());
+
+  std::printf(
+      "Paper: Server A ~5%% duplicates (stable), Server C ~20%% with the\n"
+      "fewest zero pages; laptops 10-20%%; zero pages <5%% for all servers\n"
+      "most of the time.\n");
+  return 0;
+}

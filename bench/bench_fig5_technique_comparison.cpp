@@ -1,0 +1,96 @@
+// Figure 5: comparison of traffic-reduction techniques over all
+// fingerprint pairs — mean fraction-of-baseline per technique (bar chart,
+// left panel) and the CDF of the additional reduction content-based
+// redundancy elimination (hashes+dedup) achieves over dirty+dedup (center:
+// servers, right: laptops).
+//
+// Paper values (fraction of baseline): Server A dedup .92 / dirty .80 /
+// dirty+dedup .77 / hashes .65 / hashes+dedup .64; Server B .85 / .78 /
+// .69 / .59 / .53. CDFs: Server B sees >=10% reduction in ~90% of cases;
+// laptops >=5% in half the cases.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "analysis/technique.hpp"
+#include "bench_util.hpp"
+#include "traces/synthesizer.hpp"
+
+namespace {
+
+double Percentile(const std::vector<vecycle::analysis::CdfPoint>& cdf,
+                  double p) {
+  for (const auto& point : cdf) {
+    if (point.probability >= p) return point.value;
+  }
+  return cdf.empty() ? 0.0 : cdf.back().value;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vecycle;
+
+  bench::PrintHeader(
+      "Figure 5: traffic-reduction techniques, fraction of baseline");
+
+  const std::vector<std::string> machines = {
+      "Server A", "Server B", "Server C", "Laptop A",
+      "Laptop B", "Laptop C", "Laptop D"};
+
+  analysis::Table bars({"Machine", "dedup", "dirty", "dirty+dedup", "hashes",
+                        "hashes+dedup", "pairs"});
+  std::vector<double> server_reductions;
+  std::vector<double> laptop_reductions;
+
+  for (const auto& name : machines) {
+    const auto spec = traces::FindMachine(name);
+    const auto trace = traces::SynthesizeTrace(spec);
+
+    analysis::TechniqueSummaryOptions options;
+    options.max_pairs = 384;
+    const auto summary = analysis::SummarizeTechniques(trace, options);
+
+    bars.AddRow({name, analysis::Table::Num(summary.mean_dedup, 2),
+                 analysis::Table::Num(summary.mean_dirty, 2),
+                 analysis::Table::Num(summary.mean_dirty_dedup, 2),
+                 analysis::Table::Num(summary.mean_hashes, 2),
+                 analysis::Table::Num(summary.mean_hashes_dedup, 2),
+                 std::to_string(summary.pairs)});
+
+    auto& bucket = spec.klass == traces::MachineClass::kServer
+                       ? server_reductions
+                       : laptop_reductions;
+    bucket.insert(bucket.end(),
+                  summary.reduction_over_dirty_dedup_pct.begin(),
+                  summary.reduction_over_dirty_dedup_pct.end());
+  }
+  std::printf("%s\n", bars.Render().c_str());
+  std::printf(
+      "Paper bars: Server A .92/.80/.77/.65/.64 — Server B .85/.78/.69/"
+      ".59/.53\n\n");
+
+  bench::PrintHeader(
+      "Figure 5 (center/right): CDF of reduction of hashes+dedup over "
+      "dirty+dedup [%]");
+  analysis::Table cdf_table(
+      {"Group", "p10", "p25", "p50", "p75", "p90"});
+  for (const auto& [label, values] :
+       {std::pair<std::string, std::vector<double>&>{"Servers",
+                                                     server_reductions},
+        {"Laptops", laptop_reductions}}) {
+    const auto cdf = analysis::ComputeCdf(values);
+    cdf_table.AddRow({label, analysis::Table::Num(Percentile(cdf, 0.10), 1),
+                      analysis::Table::Num(Percentile(cdf, 0.25), 1),
+                      analysis::Table::Num(Percentile(cdf, 0.50), 1),
+                      analysis::Table::Num(Percentile(cdf, 0.75), 1),
+                      analysis::Table::Num(Percentile(cdf, 0.90), 1)});
+  }
+  std::printf("%s\n", cdf_table.Render().c_str());
+  std::printf(
+      "Paper: content-based redundancy elimination plus dedup reduces\n"
+      "traffic by an additional 10-50%% (and more) against dirty+dedup;\n"
+      "laptops see >=5%% in half the cases.\n");
+  return 0;
+}

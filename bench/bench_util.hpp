@@ -1,0 +1,83 @@
+// Shared scaffolding for the figure-reproduction benches: a two-host
+// world matching the paper's testbed (§4.1) and the idle/controlled VM
+// setups of §4.4/§4.5.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+#include "core/orchestrator.hpp"
+#include "core/vm_instance.hpp"
+#include "migration/engine.hpp"
+#include "vm/workload.hpp"
+
+namespace vecycle::bench {
+
+/// Two hosts A/B joined by one link — machine A and machine B of §4.1.
+struct TwoHostWorld {
+  sim::Simulator simulator;
+  core::Cluster cluster{simulator};
+  core::MigrationOrchestrator orchestrator{cluster};
+
+  explicit TwoHostWorld(sim::LinkConfig link,
+                        sim::DiskConfig disk = sim::DiskConfig::Hdd()) {
+    core::HostConfig a;
+    a.id = "A";
+    a.disk = disk;
+    core::HostConfig b;
+    b.id = "B";
+    b.disk = disk;
+    cluster.AddHost(a);
+    cluster.AddHost(b);
+    cluster.Connect("A", "B", link);
+  }
+};
+
+/// The §4.4 VM: 95% of memory filled with unique random data (defeating
+/// zero-page elision), the rest untouched.
+inline core::VmInstance MakeBestCaseVm(Bytes ram, std::uint64_t seed) {
+  core::VmInstance vm("vm", ram, vm::ContentMode::kSeedOnly);
+  auto& memory = vm.Memory();
+  Xoshiro256 rng(seed);
+  const auto filled = static_cast<std::uint64_t>(
+      0.95 * static_cast<double>(memory.PageCount()));
+  for (vm::PageId p = 0; p < filled; ++p) {
+    memory.WritePage(p, rng.Next() | (1ull << 62));
+  }
+  return vm;
+}
+
+inline migration::MigrationConfig StrategyConfig(
+    migration::Strategy strategy) {
+  migration::MigrationConfig config;
+  config.strategy = strategy;
+  return config;
+}
+
+/// Measures one "return-leg" migration: the VM starts at A, hops to B so a
+/// checkpoint exists at A (this leg is not measured), optionally runs a
+/// workload, then migrates B->A under `strategy`.
+inline migration::MigrationStats MeasureReturnMigration(
+    sim::LinkConfig link, Bytes ram, migration::Strategy strategy,
+    vm::Workload* workload_between, SimDuration dwell,
+    sim::DiskConfig disk = sim::DiskConfig::Hdd()) {
+  TwoHostWorld world(link, disk);
+  auto vm = MakeBestCaseVm(ram, /*seed=*/0x5eed);
+  world.orchestrator.Deploy(vm, "A");
+  world.orchestrator.Migrate(vm, "B",
+                             StrategyConfig(migration::Strategy::kFull));
+  if (workload_between != nullptr && dwell > SimDuration::zero()) {
+    workload_between->Advance(vm.Memory(), dwell);
+    world.simulator.RunUntil(world.simulator.Now() + dwell);
+  }
+  return world.orchestrator.Migrate(vm, "A", StrategyConfig(strategy));
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace vecycle::bench

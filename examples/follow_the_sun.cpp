@@ -1,0 +1,76 @@
+// Follow-the-sun computing over WAN links (§2.4 names this use case).
+//
+// A service VM follows business hours around the globe: Frankfurt ->
+// New York -> Tokyo -> Frankfurt, one hop every 8 hours, over emulated
+// wide-area links. Because the VM revisits the same three sites daily,
+// every site quickly holds a recent checkpoint and WAN migrations shrink
+// from gigabytes to megabytes. Demonstrates the §3.2 bulk hash exchange
+// too: the first revisit of a site after a multi-hop loop is a non-ping-
+// pong pattern — yet the VM's own incoming-migration tracking makes even
+// that a fast path.
+//
+// Run:   ./build/examples/follow_the_sun
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+#include "core/orchestrator.hpp"
+#include "core/vm_instance.hpp"
+#include "vm/workload.hpp"
+
+int main() {
+  using namespace vecycle;
+
+  sim::Simulator simulator;
+  core::Cluster cluster(simulator);
+  cluster.AddHost({"frankfurt", sim::DiskConfig::Ssd(), {}, {}});
+  cluster.AddHost({"new-york", sim::DiskConfig::Ssd(), {}, {}});
+  cluster.AddHost({"tokyo", sim::DiskConfig::Ssd(), {}, {}});
+  // Intercontinental links: CloudNet-like WAN characteristics.
+  cluster.Connect("frankfurt", "new-york", sim::LinkConfig::Wan());
+  cluster.Connect("new-york", "tokyo", sim::LinkConfig::Wan());
+  cluster.Connect("tokyo", "frankfurt", sim::LinkConfig::Wan());
+  core::MigrationOrchestrator orchestrator(cluster);
+
+  core::VmInstance vm("service", GiB(2), vm::ContentMode::kSeedOnly);
+  Xoshiro256 rng(2026);
+  vm::MemoryProfile{}.Apply(vm.Memory(), rng);
+  // A service with a bounded working set: busy while "its" region has
+  // daytime, which is always (the service follows the sun), so a steady
+  // hotspot writer.
+  vm.SetWorkload(std::make_unique<vm::HotspotWorkload>(
+      vm::HotspotWorkload::Config{120.0, 0.04, 0.97, 5}));
+  orchestrator.Deploy(vm, "frankfurt");
+
+  migration::MigrationConfig config;
+  config.strategy = migration::Strategy::kHashes;
+
+  const std::vector<std::string> route = {"new-york", "tokyo", "frankfurt"};
+  analysis::Table table({"Hop", "To", "Time", "Traffic", "Ckpt at dest",
+                         "Bulk exchange"});
+  int hop = 0;
+  for (int day = 0; day < 3; ++day) {
+    for (const auto& site : route) {
+      orchestrator.RunFor(vm, Hours(8));
+      const bool had_checkpoint =
+          cluster.GetHost(site).Store().Has(vm.Id());
+      const auto stats = orchestrator.Migrate(vm, site, config);
+      table.AddRow({std::to_string(++hop), site,
+                    FormatDuration(stats.total_time),
+                    FormatBytes(stats.tx_bytes),
+                    had_checkpoint ? "yes" : "no",
+                    FormatBytes(stats.bulk_exchange_bytes)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Day 1 hops pay full WAN cost (no checkpoints exist); from day 2 on\n"
+      "every site holds a 24-hour-old checkpoint and traffic collapses to\n"
+      "the working-set delta. The VM's incoming-page tracking keeps even\n"
+      "multi-site loops on the no-bulk-exchange fast path.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Technique explorer: run the same migration under every strategy the
+// literature offers (Fig. 3's taxonomy) and compare what each one puts on
+// the wire. A compact, runnable version of the paper's §4.2/§4.3
+// discussion — useful for building intuition about when dirty tracking,
+// dedup, or content hashing wins.
+//
+// Usage:   ./build/examples/technique_explorer [dwell-minutes]
+// (default 60 — how long the VM runs between the outbound and the
+// measured return migration).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "analysis/table.hpp"
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+#include "core/orchestrator.hpp"
+#include "core/vm_instance.hpp"
+#include "vm/workload.hpp"
+
+namespace {
+
+using namespace vecycle;
+
+migration::MigrationStats Measure(migration::Strategy strategy,
+                                  double dwell_minutes) {
+  sim::Simulator simulator;
+  core::Cluster cluster(simulator);
+  cluster.AddHost({"A", sim::DiskConfig::Ssd(), {}, {}});
+  cluster.AddHost({"B", sim::DiskConfig::Ssd(), {}, {}});
+  cluster.Connect("A", "B", sim::LinkConfig::Lan());
+  core::MigrationOrchestrator orchestrator(cluster);
+
+  core::VmInstance vm("vm", GiB(1), vm::ContentMode::kSeedOnly);
+  Xoshiro256 rng(7);
+  vm::MemoryProfile{}.Apply(vm.Memory(), rng);
+
+  // A composite guest: hotspot churn plus a remap trickle — the mix that
+  // separates the techniques (remapped pages defeat dirty tracking but
+  // not content hashing; duplicated writes favor dedup).
+  auto composite = std::make_unique<vm::CompositeWorkload>();
+  composite->Add(std::make_unique<vm::HotspotWorkload>(
+      vm::HotspotWorkload::Config{300.0, 0.1, 0.85, 11}));
+  composite->Add(std::make_unique<vm::PageRemapWorkload>(10.0, 13));
+  vm.SetWorkload(std::move(composite));
+
+  orchestrator.Deploy(vm, "A");
+  migration::MigrationConfig config;
+  config.strategy = strategy;
+  orchestrator.Migrate(vm, "B", config);
+  orchestrator.RunFor(vm, Minutes(dwell_minutes));
+  return orchestrator.Migrate(vm, "A", config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double dwell = argc > 1 ? std::atof(argv[1]) : 60.0;
+  std::printf(
+      "1 GiB VM, hotspot+remap guest, %g minutes between outbound and "
+      "return migration.\n\n",
+      dwell);
+
+  analysis::Table table({"Strategy", "Time", "Traffic", "Full pages",
+                         "Checksums", "Dup refs", "Clean skips"});
+  for (const auto strategy :
+       {migration::Strategy::kFull, migration::Strategy::kDedup,
+        migration::Strategy::kDirtyTracking,
+        migration::Strategy::kDirtyPlusDedup, migration::Strategy::kHashes,
+        migration::Strategy::kHashesPlusDedup}) {
+    const auto stats = Measure(strategy, dwell);
+    table.AddRow({ToString(strategy), FormatDuration(stats.total_time),
+                  FormatBytes(stats.tx_bytes),
+                  std::to_string(stats.pages_sent_full),
+                  std::to_string(stats.pages_sent_checksum),
+                  std::to_string(stats.pages_dup_ref),
+                  std::to_string(stats.pages_skipped_clean)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Expected traffic ordering (Fig. 3/5): full > dedup > dirty >\n"
+      "dirty+dedup > hashes ~ hashes+dedup. Remapped pages travel as\n"
+      "checksum records for 'hashes' but as full pages for 'dirty' — the\n"
+      "destination satisfies each moved page with a random read from the\n"
+      "local checkpoint (Listing 1), which is why these hosts use SSDs:\n"
+      "on a spinning disk, heavy remapping makes those lookups the\n"
+      "bottleneck (see bench_ablation_disk).\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Trace inspector: a small CLI over the synthetic Memory-Buddies-style
+// corpus. Synthesize traces to disk, load them back, and run the §2
+// analyses on any machine — the workflow a researcher would use to poke
+// at the data behind Figures 1/2/4/5.
+//
+// Usage:
+//   trace_inspector list
+//   trace_inspector synth  <machine> <out.trace>
+//   trace_inspector decay  <machine|path.trace> [max-hours]
+//   trace_inspector comp   <machine|path.trace>
+//   trace_inspector pair   <machine|path.trace> <index-a> <index-b>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/binning.hpp"
+#include "analysis/table.hpp"
+#include "analysis/technique.hpp"
+#include "common/check.hpp"
+#include "traces/synthesizer.hpp"
+
+namespace {
+
+using namespace vecycle;
+
+fp::Trace LoadTraceArg(const std::string& arg) {
+  // A path if it contains a dot or slash; otherwise a registry name.
+  if (arg.find('/') != std::string::npos ||
+      arg.find(".trace") != std::string::npos) {
+    return fp::Trace::LoadFile(arg);
+  }
+  return traces::SynthesizeTrace(traces::FindMachine(arg));
+}
+
+int CmdList() {
+  analysis::Table table({"Name", "OS", "RAM", "Class", "Fingerprints"});
+  auto add = [&table](const traces::MachineSpec& spec) {
+    const auto ideal = static_cast<std::uint64_t>(
+        ToSeconds(spec.trace_duration) /
+        ToSeconds(spec.fingerprint_interval));
+    table.AddRow({spec.name, spec.os, FormatBytes(spec.nominal_ram),
+                  ToString(spec.klass), "<= " + std::to_string(ideal + 1)});
+  };
+  for (const auto& machine : traces::Table1AllMachines()) add(machine);
+  for (const auto& machine : traces::CrawlerMachines()) add(machine);
+  add(traces::DesktopMachine());
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}
+
+int CmdSynth(const std::string& machine, const std::string& path) {
+  const auto trace = traces::SynthesizeTrace(traces::FindMachine(machine));
+  trace.SaveFile(path);
+  std::printf("wrote %zu fingerprints (%llu pages each) to %s\n",
+              trace.Size(),
+              static_cast<unsigned long long>(trace.At(0).PageCount()),
+              path.c_str());
+  return 0;
+}
+
+int CmdDecay(const std::string& arg, double max_hours) {
+  const auto trace = LoadTraceArg(arg);
+  analysis::SimilarityDecayOptions options;
+  options.max_delta = Hours(max_hours);
+  options.max_pairs_per_bin = 128;
+  if (max_hours > 48) options.bin_width = Hours(2);
+  const auto decay = analysis::SimilarityDecay(trace, options);
+
+  analysis::Table table({"dt [h]", "min", "avg", "max", "pairs"});
+  for (const auto& bin : decay) {
+    table.AddRow({analysis::Table::Num(ToSeconds(bin.center) / 3600.0, 1),
+                  analysis::Table::Num(bin.min, 3),
+                  analysis::Table::Num(bin.mean, 3),
+                  analysis::Table::Num(bin.max, 3),
+                  std::to_string(bin.pairs)});
+  }
+  std::printf("%s — %zu fingerprints\n%s", trace.MachineName().c_str(),
+              trace.Size(), table.Render().c_str());
+  return 0;
+}
+
+int CmdComposition(const std::string& arg) {
+  const auto trace = LoadTraceArg(arg);
+  const auto series = analysis::ComputeComposition(trace);
+  double dup = 0.0;
+  double zero = 0.0;
+  for (const double d : series.duplicate_fraction) dup += d;
+  for (const double z : series.zero_fraction) zero += z;
+  const auto n = static_cast<double>(series.timestamps.size());
+  std::printf("%s: mean duplicate pages %.1f%%, mean zero pages %.1f%%\n",
+              trace.MachineName().c_str(), 100.0 * dup / n,
+              100.0 * zero / n);
+  return 0;
+}
+
+int CmdPair(const std::string& arg, std::size_t a, std::size_t b) {
+  const auto trace = LoadTraceArg(arg);
+  VEC_CHECK_MSG(a < trace.Size() && b < trace.Size(),
+                "fingerprint index out of range");
+  const auto breakdown = analysis::ComparePair(trace.At(a), trace.At(b));
+  const auto delta = trace.At(b).Timestamp() - trace.At(a).Timestamp();
+
+  analysis::Table table({"Technique", "Pages", "Fraction of baseline"});
+  const auto row = [&](const char* name, std::uint64_t pages) {
+    table.AddRow({name, std::to_string(pages),
+                  analysis::Table::Pct(breakdown.Fraction(pages), 1)});
+  };
+  row("full", breakdown.full);
+  row("dedup", breakdown.dedup);
+  row("dirty", breakdown.dirty);
+  row("dirty+dedup", breakdown.dirty_dedup);
+  row("hashes (VeCycle)", breakdown.hashes);
+  row("hashes+dedup", breakdown.hashes_dedup);
+  std::printf("%s, fingerprints #%zu -> #%zu (dt %s):\n%s",
+              trace.MachineName().c_str(), a, b,
+              FormatDuration(delta).c_str(), table.Render().c_str());
+  std::printf("similarity (|Ua n Ub| / |Ua|): %.3f\n",
+              fp::Similarity(trace.At(a), trace.At(b)));
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_inspector list\n"
+               "  trace_inspector synth <machine> <out.trace>\n"
+               "  trace_inspector decay <machine|path.trace> [max-hours]\n"
+               "  trace_inspector comp  <machine|path.trace>\n"
+               "  trace_inspector pair  <machine|path.trace> <a> <b>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return CmdList();
+    if (cmd == "synth" && argc == 4) return CmdSynth(argv[2], argv[3]);
+    if (cmd == "decay" && argc >= 3) {
+      return CmdDecay(argv[2], argc > 3 ? std::atof(argv[3]) : 24.0);
+    }
+    if (cmd == "comp" && argc == 3) return CmdComposition(argv[2]);
+    if (cmd == "pair" && argc == 5) {
+      return CmdPair(argv[2], std::strtoul(argv[3], nullptr, 10),
+                     std::strtoul(argv[4], nullptr, 10));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}

@@ -1,0 +1,85 @@
+#include "analysis/binning.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace vecycle::analysis {
+
+std::vector<BinStat> SimilarityDecay(const fp::Trace& trace,
+                                     const SimilarityDecayOptions& options) {
+  VEC_CHECK(options.bin_width > SimDuration::zero());
+  VEC_CHECK(options.max_delta > options.bin_width);
+
+  const auto& prints = trace.Fingerprints();
+  const std::int64_t width = options.bin_width.count();
+  const auto bin_count = static_cast<std::size_t>(
+      (options.max_delta.count() + width - 1) / width);
+
+  // Reservoir of pair indices per bin.
+  struct Pair {
+    std::uint32_t a;
+    std::uint32_t b;
+  };
+  std::vector<std::vector<Pair>> reservoirs(bin_count);
+  std::vector<std::uint64_t> seen(bin_count, 0);
+  Xoshiro256 rng(options.sample_seed);
+
+  for (std::uint32_t i = 0; i < prints.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < prints.size(); ++j) {
+      const SimDuration delta =
+          prints[j].Timestamp() - prints[i].Timestamp();
+      if (delta > options.max_delta) continue;
+      // Bin k covers [k*width + width/2, (k+1)*width + width/2), i.e. the
+      // first bin is [15, 45) minutes for 30-minute widths.
+      const std::int64_t shifted = delta.count() - width / 2;
+      if (shifted < 0) continue;
+      const auto bin = static_cast<std::size_t>(shifted / width);
+      if (bin >= bin_count) continue;
+
+      ++seen[bin];
+      auto& reservoir = reservoirs[bin];
+      if (options.max_pairs_per_bin == 0 ||
+          reservoir.size() < options.max_pairs_per_bin) {
+        reservoir.push_back(Pair{i, j});
+      } else {
+        // Standard reservoir replacement keeps the sample uniform.
+        const std::uint64_t slot = rng.NextBelow(seen[bin]);
+        if (slot < reservoir.size()) reservoir[slot] = Pair{i, j};
+      }
+    }
+  }
+
+  std::vector<BinStat> stats;
+  for (std::size_t bin = 0; bin < bin_count; ++bin) {
+    const auto& reservoir = reservoirs[bin];
+    if (reservoir.empty()) continue;
+    BinStat stat;
+    stat.center = SimDuration{static_cast<std::int64_t>(bin + 1) * width};
+    stat.min = 1.0;
+    stat.max = 0.0;
+    double sum = 0.0;
+    for (const auto& pair : reservoir) {
+      const double s = fp::Similarity(prints[pair.a], prints[pair.b]);
+      stat.min = std::min(stat.min, s);
+      stat.max = std::max(stat.max, s);
+      sum += s;
+    }
+    stat.mean = sum / static_cast<double>(reservoir.size());
+    stat.pairs = reservoir.size();
+    stats.push_back(stat);
+  }
+  return stats;
+}
+
+CompositionSeries ComputeComposition(const fp::Trace& trace) {
+  CompositionSeries series;
+  for (const auto& print : trace.Fingerprints()) {
+    series.timestamps.push_back(print.Timestamp());
+    series.duplicate_fraction.push_back(print.DuplicateFraction());
+    series.zero_fraction.push_back(print.ZeroFraction());
+  }
+  return series;
+}
+
+}  // namespace vecycle::analysis

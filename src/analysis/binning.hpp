@@ -1,0 +1,54 @@
+// Similarity-decay analysis (§2.3, Figs. 1 and 2).
+//
+// All fingerprint pairs of a trace are sorted into time-delta bins — the
+// first bin covers [15, 45) minutes, the second [45, 75), and so on,
+// exactly the paper's binning for 30-minute fingerprint intervals — and
+// each bin reports minimum, average and maximum similarity. Because a full
+// 336-fingerprint trace has 56k pairs and each similarity costs a linear
+// merge, pairs can be reservoir-sampled per bin without changing the
+// statistics materially.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "fingerprint/trace.hpp"
+
+namespace vecycle::analysis {
+
+struct BinStat {
+  SimDuration center = SimDuration::zero();  ///< bin midpoint
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+  std::uint64_t pairs = 0;  ///< pairs contributing (after sampling)
+};
+
+struct SimilarityDecayOptions {
+  SimDuration bin_width = Minutes(30);
+  SimDuration max_delta = Hours(24);
+  /// Cap on similarity evaluations per bin (0 = evaluate every pair).
+  std::uint64_t max_pairs_per_bin = 256;
+  std::uint64_t sample_seed = 42;
+};
+
+/// Computes the similarity-vs-time-delta profile of `trace`. Bins with no
+/// pairs are omitted. Similarity is directional per §2.1: for a pair
+/// (earlier, later), |U_earlier ∩ U_later| / |U_earlier| — the fraction of
+/// the old checkpoint still present.
+std::vector<BinStat> SimilarityDecay(const fp::Trace& trace,
+                                     const SimilarityDecayOptions& options);
+
+/// Per-fingerprint duplicate/zero-page time series (Fig. 4). Parallel
+/// vectors: timestamp, duplicate fraction, zero fraction.
+struct CompositionSeries {
+  std::vector<SimTime> timestamps;
+  std::vector<double> duplicate_fraction;
+  std::vector<double> zero_fraction;
+};
+
+CompositionSeries ComputeComposition(const fp::Trace& trace);
+
+}  // namespace vecycle::analysis

@@ -1,0 +1,63 @@
+#include "analysis/table.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace vecycle::analysis {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  VEC_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  VEC_CHECK_MSG(cells.size() == headers_.size(),
+                "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  const auto append_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      if (c + 1 < cells.size()) {
+        out.append(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+
+  append_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+std::string Table::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::Pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace vecycle::analysis

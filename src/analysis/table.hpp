@@ -1,0 +1,30 @@
+// Fixed-width ASCII table rendering for bench output, so every reproduced
+// figure prints the same rows/series the paper reports in a consistent,
+// diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vecycle::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column padding, a header underline, and a trailing
+  /// newline.
+  [[nodiscard]] std::string Render() const;
+
+  /// Convenience formatters for numeric cells.
+  static std::string Num(double value, int precision = 2);
+  static std::string Pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vecycle::analysis

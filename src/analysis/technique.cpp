@@ -1,0 +1,154 @@
+#include "analysis/technique.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace vecycle::analysis {
+
+TechniqueBreakdown ComparePair(const fp::Fingerprint& a,
+                               const fp::Fingerprint& b) {
+  VEC_CHECK_MSG(a.PageCount() == b.PageCount(),
+                "fingerprints cover different page counts");
+  const auto& ha = a.PageHashes();
+  const auto& hb = b.PageHashes();
+  const std::uint64_t n = b.PageCount();
+
+  TechniqueBreakdown result;
+  result.total_pages = n;
+  result.full = n;
+  result.dedup = b.UniqueHashes().size();
+
+  std::unordered_set<std::uint64_t> dirty_contents;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (ha[i] != hb[i]) {
+      ++result.dirty;
+      dirty_contents.insert(hb[i]);
+    }
+    if (!a.Contains(hb[i])) ++result.hashes;
+  }
+  result.dirty_dedup = dirty_contents.size();
+
+  // |U_b \ U_a| via merge over the two sorted unique sets.
+  const auto& ua = a.UniqueHashes();
+  const auto& ub = b.UniqueHashes();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::uint64_t only_b = 0;
+  while (j < ub.size()) {
+    if (i == ua.size() || ub[j] < ua[i]) {
+      ++only_b;
+      ++j;
+    } else if (ua[i] < ub[j]) {
+      ++i;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  result.hashes_dedup = only_b;
+  return result;
+}
+
+TechniqueSummary SummarizeTechniques(
+    const fp::Trace& trace, const TechniqueSummaryOptions& options) {
+  const auto& prints = trace.Fingerprints();
+  VEC_CHECK_MSG(prints.size() >= 2, "trace too short for pair analysis");
+
+  // Collect eligible pairs, then sample.
+  struct Pair {
+    std::uint32_t a;
+    std::uint32_t b;
+  };
+  std::vector<Pair> pairs;
+  for (std::uint32_t i = 0; i < prints.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < prints.size(); ++j) {
+      if (prints[j].Timestamp() - prints[i].Timestamp() >=
+          options.min_delta) {
+        pairs.push_back(Pair{i, j});
+      }
+    }
+  }
+  VEC_CHECK_MSG(!pairs.empty(), "no fingerprint pairs pass the delta filter");
+
+  if (options.max_pairs != 0 && pairs.size() > options.max_pairs) {
+    Xoshiro256 rng(options.sample_seed);
+    // Partial Fisher-Yates keeps a uniform subset in the prefix.
+    for (std::uint64_t i = 0; i < options.max_pairs; ++i) {
+      const std::uint64_t j = i + rng.NextBelow(pairs.size() - i);
+      std::swap(pairs[i], pairs[j]);
+    }
+    pairs.resize(options.max_pairs);
+  }
+
+  TechniqueSummary summary;
+  double dedup = 0.0;
+  double dirty = 0.0;
+  double dirty_dedup = 0.0;
+  double hashes = 0.0;
+  double hashes_dedup = 0.0;
+  for (const auto& pair : pairs) {
+    const auto breakdown = ComparePair(prints[pair.a], prints[pair.b]);
+    dedup += breakdown.Fraction(breakdown.dedup);
+    dirty += breakdown.Fraction(breakdown.dirty);
+    dirty_dedup += breakdown.Fraction(breakdown.dirty_dedup);
+    hashes += breakdown.Fraction(breakdown.hashes);
+    hashes_dedup += breakdown.Fraction(breakdown.hashes_dedup);
+    if (breakdown.dirty_dedup > 0) {
+      const double reduction =
+          100.0 *
+          (static_cast<double>(breakdown.dirty_dedup) -
+           static_cast<double>(breakdown.hashes_dedup)) /
+          static_cast<double>(breakdown.dirty_dedup);
+      summary.reduction_over_dirty_dedup_pct.push_back(reduction);
+    }
+  }
+  const auto count = static_cast<double>(pairs.size());
+  summary.mean_dedup = dedup / count;
+  summary.mean_dirty = dirty / count;
+  summary.mean_dirty_dedup = dirty_dedup / count;
+  summary.mean_hashes = hashes / count;
+  summary.mean_hashes_dedup = hashes_dedup / count;
+  summary.pairs = pairs.size();
+  return summary;
+}
+
+MethodSetCounts ComputeMethodSets(const fp::Fingerprint& a,
+                                  const fp::Fingerprint& b) {
+  VEC_CHECK_MSG(a.PageCount() == b.PageCount(),
+                "fingerprints cover different page counts");
+  const auto& ha = a.PageHashes();
+  const auto& hb = b.PageHashes();
+
+  MethodSetCounts counts;
+  counts.total_pages = b.PageCount();
+  std::unordered_set<std::uint64_t> seen_in_b;
+  for (std::uint64_t i = 0; i < hb.size(); ++i) {
+    const bool dirty = ha[i] != hb[i];
+    const bool new_content = !a.Contains(hb[i]);
+    const bool duplicate = !seen_in_b.insert(hb[i]).second;
+    counts.dirty += dirty ? 1 : 0;
+    counts.hashes += new_content ? 1 : 0;
+    counts.dup_positions += duplicate ? 1 : 0;
+    counts.dirty_not_hashes += (dirty && !new_content) ? 1 : 0;
+    counts.dirty_and_dup += (dirty && duplicate) ? 1 : 0;
+    counts.hashes_and_dup += (new_content && duplicate) ? 1 : 0;
+  }
+  return counts;
+}
+
+std::vector<CdfPoint> ComputeCdf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(values.size());
+  const auto n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cdf.push_back(
+        CdfPoint{values[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+}  // namespace vecycle::analysis

@@ -1,0 +1,100 @@
+// Trace-driven technique comparison (§4.2/§4.3, Figs. 4 and 5).
+//
+// Given two fingerprints — the checkpoint-time state `a` and the
+// migration-time state `b` — each traffic-reduction technique transfers a
+// different page count. The paper computes these directly from the Memory
+// Buddies traces, approximating dirty tracking by "a page is dirty if its
+// content changed between the two fingerprints" (the traces carry no real
+// write log); we follow the same methodology:
+//
+//   full         n                                   (baseline)
+//   dedup        |U_b|                               (each content once)
+//   dirty        #{i : a[i] != b[i]}                 (position-wise change)
+//   dirty+dedup  |{b[i] : a[i] != b[i]}|             (dirty set deduped)
+//   hashes       #{i : b[i] not in U_a}              (VeCycle)
+//   hashes+dedup |U_b \ U_a|                         (VeCycle + dedup)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fingerprint/fingerprint.hpp"
+#include "fingerprint/trace.hpp"
+
+namespace vecycle::analysis {
+
+struct TechniqueBreakdown {
+  std::uint64_t total_pages = 0;
+  std::uint64_t full = 0;
+  std::uint64_t dedup = 0;
+  std::uint64_t dirty = 0;
+  std::uint64_t dirty_dedup = 0;
+  std::uint64_t hashes = 0;
+  std::uint64_t hashes_dedup = 0;
+
+  [[nodiscard]] double Fraction(std::uint64_t pages) const {
+    return static_cast<double>(pages) / static_cast<double>(total_pages);
+  }
+};
+
+/// Page-transfer counts for a migration whose destination checkpoint holds
+/// state `a` while the VM currently holds state `b`.
+TechniqueBreakdown ComparePair(const fp::Fingerprint& a,
+                               const fp::Fingerprint& b);
+
+/// Mean per-technique fraction-of-baseline over sampled fingerprint pairs
+/// of `trace` (the Fig. 5 bar values) plus the per-pair improvement of
+/// hashes+dedup over dirty+dedup (the Fig. 5 CDF input, in percent).
+struct TechniqueSummary {
+  double mean_dedup = 0.0;
+  double mean_dirty = 0.0;
+  double mean_dirty_dedup = 0.0;
+  double mean_hashes = 0.0;
+  double mean_hashes_dedup = 0.0;
+  std::uint64_t pairs = 0;
+  /// (dirty_dedup - hashes_dedup) / dirty_dedup * 100 per pair, unsorted.
+  std::vector<double> reduction_over_dirty_dedup_pct;
+};
+
+struct TechniqueSummaryOptions {
+  /// Cap on evaluated pairs (0 = all). Pairs are sampled uniformly.
+  std::uint64_t max_pairs = 512;
+  std::uint64_t sample_seed = 7;
+  /// Only pairs at least this far apart count (a migration never returns
+  /// instantly); 0 accepts all pairs.
+  SimDuration min_delta = SimDuration::zero();
+};
+
+TechniqueSummary SummarizeTechniques(const fp::Trace& trace,
+                                     const TechniqueSummaryOptions& options);
+
+/// Empirical CDF: returns sorted copies of `values` paired with cumulative
+/// probability in (0, 1].
+struct CdfPoint {
+  double value = 0.0;
+  double probability = 0.0;
+};
+std::vector<CdfPoint> ComputeCdf(std::vector<double> values);
+
+/// Quantitative version of the paper's Figure 3: each basic method —
+/// deduplication, dirty tracking, content-based redundancy elimination —
+/// identifies a distinct set of pages to transfer, and the sets nest and
+/// overlap in characteristic ways:
+///   * hashes ⊆ dirty (new content at position i implies a[i] != b[i]),
+///   * dirty \ hashes is content that *moved* or was rewritten
+///     identically — Miyakodori's overestimate,
+///   * duplicate positions may fall inside or outside the dirty set.
+struct MethodSetCounts {
+  std::uint64_t total_pages = 0;
+  std::uint64_t dirty = 0;           ///< positions with changed content
+  std::uint64_t hashes = 0;          ///< positions with *new* content
+  std::uint64_t dup_positions = 0;   ///< positions deduplicable within b
+  std::uint64_t dirty_not_hashes = 0;  ///< moved / same-content rewrites
+  std::uint64_t dirty_and_dup = 0;   ///< dirty pages dedup also catches
+  std::uint64_t hashes_and_dup = 0;  ///< new but internally duplicated
+};
+
+MethodSetCounts ComputeMethodSets(const fp::Fingerprint& a,
+                                  const fp::Fingerprint& b);
+
+}  // namespace vecycle::analysis

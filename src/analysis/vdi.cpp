@@ -1,0 +1,100 @@
+#include "analysis/vdi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/technique.hpp"
+#include "common/check.hpp"
+
+namespace vecycle::analysis {
+namespace {
+
+/// Index of the fingerprint closest in time to `when`.
+std::size_t NearestFingerprint(const fp::Trace& trace, SimTime when) {
+  const auto& prints = trace.Fingerprints();
+  VEC_CHECK(!prints.empty());
+  const auto it = std::lower_bound(
+      prints.begin(), prints.end(), when,
+      [](const fp::Fingerprint& f, SimTime t) { return f.Timestamp() < t; });
+  if (it == prints.begin()) return 0;
+  if (it == prints.end()) return prints.size() - 1;
+  const auto after = static_cast<std::size_t>(it - prints.begin());
+  const auto before = after - 1;
+  const auto d_after = prints[after].Timestamp() - when;
+  const auto d_before = when - prints[before].Timestamp();
+  return d_after < d_before ? after : before;
+}
+
+}  // namespace
+
+VdiReport AnalyzeVdi(const fp::Trace& trace, Bytes nominal_ram,
+                     const VdiScheduleOptions& options) {
+  VEC_CHECK_MSG(trace.Size() >= 2, "trace too short for VDI analysis");
+  VEC_CHECK(options.weekday_count > 0);
+  VEC_CHECK(options.morning_hour < options.evening_hour);
+
+  // Build the migration schedule: 9 am and 5 pm on each weekday.
+  std::vector<std::pair<SimTime, bool>> schedule;  // (when, to_workstation)
+  int weekdays_used = 0;
+  for (int day = 0; weekdays_used < options.weekday_count; ++day) {
+    const SimTime day_start = Hours(24.0 * day);
+    VEC_CHECK_MSG(day_start <= trace.Fingerprints().back().Timestamp(),
+                  "trace shorter than the requested VDI schedule");
+    const int weekday = (options.start_weekday + day) % 7;
+    if (weekday >= 5) continue;  // weekend
+    schedule.emplace_back(day_start + Hours(options.morning_hour), true);
+    schedule.emplace_back(day_start + Hours(options.evening_hour), false);
+    ++weekdays_used;
+  }
+
+  VdiReport report;
+  report.nominal_ram = nominal_ram;
+
+  std::size_t previous_print = 0;
+  for (std::uint32_t k = 0; k < schedule.size(); ++k) {
+    const auto [when, to_workstation] = schedule[k];
+    const std::size_t print = NearestFingerprint(trace, when);
+
+    VdiMigrationRow row;
+    row.index = k;
+    row.when = when;
+    row.to_workstation = to_workstation;
+
+    if (k == 0) {
+      // No checkpoint exists anywhere yet: full migration; dedup (which
+      // VeCycle keeps using, §4.6) removes only intra-VM redundancy.
+      const auto& b = trace.At(print);
+      row.full = 1.0;
+      const double dedup_fraction =
+          static_cast<double>(b.UniqueHashes().size()) /
+          static_cast<double>(b.PageCount());
+      row.dedup = dedup_fraction;
+      row.vecycle = dedup_fraction;
+      row.dirty_dedup = dedup_fraction;
+    } else {
+      // The checkpoint at the destination dates from the previous
+      // migration — the last time the VM left that host.
+      const auto breakdown =
+          ComparePair(trace.At(previous_print), trace.At(print));
+      row.full = 1.0;
+      row.dedup = breakdown.Fraction(breakdown.dedup);
+      row.vecycle = breakdown.Fraction(breakdown.hashes_dedup);
+      row.dirty_dedup = breakdown.Fraction(breakdown.dirty_dedup);
+    }
+
+    const auto scale = [&](double fraction) {
+      return Bytes{static_cast<std::uint64_t>(
+          fraction * static_cast<double>(nominal_ram.count))};
+    };
+    report.total_full += scale(row.full);
+    report.total_dedup += scale(row.dedup);
+    report.total_vecycle += scale(row.vecycle);
+    report.total_dirty_dedup += scale(row.dirty_dedup);
+
+    report.rows.push_back(row);
+    previous_print = print;
+  }
+  return report;
+}
+
+}  // namespace vecycle::analysis

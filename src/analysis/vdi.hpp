@@ -1,0 +1,55 @@
+// Virtual-desktop-infrastructure analysis (§4.6, Fig. 8).
+//
+// A desktop VM ping-pongs between the user's workstation and a
+// consolidation server: to the workstation when the user arrives (9 am),
+// back to the server when they leave (5 pm), weekdays only. For each
+// migration, the checkpoint waiting at the destination is the VM's state
+// at the *previous* migration (that is when the VM last left that host),
+// so per-migration traffic fractions come straight from consecutive-
+// migration fingerprint pairs. The first migration finds no checkpoint
+// anywhere and ships (deduplicated) full state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fingerprint/trace.hpp"
+
+namespace vecycle::analysis {
+
+struct VdiScheduleOptions {
+  int morning_hour = 9;    ///< server -> workstation
+  int evening_hour = 17;   ///< workstation -> server
+  int weekday_count = 13;  ///< paper: 13 weekdays -> 26 migrations
+  /// Day-of-week of trace day 0 (0 = Monday). Days with index % 7 >= 5
+  /// are weekend, no migrations.
+  int start_weekday = 0;
+};
+
+struct VdiMigrationRow {
+  std::uint32_t index = 0;  ///< migration number, 0-based
+  SimTime when = kSimEpoch;
+  bool to_workstation = false;  ///< direction of this migration
+  /// Fractions of RAM transferred under each scheme.
+  double full = 1.0;
+  double dedup = 1.0;
+  double vecycle = 1.0;       ///< hashes+dedup, as Fig. 8 assumes
+  double dirty_dedup = 1.0;
+};
+
+struct VdiReport {
+  std::vector<VdiMigrationRow> rows;
+  Bytes nominal_ram;
+  /// Aggregate traffic over all migrations.
+  Bytes total_full;
+  Bytes total_dedup;
+  Bytes total_vecycle;
+  Bytes total_dirty_dedup;
+};
+
+/// Runs the Fig. 8 analysis over a desktop fingerprint trace.
+VdiReport AnalyzeVdi(const fp::Trace& trace, Bytes nominal_ram,
+                     const VdiScheduleOptions& options);
+
+}  // namespace vecycle::analysis

@@ -1,0 +1,39 @@
+// Invariant checking. VEC_CHECK is always on (simulation correctness beats
+// the nanoseconds saved by NDEBUG); violations throw vecycle::CheckFailure
+// so tests can assert on them and applications get a catchable error rather
+// than an abort.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vecycle {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::string what = std::string("CHECK failed: ") + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) what += " — " + msg;
+  throw CheckFailure(what);
+}
+
+}  // namespace vecycle
+
+#define VEC_CHECK(expr)                                          \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::vecycle::CheckFailed(#expr, __FILE__, __LINE__, "");     \
+    }                                                            \
+  } while (false)
+
+#define VEC_CHECK_MSG(expr, msg)                                 \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::vecycle::CheckFailed(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                            \
+  } while (false)

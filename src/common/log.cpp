@@ -1,0 +1,39 @@
+#include "common/log.hpp"
+
+#include <atomic>
+
+namespace vecycle {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void LogMessage(LogLevel level, const std::string& component,
+                const std::string& message) {
+  if (level < GetLogLevel()) return;
+  std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace vecycle

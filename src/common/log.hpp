@@ -1,0 +1,35 @@
+// Minimal leveled logger. Simulation components log with the *simulated*
+// timestamp where one is available; the logger itself is clock-agnostic.
+// Output is line-oriented to stderr so bench/table output on stdout stays
+// machine-parseable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace vecycle {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// benches and tests are quiet unless asked.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogMessage(LogLevel level, const std::string& component,
+                const std::string& message);
+
+inline void LogDebug(const std::string& component, const std::string& msg) {
+  LogMessage(LogLevel::kDebug, component, msg);
+}
+inline void LogInfo(const std::string& component, const std::string& msg) {
+  LogMessage(LogLevel::kInfo, component, msg);
+}
+inline void LogWarn(const std::string& component, const std::string& msg) {
+  LogMessage(LogLevel::kWarn, component, msg);
+}
+inline void LogError(const std::string& component, const std::string& msg) {
+  LogMessage(LogLevel::kError, component, msg);
+}
+
+}  // namespace vecycle

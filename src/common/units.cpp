@@ -1,0 +1,48 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vecycle {
+
+SimDuration ByteRate::TimeFor(Bytes n) const {
+  if (n.count == 0) return SimDuration::zero();
+  const double seconds = static_cast<double>(n.count) / bytes_per_second;
+  const double nanos = std::ceil(seconds * 1e9);
+  return SimDuration{static_cast<std::int64_t>(nanos)};
+}
+
+std::string FormatBytes(Bytes b) {
+  char buf[64];
+  const double n = static_cast<double>(b.count);
+  if (b.count >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", n / (1ull << 30));
+  } else if (b.count >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", n / (1ull << 20));
+  } else if (b.count >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", n / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(b.count));
+  }
+  return buf;
+}
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const double s = ToSeconds(d);
+  if (s >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", s / 3600.0);
+  } else if (s >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", s / 60.0);
+  } else if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f us", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace vecycle

@@ -1,0 +1,86 @@
+// Cluster topology: hosts and the links between them, sharing one
+// simulator. Links are full duplex and identified by unordered host pair.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/host.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace vecycle::core {
+
+class Cluster {
+ public:
+  explicit Cluster(sim::Simulator& simulator) : simulator_(simulator) {}
+
+  Host& AddHost(HostConfig config) {
+    VEC_CHECK_MSG(FindHost(config.id) == nullptr,
+                  "duplicate host id: " + config.id);
+    hosts_.push_back(std::make_unique<Host>(std::move(config)));
+    return *hosts_.back();
+  }
+
+  /// Connects two hosts with a dedicated link (e.g. LinkConfig::Lan()).
+  sim::Link& Connect(const HostId& a, const HostId& b,
+                     sim::LinkConfig config) {
+    VEC_CHECK_MSG(FindHost(a) != nullptr, "unknown host: " + a);
+    VEC_CHECK_MSG(FindHost(b) != nullptr, "unknown host: " + b);
+    VEC_CHECK_MSG(a != b, "cannot connect a host to itself");
+    const auto key = Key(a, b);
+    VEC_CHECK_MSG(!links_.contains(key), "hosts already connected");
+    links_[key] = std::make_unique<sim::Link>(config);
+    return *links_[key];
+  }
+
+  [[nodiscard]] Host* FindHost(const HostId& id) {
+    for (const auto& host : hosts_) {
+      if (host->Id() == id) return host.get();
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] Host& GetHost(const HostId& id) {
+    Host* host = FindHost(id);
+    VEC_CHECK_MSG(host != nullptr, "unknown host: " + id);
+    return *host;
+  }
+
+  /// The link between two hosts plus the direction a->b on it.
+  struct Path {
+    sim::Link* link = nullptr;
+    sim::Direction direction = sim::Direction::kAtoB;
+  };
+
+  [[nodiscard]] Path PathBetween(const HostId& from, const HostId& to) {
+    const auto it = links_.find(Key(from, to));
+    VEC_CHECK_MSG(it != links_.end(),
+                  "no link between " + from + " and " + to);
+    Path path;
+    path.link = it->second.get();
+    // Key() orders endpoints lexicographically; kAtoB flows from the
+    // lexicographically smaller id.
+    path.direction =
+        from < to ? sim::Direction::kAtoB : sim::Direction::kBtoA;
+    return path;
+  }
+
+  [[nodiscard]] sim::Simulator& Simulator() { return simulator_; }
+  [[nodiscard]] std::size_t HostCount() const { return hosts_.size(); }
+
+ private:
+  static std::pair<HostId, HostId> Key(const HostId& a, const HostId& b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  sim::Simulator& simulator_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::map<std::pair<HostId, HostId>, std::unique_ptr<sim::Link>> links_;
+};
+
+}  // namespace vecycle::core

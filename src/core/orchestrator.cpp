@@ -1,0 +1,67 @@
+#include "core/orchestrator.hpp"
+
+#include "common/check.hpp"
+#include "storage/checkpoint.hpp"
+
+namespace vecycle::core {
+
+void MigrationOrchestrator::Deploy(VmInstance& vm, const HostId& host) {
+  VEC_CHECK_MSG(vm.CurrentHost().empty(), "VM is already deployed");
+  (void)cluster_.GetHost(host);  // existence check
+  vm.SetCurrentHost(host);
+}
+
+void MigrationOrchestrator::RunFor(VmInstance& vm, SimDuration duration) {
+  VEC_CHECK_MSG(!vm.CurrentHost().empty(), "VM is not deployed");
+  auto& simulator = cluster_.Simulator();
+  simulator.RunUntil(simulator.Now() + duration);
+  if (vm.Workload() != nullptr) {
+    vm.Workload()->Advance(vm.Memory(), duration);
+  }
+}
+
+migration::MigrationStats MigrationOrchestrator::Migrate(
+    VmInstance& vm, const HostId& to,
+    const migration::MigrationConfig& config) {
+  const HostId from = vm.CurrentHost();
+  VEC_CHECK_MSG(!from.empty(), "VM is not deployed");
+  VEC_CHECK_MSG(from != to, "VM is already on " + to);
+
+  Host& source_host = cluster_.GetHost(from);
+  Host& dest_host = cluster_.GetHost(to);
+  const auto path = cluster_.PathBetween(from, to);
+
+  migration::MigrationRun run;
+  run.simulator = &cluster_.Simulator();
+  run.link = path.link;
+  run.direction = path.direction;
+  run.source_memory = &vm.Memory();
+  run.workload = vm.Workload();
+  run.source = {&source_host.Cpu(), &source_host.Store()};
+  run.destination = {&dest_host.Cpu(), &dest_host.Store()};
+  run.vm_id = vm.Id();
+  run.config = config;
+  run.source_knowledge = vm.KnownPagesAt(to);
+  run.departure_generations = vm.GenerationsAtDeparture(to);
+
+  auto outcome = migration::RunMigration(std::move(run));
+
+  // Post-migration bookkeeping at the source: write the checkpoint of the
+  // departed VM (its final, paused state) to local disk. Not part of the
+  // measured migration time (§4.4), but it does occupy the disk.
+  source_host.Store().Save(vm.Id(),
+                           storage::Checkpoint::CaptureFrom(vm.Memory()),
+                           outcome.completed_at);
+
+  // The VM remembers what it left behind at the source.
+  vm.RememberDeparture(from, vm.Memory().Generations());
+  vm.RememberPagesAt(from, std::move(outcome.incoming_digests));
+
+  // And moves.
+  vm.AdoptMemory(std::move(outcome.dest_memory));
+  vm.SetCurrentHost(to);
+
+  return outcome.stats;
+}
+
+}  // namespace vecycle::core

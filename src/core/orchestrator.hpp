@@ -1,0 +1,42 @@
+// Migration orchestrator — the top of the VeCycle public API.
+//
+// Deploy a VM on a host, let simulated time pass (the workload churns
+// guest memory), and migrate it between hosts. Every migration performs
+// the full VeCycle bookkeeping of §3:
+//   * after the copy completes, the *source* writes a checkpoint of the
+//     departed VM to its local disk (outside the measured migration time,
+//     as in §4.4),
+//   * the VM remembers the digest set it left behind (so a future return
+//     migration needs no bulk hash exchange) and its generation counters
+//     at departure (Miyakodori state),
+//   * the destination bootstraps from its own stale checkpoint when it has
+//     one and the strategy uses it.
+#pragma once
+
+#include "core/cluster.hpp"
+#include "core/vm_instance.hpp"
+#include "migration/engine.hpp"
+
+namespace vecycle::core {
+
+class MigrationOrchestrator {
+ public:
+  explicit MigrationOrchestrator(Cluster& cluster) : cluster_(cluster) {}
+
+  /// Places `vm` on `host` (initial deployment, no traffic).
+  void Deploy(VmInstance& vm, const HostId& host);
+
+  /// Advances simulated time by `duration` while the VM runs in place;
+  /// the VM's workload is applied over the interval.
+  void RunFor(VmInstance& vm, SimDuration duration);
+
+  /// Migrates `vm` from its current host to `to` and returns the measured
+  /// statistics. The VM must be deployed and the hosts connected.
+  migration::MigrationStats Migrate(VmInstance& vm, const HostId& to,
+                                    const migration::MigrationConfig& config);
+
+ private:
+  Cluster& cluster_;
+};
+
+}  // namespace vecycle::core

@@ -1,0 +1,85 @@
+// A virtual machine plus the VeCycle metadata that travels with it.
+//
+// Beyond guest memory and its workload, the VM carries what its hypervisor
+// learned at each previously visited host: the checksum set of the
+// checkpoint it left behind (§3.2's incoming-page tracking, consumed on a
+// return migration to skip the bulk hash exchange) and the generation
+// counters at departure (Miyakodori's dirty-tracking state, §4.3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/host.hpp"
+#include "digest/digest.hpp"
+#include "vm/guest_memory.hpp"
+#include "vm/workload.hpp"
+
+namespace vecycle::core {
+
+class VmInstance {
+ public:
+  VmInstance(std::string id, Bytes ram, vm::ContentMode mode,
+             DigestAlgorithm algorithm = DigestAlgorithm::kMd5)
+      : id_(std::move(id)),
+        memory_(std::make_unique<vm::GuestMemory>(ram, mode, algorithm)) {}
+
+  [[nodiscard]] const std::string& Id() const { return id_; }
+  [[nodiscard]] vm::GuestMemory& Memory() { return *memory_; }
+  [[nodiscard]] const vm::GuestMemory& Memory() const { return *memory_; }
+
+  void SetWorkload(std::unique_ptr<vm::Workload> workload) {
+    workload_ = std::move(workload);
+  }
+  [[nodiscard]] vm::Workload* Workload() { return workload_.get(); }
+
+  [[nodiscard]] const HostId& CurrentHost() const { return current_host_; }
+  void SetCurrentHost(HostId host) { current_host_ = std::move(host); }
+
+  /// Replaces the VM's memory with the state reconstructed at a migration
+  /// destination.
+  void AdoptMemory(std::unique_ptr<vm::GuestMemory> memory) {
+    memory_ = std::move(memory);
+  }
+
+  /// Sorted digest set of the checkpoint left behind at `host` (empty
+  /// vector if the host was never visited).
+  [[nodiscard]] std::vector<Digest128> KnownPagesAt(
+      const HostId& host) const {
+    const auto it = known_pages_.find(host);
+    return it == known_pages_.end() ? std::vector<Digest128>{} : it->second;
+  }
+  void RememberPagesAt(const HostId& host, std::vector<Digest128> digests) {
+    known_pages_[host] = std::move(digests);
+  }
+
+  /// Generation counters at the moment the VM last departed `host`.
+  [[nodiscard]] std::vector<std::uint64_t> GenerationsAtDeparture(
+      const HostId& host) const {
+    const auto it = departure_generations_.find(host);
+    return it == departure_generations_.end()
+               ? std::vector<std::uint64_t>{}
+               : it->second;
+  }
+  void RememberDeparture(const HostId& host,
+                         std::vector<std::uint64_t> generations) {
+    departure_generations_[host] = std::move(generations);
+  }
+
+  [[nodiscard]] std::size_t VisitedHostCount() const {
+    return known_pages_.size();
+  }
+
+ private:
+  std::string id_;
+  std::unique_ptr<vm::GuestMemory> memory_;
+  std::unique_ptr<vm::Workload> workload_;
+  HostId current_host_;
+  std::unordered_map<HostId, std::vector<Digest128>> known_pages_;
+  std::unordered_map<HostId, std::vector<std::uint64_t>>
+      departure_generations_;
+};
+
+}  // namespace vecycle::core

@@ -1,0 +1,31 @@
+#include "digest/digest.hpp"
+
+namespace vecycle {
+
+std::string Digest128::ToHex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (const std::uint64_t word : words) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(kHex[(word >> shift) & 0xf]);
+    }
+  }
+  return out;
+}
+
+const char* ToString(DigestAlgorithm algorithm) {
+  switch (algorithm) {
+    case DigestAlgorithm::kMd5:
+      return "md5";
+    case DigestAlgorithm::kSha1:
+      return "sha1";
+    case DigestAlgorithm::kSha256:
+      return "sha256";
+    case DigestAlgorithm::kFnv1a:
+      return "fnv1a";
+  }
+  return "?";
+}
+
+}  // namespace vecycle

@@ -1,0 +1,19 @@
+#include "digest/fnv.hpp"
+
+namespace vecycle {
+
+std::uint64_t Fnv1a64(std::span<const std::byte> data) {
+  return Fnv1a64(reinterpret_cast<const std::uint8_t*>(data.data()),
+                 data.size());
+}
+
+Digest128 FnvDigest(const void* data, std::size_t size) {
+  return Digest128::FromWords(
+      Fnv1a64(static_cast<const std::uint8_t*>(data), size), 0);
+}
+
+Digest128 FnvDigest(std::span<const std::byte> data) {
+  return FnvDigest(data.data(), data.size());
+}
+
+}  // namespace vecycle

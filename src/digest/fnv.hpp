@@ -1,0 +1,38 @@
+// FNV-1a, 64-bit variant.
+//
+// Sender-side deduplication (CloudNet, §4.2) may use a cheap
+// non-cryptographic hash because candidate pages live on the *same* host and
+// can be byte-compared for true equality before acting on a match. FNV-1a
+// plays that role here and also serves as the cheap end of the
+// checksum-rate ablation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "digest/digest.hpp"
+
+namespace vecycle {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+constexpr std::uint64_t Fnv1a64(const std::uint8_t* data, std::size_t size,
+                                std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t Fnv1a64(std::span<const std::byte> data);
+
+/// FNV widened into the common digest type: the 64-bit hash in word 0,
+/// word 1 zero (its 8-byte wire size is handled by WireSizeBytes()).
+Digest128 FnvDigest(const void* data, std::size_t size);
+Digest128 FnvDigest(std::span<const std::byte> data);
+
+}  // namespace vecycle

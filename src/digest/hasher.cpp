@@ -1,0 +1,30 @@
+#include "digest/hasher.hpp"
+
+#include "digest/fnv.hpp"
+#include "digest/md5.hpp"
+#include "digest/sha1.hpp"
+#include "digest/sha256.hpp"
+
+namespace vecycle {
+
+Digest128 ComputeDigest(DigestAlgorithm algorithm, const void* data,
+                        std::size_t size) {
+  switch (algorithm) {
+    case DigestAlgorithm::kMd5:
+      return Md5Digest(data, size);
+    case DigestAlgorithm::kSha1:
+      return Sha1Digest(data, size);
+    case DigestAlgorithm::kSha256:
+      return Sha256Digest(data, size);
+    case DigestAlgorithm::kFnv1a:
+      return FnvDigest(data, size);
+  }
+  return {};
+}
+
+Digest128 ComputeDigest(DigestAlgorithm algorithm,
+                        std::span<const std::byte> data) {
+  return ComputeDigest(algorithm, data.data(), data.size());
+}
+
+}  // namespace vecycle

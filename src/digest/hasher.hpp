@@ -1,0 +1,18 @@
+// Algorithm-dispatched one-shot hashing, so higher layers can be configured
+// with a DigestAlgorithm value instead of hard-coding MD5 (§3.4 asks for
+// exactly this pluggability).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "digest/digest.hpp"
+
+namespace vecycle {
+
+Digest128 ComputeDigest(DigestAlgorithm algorithm, const void* data,
+                        std::size_t size);
+Digest128 ComputeDigest(DigestAlgorithm algorithm,
+                        std::span<const std::byte> data);
+
+}  // namespace vecycle

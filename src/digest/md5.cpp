@@ -1,0 +1,159 @@
+#include "digest/md5.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace vecycle {
+namespace {
+
+// Per-round left-rotation amounts (RFC 1321 §3.4).
+constexpr std::array<std::uint32_t, 64> kShift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// Sine-derived constants T[i] = floor(2^32 * |sin(i+1)|) (RFC 1321 §3.4).
+constexpr std::array<std::uint32_t, 64> kSine = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr std::uint32_t Rotl(std::uint32_t x, std::uint32_t c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+std::uint32_t LoadLe32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void StoreLe32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+Md5::Md5() : state_{0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u} {}
+
+void Md5::ProcessBlock(const std::uint8_t* block) {
+  std::array<std::uint32_t, 16> m;
+  for (int i = 0; i < 16; ++i) m[static_cast<std::size_t>(i)] = LoadLe32(block + i * 4);
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    std::uint32_t g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + Rotl(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::Update(const void* data, std::size_t size) {
+  VEC_CHECK_MSG(!finalized_, "Md5::Update after Finalize");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t fill = total_bytes_ % 64;
+  total_bytes_ += size;
+
+  if (fill != 0) {
+    const std::size_t want = 64 - fill;
+    const std::size_t take = size < want ? size : want;
+    std::memcpy(buffer_.data() + fill, p, take);
+    p += take;
+    size -= take;
+    fill += take;
+    if (fill == 64) ProcessBlock(buffer_.data());
+  }
+  while (size >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    size -= 64;
+  }
+  if (size > 0) std::memcpy(buffer_.data(), p, size);
+}
+
+void Md5::Update(std::span<const std::byte> data) {
+  Update(data.data(), data.size());
+}
+
+Digest128 Md5::Finalize() {
+  VEC_CHECK_MSG(!finalized_, "Md5::Finalize called twice");
+  finalized_ = true;
+
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  // Append the 0x80 terminator, zero padding, then the 64-bit length.
+  static constexpr std::uint8_t kPad[64] = {0x80};
+  const std::size_t fill = total_bytes_ % 64;
+  const std::size_t pad_len = fill < 56 ? 56 - fill : 120 - fill;
+
+  finalized_ = false;  // allow the padding Updates below
+  Update(kPad, pad_len);
+  std::uint8_t len_bytes[8];
+  StoreLe32(len_bytes, static_cast<std::uint32_t>(bit_len));
+  StoreLe32(len_bytes + 4, static_cast<std::uint32_t>(bit_len >> 32));
+  Update(len_bytes, 8);
+  finalized_ = true;
+
+  std::uint8_t out[16];
+  for (int i = 0; i < 4; ++i) {
+    StoreLe32(out + i * 4, state_[static_cast<std::size_t>(i)]);
+  }
+  // Pack big-endian so ToHex() matches md5sum output ordering.
+  Digest128 d;
+  for (int i = 0; i < 8; ++i) {
+    d.words[0] = (d.words[0] << 8) | out[i];
+    d.words[1] = (d.words[1] << 8) | out[8 + i];
+  }
+  return d;
+}
+
+Digest128 Md5Digest(const void* data, std::size_t size) {
+  Md5 md5;
+  md5.Update(data, size);
+  return md5.Finalize();
+}
+
+Digest128 Md5Digest(std::span<const std::byte> data) {
+  return Md5Digest(data.data(), data.size());
+}
+
+}  // namespace vecycle

@@ -1,0 +1,48 @@
+// MD5 message digest, implemented from RFC 1321.
+//
+// The VeCycle prototype uses MD5 to decide whether a page already exists at
+// the destination (§3.2). We implement it from the specification rather
+// than depending on a crypto library; correctness is pinned by the RFC 1321
+// appendix test vectors in tests/digest_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "digest/digest.hpp"
+
+namespace vecycle {
+
+/// Incremental MD5 context. Usage:
+///   Md5 md5;
+///   md5.Update(chunk1); md5.Update(chunk2);
+///   Digest128 d = md5.Finalize();
+/// Finalize() may be called once; the context is not reusable afterwards.
+class Md5 {
+ public:
+  Md5();
+
+  void Update(std::span<const std::byte> data);
+  void Update(const void* data, std::size_t size);
+
+  /// Completes padding and returns the 128-bit digest. The digest's words
+  /// hold the RFC output bytes in big-endian order, so ToHex() prints the
+  /// familiar md5sum string.
+  [[nodiscard]] Digest128 Finalize();
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot convenience wrapper.
+Digest128 Md5Digest(std::span<const std::byte> data);
+Digest128 Md5Digest(const void* data, std::size_t size);
+
+}  // namespace vecycle

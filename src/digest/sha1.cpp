@@ -1,0 +1,138 @@
+#include "digest/sha1.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace vecycle {
+namespace {
+
+constexpr std::uint32_t Rotl(std::uint32_t x, int c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+std::uint32_t LoadBe32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+}  // namespace
+
+Sha1::Sha1()
+    : state_{0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u,
+             0xc3d2e1f0u} {}
+
+void Sha1::ProcessBlock(const std::uint8_t* block) {
+  std::array<std::uint32_t, 80> w;
+  for (int i = 0; i < 16; ++i) w[static_cast<std::size_t>(i)] = LoadBe32(block + i * 4);
+  for (int i = 16; i < 80; ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    w[idx] = Rotl(w[idx - 3] ^ w[idx - 8] ^ w[idx - 14] ^ w[idx - 16], 1);
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const std::uint32_t tmp =
+        Rotl(a, 5) + f + e + k + w[static_cast<std::size_t>(i)];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::Update(const void* data, std::size_t size) {
+  VEC_CHECK_MSG(!finalized_, "Sha1::Update after Finalize");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t fill = total_bytes_ % 64;
+  total_bytes_ += size;
+
+  if (fill != 0) {
+    const std::size_t want = 64 - fill;
+    const std::size_t take = size < want ? size : want;
+    std::memcpy(buffer_.data() + fill, p, take);
+    p += take;
+    size -= take;
+    fill += take;
+    if (fill == 64) ProcessBlock(buffer_.data());
+  }
+  while (size >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    size -= 64;
+  }
+  if (size > 0) std::memcpy(buffer_.data(), p, size);
+}
+
+void Sha1::Update(std::span<const std::byte> data) {
+  Update(data.data(), data.size());
+}
+
+void Sha1::Pad() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  static constexpr std::uint8_t kPad[64] = {0x80};
+  const std::size_t fill = total_bytes_ % 64;
+  const std::size_t pad_len = fill < 56 ? 56 - fill : 120 - fill;
+  Update(kPad, pad_len);
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  Update(len_bytes, 8);
+}
+
+std::array<std::uint32_t, 5> Sha1::FinalizeFull() {
+  VEC_CHECK_MSG(!finalized_, "Sha1::Finalize called twice");
+  Pad();
+  finalized_ = true;
+  return state_;
+}
+
+Digest128 Sha1::Finalize() {
+  const auto full = FinalizeFull();
+  Digest128 d;
+  d.words[0] = (static_cast<std::uint64_t>(full[0]) << 32) | full[1];
+  d.words[1] = (static_cast<std::uint64_t>(full[2]) << 32) | full[3];
+  return d;
+}
+
+Digest128 Sha1Digest(const void* data, std::size_t size) {
+  Sha1 sha;
+  sha.Update(data, size);
+  return sha.Finalize();
+}
+
+Digest128 Sha1Digest(std::span<const std::byte> data) {
+  return Sha1Digest(data.data(), data.size());
+}
+
+}  // namespace vecycle

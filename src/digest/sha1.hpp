@@ -1,0 +1,47 @@
+// SHA-1, implemented from RFC 3174.
+//
+// §3.4 of the paper names SHA-1/SHA-256 as the drop-in replacements should
+// MD5's known collision weaknesses be considered a risk for checkpoint
+// matching. We provide SHA-1 so the checksum-algorithm ablation bench can
+// quantify the rate difference the paper alludes to. Output is truncated to
+// the library-wide 128-bit Digest128 (the full 160-bit state is available
+// via FinalizeFull for tests).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "digest/digest.hpp"
+
+namespace vecycle {
+
+class Sha1 {
+ public:
+  Sha1();
+
+  void Update(std::span<const std::byte> data);
+  void Update(const void* data, std::size_t size);
+
+  /// Digest truncated to the leading 128 bits.
+  [[nodiscard]] Digest128 Finalize();
+
+  /// Full 20-byte digest as five big-endian words, for verification against
+  /// RFC 3174 test vectors.
+  [[nodiscard]] std::array<std::uint32_t, 5> FinalizeFull();
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+  void Pad();
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+Digest128 Sha1Digest(std::span<const std::byte> data);
+Digest128 Sha1Digest(const void* data, std::size_t size);
+
+}  // namespace vecycle

@@ -1,0 +1,156 @@
+#include "digest/sha256.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace vecycle {
+namespace {
+
+// Round constants: first 32 bits of the fractional parts of the cube
+// roots of the first 64 primes (FIPS 180-4 §4.2.2).
+constexpr std::array<std::uint32_t, 64> kRound = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t Rotr(std::uint32_t x, int c) {
+  return (x >> c) | (x << (32 - c));
+}
+
+std::uint32_t LoadBe32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+}  // namespace
+
+Sha256::Sha256()
+    : state_{0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+             0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u} {}
+
+void Sha256::ProcessBlock(const std::uint8_t* block) {
+  std::array<std::uint32_t, 64> w;
+  for (int i = 0; i < 16; ++i) {
+    w[static_cast<std::size_t>(i)] = LoadBe32(block + i * 4);
+  }
+  for (std::size_t i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+  std::uint32_t f = state_[5];
+  std::uint32_t g = state_[6];
+  std::uint32_t h = state_[7];
+
+  for (std::size_t i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t temp1 = h + s1 + ch + kRound[i] + w[i];
+    const std::uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::Update(const void* data, std::size_t size) {
+  VEC_CHECK_MSG(!finalized_, "Sha256::Update after Finalize");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t fill = total_bytes_ % 64;
+  total_bytes_ += size;
+
+  if (fill != 0) {
+    const std::size_t want = 64 - fill;
+    const std::size_t take = size < want ? size : want;
+    std::memcpy(buffer_.data() + fill, p, take);
+    p += take;
+    size -= take;
+    fill += take;
+    if (fill == 64) ProcessBlock(buffer_.data());
+  }
+  while (size >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    size -= 64;
+  }
+  if (size > 0) std::memcpy(buffer_.data(), p, size);
+}
+
+void Sha256::Update(std::span<const std::byte> data) {
+  Update(data.data(), data.size());
+}
+
+void Sha256::Pad() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  static constexpr std::uint8_t kPad[64] = {0x80};
+  const std::size_t fill = total_bytes_ % 64;
+  const std::size_t pad_len = fill < 56 ? 56 - fill : 120 - fill;
+  Update(kPad, pad_len);
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  Update(len_bytes, 8);
+}
+
+std::array<std::uint32_t, 8> Sha256::FinalizeFull() {
+  VEC_CHECK_MSG(!finalized_, "Sha256::Finalize called twice");
+  Pad();
+  finalized_ = true;
+  return state_;
+}
+
+Digest128 Sha256::Finalize() {
+  const auto full = FinalizeFull();
+  Digest128 d;
+  d.words[0] = (static_cast<std::uint64_t>(full[0]) << 32) | full[1];
+  d.words[1] = (static_cast<std::uint64_t>(full[2]) << 32) | full[3];
+  return d;
+}
+
+Digest128 Sha256Digest(const void* data, std::size_t size) {
+  Sha256 sha;
+  sha.Update(data, size);
+  return sha.Finalize();
+}
+
+Digest128 Sha256Digest(std::span<const std::byte> data) {
+  return Sha256Digest(data.data(), data.size());
+}
+
+}  // namespace vecycle

@@ -1,0 +1,45 @@
+// SHA-256, implemented from FIPS 180-4.
+//
+// §3.4 names SHA-256 alongside SHA-1 as the checksum to use "if MD5 is
+// deemed a risk to security and correctness". Like SHA-1, the output is
+// truncated to the library-wide 128-bit Digest128 on the wire (the full
+// 256-bit state is available via FinalizeFull for verification against
+// the NIST test vectors).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "digest/digest.hpp"
+
+namespace vecycle {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(std::span<const std::byte> data);
+  void Update(const void* data, std::size_t size);
+
+  /// Digest truncated to the leading 128 bits.
+  [[nodiscard]] Digest128 Finalize();
+
+  /// Full 32-byte digest as eight big-endian words.
+  [[nodiscard]] std::array<std::uint32_t, 8> FinalizeFull();
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+  void Pad();
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+Digest128 Sha256Digest(std::span<const std::byte> data);
+Digest128 Sha256Digest(const void* data, std::size_t size);
+
+}  // namespace vecycle

@@ -1,0 +1,85 @@
+#include "fingerprint/fingerprint.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace vecycle::fp {
+
+std::uint64_t ZeroPageHash() {
+  return SplitMix64(vm::kZeroPageSeed + 1).Next();
+}
+
+Fingerprint::Fingerprint(SimTime timestamp,
+                         std::vector<std::uint64_t> page_hashes)
+    : timestamp_(timestamp), page_hashes_(std::move(page_hashes)) {
+  VEC_CHECK_MSG(!page_hashes_.empty(), "empty fingerprint");
+}
+
+const std::vector<std::uint64_t>& Fingerprint::UniqueHashes() const {
+  if (unique_cache_.empty() && !page_hashes_.empty()) {
+    unique_cache_ = page_hashes_;
+    std::sort(unique_cache_.begin(), unique_cache_.end());
+    unique_cache_.erase(
+        std::unique(unique_cache_.begin(), unique_cache_.end()),
+        unique_cache_.end());
+  }
+  return unique_cache_;
+}
+
+double Fingerprint::DuplicateFraction() const {
+  if (page_hashes_.empty()) return 0.0;
+  return 1.0 - static_cast<double>(UniqueHashes().size()) /
+                   static_cast<double>(page_hashes_.size());
+}
+
+double Fingerprint::ZeroFraction() const {
+  if (page_hashes_.empty()) return 0.0;
+  const std::uint64_t zero = ZeroPageHash();
+  const auto zeros = static_cast<std::uint64_t>(
+      std::count(page_hashes_.begin(), page_hashes_.end(), zero));
+  return static_cast<double>(zeros) /
+         static_cast<double>(page_hashes_.size());
+}
+
+bool Fingerprint::Contains(std::uint64_t hash) const {
+  const auto& unique = UniqueHashes();
+  return std::binary_search(unique.begin(), unique.end(), hash);
+}
+
+Fingerprint Capture(const vm::GuestMemory& memory, SimTime now) {
+  std::vector<std::uint64_t> hashes(memory.PageCount());
+  for (vm::PageId page = 0; page < memory.PageCount(); ++page) {
+    hashes[page] = memory.ContentHash64(page);
+  }
+  return Fingerprint(now, std::move(hashes));
+}
+
+std::uint64_t SharedUniqueHashes(const Fingerprint& a, const Fingerprint& b) {
+  const auto& ua = a.UniqueHashes();
+  const auto& ub = b.UniqueHashes();
+  std::uint64_t shared = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ua.size() && j < ub.size()) {
+    if (ua[i] < ub[j]) {
+      ++i;
+    } else if (ub[j] < ua[i]) {
+      ++j;
+    } else {
+      ++shared;
+      ++i;
+      ++j;
+    }
+  }
+  return shared;
+}
+
+double Similarity(const Fingerprint& a, const Fingerprint& b) {
+  const auto& ua = a.UniqueHashes();
+  VEC_CHECK_MSG(!ua.empty(), "similarity of an empty fingerprint");
+  return static_cast<double>(SharedUniqueHashes(a, b)) /
+         static_cast<double>(ua.size());
+}
+
+}  // namespace vecycle::fp

@@ -1,0 +1,72 @@
+// Memory fingerprints (§2.1).
+//
+// A fingerprint F of an n-page machine is the list of per-page content
+// hashes [h(p_0) .. h(p_{n-1})], captured at a point in time. The set of
+// *unique* hashes U drives the paper's similarity metric: similarity of
+// Ua with Ub is |Ua ∩ Ub| / |Ua|. This module captures fingerprints from
+// GuestMemory, computes similarity and duplicate/zero-page statistics, and
+// is the substrate for the Memory-Buddies-style trace analysis of §2.3/§4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "vm/guest_memory.hpp"
+
+namespace vecycle::fp {
+
+/// The 64-bit content hash of the all-zero page, as produced by
+/// GuestMemory::ContentHash64 for seed 0.
+std::uint64_t ZeroPageHash();
+
+class Fingerprint {
+ public:
+  Fingerprint() = default;
+  Fingerprint(SimTime timestamp, std::vector<std::uint64_t> page_hashes);
+
+  [[nodiscard]] SimTime Timestamp() const { return timestamp_; }
+  [[nodiscard]] std::uint64_t PageCount() const {
+    return page_hashes_.size();
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& PageHashes() const {
+    return page_hashes_;
+  }
+  [[nodiscard]] std::uint64_t HashAt(std::uint64_t page) const {
+    return page_hashes_[page];
+  }
+
+  /// Sorted vector of distinct hashes (the set U of §2.1). Built on first
+  /// use and cached; the cache survives copies.
+  [[nodiscard]] const std::vector<std::uint64_t>& UniqueHashes() const;
+
+  /// 1 - |U|/n: the fraction of pages whose content also occurs elsewhere
+  /// in the same fingerprint (Fig. 4's "duplicate pages").
+  [[nodiscard]] double DuplicateFraction() const;
+
+  /// Fraction of pages that are all zeros (Fig. 4's rightmost plot).
+  [[nodiscard]] double ZeroFraction() const;
+
+  /// True if `hash` occurs anywhere in this fingerprint (binary search on
+  /// the unique set).
+  [[nodiscard]] bool Contains(std::uint64_t hash) const;
+
+ private:
+  SimTime timestamp_ = kSimEpoch;
+  std::vector<std::uint64_t> page_hashes_;
+  mutable std::vector<std::uint64_t> unique_cache_;
+};
+
+/// Captures a fingerprint of `memory` at time `now` using the fast 64-bit
+/// content hash (hash collisions are irrelevant at statistics scale; the
+/// migration protocol itself uses full Digest128 checksums).
+Fingerprint Capture(const vm::GuestMemory& memory, SimTime now);
+
+/// |Ua ∩ Ub| / |Ua| — the §2.1 similarity of fingerprint `a` with `b`.
+/// Asymmetric by definition (denominator is |Ua|).
+double Similarity(const Fingerprint& a, const Fingerprint& b);
+
+/// |Ua ∩ Ub| via linear merge of the two sorted unique sets.
+std::uint64_t SharedUniqueHashes(const Fingerprint& a, const Fingerprint& b);
+
+}  // namespace vecycle::fp

@@ -1,0 +1,105 @@
+#include "fingerprint/trace.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace vecycle::fp {
+namespace {
+
+constexpr char kMagic[8] = {'V', 'E', 'C', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  VEC_CHECK_MSG(in.good(), "truncated trace stream");
+  return value;
+}
+
+}  // namespace
+
+void Trace::Append(Fingerprint fingerprint) {
+  if (!fingerprints_.empty()) {
+    VEC_CHECK_MSG(fingerprint.Timestamp() > fingerprints_.back().Timestamp(),
+                  "trace timestamps must be strictly increasing");
+    VEC_CHECK_MSG(
+        fingerprint.PageCount() == fingerprints_.front().PageCount(),
+        "all fingerprints in a trace must cover the same page count");
+  }
+  fingerprints_.push_back(std::move(fingerprint));
+}
+
+SimDuration Trace::Span() const {
+  if (fingerprints_.size() < 2) return SimDuration::zero();
+  return fingerprints_.back().Timestamp() -
+         fingerprints_.front().Timestamp();
+}
+
+void Trace::WriteTo(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<std::uint32_t>(machine_name_.size()));
+  out.write(machine_name_.data(),
+            static_cast<std::streamsize>(machine_name_.size()));
+  WritePod(out, static_cast<std::uint64_t>(fingerprints_.size()));
+  for (const auto& f : fingerprints_) {
+    WritePod(out, static_cast<std::int64_t>(f.Timestamp().count()));
+    WritePod(out, static_cast<std::uint64_t>(f.PageCount()));
+    out.write(reinterpret_cast<const char*>(f.PageHashes().data()),
+              static_cast<std::streamsize>(f.PageCount() * sizeof(std::uint64_t)));
+  }
+  VEC_CHECK_MSG(out.good(), "trace write failed");
+}
+
+Trace Trace::ReadFrom(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  VEC_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 8) == 0,
+                "not a VECTRACE stream");
+  const auto version = ReadPod<std::uint32_t>(in);
+  VEC_CHECK_MSG(version == kVersion, "unsupported trace version");
+
+  const auto name_len = ReadPod<std::uint32_t>(in);
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  VEC_CHECK_MSG(in.good(), "truncated trace name");
+
+  Trace trace(std::move(name));
+  const auto count = ReadPod<std::uint64_t>(in);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto ts = ReadPod<std::int64_t>(in);
+    const auto pages = ReadPod<std::uint64_t>(in);
+    std::vector<std::uint64_t> hashes(pages);
+    in.read(reinterpret_cast<char*>(hashes.data()),
+            static_cast<std::streamsize>(pages * sizeof(std::uint64_t)));
+    VEC_CHECK_MSG(in.good(), "truncated fingerprint data");
+    trace.Append(Fingerprint(SimTime{ts}, std::move(hashes)));
+  }
+  return trace;
+}
+
+void Trace::SaveFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  VEC_CHECK_MSG(out.is_open(), "cannot open trace file for writing: " + path);
+  WriteTo(out);
+}
+
+Trace Trace::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  VEC_CHECK_MSG(in.is_open(), "cannot open trace file: " + path);
+  return ReadFrom(in);
+}
+
+}  // namespace vecycle::fp

@@ -1,0 +1,59 @@
+// Fingerprint traces: an ordered series of fingerprints of one machine,
+// the on-disk artifact the Memory Buddies project published and §2.3
+// analyzes (one fingerprint every 30 minutes over days). Traces carry gaps
+// naturally — laptops are powered off at night, servers reboot — simply by
+// having non-uniform timestamps, exactly as the original corpus does.
+//
+// The binary format is versioned and self-describing:
+//   magic "VECTRACE" | u32 version | u32 name_len | name bytes
+//   u64 fingerprint_count | per fingerprint: i64 timestamp_ns |
+//   u64 page_count | page_count * u64 hashes
+// All integers little-endian.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fingerprint/fingerprint.hpp"
+
+namespace vecycle::fp {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string machine_name)
+      : machine_name_(std::move(machine_name)) {}
+
+  [[nodiscard]] const std::string& MachineName() const {
+    return machine_name_;
+  }
+
+  /// Appends a fingerprint; timestamps must be strictly increasing.
+  void Append(Fingerprint fingerprint);
+
+  [[nodiscard]] std::size_t Size() const { return fingerprints_.size(); }
+  [[nodiscard]] bool Empty() const { return fingerprints_.empty(); }
+  [[nodiscard]] const Fingerprint& At(std::size_t index) const {
+    return fingerprints_.at(index);
+  }
+  [[nodiscard]] const std::vector<Fingerprint>& Fingerprints() const {
+    return fingerprints_;
+  }
+
+  /// Total time covered, last timestamp minus first.
+  [[nodiscard]] SimDuration Span() const;
+
+  void WriteTo(std::ostream& out) const;
+  static Trace ReadFrom(std::istream& in);
+
+  void SaveFile(const std::string& path) const;
+  static Trace LoadFile(const std::string& path);
+
+ private:
+  std::string machine_name_;
+  std::vector<Fingerprint> fingerprints_;
+};
+
+}  // namespace vecycle::fp

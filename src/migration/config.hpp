@@ -1,0 +1,67 @@
+// Migration engine configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "digest/digest.hpp"
+#include "migration/strategy.hpp"
+
+namespace vecycle::migration {
+
+/// How the source learns which page contents exist at the destination
+/// (§3.2). The paper's prototype sends the checksums in bulk before the
+/// migration; it names — but does not evaluate — the alternative of
+/// querying the destination per page, expecting "the high frequency
+/// exchange of small messages to slow down the migration". Both are
+/// implemented so that expectation can be quantified
+/// (bench_ablation_hash_exchange).
+enum class HashExchangeMode {
+  kBulk,          ///< destination ships its digest set up front
+  kPerPageQuery,  ///< source asks per page, bounded by query_window
+};
+
+/// Wire compression of full-page payloads (Svärd et al. [24]; the paper
+/// notes such techniques "can be combined with VeCycle"). Modeled as a
+/// per-page compression ratio with CPU cost at both ends; checksum-only
+/// records, dedup references and zero pages are unaffected (there is
+/// nothing left to compress).
+struct CompressionConfig {
+  bool enabled = false;
+  /// Mean compressed-size / original-size for guest pages. 0.55 matches
+  /// the delta/RLE-class compressors of the era on mixed content.
+  double mean_ratio = 0.55;
+  /// Per-page spread around the mean (content-dependent), clamped to
+  /// [0.05, 1.0].
+  double ratio_jitter = 0.25;
+  ByteRate compress_rate = MiBPerSecond(250.0);
+  ByteRate decompress_rate = MiBPerSecond(500.0);
+};
+
+struct MigrationConfig {
+  Strategy strategy = Strategy::kHashes;
+  DigestAlgorithm algorithm = DigestAlgorithm::kMd5;
+
+  HashExchangeMode hash_exchange = HashExchangeMode::kBulk;
+  /// Outstanding per-page queries allowed in flight (kPerPageQuery only).
+  /// 1 models the naive synchronous scheme; larger windows pipeline.
+  std::uint32_t query_window = 1;
+
+  CompressionConfig compression;
+
+  /// Pages per wire message. Real implementations buffer the RAM stream;
+  /// 256 pages (1 MiB) per send matches QEMU's buffered chunking order of
+  /// magnitude and keeps simulation event counts tractable.
+  std::uint32_t batch_pages = 256;
+
+  /// Pre-copy termination: enter the stop-and-copy round when the dirty
+  /// set is at most this many pages...
+  std::uint64_t stop_copy_threshold_pages = 2048;
+  /// ...or after this many rounds regardless (QEMU behaves similarly to
+  /// avoid livelock against fast writers).
+  std::uint32_t max_rounds = 16;
+
+  void Validate() const;
+};
+
+}  // namespace vecycle::migration

@@ -1,0 +1,164 @@
+#include "migration/destination.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace vecycle::migration {
+
+DestinationActor::DestinationActor(Params params)
+    : params_(std::move(params)) {
+  VEC_CHECK(params_.simulator != nullptr);
+  VEC_CHECK(params_.reply != nullptr);
+  VEC_CHECK(params_.cpu != nullptr);
+  VEC_CHECK(params_.page_count > 0);
+  memory_ = std::make_unique<vm::GuestMemory>(
+      Pages(params_.page_count), params_.mode, params_.config.algorithm);
+}
+
+SimTime DestinationActor::Prepare(SimTime start, bool send_bulk_hashes) {
+  SimTime ready = start;
+
+  const bool wants_checkpoint = UsesCheckpoint(params_.config.strategy);
+  const bool geometry_matches =
+      params_.store != nullptr && params_.store->Has(params_.vm_id) &&
+      params_.store->Peek(params_.vm_id)->PageCount() == params_.page_count;
+  if (wants_checkpoint && params_.store != nullptr &&
+      params_.store->Has(params_.vm_id) && !geometry_matches) {
+    // The VM was resized since it last left this host; its old checkpoint
+    // cannot seed the new geometry. Drop it and run a cold migration.
+    params_.store->Drop(params_.vm_id);
+  }
+  const bool integrity_ok =
+      geometry_matches &&
+      params_.store->Peek(params_.vm_id)->IntegrityOk();
+  if (wants_checkpoint && geometry_matches && !integrity_ok) {
+    // Latent disk corruption caught by the image digest during the §3.3
+    // scan: trusting the checkpoint would reconstruct wrong memory, so
+    // the migration falls back to a cold transfer.
+    params_.store->Drop(params_.vm_id);
+  }
+  if (wants_checkpoint && geometry_matches && integrity_ok) {
+    // Sequential scan of the image (disk) pipelined with per-block
+    // checksum computation (CPU); the slower of the two gates readiness.
+    const auto load = params_.store->Load(params_.vm_id, start);
+    checkpoint_ = load.checkpoint;
+    ready = load.ready_at;
+    if (UsesContentHashes(params_.config.strategy)) {
+      const Bytes image = checkpoint_->SizeOnDisk();
+      const SimTime hashed =
+          params_.cpu->Hash(start, image, params_.config.algorithm);
+      hashed_bytes_ += image;
+      ready = std::max(ready, hashed);
+      index_ = storage::ChecksumIndex::Build(*checkpoint_,
+                                             params_.config.algorithm);
+    }
+    checkpoint_->RestoreInto(*memory_);
+    restored_from_checkpoint_ = true;
+  }
+
+  setup_time_ = ready - start;
+  work_done_ = ready;
+
+  if (send_bulk_hashes) {
+    VEC_CHECK_MSG(!index_.Empty(),
+                  "bulk hash exchange requires a checkpoint index");
+    net::Message bulk;
+    bulk.type = net::MessageType::kBulkHashes;
+    bulk.bulk_hashes = index_.DistinctDigestList();
+    params_.reply->Send(std::move(bulk), ready);
+  }
+  return ready;
+}
+
+void DestinationActor::OnMessage(const net::Message& message,
+                                 SimTime arrival) {
+  switch (message.type) {
+    case net::MessageType::kPageBatch:
+      ApplyBatch(message, arrival);
+      break;
+    case net::MessageType::kRoundEnd: {
+      net::Message ack;
+      ack.type = net::MessageType::kRoundAck;
+      ack.round = message.round;
+      params_.reply->Send(std::move(ack), std::max(arrival, work_done_));
+      break;
+    }
+    case net::MessageType::kDone: {
+      VEC_CHECK_MSG(!completed_, "duplicate done message");
+      completed_ = true;
+      const SimTime resume = std::max(arrival, work_done_);
+      net::Message ack;
+      ack.type = net::MessageType::kDoneAck;
+      params_.reply->Send(std::move(ack), resume);
+      if (on_complete) on_complete(resume);
+      break;
+    }
+    case net::MessageType::kBulkHashes:
+    case net::MessageType::kRoundAck:
+    case net::MessageType::kDoneAck:
+      VEC_CHECK_MSG(false, "unexpected message at migration destination");
+  }
+}
+
+void DestinationActor::ApplyBatch(const net::Message& message,
+                                  SimTime arrival) {
+  VEC_CHECK_MSG(!completed_, "page batch after done");
+  std::uint64_t decompress_bytes = 0;
+  for (const auto& record : message.records) {
+    if (record.has_payload && record.payload_wire_bytes < kPageSize) {
+      decompress_bytes += kPageSize;  // inflate back to the full page
+    }
+    ApplyRecord(record, arrival);
+  }
+  if (decompress_bytes > 0) {
+    const SimTime done = params_.cpu->Work(
+        std::max(arrival, work_done_), Bytes{decompress_bytes},
+        params_.config.compression.decompress_rate);
+    work_done_ = std::max(work_done_, done);
+  }
+}
+
+void DestinationActor::ApplyRecord(const net::PageRecord& record,
+                                   SimTime arrival) {
+  VEC_CHECK_MSG(record.page < memory_->PageCount(),
+                "page record out of range");
+
+  if (record.has_payload || record.is_dup_ref || record.is_zero) {
+    // Full content (directly, via the dedup cache, or the implicit zero
+    // page). Memory writes are free at simulation granularity.
+    memory_->WritePage(record.page, record.content_seed);
+    return;
+  }
+
+  // Checksum-only record — Listing 1. Verify the locally initialized page
+  // first (one 4 KiB checksum), then fall back to the checkpoint.
+  const SimTime hashed = params_.cpu->Hash(
+      std::max(arrival, work_done_), Bytes{kPageSize},
+      params_.config.algorithm);
+  hashed_bytes_ += Bytes{kPageSize};
+  work_done_ = std::max(work_done_, hashed);
+
+  const Digest128 local = memory_->PageDigest(record.page);
+  if (local == record.digest) {
+    ++pages_matched_in_place_;
+    return;
+  }
+
+  const auto offset = index_.Lookup(record.digest);
+  VEC_CHECK_MSG(offset.has_value(),
+                "checksum-only record for content absent at destination");
+  VEC_CHECK(checkpoint_ != nullptr);
+  const SimTime read =
+      params_.store->ReadBlock(std::max(arrival, work_done_));
+  work_done_ = std::max(work_done_, read);
+  const std::uint64_t seed = checkpoint_->SeedAt(*offset);
+  // Cross-check the protocol invariant: the checkpoint block the index
+  // points at really carries the content the source named.
+  VEC_CHECK(checkpoint_->DigestAt(*offset, params_.config.algorithm) ==
+            record.digest);
+  memory_->WritePage(record.page, seed);
+  ++pages_from_checkpoint_;
+}
+
+}  // namespace vecycle::migration

@@ -1,0 +1,104 @@
+// Migration destination actor (§3.3, Listing 1).
+//
+// Before the migration the destination initializes guest RAM from the
+// local checkpoint (sequential scan, one checksum per 4 KiB block recorded
+// into the sorted index). During the migration it consumes page batches:
+// full pages are written to RAM; checksum-only records are verified
+// against the locally initialized page and, on mismatch, satisfied by a
+// random read from the checkpoint file at the offset the index returns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/units.hpp"
+#include "migration/config.hpp"
+#include "migration/stats.hpp"
+#include "net/channel.hpp"
+#include "net/message.hpp"
+#include "sim/checksum_engine.hpp"
+#include "storage/checkpoint_store.hpp"
+#include "storage/checksum_index.hpp"
+#include "vm/guest_memory.hpp"
+
+namespace vecycle::migration {
+
+class DestinationActor {
+ public:
+  struct Params {
+    sim::Simulator* simulator = nullptr;
+    net::Channel* reply = nullptr;  ///< destination -> source channel
+    sim::ChecksumEngine* cpu = nullptr;
+    storage::CheckpointStore* store = nullptr;  ///< nullable
+    storage::VmId vm_id;
+    MigrationConfig config;
+    std::uint64_t page_count = 0;
+    vm::ContentMode mode = vm::ContentMode::kSeedOnly;
+  };
+
+  explicit DestinationActor(Params params);
+
+  /// Pre-migration setup. If the strategy uses a checkpoint and one exists
+  /// locally, books the sequential image scan (and, for content-hash
+  /// strategies, the per-block checksum computation) and restores the
+  /// image into guest RAM. When `send_bulk_hashes`, ships the distinct
+  /// digest set to the source at setup completion (§3.2's non-ping-pong
+  /// path). Returns the setup completion time.
+  SimTime Prepare(SimTime start, bool send_bulk_hashes);
+
+  /// Channel receiver: dispatch on message type.
+  void OnMessage(const net::Message& message, SimTime arrival);
+
+  /// Invoked once, when the final round has been fully applied and the VM
+  /// runs at the destination.
+  std::function<void(SimTime)> on_complete;
+
+  [[nodiscard]] vm::GuestMemory& Memory() { return *memory_; }
+
+  /// The checkpoint's checksum index, for the engine to answer per-page
+  /// queries from (HashExchangeMode::kPerPageQuery). Empty when no
+  /// checkpoint was restored.
+  [[nodiscard]] const storage::ChecksumIndex& Index() const {
+    return index_;
+  }
+  [[nodiscard]] std::unique_ptr<vm::GuestMemory> TakeMemory() {
+    return std::move(memory_);
+  }
+  [[nodiscard]] bool RestoredFromCheckpoint() const {
+    return restored_from_checkpoint_;
+  }
+  [[nodiscard]] SimDuration SetupTime() const { return setup_time_; }
+
+  // Statistics merged into MigrationStats by the engine.
+  [[nodiscard]] std::uint64_t PagesMatchedInPlace() const {
+    return pages_matched_in_place_;
+  }
+  [[nodiscard]] std::uint64_t PagesFromCheckpoint() const {
+    return pages_from_checkpoint_;
+  }
+  [[nodiscard]] Bytes HashedBytes() const { return hashed_bytes_; }
+
+ private:
+  void ApplyBatch(const net::Message& message, SimTime arrival);
+  void ApplyRecord(const net::PageRecord& record, SimTime arrival);
+
+  Params params_;
+  std::unique_ptr<vm::GuestMemory> memory_;
+  const storage::Checkpoint* checkpoint_ = nullptr;
+  storage::ChecksumIndex index_;
+  bool restored_from_checkpoint_ = false;
+  SimDuration setup_time_ = SimDuration::zero();
+
+  /// Completion time of the latest booked CPU/disk work; round acks and
+  /// the final done-ack wait for it.
+  SimTime work_done_ = kSimEpoch;
+
+  std::uint64_t pages_matched_in_place_ = 0;
+  std::uint64_t pages_from_checkpoint_ = 0;
+  Bytes hashed_bytes_;
+  bool completed_ = false;
+};
+
+}  // namespace vecycle::migration

@@ -1,0 +1,209 @@
+#include "migration/engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "migration/destination.hpp"
+#include "migration/source.hpp"
+#include "net/channel.hpp"
+
+namespace vecycle::migration {
+
+void MigrationConfig::Validate() const {
+  VEC_CHECK_MSG(batch_pages > 0, "batch_pages must be positive");
+  VEC_CHECK_MSG(max_rounds >= 2, "need at least one copy + one stop round");
+  VEC_CHECK_MSG(query_window > 0, "query_window must be positive");
+}
+
+/// All the wiring of one migration: channels, the two actors, and the
+/// completion latch. Kept behind a pimpl so MigrationSession's header
+/// stays light.
+struct MigrationSession::Impl {
+  explicit Impl(MigrationRun run_in) : run(std::move(run_in)) {
+    VEC_CHECK(run.simulator != nullptr);
+    VEC_CHECK(run.link != nullptr);
+    VEC_CHECK(run.source_memory != nullptr);
+    VEC_CHECK(run.source.cpu != nullptr);
+    VEC_CHECK(run.destination.cpu != nullptr);
+    run.config.Validate();
+
+    auto& simulator = *run.simulator;
+    const SimTime t0 = simulator.Now();
+    const sim::Direction reverse = run.direction == sim::Direction::kAtoB
+                                       ? sim::Direction::kBtoA
+                                       : sim::Direction::kAtoB;
+    forward = std::make_unique<net::Channel>(simulator, *run.link,
+                                             run.direction,
+                                             run.config.algorithm);
+    backward = std::make_unique<net::Channel>(simulator, *run.link, reverse,
+                                              run.config.algorithm);
+
+    DestinationActor::Params dest_params;
+    dest_params.simulator = &simulator;
+    dest_params.reply = backward.get();
+    dest_params.cpu = run.destination.cpu;
+    dest_params.store = run.destination.store;
+    dest_params.vm_id = run.vm_id;
+    dest_params.config = run.config;
+    dest_params.page_count = run.source_memory->PageCount();
+    dest_params.mode = run.source_memory->Mode();
+    destination = std::make_unique<DestinationActor>(std::move(dest_params));
+
+    const bool source_has_knowledge = !run.source_knowledge.empty();
+    const bool dest_has_checkpoint =
+        UsesCheckpoint(run.config.strategy) &&
+        run.destination.store != nullptr &&
+        run.destination.store->Has(run.vm_id) &&
+        run.destination.store->Peek(run.vm_id)->PageCount() ==
+            run.source_memory->PageCount() &&
+        run.destination.store->Peek(run.vm_id)->IntegrityOk();
+    if (!dest_has_checkpoint ||
+        run.departure_generations.size() !=
+            run.source_memory->PageCount()) {
+      // Dirty-tracking skips are only sound when the destination can
+      // restore the skipped pages from a matching checkpoint; first
+      // visits and resized VMs degrade to full.
+      run.departure_generations.clear();
+    }
+    if (!dest_has_checkpoint) {
+      // Checksum-only records can only be satisfied from a checkpoint;
+      // any stale knowledge the VM carries about this destination is
+      // useless (e.g. the checkpoint was evicted or the VM was resized).
+      run.source_knowledge.clear();
+    }
+
+    // Hash-exchange planning (§3.2): needed only when the source lacks
+    // knowledge of the destination's page set and the strategy consumes
+    // it; the config then picks the bulk transfer or per-page queries.
+    const bool wants_exchange = UsesContentHashes(run.config.strategy) &&
+                                dest_has_checkpoint &&
+                                !source_has_knowledge;
+    const bool use_query =
+        wants_exchange &&
+        run.config.hash_exchange == HashExchangeMode::kPerPageQuery;
+    const bool need_bulk = wants_exchange && !use_query;
+
+    SourceActor::Params src_params;
+    src_params.simulator = &simulator;
+    src_params.channel = forward.get();
+    src_params.cpu = run.source.cpu;
+    src_params.memory = run.source_memory;
+    src_params.workload = run.workload;
+    src_params.config = run.config;
+    src_params.dest_digests = std::move(run.source_knowledge);
+    src_params.departure_generations =
+        std::move(run.departure_generations);
+    src_params.shared_dedup_cache = run.shared_dedup_cache;
+
+    if (use_query) {
+      // §3.2's alternative scheme: the source asks the destination about
+      // each page. The oracle consults the destination's checkpoint
+      // index; the transport books the question/verdict frames.
+      DestinationActor* dest_ptr = destination.get();
+      src_params.query_oracle = [dest_ptr](const Digest128& digest) {
+        return dest_ptr->Index().Contains(digest);
+      };
+      const std::uint64_t question_bytes =
+          net::kRecordHeaderBytes + WireSizeBytes(run.config.algorithm);
+      const std::uint64_t verdict_bytes = net::kRecordHeaderBytes + 1;
+      src_params.query_transport = [link = run.link, dir = run.direction,
+                                    reverse, question_bytes,
+                                    verdict_bytes](SimTime earliest) {
+        const SimTime asked =
+            link->Transmit(dir, earliest, Bytes{question_bytes});
+        return link->Transmit(reverse, asked, Bytes{verdict_bytes});
+      };
+    }
+    source = std::make_unique<SourceActor>(std::move(src_params));
+
+    forward->SetReceiver([this](const net::Message& m, SimTime t) {
+      destination->OnMessage(m, t);
+    });
+    backward->SetReceiver([this](const net::Message& m, SimTime t) {
+      source->OnMessage(m, t);
+    });
+    destination->on_complete = [this](SimTime t) {
+      completed_at = t;
+      completed = true;
+    };
+
+    // Destination setup (§3.3), then kick off round 1.
+    const SimTime setup_done = destination->Prepare(t0, need_bulk);
+    if (!need_bulk) {
+      source->Start(std::max(t0, setup_done));
+    }
+    // (When need_bulk, Start happens inside OnBulkHashes at arrival.)
+  }
+
+  MigrationOutcome Finalize() {
+    VEC_CHECK_MSG(completed, "migration did not complete");
+    VEC_CHECK_MSG(!finalized, "outcome already taken");
+    finalized = true;
+
+    // The reconstructed memory must match the source exactly.
+    VEC_CHECK_MSG(destination->Memory().ContentEquals(*run.source_memory),
+                  "destination memory diverged from source after migration");
+
+    MigrationOutcome outcome;
+    outcome.stats = source->Stats();
+    outcome.stats.setup_time = destination->SetupTime();
+    outcome.stats.total_time = completed_at - source->RoundOneStart();
+    outcome.stats.downtime = completed_at - source->PauseTime();
+    outcome.stats.tx_bytes = forward->PayloadSent();
+    outcome.stats.pages_matched_in_place =
+        destination->PagesMatchedInPlace();
+    outcome.stats.pages_from_checkpoint =
+        destination->PagesFromCheckpoint();
+    outcome.stats.dest_hashed_bytes = destination->HashedBytes();
+    outcome.completed_at = completed_at;
+
+    // Generation counters travel with the VM.
+    outcome.dest_memory = destination->TakeMemory();
+    outcome.dest_memory->SetGenerations(run.source_memory->Generations());
+
+    // What the destination now knows: the digest set of the arrived
+    // state — §3.2's incoming-page tracking, the source_knowledge of a
+    // future return migration.
+    auto& dest_memory = *outcome.dest_memory;
+    outcome.incoming_digests.reserve(dest_memory.PageCount());
+    for (vm::PageId page = 0; page < dest_memory.PageCount(); ++page) {
+      outcome.incoming_digests.push_back(dest_memory.PageDigest(page));
+    }
+    std::sort(outcome.incoming_digests.begin(),
+              outcome.incoming_digests.end());
+    outcome.incoming_digests.erase(
+        std::unique(outcome.incoming_digests.begin(),
+                    outcome.incoming_digests.end()),
+        outcome.incoming_digests.end());
+    return outcome;
+  }
+
+  MigrationRun run;
+  std::unique_ptr<net::Channel> forward;
+  std::unique_ptr<net::Channel> backward;
+  std::unique_ptr<DestinationActor> destination;
+  std::unique_ptr<SourceActor> source;
+  SimTime completed_at = kSimEpoch;
+  bool completed = false;
+  bool finalized = false;
+};
+
+MigrationSession::MigrationSession(MigrationRun run)
+    : impl_(std::make_unique<Impl>(std::move(run))) {}
+
+MigrationSession::~MigrationSession() = default;
+
+bool MigrationSession::Completed() const { return impl_->completed; }
+
+MigrationOutcome MigrationSession::TakeOutcome() {
+  return impl_->Finalize();
+}
+
+MigrationOutcome RunMigration(MigrationRun run) {
+  auto* simulator = run.simulator;
+  MigrationSession session(std::move(run));
+  simulator->Run();
+  return session.TakeOutcome();
+}
+
+}  // namespace vecycle::migration

@@ -1,0 +1,320 @@
+#include "migration/source.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace vecycle::migration {
+
+SourceActor::SourceActor(Params params) : params_(std::move(params)) {
+  VEC_CHECK(params_.simulator != nullptr);
+  VEC_CHECK(params_.channel != nullptr);
+  VEC_CHECK(params_.cpu != nullptr);
+  VEC_CHECK(params_.memory != nullptr);
+  params_.config.Validate();
+  if (!params_.departure_generations.empty()) {
+    VEC_CHECK_MSG(
+        params_.departure_generations.size() == params_.memory->PageCount(),
+        "departure generation vector does not match memory geometry");
+  }
+  dest_digests_ = std::move(params_.dest_digests);
+  std::sort(dest_digests_.begin(), dest_digests_.end());
+}
+
+bool SourceActor::DestHas(const Digest128& digest) const {
+  return std::binary_search(dest_digests_.begin(), dest_digests_.end(),
+                            digest);
+}
+
+void SourceActor::Start(SimTime start) {
+  VEC_CHECK_MSG(!started_, "source started twice");
+  started_ = true;
+  round1_start_ = start;
+  last_send_ = start;
+  BeginRound(start, {}, /*final_round=*/false);
+}
+
+void SourceActor::OnMessage(const net::Message& message, SimTime arrival) {
+  switch (message.type) {
+    case net::MessageType::kBulkHashes: {
+      VEC_CHECK_MSG(!started_, "bulk hashes after round 1 started");
+      dest_digests_ = message.bulk_hashes;
+      std::sort(dest_digests_.begin(), dest_digests_.end());
+      stats_.bulk_exchange_bytes +=
+          message.WireSize(params_.config.algorithm);
+      Start(arrival);
+      break;
+    }
+    case net::MessageType::kRoundAck:
+      OnRoundAck(arrival);
+      break;
+    case net::MessageType::kDoneAck:
+      if (on_finished) on_finished(arrival);
+      break;
+    case net::MessageType::kPageBatch:
+    case net::MessageType::kRoundEnd:
+    case net::MessageType::kDone:
+      VEC_CHECK_MSG(false, "unexpected message at migration source");
+  }
+}
+
+bool SourceActor::ClassifyFirstRoundPage(vm::PageId page,
+                                         net::PageRecord& record,
+                                         std::uint64_t& hash_bytes) {
+  auto& memory = *params_.memory;
+  const Strategy strategy = params_.config.strategy;
+
+  // Miyakodori skip: generation counter unchanged since the VM left the
+  // destination host — the destination's checkpoint copy is still valid
+  // and nothing needs to travel. No checksum is ever computed.
+  if (UsesDirtyTracking(strategy) && !params_.departure_generations.empty() &&
+      memory.Generation(page) == params_.departure_generations[page]) {
+    ++stats_.pages_skipped_clean;
+    return false;
+  }
+
+  record = net::PageRecord{};
+  record.page = page;
+  record.content_seed = memory.Seed(page);
+
+  // Zero-page elision, which every implementation performs.
+  if (record.content_seed == vm::kZeroPageSeed) {
+    record.is_zero = true;
+    record.has_payload = false;
+    record.has_digest = false;
+    ++stats_.pages_sent_full;  // counted as a (trivially small) content send
+    return true;
+  }
+
+  // VeCycle: one strong checksum per page, compared against the set of
+  // pages existing at the destination (§3.2). In bulk mode the source
+  // holds the set locally; in per-page-query mode it asks the destination
+  // and cannot proceed past `query_window` unanswered questions — the
+  // protocol variant the paper expected to be slow.
+  if (UsesContentHashes(strategy)) {
+    record.digest = memory.PageDigest(page);
+    hash_bytes += kPageSize;
+    bool dest_has;
+    if (params_.query_oracle != nullptr) {
+      // Window control: at most query_window questions in flight. The
+      // link's FIFO serializes the query frames themselves.
+      SimTime earliest = round_start_;
+      if (query_pipeline_.size() >= params_.config.query_window) {
+        earliest = std::max(earliest, query_pipeline_.front());
+        query_pipeline_.pop_front();
+      }
+      const SimTime answered = params_.query_transport(earliest);
+      query_pipeline_.push_back(answered);
+      // Page data referencing this answer cannot leave before it arrives;
+      // FlushBatch folds this into the batch send time.
+      query_ready_pending_ = std::max(query_ready_pending_, answered);
+      ++stats_.query_count;
+      // Query: header + digest out; header + one-byte verdict back.
+      stats_.query_bytes += Bytes{net::kRecordHeaderBytes +
+                                  WireSizeBytes(params_.config.algorithm) +
+                                  net::kRecordHeaderBytes + 1};
+      dest_has = params_.query_oracle(record.digest);
+    } else {
+      dest_has = DestHas(record.digest);
+    }
+    if (dest_has) {
+      record.has_payload = false;
+      record.has_digest = true;
+      ++stats_.pages_sent_checksum;
+      return true;
+    }
+  }
+
+  // Sender-side dedup: identical content already transmitted during this
+  // migration travels as a cache reference. The probe hash is cheap
+  // (FNV-class) and candidates are verified by local byte comparison,
+  // which the model gets for free because seed equality is content
+  // equality; the probe cost is charged at the FNV rate per batch.
+  if (UsesDedup(strategy)) {
+    fnv_bytes_pending_ += kPageSize;
+    auto& cache = DedupCache();
+    const bool inserted =
+        cache.try_emplace(record.content_seed, cache.size()).second;
+    if (!inserted) {
+      record.is_dup_ref = true;
+      record.has_payload = false;
+      record.has_digest = false;
+      ++stats_.pages_dup_ref;
+      return true;
+    }
+  }
+
+  record.has_payload = true;
+  record.has_digest = UsesContentHashes(strategy);
+  MaybeCompress(record);
+  ++stats_.pages_sent_full;
+  return true;
+}
+
+void SourceActor::MaybeCompress(net::PageRecord& record) {
+  const auto& compression = params_.config.compression;
+  if (!compression.enabled || !record.has_payload) return;
+  // Per-page compressibility derived deterministically from the content
+  // identity: some pages squeeze well, some barely at all.
+  const double unit =
+      static_cast<double>(SplitMix64(record.content_seed ^ 0xc0dec0deull)
+                              .Next() >>
+                          11) *
+      0x1.0p-53;
+  const double ratio =
+      std::clamp(compression.mean_ratio +
+                     (unit * 2.0 - 1.0) * compression.ratio_jitter,
+                 0.05, 1.0);
+  record.payload_wire_bytes =
+      static_cast<std::uint32_t>(ratio * static_cast<double>(kPageSize));
+  compress_bytes_pending_ += kPageSize;
+  stats_.payload_bytes_original += Bytes{kPageSize};
+  stats_.payload_bytes_on_wire += Bytes{record.payload_wire_bytes};
+}
+
+net::PageRecord SourceActor::FullRecord(vm::PageId page) {
+  auto& memory = *params_.memory;
+  net::PageRecord record;
+  record.page = page;
+  record.content_seed = memory.Seed(page);
+  record.has_digest = false;
+  if (record.content_seed == vm::kZeroPageSeed) {
+    record.is_zero = true;
+    return record;
+  }
+  if (UsesDedup(params_.config.strategy)) {
+    fnv_bytes_pending_ += kPageSize;
+    auto& cache = DedupCache();
+    const bool inserted =
+        cache.try_emplace(record.content_seed, cache.size()).second;
+    if (!inserted) {
+      record.is_dup_ref = true;
+      return record;
+    }
+  }
+  record.has_payload = true;
+  MaybeCompress(record);
+  return record;
+}
+
+SimTime SourceActor::FlushBatch(std::vector<net::PageRecord>& records,
+                                std::uint64_t hash_bytes,
+                                std::uint32_t round) {
+  if (records.empty()) return kSimEpoch;
+  SimTime ready = last_send_;
+  if (hash_bytes > 0) {
+    ready = params_.cpu->Hash(last_send_, Bytes{hash_bytes},
+                              params_.config.algorithm);
+    stats_.source_hashed_bytes += Bytes{hash_bytes};
+  }
+  if (fnv_bytes_pending_ > 0) {
+    ready = std::max(ready,
+                     params_.cpu->Hash(last_send_, Bytes{fnv_bytes_pending_},
+                                       DigestAlgorithm::kFnv1a));
+    fnv_bytes_pending_ = 0;
+  }
+  if (compress_bytes_pending_ > 0) {
+    ready = std::max(
+        ready, params_.cpu->Work(last_send_, Bytes{compress_bytes_pending_},
+                                 params_.config.compression.compress_rate));
+    compress_bytes_pending_ = 0;
+  }
+  // In per-page-query mode a batch may not leave before the destination
+  // has answered for every page it contains.
+  ready = std::max(ready, query_ready_pending_);
+  net::Message msg;
+  msg.type = net::MessageType::kPageBatch;
+  msg.round = round;
+  msg.records = std::move(records);
+  records.clear();
+  last_send_ = std::max(last_send_,
+                        std::max(ready, params_.simulator->Now()));
+  return params_.channel->Send(std::move(msg), last_send_);
+}
+
+void SourceActor::BeginRound(SimTime start, std::vector<vm::PageId> pages,
+                             bool final_round) {
+  ++round_;
+  round_start_ = start;
+  last_send_ = std::max(last_send_, start);
+  round_snapshot_ = vm::DirtySnapshot(*params_.memory);
+  round_pages_ = std::move(pages);
+  cursor_ = 0;
+  round_is_final_ = final_round;
+  stats_.rounds = round_;
+  params_.simulator->ScheduleAt(std::max(start, params_.simulator->Now()),
+                                [this] { PumpBatches(); });
+}
+
+void SourceActor::PumpBatches() {
+  auto& memory = *params_.memory;
+  const bool first_round = round_ == 1;
+  const std::uint64_t limit =
+      first_round ? memory.PageCount() : round_pages_.size();
+
+  std::vector<net::PageRecord> batch;
+  batch.reserve(params_.config.batch_pages);
+  std::uint64_t hash_bytes = 0;
+  while (cursor_ < limit && batch.size() < params_.config.batch_pages) {
+    if (first_round) {
+      net::PageRecord record;
+      if (ClassifyFirstRoundPage(cursor_, record, hash_bytes)) {
+        batch.push_back(record);
+      }
+    } else {
+      batch.push_back(FullRecord(round_pages_[cursor_]));
+      ++stats_.pages_resent_dirty;
+    }
+    ++cursor_;
+  }
+
+  const SimTime arrival = FlushBatch(batch, hash_bytes, round_);
+
+  if (cursor_ < limit) {
+    // Yield the link until this batch's last byte is serialized; other
+    // traffic (e.g. a concurrent migration) can slot in between.
+    const SimTime next =
+        arrival == kSimEpoch
+            ? params_.simulator->Now()
+            : std::max(params_.simulator->Now(),
+                       arrival - params_.channel->Latency());
+    params_.simulator->ScheduleAt(next, [this] { PumpBatches(); });
+    return;
+  }
+  FinishRound();
+}
+
+void SourceActor::FinishRound() {
+  net::Message end;
+  end.round = round_;
+  end.type = round_is_final_ ? net::MessageType::kDone
+                             : net::MessageType::kRoundEnd;
+  params_.channel->Send(std::move(end), last_send_);
+  if (round_is_final_) final_sent_ = true;
+}
+
+void SourceActor::OnRoundAck(SimTime arrival) {
+  VEC_CHECK_MSG(!final_sent_, "round ack after done");
+  auto& memory = *params_.memory;
+
+  // The guest ran while the round was in flight; apply its writes now.
+  const SimDuration elapsed = arrival - round_start_;
+  if (params_.workload != nullptr && elapsed > SimDuration::zero()) {
+    params_.workload->Advance(memory, elapsed);
+  }
+
+  const auto dirty = round_snapshot_.DirtyPages(memory);
+  const bool out_of_rounds = round_ + 1 >= params_.config.max_rounds;
+  const bool small_enough =
+      dirty.size() <= params_.config.stop_copy_threshold_pages;
+
+  if (small_enough || out_of_rounds) {
+    // Stop-and-copy: pause the VM (no more dirtying) and ship the rest.
+    pause_time_ = arrival;
+    BeginRound(arrival, dirty, /*final_round=*/true);
+  } else {
+    BeginRound(arrival, dirty, /*final_round=*/false);
+  }
+}
+
+}  // namespace vecycle::migration

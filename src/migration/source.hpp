@@ -1,0 +1,159 @@
+// Migration source actor (§3.1/§3.2).
+//
+// Runs the multi-round pre-copy loop. Round 1 applies the configured
+// traffic-reduction strategy; later rounds re-send pages dirtied while the
+// previous round was in flight (with sender-side dedup still active for
+// the *Dedup strategies); the final stop-and-copy round pauses the VM.
+// The guest workload keeps running between rounds, which is what produces
+// the dirty sets — exactly the dynamics of a live migration.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "migration/config.hpp"
+#include "migration/stats.hpp"
+#include "net/channel.hpp"
+#include "net/message.hpp"
+#include "sim/checksum_engine.hpp"
+#include "vm/dirty_tracker.hpp"
+#include "vm/guest_memory.hpp"
+#include "vm/workload.hpp"
+
+namespace vecycle::migration {
+
+class SourceActor {
+ public:
+  struct Params {
+    sim::Simulator* simulator = nullptr;
+    net::Channel* channel = nullptr;  ///< source -> destination
+    sim::ChecksumEngine* cpu = nullptr;
+    vm::GuestMemory* memory = nullptr;  ///< the live VM
+    vm::Workload* workload = nullptr;   ///< nullable: frozen guest
+    MigrationConfig config;
+    /// Digests of pages known to exist at the destination (sorted). For
+    /// ping-pong migrations the caller provides this from the previous
+    /// incoming migration; otherwise it arrives via OnBulkHashes.
+    std::vector<Digest128> dest_digests;
+    /// Per-page generation counters at the moment the VM last left the
+    /// destination host (Miyakodori state); empty disables dirty skips.
+    std::vector<std::uint64_t> departure_generations;
+
+    /// Per-page query oracle (HashExchangeMode::kPerPageQuery): answers
+    /// whether the destination's checkpoint holds `digest`, and the wire
+    /// round-trip is booked by QueryTransport below. Null in bulk mode.
+    std::function<bool(const Digest128&)> query_oracle;
+    /// Books one query round trip on the link starting no earlier than
+    /// `earliest`; returns the time the response reaches the source.
+    std::function<SimTime(SimTime earliest)> query_transport;
+
+    /// Shared sender-side dedup cache for gang migrations (VMFlock [4] /
+    /// CloudNet cluster dedup): concurrent migrations from this host to
+    /// the same destination share one content cache, so a page one VM
+    /// already shipped travels as a reference from every other VM too.
+    /// Null gives each migration a private cache.
+    std::unordered_map<std::uint64_t, std::uint64_t>* shared_dedup_cache =
+        nullptr;
+  };
+
+  explicit SourceActor(Params params);
+
+  /// Begins round 1 at `start` (>= destination readiness).
+  void Start(SimTime start);
+
+  /// Channel receiver for the reverse direction.
+  void OnMessage(const net::Message& message, SimTime arrival);
+
+  /// Invoked when the source has received the final done-ack.
+  std::function<void(SimTime)> on_finished;
+
+  [[nodiscard]] const MigrationStats& Stats() const { return stats_; }
+  [[nodiscard]] MigrationStats& MutableStats() { return stats_; }
+  [[nodiscard]] SimTime RoundOneStart() const { return round1_start_; }
+  [[nodiscard]] SimTime PauseTime() const { return pause_time_; }
+  [[nodiscard]] bool Started() const { return started_; }
+
+ private:
+  /// Initializes a round's iteration state and schedules the first batch
+  /// pump. For round 1, `pages` is empty (the cursor walks all of RAM);
+  /// later rounds carry the dirty list.
+  void BeginRound(SimTime start, std::vector<vm::PageId> pages,
+                  bool final_round);
+  /// Builds and sends one batch, then reschedules itself at the batch's
+  /// wire-serialization end — which is what lets two concurrent
+  /// migrations interleave fairly on a shared link instead of one
+  /// monopolizing the FIFO for its whole round.
+  void PumpBatches();
+  void FinishRound();
+  void OnRoundAck(SimTime arrival);
+
+  /// Classifies one round-1 page into a wire record, charging checksum
+  /// work into `hash_bytes` (booked per batch). Returns false when the
+  /// page is skipped entirely (dirty-tracking clean page).
+  bool ClassifyFirstRoundPage(vm::PageId page, net::PageRecord& record,
+                              std::uint64_t& hash_bytes);
+
+  /// Builds a full-content record for later rounds, consulting the dedup
+  /// cache when the strategy dedups.
+  net::PageRecord FullRecord(vm::PageId page);
+
+  /// Applies wire compression to a full-payload record when configured:
+  /// sets the payload's wire size and accrues the compression CPU cost.
+  void MaybeCompress(net::PageRecord& record);
+
+  /// Sends the accumulated records; returns the batch's arrival time at
+  /// the destination (kSimEpoch when there was nothing to send).
+  SimTime FlushBatch(std::vector<net::PageRecord>& records,
+                     std::uint64_t hash_bytes, std::uint32_t round);
+
+  [[nodiscard]] bool DestHas(const Digest128& digest) const;
+
+  /// The dedup cache in effect: the gang-shared one when configured,
+  /// else this migration's private cache.
+  [[nodiscard]] std::unordered_map<std::uint64_t, std::uint64_t>&
+  DedupCache() {
+    return params_.shared_dedup_cache != nullptr
+               ? *params_.shared_dedup_cache
+               : dedup_cache_;
+  }
+
+  Params params_;
+  MigrationStats stats_;
+  std::vector<Digest128> dest_digests_;  // sorted
+  /// Sender-side dedup cache: content seed -> cache slot of the first
+  /// transmission this migration.
+  std::unordered_map<std::uint64_t, std::uint64_t> dedup_cache_;
+
+  /// Dedup probe work accumulated since the last batch flush, charged at
+  /// the FNV rate.
+  std::uint64_t fnv_bytes_pending_ = 0;
+
+  /// Completion times of in-flight per-page queries (kPerPageQuery);
+  /// bounded by config.query_window.
+  std::deque<SimTime> query_pipeline_;
+  /// Latest query answer the next data batch must wait for.
+  SimTime query_ready_pending_ = kSimEpoch;
+
+  /// Original bytes awaiting the compression CPU charge at the next flush.
+  std::uint64_t compress_bytes_pending_ = 0;
+
+  // Round iteration state, consumed batch-by-batch by PumpBatches().
+  std::vector<vm::PageId> round_pages_;  ///< empty in round 1 (walk RAM)
+  std::uint64_t cursor_ = 0;
+  bool round_is_final_ = false;
+
+  vm::DirtySnapshot round_snapshot_;
+  SimTime round_start_ = kSimEpoch;
+  SimTime round1_start_ = kSimEpoch;
+  SimTime last_send_ = kSimEpoch;
+  SimTime pause_time_ = kSimEpoch;
+  std::uint32_t round_ = 0;
+  bool started_ = false;
+  bool final_sent_ = false;
+};
+
+}  // namespace vecycle::migration

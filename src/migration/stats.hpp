@@ -1,0 +1,60 @@
+// Migration outcome statistics — the quantities the paper's evaluation
+// reports: total migration time (initiation at the source until the VM
+// runs at the destination, excluding destination setup and source
+// checkpoint writing, §4.4), source send traffic, and per-mechanism page
+// counts.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace vecycle::migration {
+
+struct MigrationStats {
+  SimDuration total_time = SimDuration::zero();
+  SimDuration downtime = SimDuration::zero();
+  /// Destination setup: checkpoint scan + index build (not part of
+  /// total_time, reported separately as the paper discusses).
+  SimDuration setup_time = SimDuration::zero();
+  std::uint32_t rounds = 0;
+
+  /// Source -> destination payload, everything included (page data,
+  /// checksum records, protocol frames).
+  Bytes tx_bytes;
+  /// Destination -> source bulk checksum exchange (§3.2); zero on the
+  /// ping-pong fast path where the source already knows the set.
+  Bytes bulk_exchange_bytes;
+  /// Per-page query traffic (both directions) and count, when the
+  /// HashExchangeMode::kPerPageQuery protocol variant is active.
+  Bytes query_bytes;
+  std::uint64_t query_count = 0;
+
+  // Round-1 classification.
+  std::uint64_t pages_sent_full = 0;       ///< full content transferred
+  std::uint64_t pages_sent_checksum = 0;   ///< checksum-only records
+  std::uint64_t pages_dup_ref = 0;         ///< dedup cache references
+  std::uint64_t pages_skipped_clean = 0;   ///< dirty-tracking skips
+
+  /// Pages re-sent in rounds >= 2 (dirtied while copying).
+  std::uint64_t pages_resent_dirty = 0;
+
+  // Destination-side behaviour for checksum-only records.
+  std::uint64_t pages_matched_in_place = 0;   ///< local page already right
+  std::uint64_t pages_from_checkpoint = 0;    ///< random checkpoint read
+
+  Bytes source_hashed_bytes;
+  Bytes dest_hashed_bytes;
+
+  /// Wire-compression accounting: original vs on-wire size of full-page
+  /// payloads (equal when compression is disabled — both stay zero).
+  Bytes payload_bytes_original;
+  Bytes payload_bytes_on_wire;
+
+  [[nodiscard]] std::uint64_t Round1Pages() const {
+    return pages_sent_full + pages_sent_checksum + pages_dup_ref +
+           pages_skipped_clean;
+  }
+};
+
+}  // namespace vecycle::migration

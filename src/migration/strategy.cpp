@@ -1,0 +1,23 @@
+#include "migration/strategy.hpp"
+
+namespace vecycle::migration {
+
+const char* ToString(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kFull:
+      return "full";
+    case Strategy::kDedup:
+      return "dedup";
+    case Strategy::kDirtyTracking:
+      return "dirty";
+    case Strategy::kHashes:
+      return "hashes";
+    case Strategy::kDirtyPlusDedup:
+      return "dirty+dedup";
+    case Strategy::kHashesPlusDedup:
+      return "hashes+dedup";
+  }
+  return "?";
+}
+
+}  // namespace vecycle::migration

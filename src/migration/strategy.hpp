@@ -1,0 +1,56 @@
+// First-round traffic-reduction strategies (§3, §4.3, Fig. 3).
+//
+// Each technique identifies a distinct set of pages to transfer:
+//   kFull            — QEMU 2.0 baseline: round 1 sends every page.
+//   kDedup           — sender-side deduplication (CloudNet): identical
+//                      content is sent once per migration; repeats become
+//                      small cache references.
+//   kDirtyTracking   — Miyakodori: pages not written since the VM last
+//                      left the destination are skipped entirely (the
+//                      destination restores them from its checkpoint); no
+//                      checksums are computed.
+//   kHashes          — VeCycle's content-based redundancy elimination:
+//                      per-page strong checksums against the set of pages
+//                      existing at the destination; matches travel as
+//                      checksum-only records.
+//   kDirtyPlusDedup  — Miyakodori with sender-side dedup on the dirty set.
+//   kHashesPlusDedup — VeCycle with sender-side dedup on the miss set.
+#pragma once
+
+namespace vecycle::migration {
+
+enum class Strategy {
+  kFull,
+  kDedup,
+  kDirtyTracking,
+  kHashes,
+  kDirtyPlusDedup,
+  kHashesPlusDedup,
+};
+
+const char* ToString(Strategy strategy);
+
+/// Strategy consults the destination's available-page checksum set.
+constexpr bool UsesContentHashes(Strategy s) {
+  return s == Strategy::kHashes || s == Strategy::kHashesPlusDedup;
+}
+
+/// Strategy skips pages whose generation counter is unchanged since the VM
+/// left the destination host.
+constexpr bool UsesDirtyTracking(Strategy s) {
+  return s == Strategy::kDirtyTracking || s == Strategy::kDirtyPlusDedup;
+}
+
+/// Strategy deduplicates repeated content within the migration stream.
+constexpr bool UsesDedup(Strategy s) {
+  return s == Strategy::kDedup || s == Strategy::kDirtyPlusDedup ||
+         s == Strategy::kHashesPlusDedup;
+}
+
+/// Strategy benefits from a checkpoint at the destination (the destination
+/// pre-loads guest RAM from it).
+constexpr bool UsesCheckpoint(Strategy s) {
+  return UsesContentHashes(s) || UsesDirtyTracking(s);
+}
+
+}  // namespace vecycle::migration

@@ -1,0 +1,36 @@
+#include "net/message.hpp"
+
+namespace vecycle::net {
+
+const char* ToString(MessageType type) {
+  switch (type) {
+    case MessageType::kPageBatch:
+      return "page-batch";
+    case MessageType::kBulkHashes:
+      return "bulk-hashes";
+    case MessageType::kRoundEnd:
+      return "round-end";
+    case MessageType::kRoundAck:
+      return "round-ack";
+    case MessageType::kDone:
+      return "done";
+    case MessageType::kDoneAck:
+      return "done-ack";
+  }
+  return "?";
+}
+
+Bytes Message::WireSize(DigestAlgorithm algorithm) const {
+  const std::uint64_t digest_bytes = WireSizeBytes(algorithm);
+  std::uint64_t total = kControlFrameBytes;
+  for (const auto& record : records) {
+    total += kRecordHeaderBytes;
+    if (record.has_digest) total += digest_bytes;
+    if (record.is_dup_ref) total += 8;  // cache index
+    if (record.has_payload) total += record.payload_wire_bytes;
+  }
+  total += bulk_hashes.size() * digest_bytes;
+  return Bytes{total};
+}
+
+}  // namespace vecycle::net

@@ -1,0 +1,80 @@
+// Migration protocol messages (§3.2/§3.3).
+//
+// The protocol in the paper exchanges, per page, either the full page plus
+// its checksum (sending the checksum along saves the receiver recomputing
+// it) or just the checksum when the content is known to exist at the
+// destination. Before a non-ping-pong migration the destination ships the
+// checksums of all locally available pages in bulk. Real implementations
+// batch page records into buffered writes; Message models one such batch,
+// and its wire size is computed from the per-record costs below so traffic
+// accounting matches a byte-level implementation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "digest/digest.hpp"
+#include "vm/guest_memory.hpp"
+
+namespace vecycle::net {
+
+enum class MessageType {
+  kPageBatch,   ///< page records (full pages and/or checksum-only)
+  kBulkHashes,  ///< destination -> source: checksums of available pages
+  kRoundEnd,    ///< source -> destination: round boundary marker
+  kRoundAck,    ///< destination -> source: all round data applied
+  kDone,        ///< source -> destination: migration complete (VM paused)
+  kDoneAck,     ///< destination -> source: VM resumed at destination
+};
+
+const char* ToString(MessageType type);
+
+/// One page's worth of migration data. Three shapes travel on the wire:
+///  * full page:       header + digest (optional) + 4 KiB payload
+///  * checksum-only:   header + digest                      (VeCycle match)
+///  * dedup reference: header + 8-byte cache index          (dedup repeat)
+struct PageRecord {
+  vm::PageId page = 0;
+  Digest128 digest;
+  /// True when the full page content travels with the record; false for
+  /// checksum-only records (content expected at the destination).
+  bool has_payload = false;
+  /// True when the record carries a digest on the wire. The QEMU-baseline
+  /// full round and dedup references carry none.
+  bool has_digest = true;
+  /// True for sender-side dedup references: the payload equals a page
+  /// already sent earlier in this migration, identified by cache index.
+  bool is_dup_ref = false;
+  /// True for all-zero pages, which every implementation (QEMU included)
+  /// compresses to a bare header — the reason §4.4's benchmark fills RAM
+  /// with random data first.
+  bool is_zero = false;
+  /// Content identity of the page (always set by the sender). The
+  /// simulation transfers content by seed; byte payloads are reconstructed
+  /// deterministically on the receiving side.
+  std::uint64_t content_seed = 0;
+  /// Bytes the payload occupies on the wire: kPageSize uncompressed, less
+  /// when wire compression is active. Ignored unless has_payload.
+  std::uint32_t payload_wire_bytes = static_cast<std::uint32_t>(kPageSize);
+};
+
+struct Message {
+  MessageType type = MessageType::kPageBatch;
+  std::uint32_t round = 0;
+  std::vector<PageRecord> records;       // kPageBatch
+  std::vector<Digest128> bulk_hashes;    // kBulkHashes
+
+  /// Serialized size on the wire under `algorithm` checksums.
+  [[nodiscard]] Bytes WireSize(DigestAlgorithm algorithm) const;
+};
+
+/// Wire-cost constants. A page record carries an 8-byte page number and a
+/// 4-byte flags/length field ahead of its digest (and payload, if any);
+/// control messages are a fixed small frame. These match the order of
+/// magnitude of QEMU's RAM-section framing.
+inline constexpr std::uint64_t kRecordHeaderBytes = 12;
+inline constexpr std::uint64_t kControlFrameBytes = 32;
+
+}  // namespace vecycle::net

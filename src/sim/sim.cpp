@@ -1,0 +1,7 @@
+// The sim library is header-only today (the models are small, hot, and
+// inline-friendly); this translation unit anchors the library target and
+// forces the headers to be self-contained.
+#include "sim/checksum_engine.hpp"
+#include "sim/disk.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"

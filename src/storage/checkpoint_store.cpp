@@ -1,0 +1,86 @@
+#include "storage/checkpoint_store.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace vecycle::storage {
+
+bool CheckpointStore::MakeRoom(const VmId& keep, Bytes incoming_size) {
+  const auto over_quota = [&] {
+    return policy_.disk_quota.count != 0 &&
+           (FootprintOnDisk() + incoming_size).count >
+               policy_.disk_quota.count;
+  };
+  const auto over_count = [&] {
+    return policy_.max_checkpoints != 0 &&
+           checkpoints_.size() + 1 > policy_.max_checkpoints;
+  };
+
+  while (over_quota() || over_count()) {
+    // Evict the least-recently-used checkpoint that is not `keep`.
+    auto victim = checkpoints_.end();
+    for (auto it = checkpoints_.begin(); it != checkpoints_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == checkpoints_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == checkpoints_.end()) return false;  // nothing evictable
+    checkpoints_.erase(victim);
+    ++evictions_;
+  }
+  return true;
+}
+
+SimTime CheckpointStore::Save(const VmId& vm, Checkpoint checkpoint,
+                              SimTime earliest) {
+  VEC_CHECK_MSG(!checkpoint.Empty(), "refusing to store an empty checkpoint");
+  const Bytes size = checkpoint.SizeOnDisk();
+  const SimTime done = disk_.WriteSequential(earliest, size);
+
+  // Replacing our own previous checkpoint never needs room for both.
+  checkpoints_.erase(vm);
+  if (policy_.disk_quota.count != 0 &&
+      size.count > policy_.disk_quota.count) {
+    // Larger than the whole budget: written, then discarded by policy.
+    ++evictions_;
+    return done;
+  }
+  const bool fits = MakeRoom(vm, size);
+  VEC_CHECK_MSG(fits, "retention policy cannot accommodate checkpoint");
+  checkpoints_[vm] = Entry{std::move(checkpoint), done};
+  return done;
+}
+
+const Checkpoint* CheckpointStore::Peek(const VmId& vm) const {
+  const auto it = checkpoints_.find(vm);
+  return it == checkpoints_.end() ? nullptr : &it->second.checkpoint;
+}
+
+CheckpointStore::LoadResult CheckpointStore::Load(const VmId& vm,
+                                                  SimTime earliest) {
+  const auto it = checkpoints_.find(vm);
+  VEC_CHECK_MSG(it != checkpoints_.end(), "no checkpoint for VM: " + vm);
+  LoadResult result;
+  result.checkpoint = &it->second.checkpoint;
+  result.ready_at =
+      disk_.ReadSequential(earliest, it->second.checkpoint.SizeOnDisk());
+  it->second.last_used = std::max(it->second.last_used, result.ready_at);
+  return result;
+}
+
+SimTime CheckpointStore::ReadBlock(SimTime earliest) {
+  return disk_.ReadRandom(earliest, Bytes{kPageSize});
+}
+
+Bytes CheckpointStore::FootprintOnDisk() const {
+  Bytes total;
+  for (const auto& [vm, entry] : checkpoints_) {
+    total += entry.checkpoint.SizeOnDisk();
+  }
+  return total;
+}
+
+}  // namespace vecycle::storage

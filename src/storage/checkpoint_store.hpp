@@ -1,0 +1,96 @@
+// Per-host checkpoint store.
+//
+// "We propose that each migration source locally stores a checkpoint of
+// the outgoing VM" (§1). The store maps VM identifiers to their most
+// recent checkpoint on this host's local disk and owns the disk-time
+// accounting: Save charges a sequential write of the full image, Load a
+// sequential scan (the §3.3 initialization read). Only the most recent
+// checkpoint per VM is retained, as in the paper's prototype.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/units.hpp"
+#include "sim/disk.hpp"
+#include "storage/checkpoint.hpp"
+
+namespace vecycle::storage {
+
+using VmId = std::string;
+
+/// Bounds on local checkpoint storage. §1 argues local storage is cheap
+/// and abundant, but a consolidation host serving hundreds of desktops
+/// still needs a cap; when exceeded, the least-recently-used checkpoint
+/// of another VM is evicted (a later return migration of that VM simply
+/// degrades to a cold one).
+struct RetentionPolicy {
+  Bytes disk_quota{0};           ///< total image bytes; 0 = unlimited
+  std::size_t max_checkpoints = 0;  ///< count cap; 0 = unlimited
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(sim::Disk& disk, RetentionPolicy policy = {})
+      : disk_(disk), policy_(policy) {}
+
+  /// Persists `checkpoint` for `vm`, replacing any previous one. Books the
+  /// image write on the disk starting at `earliest`; returns completion.
+  /// Evicts least-recently-used checkpoints of other VMs as needed to
+  /// satisfy the retention policy; a checkpoint that cannot fit even
+  /// alone is not stored (the disk write is still charged — the paper's
+  /// prototype writes first, applies policy after).
+  SimTime Save(const VmId& vm, Checkpoint checkpoint, SimTime earliest);
+
+  [[nodiscard]] bool Has(const VmId& vm) const {
+    return checkpoints_.contains(vm);
+  }
+
+  /// Read-only access without disk charge (metadata inspection).
+  [[nodiscard]] const Checkpoint* Peek(const VmId& vm) const;
+
+  /// Result of the §3.3 sequential initialization scan.
+  struct LoadResult {
+    const Checkpoint* checkpoint = nullptr;
+    SimTime ready_at = kSimEpoch;  ///< when the scan's last byte is read
+  };
+
+  /// Books the full sequential read of the checkpoint image starting at
+  /// `earliest`. The caller separately charges checksum computation.
+  LoadResult Load(const VmId& vm, SimTime earliest);
+
+  /// Books one random 4 KiB block read (Listing 1's lseek+read for a page
+  /// whose current content is elsewhere in the checkpoint).
+  SimTime ReadBlock(SimTime earliest);
+
+  void Drop(const VmId& vm) { checkpoints_.erase(vm); }
+  [[nodiscard]] std::size_t Size() const { return checkpoints_.size(); }
+
+  /// Disk footprint of all retained checkpoints.
+  [[nodiscard]] Bytes FootprintOnDisk() const;
+
+  [[nodiscard]] std::uint64_t Evictions() const { return evictions_; }
+  [[nodiscard]] const RetentionPolicy& Policy() const { return policy_; }
+
+  [[nodiscard]] sim::Disk& Disk() { return disk_; }
+
+ private:
+  /// Evicts LRU checkpoints (excluding `keep`) until the policy is
+  /// satisfied with `incoming_size` more bytes and one more entry.
+  /// Returns false if that is impossible.
+  bool MakeRoom(const VmId& keep, Bytes incoming_size);
+
+  struct Entry {
+    Checkpoint checkpoint;
+    SimTime last_used = kSimEpoch;
+  };
+
+  sim::Disk& disk_;
+  RetentionPolicy policy_;
+  std::unordered_map<VmId, Entry> checkpoints_;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace vecycle::storage

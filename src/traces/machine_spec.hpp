@@ -1,0 +1,116 @@
+// Machine specifications for trace synthesis.
+//
+// The paper's §2 analysis runs over the Memory Buddies corpus (Table 1:
+// three Linux servers and four OSX laptops, 30-minute fingerprints over
+// 7 days), the authors' own web-crawler VMs (8 GiB, 4 days), and a
+// personal desktop (6 GiB, 19 days, §4.6). That corpus is no longer
+// retrievable, so each machine is described here by a *churn model* whose
+// free parameters are calibrated against the observables the paper
+// publishes: average similarity at 24 h (Fig. 1), the one-week plateau
+// (Fig. 2), duplicate- and zero-page fractions (Fig. 4).
+//
+// The churn model partitions memory into a stable core (never rewritten:
+// kernel text, resident libraries — this sets the long-run similarity
+// plateau) plus exponential-decay regions, each with a half-life: within
+// region r, a page is rewritten during an interval dt with probability
+// 1 - 2^(-dt_eff / half_life), where dt_eff scales with the machine's
+// current activity level (diurnal schedule × bursty Markov state). That
+// produces exactly the shapes of Fig. 1: decaying mean with a wide
+// min/max envelope driven by activity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace vecycle::traces {
+
+enum class MachineClass { kServer, kLaptop, kCrawler, kDesktop };
+
+const char* ToString(MachineClass klass);
+
+/// One exponential-churn region. Weights across regions plus
+/// `stable_fraction` must sum to 1.
+struct ChurnRegion {
+  double weight = 0.0;
+  SimDuration half_life = Hours(12);
+};
+
+/// Diurnal + bursty activity. The effective churn interval is
+/// dt * diurnal(t) * burst_state(t).
+struct ActivityModel {
+  double day_factor = 1.0;    ///< multiplier during [day_start, day_end)
+  double night_factor = 0.3;  ///< multiplier otherwise
+  int day_start_hour = 9;
+  int day_end_hour = 21;
+
+  /// Two-state busy/quiet Markov modulation creating the min/max spread of
+  /// Fig. 1. Expected dwell time in each state is `mean_dwell`.
+  double busy_factor = 2.5;
+  double quiet_factor = 0.25;
+  SimDuration mean_dwell = Hours(3);
+
+  /// Laptops power off (§2.3: only 151–205 of 336 fingerprints exist).
+  /// When off, no fingerprint is captured and no churn occurs. Transition
+  /// probabilities are evaluated per 30-minute step.
+  bool can_power_off = false;
+  double off_to_on_day = 0.35;   ///< P(turn on | off, daytime step)
+  double off_to_on_night = 0.02;
+  double on_to_off_day = 0.04;   ///< P(turn off | on, daytime step)
+  double on_to_off_night = 0.30;
+};
+
+struct MachineSpec {
+  std::string name;      ///< e.g. "Server A"
+  std::string os;        ///< "Linux" / "OSX" (Table 1)
+  std::string trace_id;  ///< Memory Buddies trace id (Table 1)
+  MachineClass klass = MachineClass::kServer;
+
+  /// RAM of the real machine (drives absolute traffic numbers, e.g.
+  /// Fig. 8's gigabytes).
+  Bytes nominal_ram = GiB(1);
+  /// Pages actually modeled. Similarity and duplicate fractions are
+  /// scale-free, so traces are synthesized at reduced scale for speed.
+  std::uint64_t model_pages = 32768;
+
+  double stable_fraction = 0.3;
+  std::vector<ChurnRegion> regions;
+  /// Fraction of pages whose content *moves* to another frame per
+  /// fingerprint interval (at unit activity): kernel compaction, page
+  /// cache shuffling, COW breaks. Moves dirty pages without creating new
+  /// content — the Fig. 5 mechanism that makes dirty tracking (Miyakodori)
+  /// overestimate relative to content-based matching.
+  double remap_fraction_per_step = 0.0;
+  /// Steady-state duplicate / zero page composition (Fig. 4 targets).
+  double duplicate_fraction = 0.08;
+  double zero_fraction = 0.03;
+  std::uint64_t duplicate_pool_size = 192;
+
+  ActivityModel activity;
+
+  SimDuration fingerprint_interval = Minutes(30);
+  SimDuration trace_duration = Hours(7 * 24);
+  std::uint64_t seed = 1;
+
+  /// Sum of stable fraction and region weights; must be ~1.
+  [[nodiscard]] double TotalWeight() const;
+  void Validate() const;
+};
+
+/// The six Table 1 machines (Server A/B/C, Laptop A/B/C — Laptop D is
+/// available via Table1AllMachines) with calibrated churn models.
+std::vector<MachineSpec> Table1Machines();
+std::vector<MachineSpec> Table1AllMachines();
+
+/// The two web-crawler VMs of §2.3 (8 GiB, Apache Nutch, 4-day traces).
+std::vector<MachineSpec> CrawlerMachines();
+
+/// The author's desktop of §4.6 (6 GiB, 19 days, 912 fingerprints).
+MachineSpec DesktopMachine();
+
+/// Looks a machine up by name across all registries; throws if unknown.
+MachineSpec FindMachine(const std::string& name);
+
+}  // namespace vecycle::traces

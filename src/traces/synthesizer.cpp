@@ -1,0 +1,182 @@
+#include "traces/synthesizer.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace vecycle::traces {
+
+TraceSynthesizer::TraceSynthesizer(MachineSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.seed) {
+  spec_.Validate();
+  InitializeMemory();
+
+  // Precompute per-region rewrite probability for one fingerprint interval
+  // at unit activity: p = 1 - 2^(-dt / half_life). ApplyChurn raises this
+  // to the current activity factor via p_eff = 1 - (1-p)^activity, which
+  // is exact for exponentials.
+  const double dt_hours = ToSeconds(spec_.fingerprint_interval) / 3600.0;
+  for (const auto& region : spec_.regions) {
+    const double hl_hours = ToSeconds(region.half_life) / 3600.0;
+    rewrite_probability_.push_back(1.0 -
+                                   std::exp2(-dt_hours / hl_hours));
+  }
+
+  // Laptops start powered on mid-morning equivalent; everything else is
+  // always on at t=0.
+  powered_on_ = true;
+  busy_ = false;
+}
+
+void TraceSynthesizer::InitializeMemory() {
+  memory_ = std::make_unique<vm::GuestMemory>(
+      Pages(spec_.model_pages), vm::ContentMode::kSeedOnly);
+
+  duplicate_pool_.resize(spec_.duplicate_pool_size);
+  for (auto& s : duplicate_pool_) s = rng_.Next() | (1ull << 63);
+
+  // Region assignment: pages are dealt to regions by weighted round-robin
+  // over a shuffled order so regions interleave across the address space.
+  const std::uint64_t n = spec_.model_pages;
+  region_of_page_.assign(n, static_cast<std::uint32_t>(spec_.regions.size()));
+  std::vector<vm::PageId> order(n);
+  for (std::uint64_t i = 0; i < n; ++i) order[i] = i;
+  for (std::uint64_t i = 0; i + 1 < n; ++i) {
+    const std::uint64_t j = i + rng_.NextBelow(n - i);
+    std::swap(order[i], order[j]);
+  }
+  std::uint64_t cursor = 0;
+  for (std::uint32_t r = 0; r < spec_.regions.size(); ++r) {
+    const auto count = static_cast<std::uint64_t>(
+        spec_.regions[r].weight * static_cast<double>(n));
+    for (std::uint64_t k = 0; k < count && cursor < n; ++k, ++cursor) {
+      region_of_page_[order[cursor]] = r;
+    }
+  }
+  // Remaining pages (rounding remainder) stay in the stable core.
+
+  // Initial contents: zero / duplicate-pool / unique mix everywhere.
+  for (vm::PageId page = 0; page < n; ++page) {
+    memory_->WritePage(page, DrawContentSeed(page));
+  }
+}
+
+std::uint64_t TraceSynthesizer::DrawContentSeed(vm::PageId /*page*/) {
+  const double coin = rng_.NextDouble();
+  if (coin < spec_.zero_fraction) return vm::kZeroPageSeed;
+  if (coin < spec_.zero_fraction + spec_.duplicate_fraction) {
+    return duplicate_pool_[rng_.NextBelow(duplicate_pool_.size())];
+  }
+  return rng_.Next() & ~(1ull << 63);
+}
+
+int TraceSynthesizer::HourOfDay() const {
+  const auto seconds = static_cast<std::int64_t>(ToSeconds(now_));
+  return static_cast<int>((seconds / 3600) % 24);
+}
+
+bool TraceSynthesizer::IsDaytime() const {
+  const int hour = HourOfDay();
+  return hour >= spec_.activity.day_start_hour &&
+         hour < spec_.activity.day_end_hour;
+}
+
+double TraceSynthesizer::ActivityFactor() const {
+  if (!powered_on_) return 0.0;
+  const auto& a = spec_.activity;
+  const double diurnal = IsDaytime() ? a.day_factor : a.night_factor;
+  const double burst = busy_ ? a.busy_factor : a.quiet_factor;
+  return diurnal * burst;
+}
+
+void TraceSynthesizer::UpdatePowerAndBurst() {
+  const auto& a = spec_.activity;
+
+  if (a.can_power_off) {
+    const bool day = IsDaytime();
+    if (powered_on_) {
+      const double p_off = day ? a.on_to_off_day : a.on_to_off_night;
+      if (rng_.NextBool(p_off)) powered_on_ = false;
+    } else {
+      const double p_on = day ? a.off_to_on_day : a.off_to_on_night;
+      if (rng_.NextBool(p_on)) powered_on_ = true;
+    }
+  }
+
+  // Busy/quiet Markov chain: per-step flip probability chosen so the
+  // expected dwell time matches mean_dwell.
+  const double steps_per_dwell =
+      ToSeconds(a.mean_dwell) / ToSeconds(spec_.fingerprint_interval);
+  const double p_flip = steps_per_dwell > 0.0
+                            ? std::min(1.0, 1.0 / steps_per_dwell)
+                            : 1.0;
+  if (rng_.NextBool(p_flip)) busy_ = !busy_;
+}
+
+void TraceSynthesizer::ApplyChurn(SimDuration dt) {
+  const double activity =
+      ActivityFactor() * ToSeconds(dt) / ToSeconds(spec_.fingerprint_interval);
+  if (activity <= 0.0) return;
+
+  // Effective rewrite probability per region for this step.
+  std::vector<double> p_eff(rewrite_probability_.size());
+  for (std::size_t r = 0; r < p_eff.size(); ++r) {
+    p_eff[r] = 1.0 - std::pow(1.0 - rewrite_probability_[r], activity);
+  }
+
+  const std::uint64_t n = memory_->PageCount();
+  const auto stable_region =
+      static_cast<std::uint32_t>(spec_.regions.size());
+  for (vm::PageId page = 0; page < n; ++page) {
+    const std::uint32_t region = region_of_page_[page];
+    if (region == stable_region) continue;
+    if (rng_.NextBool(p_eff[region])) {
+      memory_->WritePage(page, DrawContentSeed(page));
+    }
+  }
+
+  // Content remapping: swap page pairs so content moves without changing.
+  // Stable pages are exempt (pinned kernel text does not wander).
+  const double remap_pages =
+      spec_.remap_fraction_per_step * activity * static_cast<double>(n);
+  const auto swaps = static_cast<std::uint64_t>(remap_pages / 2.0);
+  for (std::uint64_t s = 0; s < swaps; ++s) {
+    const vm::PageId a = rng_.NextBelow(n);
+    const vm::PageId b = rng_.NextBelow(n);
+    if (a == b || region_of_page_[a] == stable_region ||
+        region_of_page_[b] == stable_region) {
+      continue;
+    }
+    const std::uint64_t seed_a = memory_->Seed(a);
+    memory_->WritePage(a, memory_->Seed(b));
+    memory_->WritePage(b, seed_a);
+  }
+}
+
+void TraceSynthesizer::Step() {
+  UpdatePowerAndBurst();
+  ApplyChurn(spec_.fingerprint_interval);
+  now_ += spec_.fingerprint_interval;
+}
+
+fp::Trace TraceSynthesizer::Synthesize() {
+  fp::Trace trace(spec_.name);
+  const auto steps = static_cast<std::uint64_t>(
+      ToSeconds(spec_.trace_duration) /
+      ToSeconds(spec_.fingerprint_interval));
+  // Capture at t=0 first (machines are on at trace start), then step.
+  trace.Append(fp::Capture(*memory_, now_));
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    Step();
+    if (powered_on_) {
+      trace.Append(fp::Capture(*memory_, now_));
+    }
+  }
+  return trace;
+}
+
+fp::Trace SynthesizeTrace(const MachineSpec& spec) {
+  return TraceSynthesizer(spec).Synthesize();
+}
+
+}  // namespace vecycle::traces

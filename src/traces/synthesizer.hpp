@@ -1,0 +1,60 @@
+// Trace synthesis: turns a MachineSpec into a fingerprint trace with the
+// statistical shape of the Memory Buddies corpus (see machine_spec.hpp for
+// the model and its calibration targets).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "fingerprint/trace.hpp"
+#include "traces/machine_spec.hpp"
+#include "vm/guest_memory.hpp"
+
+namespace vecycle::traces {
+
+class TraceSynthesizer {
+ public:
+  explicit TraceSynthesizer(MachineSpec spec);
+
+  /// Runs the full trace duration and returns the fingerprints captured at
+  /// each interval the machine was powered on.
+  fp::Trace Synthesize();
+
+  /// Single simulation step (one fingerprint interval): advances activity
+  /// state, applies churn if powered on. Exposed for fine-grained tests.
+  void Step();
+
+  [[nodiscard]] bool PoweredOn() const { return powered_on_; }
+  [[nodiscard]] SimTime Now() const { return now_; }
+  [[nodiscard]] const vm::GuestMemory& Memory() const { return *memory_; }
+  [[nodiscard]] vm::GuestMemory& MutableMemory() { return *memory_; }
+  [[nodiscard]] const MachineSpec& Spec() const { return spec_; }
+
+  /// Current activity multiplier (diurnal x burst), 0 when powered off.
+  [[nodiscard]] double ActivityFactor() const;
+
+ private:
+  void InitializeMemory();
+  void ApplyChurn(SimDuration dt);
+  void UpdatePowerAndBurst();
+  [[nodiscard]] int HourOfDay() const;
+  [[nodiscard]] bool IsDaytime() const;
+  [[nodiscard]] std::uint64_t DrawContentSeed(vm::PageId page);
+
+  MachineSpec spec_;
+  Xoshiro256 rng_;
+  std::unique_ptr<vm::GuestMemory> memory_;
+  /// Per-page churn region index; region count = regions.size(), with
+  /// index regions.size() meaning the stable core.
+  std::vector<std::uint32_t> region_of_page_;
+  std::vector<double> rewrite_probability_;  // per region per step at activity 1
+  std::vector<std::uint64_t> duplicate_pool_;
+  SimTime now_ = kSimEpoch;
+  bool powered_on_ = true;
+  bool busy_ = false;
+};
+
+/// Convenience: synthesize the trace for `spec` in one call.
+fp::Trace SynthesizeTrace(const MachineSpec& spec);
+
+}  // namespace vecycle::traces

@@ -1,0 +1,36 @@
+#include "vm/dirty_tracker.hpp"
+
+#include "common/check.hpp"
+
+namespace vecycle::vm {
+
+bool DirtySnapshot::IsDirty(const GuestMemory& memory, PageId page) const {
+  VEC_CHECK_MSG(memory.PageCount() == generations_.size(),
+                "snapshot taken from a different-sized memory");
+  return memory.Generation(page) != generations_[page];
+}
+
+std::vector<PageId> DirtySnapshot::DirtyPages(
+    const GuestMemory& memory) const {
+  VEC_CHECK_MSG(memory.PageCount() == generations_.size(),
+                "snapshot taken from a different-sized memory");
+  std::vector<PageId> dirty;
+  const auto& current = memory.Generations();
+  for (PageId page = 0; page < current.size(); ++page) {
+    if (current[page] != generations_[page]) dirty.push_back(page);
+  }
+  return dirty;
+}
+
+std::uint64_t DirtySnapshot::CountDirty(const GuestMemory& memory) const {
+  VEC_CHECK_MSG(memory.PageCount() == generations_.size(),
+                "snapshot taken from a different-sized memory");
+  std::uint64_t count = 0;
+  const auto& current = memory.Generations();
+  for (PageId page = 0; page < current.size(); ++page) {
+    if (current[page] != generations_[page]) ++count;
+  }
+  return count;
+}
+
+}  // namespace vecycle::vm

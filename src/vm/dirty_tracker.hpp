@@ -1,0 +1,45 @@
+// Dirty-page tracking built on GuestMemory's generation counters.
+//
+// This is the Miyakodori mechanism (§4.3): after an outgoing migration the
+// source stores the checkpoint *and* the vector of per-page generation
+// counters; an incoming migration later compares the stored vector with the
+// VM's current one — pages whose counter is unchanged were provably not
+// written and can be reused without any checksum work. The same snapshot
+// type also serves as the per-round write set of the pre-copy loop (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/guest_memory.hpp"
+
+namespace vecycle::vm {
+
+class DirtySnapshot {
+ public:
+  DirtySnapshot() = default;
+
+  /// Captures the current generation vector of `memory`.
+  explicit DirtySnapshot(const GuestMemory& memory)
+      : generations_(memory.Generations()) {}
+
+  [[nodiscard]] bool Empty() const { return generations_.empty(); }
+  [[nodiscard]] std::uint64_t PageCount() const { return generations_.size(); }
+
+  /// True if `page` has been written since this snapshot was captured.
+  /// Note this is write tracking, not content tracking: a page rewritten
+  /// with identical content still reads as dirty — the overestimation the
+  /// paper calls out for Miyakodori.
+  [[nodiscard]] bool IsDirty(const GuestMemory& memory, PageId page) const;
+
+  /// All pages written since the snapshot, in ascending page order.
+  [[nodiscard]] std::vector<PageId> DirtyPages(
+      const GuestMemory& memory) const;
+
+  [[nodiscard]] std::uint64_t CountDirty(const GuestMemory& memory) const;
+
+ private:
+  std::vector<std::uint64_t> generations_;
+};
+
+}  // namespace vecycle::vm

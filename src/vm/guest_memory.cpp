@@ -1,0 +1,149 @@
+#include "vm/guest_memory.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "digest/hasher.hpp"
+
+namespace vecycle::vm {
+
+void MaterializePage(std::uint64_t seed, std::span<std::byte> out) {
+  VEC_CHECK(out.size() == kPageSize);
+  if (seed == kZeroPageSeed) {
+    std::memset(out.data(), 0, out.size());
+    return;
+  }
+  Xoshiro256 rng(seed);
+  auto* p = out.data();
+  for (std::size_t i = 0; i < kPageSize; i += 8) {
+    const std::uint64_t word = rng.Next();
+    std::memcpy(p + i, &word, 8);
+  }
+}
+
+GuestMemory::GuestMemory(Bytes ram_size, ContentMode mode,
+                         DigestAlgorithm algorithm)
+    : mode_(mode), algorithm_(algorithm) {
+  VEC_CHECK_MSG(ram_size.count % kPageSize == 0,
+                "RAM size must be page-aligned");
+  const std::uint64_t pages = ram_size.count / kPageSize;
+  VEC_CHECK_MSG(pages > 0, "empty guest memory");
+  seeds_.assign(pages, kZeroPageSeed);
+  generations_.assign(pages, 0);
+  if (mode_ == ContentMode::kMaterialized) {
+    backing_.assign(pages * kPageSize, std::byte{0});
+  }
+}
+
+void GuestMemory::CheckPage(PageId page) const {
+  VEC_CHECK_MSG(page < seeds_.size(), "page id out of range");
+}
+
+std::uint64_t GuestMemory::Seed(PageId page) const {
+  CheckPage(page);
+  return seeds_[page];
+}
+
+void GuestMemory::WritePage(PageId page, std::uint64_t content_seed) {
+  CheckPage(page);
+  seeds_[page] = content_seed;
+  ++generations_[page];
+  ++total_writes_;
+  if (mode_ == ContentMode::kMaterialized) {
+    MaterializePage(content_seed,
+                    std::span<std::byte>(backing_.data() + page * kPageSize,
+                                         kPageSize));
+  }
+}
+
+void GuestMemory::CopyPage(PageId from, PageId to) {
+  CheckPage(from);
+  WritePage(to, seeds_[from]);
+}
+
+std::uint64_t GuestMemory::Generation(PageId page) const {
+  CheckPage(page);
+  return generations_[page];
+}
+
+void GuestMemory::SetGenerations(std::vector<std::uint64_t> generations) {
+  VEC_CHECK_MSG(generations.size() == seeds_.size(),
+                "generation vector does not match memory geometry");
+  generations_ = std::move(generations);
+}
+
+Digest128 GuestMemory::PageDigest(PageId page) const {
+  CheckPage(page);
+  if (mode_ == ContentMode::kMaterialized) {
+    return ComputeDigest(algorithm_, backing_.data() + page * kPageSize,
+                         kPageSize);
+  }
+  const std::uint64_t seed = seeds_[page];
+  return ComputeDigest(algorithm_, &seed, sizeof(seed));
+}
+
+std::uint64_t GuestMemory::ContentHash64(PageId page) const {
+  CheckPage(page);
+  // SplitMix64 of the seed: a perfect (bijective) 64-bit mixer, so distinct
+  // seeds can never collide, and identical content always matches. The +1
+  // keeps the zero page away from SplitMix64(0)'s fixed structure.
+  return SplitMix64(seeds_[page] + 1).Next();
+}
+
+void GuestMemory::ReadPage(PageId page, std::span<std::byte> out) const {
+  CheckPage(page);
+  VEC_CHECK(out.size() == kPageSize);
+  if (mode_ == ContentMode::kMaterialized) {
+    std::memcpy(out.data(), backing_.data() + page * kPageSize, kPageSize);
+  } else {
+    MaterializePage(seeds_[page], out);
+  }
+}
+
+std::span<const std::byte> GuestMemory::PageBytes(PageId page) const {
+  CheckPage(page);
+  VEC_CHECK_MSG(mode_ == ContentMode::kMaterialized,
+                "PageBytes requires materialized memory");
+  return std::span<const std::byte>(backing_.data() + page * kPageSize,
+                                    kPageSize);
+}
+
+bool GuestMemory::ContentEquals(const GuestMemory& other) const {
+  if (PageCount() != other.PageCount()) return false;
+  // Seeds are the ground truth for content in both modes.
+  return seeds_ == other.seeds_;
+}
+
+std::uint64_t GuestMemory::CountZeroPages() const {
+  std::uint64_t zeros = 0;
+  for (const auto seed : seeds_) {
+    if (seed == kZeroPageSeed) ++zeros;
+  }
+  return zeros;
+}
+
+void MemoryProfile::Apply(GuestMemory& memory, Xoshiro256& rng) const {
+  VEC_CHECK(zero_fraction >= 0.0 && duplicate_fraction >= 0.0);
+  VEC_CHECK_MSG(zero_fraction + duplicate_fraction <= 1.0,
+                "memory profile fractions exceed 100%");
+  VEC_CHECK(duplicate_pool_size > 0);
+
+  // Distinct contents for the duplicate pool. High bit set partitions them
+  // away from the unique-content seed space below.
+  std::vector<std::uint64_t> pool(duplicate_pool_size);
+  for (auto& s : pool) s = rng.Next() | (1ull << 63);
+
+  const std::uint64_t n = memory.PageCount();
+  for (PageId page = 0; page < n; ++page) {
+    const double coin = rng.NextDouble();
+    if (coin < zero_fraction) {
+      memory.WritePage(page, kZeroPageSeed);
+    } else if (coin < zero_fraction + duplicate_fraction) {
+      memory.WritePage(page, pool[rng.NextBelow(pool.size())]);
+    } else {
+      memory.WritePage(page, rng.Next() & ~(1ull << 63));
+    }
+  }
+}
+
+}  // namespace vecycle::vm

@@ -1,0 +1,147 @@
+#include "vm/workload.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace vecycle::vm {
+namespace {
+
+/// Converts a rate and interval into a whole number of operations,
+/// carrying the fractional remainder so long simulations honor the rate
+/// exactly instead of losing sub-step residue.
+std::uint64_t OpsFor(double rate_per_s, SimDuration dt, double& carry) {
+  const double exact = rate_per_s * ToSeconds(dt) + carry;
+  const double whole = std::floor(exact);
+  carry = exact - whole;
+  return static_cast<std::uint64_t>(whole);
+}
+
+/// Fresh, never-before-seen content seed (top bit clear to stay out of the
+/// MemoryProfile duplicate-pool space, never the zero seed).
+std::uint64_t FreshSeed(Xoshiro256& rng) {
+  std::uint64_t s;
+  do {
+    s = rng.Next() & ~(1ull << 63);
+  } while (s == kZeroPageSeed);
+  return s;
+}
+
+}  // namespace
+
+IdleWorkload::IdleWorkload(Config config)
+    : config_(config), rng_(config.seed) {
+  VEC_CHECK(config_.write_rate_pages_per_s >= 0.0);
+  VEC_CHECK(config_.hot_region_pages > 0);
+}
+
+void IdleWorkload::Advance(GuestMemory& memory, SimDuration dt) {
+  const std::uint64_t writes =
+      OpsFor(config_.write_rate_pages_per_s, dt, carry_);
+  const std::uint64_t region =
+      std::min(config_.hot_region_pages, memory.PageCount());
+  for (std::uint64_t i = 0; i < writes; ++i) {
+    memory.WritePage(rng_.NextBelow(region), FreshSeed(rng_));
+  }
+}
+
+UniformRandomWorkload::UniformRandomWorkload(double write_rate_pages_per_s,
+                                             std::uint64_t seed)
+    : rate_(write_rate_pages_per_s), rng_(seed) {
+  VEC_CHECK(rate_ >= 0.0);
+}
+
+void UniformRandomWorkload::Advance(GuestMemory& memory, SimDuration dt) {
+  const std::uint64_t writes = OpsFor(rate_, dt, carry_);
+  for (std::uint64_t i = 0; i < writes; ++i) {
+    memory.WritePage(rng_.NextBelow(memory.PageCount()), FreshSeed(rng_));
+  }
+}
+
+HotspotWorkload::HotspotWorkload(Config config)
+    : config_(config), rng_(config.seed) {
+  VEC_CHECK(config_.write_rate_pages_per_s >= 0.0);
+  VEC_CHECK(config_.hot_fraction > 0.0 && config_.hot_fraction <= 1.0);
+  VEC_CHECK(config_.hot_probability >= 0.0 && config_.hot_probability <= 1.0);
+}
+
+void HotspotWorkload::Advance(GuestMemory& memory, SimDuration dt) {
+  const std::uint64_t writes =
+      OpsFor(config_.write_rate_pages_per_s, dt, carry_);
+  const auto n = memory.PageCount();
+  const auto hot_pages = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(config_.hot_fraction *
+                                    static_cast<double>(n)));
+  for (std::uint64_t i = 0; i < writes; ++i) {
+    const PageId page = rng_.NextBool(config_.hot_probability)
+                            ? rng_.NextBelow(hot_pages)
+                            : rng_.NextBelow(n);
+    memory.WritePage(page, FreshSeed(rng_));
+  }
+}
+
+SequentialRamdiskWorkload::SequentialRamdiskWorkload(
+    std::uint64_t memory_pages, double ramdisk_fraction, std::uint64_t seed)
+    : rng_(seed) {
+  VEC_CHECK(ramdisk_fraction > 0.0 && ramdisk_fraction <= 1.0);
+  span_pages_ = static_cast<std::uint64_t>(
+      ramdisk_fraction * static_cast<double>(memory_pages));
+  VEC_CHECK(span_pages_ > 0);
+  // The Linux ramdisk file lands sequentially in guest-physical memory
+  // (§4.5); we place it at the start of the address space.
+  first_page_ = 0;
+}
+
+void SequentialRamdiskWorkload::Fill(GuestMemory& memory) {
+  VEC_CHECK(first_page_ + span_pages_ <= memory.PageCount());
+  for (std::uint64_t i = 0; i < span_pages_; ++i) {
+    memory.WritePage(first_page_ + i, FreshSeed(rng_));
+  }
+}
+
+void SequentialRamdiskWorkload::UpdateFraction(GuestMemory& memory,
+                                               double fraction) {
+  VEC_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  VEC_CHECK(first_page_ + span_pages_ <= memory.PageCount());
+  const auto updates =
+      static_cast<std::uint64_t>(fraction * static_cast<double>(span_pages_));
+  if (updates == 0) return;
+  // Partial Fisher–Yates over the ramdisk's page indices: uniform sample
+  // without replacement in O(updates) extra work.
+  std::vector<std::uint64_t> indices(span_pages_);
+  for (std::uint64_t i = 0; i < span_pages_; ++i) indices[i] = i;
+  for (std::uint64_t i = 0; i < updates; ++i) {
+    const std::uint64_t j = i + rng_.NextBelow(span_pages_ - i);
+    std::swap(indices[i], indices[j]);
+    memory.WritePage(first_page_ + indices[i], FreshSeed(rng_));
+  }
+}
+
+PageRemapWorkload::PageRemapWorkload(double swaps_per_s, std::uint64_t seed)
+    : rate_(swaps_per_s), rng_(seed) {
+  VEC_CHECK(rate_ >= 0.0);
+}
+
+void PageRemapWorkload::Advance(GuestMemory& memory, SimDuration dt) {
+  const std::uint64_t swaps = OpsFor(rate_, dt, carry_);
+  const auto n = memory.PageCount();
+  for (std::uint64_t i = 0; i < swaps; ++i) {
+    const PageId a = rng_.NextBelow(n);
+    const PageId b = rng_.NextBelow(n);
+    if (a == b) continue;
+    const std::uint64_t seed_a = memory.Seed(a);
+    memory.WritePage(a, memory.Seed(b));
+    memory.WritePage(b, seed_a);
+  }
+}
+
+void CompositeWorkload::Add(std::unique_ptr<Workload> workload) {
+  VEC_CHECK(workload != nullptr);
+  parts_.push_back(std::move(workload));
+}
+
+void CompositeWorkload::Advance(GuestMemory& memory, SimDuration dt) {
+  for (auto& part : parts_) part->Advance(memory, dt);
+}
+
+}  // namespace vecycle::vm

@@ -1,0 +1,146 @@
+// Guest workload models.
+//
+// A workload mutates guest memory as simulated time advances; it is what
+// creates the divergence between a VM and its stale checkpoint that the
+// whole paper is about. The library ships the workloads the evaluation
+// needs: an idle guest (§4.4 best case), uniform and hotspot writers
+// (generic churn), the sequential-ramdisk pattern of §4.5 (controlled
+// update percentage over 90% of RAM), and a page-remap workload exercising
+// the Fig. 5 caveat where content moves between frames — dirty tracking
+// sees writes, content-based matching sees nothing new.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "vm/guest_memory.hpp"
+
+namespace vecycle::vm {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Applies `dt` worth of guest activity to `memory`.
+  virtual void Advance(GuestMemory& memory, SimDuration dt) = 0;
+};
+
+/// An idle guest: background daemons touch a small fixed working set plus a
+/// trickle of fresh pages. §4.4 measures this as the best case — the VM and
+/// its most recent checkpoint stay almost identical.
+class IdleWorkload : public Workload {
+ public:
+  struct Config {
+    /// Pages freshly written per second of guest time. A handful per
+    /// second matches an idle Ubuntu guest's logging/timers.
+    double write_rate_pages_per_s = 4.0;
+    /// Size of the hot region those writes fall into (kernel buffers,
+    /// syslog, timers) — rewrites of the same region don't compound.
+    std::uint64_t hot_region_pages = 2048;
+    std::uint64_t seed = 1;
+  };
+
+  explicit IdleWorkload(Config config);
+  void Advance(GuestMemory& memory, SimDuration dt) override;
+
+ private:
+  Config config_;
+  Xoshiro256 rng_;
+  double carry_ = 0.0;
+};
+
+/// Writes fresh content to pages drawn uniformly from all of RAM at a
+/// configurable rate. The memoryless churn baseline.
+class UniformRandomWorkload : public Workload {
+ public:
+  UniformRandomWorkload(double write_rate_pages_per_s, std::uint64_t seed);
+  void Advance(GuestMemory& memory, SimDuration dt) override;
+
+ private:
+  double rate_;
+  Xoshiro256 rng_;
+  double carry_ = 0.0;
+};
+
+/// 90/10-style skewed writer: most writes land in a small hot fraction of
+/// RAM, the rest scatter. Models interactive desktops and servers whose
+/// working set is far smaller than RAM.
+class HotspotWorkload : public Workload {
+ public:
+  struct Config {
+    double write_rate_pages_per_s = 1000.0;
+    double hot_fraction = 0.1;    ///< fraction of RAM that is hot
+    double hot_probability = 0.9; ///< probability a write lands in it
+    std::uint64_t seed = 1;
+  };
+
+  explicit HotspotWorkload(Config config);
+  void Advance(GuestMemory& memory, SimDuration dt) override;
+
+ private:
+  Config config_;
+  Xoshiro256 rng_;
+  double carry_ = 0.0;
+};
+
+/// The §4.5 controlled-update workload: a ramdisk file covering a fixed
+/// fraction of RAM (90% in the paper), laid out sequentially in guest
+/// physical memory. Fill() writes the file once; UpdateFraction() rewrites
+/// a chosen percentage of its blocks with fresh random data, which is how
+/// the paper sweeps similarity from ~100% down to 0%.
+///
+/// Memory is passed per call (not captured) because a migrated VM adopts a
+/// *new* GuestMemory object at the destination; the workload follows the
+/// VM, not the allocation.
+class SequentialRamdiskWorkload {
+ public:
+  SequentialRamdiskWorkload(std::uint64_t memory_pages,
+                            double ramdisk_fraction, std::uint64_t seed);
+
+  /// Sequentially fills the ramdisk with fresh random content.
+  void Fill(GuestMemory& memory);
+
+  /// Rewrites `fraction` (0..1) of the ramdisk's pages, chosen uniformly
+  /// without replacement, with never-seen-before content.
+  void UpdateFraction(GuestMemory& memory, double fraction);
+
+  [[nodiscard]] PageId FirstPage() const { return first_page_; }
+  [[nodiscard]] std::uint64_t PageSpan() const { return span_pages_; }
+
+ private:
+  Xoshiro256 rng_;
+  PageId first_page_;
+  std::uint64_t span_pages_;
+};
+
+/// Moves content between frames without creating new content: each step
+/// swaps the contents of randomly chosen page pairs. Every touched page is
+/// dirtied (two writes per swap), but the multiset of page contents — and
+/// hence what content-based redundancy elimination must transfer — is
+/// unchanged. This is the Fig. 5 scenario in which Miyakodori overestimates.
+class PageRemapWorkload : public Workload {
+ public:
+  PageRemapWorkload(double swaps_per_s, std::uint64_t seed);
+  void Advance(GuestMemory& memory, SimDuration dt) override;
+
+ private:
+  double rate_;
+  Xoshiro256 rng_;
+  double carry_ = 0.0;
+};
+
+/// Runs several workloads in sequence over the same interval, e.g. hotspot
+/// churn plus a remap trickle.
+class CompositeWorkload : public Workload {
+ public:
+  void Add(std::unique_ptr<Workload> workload);
+  void Advance(GuestMemory& memory, SimDuration dt) override;
+
+ private:
+  std::vector<std::unique_ptr<Workload>> parts_;
+};
+
+}  // namespace vecycle::vm

@@ -1,0 +1,319 @@
+// Analysis layer: similarity binning, technique comparison arithmetic,
+// CDFs, the VDI schedule analyzer, and table rendering.
+#include <gtest/gtest.h>
+
+#include "analysis/binning.hpp"
+#include "analysis/table.hpp"
+#include "analysis/technique.hpp"
+#include "analysis/vdi.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace vecycle::analysis {
+namespace {
+
+fp::Trace MakeTrace(std::vector<std::vector<std::uint64_t>> prints,
+                    SimDuration interval = Minutes(30)) {
+  fp::Trace trace("test");
+  SimTime t = interval;
+  for (auto& hashes : prints) {
+    trace.Append(fp::Fingerprint(t, std::move(hashes)));
+    t += interval;
+  }
+  return trace;
+}
+
+// --- Similarity decay binning. ---
+
+TEST(SimilarityDecay, BinsPairsByDelta) {
+  // Three fingerprints at 30-minute spacing: two 30-min pairs, one 60-min.
+  auto trace = MakeTrace({{1, 2, 3, 4}, {1, 2, 3, 5}, {1, 2, 6, 7}});
+  SimilarityDecayOptions options;
+  options.max_delta = Hours(2);
+  options.max_pairs_per_bin = 0;  // exact
+  const auto decay = SimilarityDecay(trace, options);
+
+  ASSERT_EQ(decay.size(), 2u);
+  EXPECT_EQ(decay[0].center, Minutes(30));
+  EXPECT_EQ(decay[0].pairs, 2u);
+  // Pair (0,1): 3/4. Pair (1,2): 2/4.
+  EXPECT_DOUBLE_EQ(decay[0].min, 0.5);
+  EXPECT_DOUBLE_EQ(decay[0].max, 0.75);
+  EXPECT_DOUBLE_EQ(decay[0].mean, 0.625);
+  // Pair (0,2): 2/4.
+  EXPECT_EQ(decay[1].pairs, 1u);
+  EXPECT_DOUBLE_EQ(decay[1].mean, 0.5);
+}
+
+TEST(SimilarityDecay, RespectsMaxDelta) {
+  auto trace = MakeTrace({{1}, {1}, {1}, {1}, {1}}, Hours(10));
+  SimilarityDecayOptions options;
+  options.bin_width = Hours(10);
+  options.max_delta = Hours(25);
+  options.max_pairs_per_bin = 0;
+  const auto decay = SimilarityDecay(trace, options);
+  for (const auto& bin : decay) {
+    EXPECT_LE(bin.center, Hours(25));
+  }
+}
+
+TEST(SimilarityDecay, SamplingCapsEvaluatedPairs) {
+  std::vector<std::vector<std::uint64_t>> prints(50, {1, 2, 3});
+  auto trace = MakeTrace(std::move(prints));
+  SimilarityDecayOptions options;
+  options.max_pairs_per_bin = 5;
+  const auto decay = SimilarityDecay(trace, options);
+  for (const auto& bin : decay) {
+    EXPECT_LE(bin.pairs, 5u);
+  }
+}
+
+TEST(SimilarityDecay, SamplingIsDeterministic) {
+  std::vector<std::vector<std::uint64_t>> prints;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 40; ++i) {
+    std::vector<std::uint64_t> hashes(64);
+    for (auto& h : hashes) h = rng.NextBelow(256);
+    prints.push_back(std::move(hashes));
+  }
+  auto trace = MakeTrace(std::move(prints));
+  SimilarityDecayOptions options;
+  options.max_pairs_per_bin = 8;
+  const auto a = SimilarityDecay(trace, options);
+  const auto b = SimilarityDecay(trace, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].mean, b[i].mean);
+  }
+}
+
+// --- Technique comparison. ---
+
+TEST(ComparePair, AllTechniquesOnKnownExample) {
+  // a: positions [1 2 3 4 5 5]; b: [1 9 3 5 5 5].
+  const fp::Fingerprint a(kSimEpoch, {1, 2, 3, 4, 5, 5});
+  const fp::Fingerprint b(Minutes(30), {1, 9, 3, 5, 5, 5});
+  const auto r = ComparePair(a, b);
+  EXPECT_EQ(r.total_pages, 6u);
+  EXPECT_EQ(r.full, 6u);
+  EXPECT_EQ(r.dedup, 4u);          // U_b = {1,3,5,9}
+  EXPECT_EQ(r.dirty, 2u);          // positions 1 and 3 changed
+  EXPECT_EQ(r.dirty_dedup, 2u);    // dirty contents {9, 5}
+  EXPECT_EQ(r.hashes, 1u);         // only content 9 is new
+  EXPECT_EQ(r.hashes_dedup, 1u);   // U_b \ U_a = {9}
+}
+
+TEST(ComparePair, IdenticalFingerprintsTransferNothingNew) {
+  const fp::Fingerprint a(kSimEpoch, {1, 2, 3});
+  const fp::Fingerprint b(Minutes(30), {1, 2, 3});
+  const auto r = ComparePair(a, b);
+  EXPECT_EQ(r.dirty, 0u);
+  EXPECT_EQ(r.hashes, 0u);
+  EXPECT_EQ(r.hashes_dedup, 0u);
+}
+
+TEST(ComparePair, RemapDirtiesWithoutNewContent) {
+  // The Fig. 5 mechanism: content permuted across frames.
+  const fp::Fingerprint a(kSimEpoch, {1, 2, 3, 4});
+  const fp::Fingerprint b(Minutes(30), {4, 3, 2, 1});
+  const auto r = ComparePair(a, b);
+  EXPECT_EQ(r.dirty, 4u);         // every position changed
+  EXPECT_EQ(r.hashes, 0u);        // no new content
+  EXPECT_EQ(r.hashes_dedup, 0u);
+}
+
+TEST(ComparePair, OrderingInvariantHoldsOnRandomData) {
+  // hashes+dedup <= hashes <= full, hashes+dedup <= dedup,
+  // dirty_dedup <= dirty, hashes <= dirty (content change implies position
+  // change... the converse), for arbitrary inputs.
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> ha(256);
+    std::vector<std::uint64_t> hb(256);
+    for (auto& h : ha) h = rng.NextBelow(64);
+    for (std::size_t i = 0; i < hb.size(); ++i) {
+      hb[i] = rng.NextBool(0.5) ? ha[i] : rng.NextBelow(64);
+    }
+    const fp::Fingerprint a(kSimEpoch, ha);
+    const fp::Fingerprint b(Minutes(30), hb);
+    const auto r = ComparePair(a, b);
+    EXPECT_LE(r.hashes_dedup, r.hashes);
+    EXPECT_LE(r.hashes, r.dirty);  // unseen content at position i => a[i]!=b[i]
+    EXPECT_LE(r.dirty_dedup, r.dirty);
+    EXPECT_LE(r.dedup, r.full);
+    EXPECT_LE(r.hashes_dedup, r.dedup);
+  }
+}
+
+TEST(ComparePair, MismatchedSizesThrow) {
+  const fp::Fingerprint a(kSimEpoch, {1, 2});
+  const fp::Fingerprint b(Minutes(30), {1, 2, 3});
+  EXPECT_THROW(ComparePair(a, b), CheckFailure);
+}
+
+TEST(SummarizeTechniques, MeansAreFractionsOfBaseline) {
+  auto trace = MakeTrace({{1, 2, 3, 4}, {1, 2, 3, 5}, {1, 2, 6, 7}});
+  TechniqueSummaryOptions options;
+  options.max_pairs = 0;
+  const auto summary = SummarizeTechniques(trace, options);
+  EXPECT_EQ(summary.pairs, 3u);
+  EXPECT_GT(summary.mean_hashes_dedup, 0.0);
+  EXPECT_LE(summary.mean_hashes_dedup, summary.mean_hashes);
+  EXPECT_LE(summary.mean_hashes_dedup, 1.0);
+  EXPECT_LE(summary.mean_dirty_dedup, summary.mean_dirty);
+}
+
+TEST(SummarizeTechniques, MinDeltaFiltersPairs) {
+  auto trace = MakeTrace({{1}, {1}, {1}});
+  TechniqueSummaryOptions options;
+  options.max_pairs = 0;
+  options.min_delta = Minutes(45);
+  const auto summary = SummarizeTechniques(trace, options);
+  EXPECT_EQ(summary.pairs, 1u);  // only the 60-minute pair survives
+}
+
+TEST(MethodSets, NestingAndOverlapsOnKnownExample) {
+  // a: [1 2 3 4 5]; b: [1 9 4 3 9]
+  //   position 1: new content 9 (dirty, hashes, first occurrence)
+  //   positions 2,3: contents 4 and 3 swapped (dirty, not hashes)
+  //   position 4: content 9 again (dirty, hashes, duplicate)
+  const fp::Fingerprint a(kSimEpoch, {1, 2, 3, 4, 5});
+  const fp::Fingerprint b(Minutes(30), {1, 9, 4, 3, 9});
+  const auto sets = ComputeMethodSets(a, b);
+  EXPECT_EQ(sets.total_pages, 5u);
+  EXPECT_EQ(sets.dirty, 4u);
+  EXPECT_EQ(sets.hashes, 2u);
+  EXPECT_EQ(sets.dirty_not_hashes, 2u);
+  EXPECT_EQ(sets.dup_positions, 1u);
+  EXPECT_EQ(sets.dirty_and_dup, 1u);
+  EXPECT_EQ(sets.hashes_and_dup, 1u);
+}
+
+TEST(MethodSets, HashesIsAlwaysSubsetOfDirty) {
+  Xoshiro256 rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint64_t> ha(128);
+    std::vector<std::uint64_t> hb(128);
+    for (auto& h : ha) h = rng.NextBelow(40);
+    for (std::size_t i = 0; i < hb.size(); ++i) {
+      hb[i] = rng.NextBool(0.6) ? ha[i] : rng.NextBelow(40);
+    }
+    const auto sets = ComputeMethodSets(fp::Fingerprint(kSimEpoch, ha),
+                                        fp::Fingerprint(Minutes(30), hb));
+    EXPECT_LE(sets.hashes, sets.dirty);
+    EXPECT_EQ(sets.dirty - sets.hashes, sets.dirty_not_hashes);
+  }
+}
+
+// --- CDF. ---
+
+TEST(Cdf, SortsAndAssignsProbabilities) {
+  const auto cdf = ComputeCdf({3.0, 1.0, 2.0, 4.0});
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].probability, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[3].value, 4.0);
+  EXPECT_DOUBLE_EQ(cdf[3].probability, 1.0);
+}
+
+// --- VDI analysis. ---
+
+fp::Trace DesktopLikeTrace(int days) {
+  // One fingerprint per 30 minutes; content drifts a little each step and
+  // strongly during office hours. Contents are drawn from a bounded space
+  // so the memory carries duplicate pages, as real desktops do.
+  fp::Trace trace("desktop");
+  Xoshiro256 rng(3);
+  const auto draw = [&rng] { return rng.NextBelow(3000); };
+  std::vector<std::uint64_t> hashes(512);
+  for (auto& h : hashes) h = draw();
+  SimTime t = kSimEpoch;
+  for (int step = 0; step < days * 48; ++step) {
+    t += Minutes(30);
+    const int hour = static_cast<int>(ToSeconds(t) / 3600.0) % 24;
+    const bool office = hour >= 9 && hour < 17;
+    const std::size_t churn = office ? 12 : 1;
+    for (std::size_t i = 0; i < churn; ++i) {
+      hashes[rng.NextBelow(hashes.size())] = draw();
+    }
+    trace.Append(fp::Fingerprint(t, hashes));
+  }
+  return trace;
+}
+
+TEST(Vdi, TwoMigrationsPerWeekday) {
+  const auto trace = DesktopLikeTrace(19);
+  VdiScheduleOptions options;
+  options.weekday_count = 13;
+  const auto report = AnalyzeVdi(trace, GiB(6), options);
+  EXPECT_EQ(report.rows.size(), 26u);
+  // Alternating directions: morning to workstation, evening back.
+  EXPECT_TRUE(report.rows[0].to_workstation);
+  EXPECT_FALSE(report.rows[1].to_workstation);
+  EXPECT_TRUE(report.rows[2].to_workstation);
+}
+
+TEST(Vdi, FirstMigrationShipsEverything) {
+  const auto trace = DesktopLikeTrace(19);
+  const auto report = AnalyzeVdi(trace, GiB(6), VdiScheduleOptions{});
+  EXPECT_DOUBLE_EQ(report.rows[0].full, 1.0);
+  // With no checkpoint anywhere, VeCycle degenerates to dedup.
+  EXPECT_DOUBLE_EQ(report.rows[0].vecycle, report.rows[0].dedup);
+  // Later migrations reuse checkpoints.
+  EXPECT_LT(report.rows[2].vecycle, report.rows[0].vecycle);
+}
+
+TEST(Vdi, WeekendsAreSkipped) {
+  const auto trace = DesktopLikeTrace(19);
+  const auto report = AnalyzeVdi(trace, GiB(6), VdiScheduleOptions{});
+  // Day 4 (Friday) evening migration is row 9; the next is day 7 (Monday)
+  // morning: a 64-hour gap.
+  const auto gap = report.rows[10].when - report.rows[9].when;
+  EXPECT_EQ(gap, Hours(64));
+}
+
+TEST(Vdi, VeCycleBeatsDedupInAggregate) {
+  const auto trace = DesktopLikeTrace(19);
+  const auto report = AnalyzeVdi(trace, GiB(6), VdiScheduleOptions{});
+  EXPECT_LT(report.total_vecycle.count, report.total_dedup.count);
+  EXPECT_LT(report.total_dedup.count, report.total_full.count);
+  EXPECT_LE(report.total_vecycle.count, report.total_dirty_dedup.count);
+}
+
+TEST(Vdi, BaselineTrafficIsMigrationsTimesRam) {
+  const auto trace = DesktopLikeTrace(19);
+  const auto report = AnalyzeVdi(trace, GiB(6), VdiScheduleOptions{});
+  EXPECT_EQ(report.total_full, GiB(6) * 26);
+}
+
+TEST(Vdi, TraceTooShortThrows) {
+  const auto trace = DesktopLikeTrace(3);
+  VdiScheduleOptions options;
+  options.weekday_count = 13;
+  EXPECT_THROW(AnalyzeVdi(trace, GiB(6), options), CheckFailure);
+}
+
+// --- Table rendering. ---
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22222"});
+  const auto out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsMisshapenRows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), CheckFailure);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Pct(0.756, 1), "75.6%");
+}
+
+}  // namespace
+}  // namespace vecycle::analysis

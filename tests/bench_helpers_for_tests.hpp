@@ -1,0 +1,7 @@
+// The reproduction-gate tests reuse the bench harness scaffolding so that
+// what the tests assert is literally what the benches print.
+#pragma once
+
+#include "bench_util.hpp"  // from bench/
+
+namespace testbench = vecycle::bench;

@@ -1,0 +1,189 @@
+// Fingerprints, the §2.1 similarity metric, and trace serialization.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "fingerprint/fingerprint.hpp"
+#include "fingerprint/trace.hpp"
+#include "vm/guest_memory.hpp"
+
+namespace vecycle::fp {
+namespace {
+
+vm::GuestMemory ProfiledMemory(std::uint64_t seed) {
+  vm::GuestMemory memory(MiB(4), vm::ContentMode::kSeedOnly);
+  Xoshiro256 rng(seed);
+  vm::MemoryProfile{}.Apply(memory, rng);
+  return memory;
+}
+
+// --- Capture. ---
+
+TEST(Fingerprint, CaptureCoversEveryPage) {
+  auto memory = ProfiledMemory(1);
+  const auto print = Capture(memory, Hours(1));
+  EXPECT_EQ(print.PageCount(), memory.PageCount());
+  EXPECT_EQ(print.Timestamp(), Hours(1));
+  for (vm::PageId p = 0; p < 32; ++p) {
+    EXPECT_EQ(print.HashAt(p), memory.ContentHash64(p));
+  }
+}
+
+TEST(Fingerprint, EmptyFingerprintThrows) {
+  EXPECT_THROW(Fingerprint(kSimEpoch, {}), CheckFailure);
+}
+
+// --- Unique hashes / duplicates / zeros. ---
+
+TEST(Fingerprint, UniqueHashesAreSortedAndDeduplicated) {
+  Fingerprint print(kSimEpoch, {5, 3, 5, 1, 3, 3});
+  const auto& unique = print.UniqueHashes();
+  EXPECT_EQ(unique, (std::vector<std::uint64_t>{1, 3, 5}));
+}
+
+TEST(Fingerprint, DuplicateFractionDefinition) {
+  // §4.2: duplicate fraction = 1 - unique/total.
+  Fingerprint print(kSimEpoch, {7, 7, 7, 8, 9, 9});
+  EXPECT_DOUBLE_EQ(print.DuplicateFraction(), 1.0 - 3.0 / 6.0);
+}
+
+TEST(Fingerprint, AllDistinctHasNoDuplicates) {
+  Fingerprint print(kSimEpoch, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(print.DuplicateFraction(), 0.0);
+}
+
+TEST(Fingerprint, ZeroFractionCountsZeroPages) {
+  vm::GuestMemory memory(MiB(1), vm::ContentMode::kSeedOnly);
+  // 256 pages, all zero initially; write 64 non-zero.
+  for (vm::PageId p = 0; p < 64; ++p) memory.WritePage(p, p + 1);
+  const auto print = Capture(memory, kSimEpoch);
+  EXPECT_DOUBLE_EQ(print.ZeroFraction(), 192.0 / 256.0);
+}
+
+TEST(Fingerprint, ContainsUsesWholeFingerprint) {
+  Fingerprint print(kSimEpoch, {10, 20, 30});
+  EXPECT_TRUE(print.Contains(20));
+  EXPECT_FALSE(print.Contains(25));
+}
+
+// --- Similarity. ---
+
+TEST(Similarity, IdenticalFingerprintsScoreOne) {
+  auto memory = ProfiledMemory(2);
+  const auto a = Capture(memory, kSimEpoch);
+  const auto b = Capture(memory, Minutes(30));
+  EXPECT_DOUBLE_EQ(Similarity(a, b), 1.0);
+}
+
+TEST(Similarity, DisjointContentScoresZero) {
+  Fingerprint a(kSimEpoch, {1, 2, 3});
+  Fingerprint b(Minutes(30), {4, 5, 6});
+  EXPECT_DOUBLE_EQ(Similarity(a, b), 0.0);
+}
+
+TEST(Similarity, MatchesSetDefinition) {
+  // Ua = {1,2,3,4}, Ub = {3,4,5}; |Ua ∩ Ub| / |Ua| = 2/4.
+  Fingerprint a(kSimEpoch, {1, 2, 3, 4});
+  Fingerprint b(Minutes(30), {3, 4, 5, 5});
+  EXPECT_DOUBLE_EQ(Similarity(a, b), 0.5);
+  // Directionality: |Ua ∩ Ub| / |Ub| = 2/3.
+  EXPECT_DOUBLE_EQ(Similarity(b, a), 2.0 / 3.0);
+}
+
+TEST(Similarity, UnaffectedByPagePositions) {
+  // Content moved between frames leaves the unique set unchanged.
+  Fingerprint a(kSimEpoch, {1, 2, 3, 4});
+  Fingerprint b(Minutes(30), {4, 3, 2, 1});
+  EXPECT_DOUBLE_EQ(Similarity(a, b), 1.0);
+}
+
+TEST(Similarity, DecreasesWithChurn) {
+  auto memory = ProfiledMemory(3);
+  const auto before = Capture(memory, kSimEpoch);
+  Xoshiro256 rng(99);
+  // Rewrite half the pages with fresh content.
+  for (vm::PageId p = 0; p < memory.PageCount() / 2; ++p) {
+    memory.WritePage(p, rng.Next() | (1ull << 62));
+  }
+  const auto after = Capture(memory, Minutes(30));
+  const double similarity = Similarity(before, after);
+  EXPECT_GT(similarity, 0.35);
+  EXPECT_LT(similarity, 0.65);
+}
+
+TEST(SharedUniqueHashes, CountsIntersection) {
+  Fingerprint a(kSimEpoch, {1, 2, 3, 4, 4});
+  Fingerprint b(Minutes(30), {2, 4, 6, 8});
+  EXPECT_EQ(SharedUniqueHashes(a, b), 2u);
+}
+
+// --- Trace container. ---
+
+TEST(Trace, AppendEnforcesMonotoneTimestamps) {
+  Trace trace("machine");
+  trace.Append(Fingerprint(Minutes(30), {1, 2}));
+  EXPECT_THROW(trace.Append(Fingerprint(Minutes(30), {1, 2})),
+               CheckFailure);
+  EXPECT_THROW(trace.Append(Fingerprint(Minutes(10), {1, 2})),
+               CheckFailure);
+}
+
+TEST(Trace, AppendEnforcesConsistentGeometry) {
+  Trace trace("machine");
+  trace.Append(Fingerprint(Minutes(30), {1, 2}));
+  EXPECT_THROW(trace.Append(Fingerprint(Minutes(60), {1, 2, 3})),
+               CheckFailure);
+}
+
+TEST(Trace, SpanIsLastMinusFirst) {
+  Trace trace("machine");
+  trace.Append(Fingerprint(Minutes(30), {1}));
+  trace.Append(Fingerprint(Minutes(90), {2}));
+  trace.Append(Fingerprint(Minutes(150), {3}));
+  EXPECT_EQ(trace.Span(), Minutes(120));
+}
+
+TEST(Trace, StreamRoundTrip) {
+  Trace trace("Server X");
+  trace.Append(Fingerprint(Minutes(30), {1, 2, 3}));
+  trace.Append(Fingerprint(Minutes(60), {4, 5, 6}));
+
+  std::stringstream stream;
+  trace.WriteTo(stream);
+  const auto loaded = Trace::ReadFrom(stream);
+
+  EXPECT_EQ(loaded.MachineName(), "Server X");
+  ASSERT_EQ(loaded.Size(), 2u);
+  EXPECT_EQ(loaded.At(0).PageHashes(), trace.At(0).PageHashes());
+  EXPECT_EQ(loaded.At(1).Timestamp(), Minutes(60));
+}
+
+TEST(Trace, FileRoundTrip) {
+  Trace trace("disk-machine");
+  trace.Append(Fingerprint(Minutes(30), {9, 8, 7}));
+  const auto path =
+      (std::filesystem::temp_directory_path() / "vecycle_trace_test.bin")
+          .string();
+  trace.SaveFile(path);
+  const auto loaded = Trace::LoadFile(path);
+  EXPECT_EQ(loaded.MachineName(), "disk-machine");
+  EXPECT_EQ(loaded.At(0).PageHashes(), trace.At(0).PageHashes());
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, ReadRejectsBadMagic) {
+  std::stringstream stream;
+  stream << "NOTATRACE........";
+  EXPECT_THROW(Trace::ReadFrom(stream), CheckFailure);
+}
+
+TEST(Trace, MissingFileThrows) {
+  EXPECT_THROW(Trace::LoadFile("/nonexistent/path/trace.bin"),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace vecycle::fp

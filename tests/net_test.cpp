@@ -1,0 +1,175 @@
+// Protocol message wire-size accounting and the channel over a simulated
+// link.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "net/channel.hpp"
+#include "net/message.hpp"
+
+namespace vecycle::net {
+namespace {
+
+// --- Wire sizes. ---
+
+TEST(Message, FullPageRecordSize) {
+  Message msg;
+  PageRecord record;
+  record.has_payload = true;
+  record.has_digest = true;
+  msg.records.push_back(record);
+  EXPECT_EQ(msg.WireSize(DigestAlgorithm::kMd5).count,
+            kControlFrameBytes + kRecordHeaderBytes + 16 + kPageSize);
+}
+
+TEST(Message, ChecksumOnlyRecordSize) {
+  Message msg;
+  PageRecord record;
+  record.has_payload = false;
+  record.has_digest = true;
+  msg.records.push_back(record);
+  EXPECT_EQ(msg.WireSize(DigestAlgorithm::kMd5).count,
+            kControlFrameBytes + kRecordHeaderBytes + 16);
+}
+
+TEST(Message, DupRefRecordSize) {
+  Message msg;
+  PageRecord record;
+  record.has_payload = false;
+  record.has_digest = false;
+  record.is_dup_ref = true;
+  msg.records.push_back(record);
+  EXPECT_EQ(msg.WireSize(DigestAlgorithm::kMd5).count,
+            kControlFrameBytes + kRecordHeaderBytes + 8);
+}
+
+TEST(Message, ZeroPageRecordIsHeaderOnly) {
+  Message msg;
+  PageRecord record;
+  record.is_zero = true;
+  record.has_payload = false;
+  record.has_digest = false;
+  msg.records.push_back(record);
+  EXPECT_EQ(msg.WireSize(DigestAlgorithm::kMd5).count,
+            kControlFrameBytes + kRecordHeaderBytes);
+}
+
+TEST(Message, BulkHashSizeMatchesSection32) {
+  // §3.2: a 4 GiB VM -> 2^20 pages -> 16 MiB of MD5 checksums. Model at
+  // 2^20 digests directly.
+  Message msg;
+  msg.type = MessageType::kBulkHashes;
+  msg.bulk_hashes.resize(1u << 20);
+  EXPECT_EQ(msg.WireSize(DigestAlgorithm::kMd5).count,
+            kControlFrameBytes + (1ull << 24));
+}
+
+TEST(Message, FnvDigestsHalveChecksumBytes) {
+  Message msg;
+  PageRecord record;
+  record.has_digest = true;
+  msg.records.push_back(record);
+  const auto md5 = msg.WireSize(DigestAlgorithm::kMd5);
+  const auto fnv = msg.WireSize(DigestAlgorithm::kFnv1a);
+  EXPECT_EQ(md5.count - fnv.count, 8u);
+}
+
+TEST(Message, TypeNames) {
+  EXPECT_STREQ(ToString(MessageType::kPageBatch), "page-batch");
+  EXPECT_STREQ(ToString(MessageType::kBulkHashes), "bulk-hashes");
+  EXPECT_STREQ(ToString(MessageType::kDone), "done");
+}
+
+// --- Channel. ---
+
+TEST(Channel, DeliversToReceiverAtArrivalTime) {
+  sim::Simulator simulator;
+  sim::Link link(sim::LinkConfig::Lan());
+  Channel channel(simulator, link, sim::Direction::kAtoB,
+                  DigestAlgorithm::kMd5);
+
+  SimTime delivered_at = kSimEpoch;
+  MessageType delivered_type = MessageType::kDone;
+  channel.SetReceiver([&](const Message& msg, SimTime t) {
+    delivered_at = t;
+    delivered_type = msg.type;
+  });
+
+  Message msg;
+  msg.type = MessageType::kRoundEnd;
+  const SimTime predicted = channel.Send(std::move(msg), kSimEpoch);
+  simulator.Run();
+  EXPECT_EQ(delivered_at, predicted);
+  EXPECT_EQ(delivered_type, MessageType::kRoundEnd);
+  EXPECT_GE(delivered_at, Milliseconds(0.2));  // at least the latency
+}
+
+TEST(Channel, MessagesArriveInOrder) {
+  sim::Simulator simulator;
+  sim::Link link(sim::LinkConfig::Lan());
+  Channel channel(simulator, link, sim::Direction::kAtoB,
+                  DigestAlgorithm::kMd5);
+
+  std::vector<std::uint32_t> rounds;
+  channel.SetReceiver(
+      [&](const Message& msg, SimTime) { rounds.push_back(msg.round); });
+
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    Message msg;
+    msg.round = i;
+    // Deliberately send with identical earliest times.
+    channel.Send(std::move(msg), kSimEpoch);
+  }
+  simulator.Run();
+  EXPECT_EQ(rounds, (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5, 6, 7, 8,
+                                                9}));
+}
+
+TEST(Channel, SendWithoutReceiverThrows) {
+  sim::Simulator simulator;
+  sim::Link link(sim::LinkConfig::Lan());
+  Channel channel(simulator, link, sim::Direction::kAtoB,
+                  DigestAlgorithm::kMd5);
+  EXPECT_THROW(channel.Send(Message{}, kSimEpoch), CheckFailure);
+}
+
+TEST(Channel, AccountsPayload) {
+  sim::Simulator simulator;
+  sim::Link link(sim::LinkConfig::Lan());
+  Channel channel(simulator, link, sim::Direction::kAtoB,
+                  DigestAlgorithm::kMd5);
+  channel.SetReceiver([](const Message&, SimTime) {});
+
+  Message msg;
+  PageRecord record;
+  record.has_payload = true;
+  record.has_digest = true;
+  msg.records.push_back(record);
+  const Bytes expected = msg.WireSize(DigestAlgorithm::kMd5);
+  channel.Send(std::move(msg), kSimEpoch);
+  simulator.Run();
+  EXPECT_EQ(channel.PayloadSent(), expected);
+  EXPECT_EQ(channel.MessagesSent(), 1u);
+}
+
+TEST(Channel, OppositeDirectionsDoNotQueueOnEachOther) {
+  sim::Simulator simulator;
+  sim::Link link(sim::LinkConfig::Lan());
+  Channel forward(simulator, link, sim::Direction::kAtoB,
+                  DigestAlgorithm::kMd5);
+  Channel backward(simulator, link, sim::Direction::kBtoA,
+                   DigestAlgorithm::kMd5);
+  forward.SetReceiver([](const Message&, SimTime) {});
+  backward.SetReceiver([](const Message&, SimTime) {});
+
+  Message big;
+  big.bulk_hashes.resize(1u << 18);  // 4 MiB of digests
+  const SimTime fwd = forward.Send(std::move(big), kSimEpoch);
+  const SimTime bwd = backward.Send(Message{}, kSimEpoch);
+  simulator.Run();
+  EXPECT_LT(bwd, fwd);  // the tiny reverse frame is not stuck behind it
+}
+
+}  // namespace
+}  // namespace vecycle::net

@@ -1,0 +1,157 @@
+// Post-copy migration and its composition with checkpoint recycling.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "migration/postcopy.hpp"
+#include "storage/checkpoint.hpp"
+#include "vm/workload.hpp"
+
+namespace vecycle::migration {
+namespace {
+
+struct PostCopyBed {
+  sim::Simulator simulator;
+  sim::Link link{sim::LinkConfig::Lan()};
+  sim::ChecksumEngine src_cpu{sim::ChecksumEngineConfig{}};
+  sim::ChecksumEngine dst_cpu{sim::ChecksumEngineConfig{}};
+  sim::Disk dst_disk{sim::DiskConfig::Hdd()};
+  storage::CheckpointStore dst_store{dst_disk};
+
+  PostCopyRun MakeRun(vm::GuestMemory& memory, PostCopyConfig config = {}) {
+    PostCopyRun run;
+    run.simulator = &simulator;
+    run.link = &link;
+    run.direction = sim::Direction::kAtoB;
+    run.source_memory = &memory;
+    run.source_cpu = &src_cpu;
+    run.dest_cpu = &dst_cpu;
+    run.dest_store = &dst_store;
+    run.vm_id = "vm";
+    run.config = config;
+    return run;
+  }
+};
+
+vm::GuestMemory FilledMemory(Bytes ram, std::uint64_t seed) {
+  vm::GuestMemory memory(ram, vm::ContentMode::kSeedOnly);
+  Xoshiro256 rng(seed);
+  vm::MemoryProfile{}.Apply(memory, rng);
+  return memory;
+}
+
+TEST(PostCopy, ColdMigrationReconstructsMemory) {
+  PostCopyBed bed;
+  auto memory = FilledMemory(MiB(8), 1);
+  PostCopyConfig config;
+  config.use_checkpoint = false;
+  auto outcome = RunPostCopyMigration(bed.MakeRun(memory, config));
+  EXPECT_TRUE(outcome.dest_memory->ContentEquals(memory));
+  EXPECT_EQ(outcome.stats.pages_from_checkpoint, 0u);
+  EXPECT_GT(outcome.stats.pages_prefetched, 0u);
+}
+
+TEST(PostCopy, DowntimeIsTiny) {
+  // The whole point of post-copy: downtime is the device-state transfer,
+  // not the memory copy.
+  PostCopyBed bed;
+  auto memory = FilledMemory(MiB(64), 2);
+  auto outcome = RunPostCopyMigration(bed.MakeRun(memory));
+  EXPECT_LT(ToSeconds(outcome.stats.downtime), 0.1);
+  EXPECT_GT(ToSeconds(outcome.stats.time_to_residency),
+            ToSeconds(outcome.stats.downtime));
+}
+
+TEST(PostCopy, CheckpointCutsNetworkTraffic) {
+  auto run_one = [](bool use_checkpoint) {
+    PostCopyBed bed;
+    auto memory = FilledMemory(MiB(16), 3);
+    bed.dst_store.Save("vm", storage::Checkpoint::CaptureFrom(memory),
+                       kSimEpoch);
+    // Mild churn after the checkpoint: ~10% of pages change.
+    vm::UniformRandomWorkload churn(100.0, 4);
+    churn.Advance(memory, Seconds(4.0));
+    PostCopyConfig config;
+    config.use_checkpoint = use_checkpoint;
+    auto outcome = RunPostCopyMigration(bed.MakeRun(memory, config));
+    EXPECT_TRUE(outcome.dest_memory->ContentEquals(memory));
+    return outcome.stats;
+  };
+
+  const auto cold = run_one(false);
+  const auto recycled = run_one(true);
+  EXPECT_GT(recycled.pages_from_checkpoint, 0u);
+  EXPECT_LT(recycled.tx_bytes.count, cold.tx_bytes.count / 2);
+  EXPECT_GT(recycled.checksum_vector_bytes.count, 0u);
+}
+
+TEST(PostCopy, CheckpointCutsRemoteFaults) {
+  auto run_one = [](bool use_checkpoint) {
+    PostCopyBed bed;
+    auto memory = FilledMemory(MiB(32), 5);
+    bed.dst_store.Save("vm", storage::Checkpoint::CaptureFrom(memory),
+                       kSimEpoch);
+    vm::UniformRandomWorkload churn(50.0, 6);
+    churn.Advance(memory, Seconds(4.0));
+    PostCopyConfig config;
+    config.use_checkpoint = use_checkpoint;
+    config.guest_touch_rate_per_s = 20000.0;  // hungry guest
+    auto outcome = RunPostCopyMigration(bed.MakeRun(memory, config));
+    return outcome.stats;
+  };
+
+  const auto cold = run_one(false);
+  const auto recycled = run_one(true);
+  EXPECT_LT(recycled.remote_faults, cold.remote_faults);
+  EXPECT_LT(ToSeconds(recycled.total_stall), ToSeconds(cold.total_stall));
+}
+
+TEST(PostCopy, ChecksumVectorSizeMatchesSection32Math) {
+  PostCopyBed bed;
+  auto memory = FilledMemory(MiB(16), 7);  // 4096 pages
+  bed.dst_store.Save("vm", storage::Checkpoint::CaptureFrom(memory),
+                     kSimEpoch);
+  auto outcome = RunPostCopyMigration(bed.MakeRun(memory));
+  EXPECT_EQ(outcome.stats.checksum_vector_bytes.count, 4096u * 16u);
+}
+
+TEST(PostCopy, NoTouchesStillReachesResidency) {
+  PostCopyBed bed;
+  auto memory = FilledMemory(MiB(8), 8);
+  PostCopyConfig config;
+  config.use_checkpoint = false;
+  config.guest_touch_rate_per_s = 0.0;
+  auto outcome = RunPostCopyMigration(bed.MakeRun(memory, config));
+  EXPECT_TRUE(outcome.dest_memory->ContentEquals(memory));
+  EXPECT_EQ(outcome.stats.remote_faults, 0u);
+}
+
+TEST(PostCopy, GenerationsTravelWithTheVm) {
+  PostCopyBed bed;
+  auto memory = FilledMemory(MiB(8), 9);
+  auto outcome = RunPostCopyMigration(bed.MakeRun(memory));
+  EXPECT_EQ(outcome.dest_memory->Generations(), memory.Generations());
+}
+
+TEST(PostCopy, ResizedCheckpointIsIgnored) {
+  PostCopyBed bed;
+  auto old_memory = FilledMemory(MiB(4), 10);
+  bed.dst_store.Save("vm", storage::Checkpoint::CaptureFrom(old_memory),
+                     kSimEpoch);
+  auto memory = FilledMemory(MiB(8), 11);
+  auto outcome = RunPostCopyMigration(bed.MakeRun(memory));
+  EXPECT_TRUE(outcome.dest_memory->ContentEquals(memory));
+  EXPECT_EQ(outcome.stats.pages_from_checkpoint, 0u);
+}
+
+TEST(PostCopyConfig, RejectsDegenerateValues) {
+  PostCopyConfig config;
+  config.prefetch_batch = 0;
+  EXPECT_THROW(config.Validate(), CheckFailure);
+  config = PostCopyConfig{};
+  config.guest_touch_rate_per_s = -1.0;
+  EXPECT_THROW(config.Validate(), CheckFailure);
+}
+
+}  // namespace
+}  // namespace vecycle::migration

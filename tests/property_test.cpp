@@ -1,0 +1,324 @@
+// Property-based suites: invariants that must hold across randomized
+// inputs and swept parameter spaces, driven through parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "digest/hasher.hpp"
+#include "digest/md5.hpp"
+#include "digest/sha1.hpp"
+#include "digest/sha256.hpp"
+#include "fingerprint/fingerprint.hpp"
+#include "migration/engine.hpp"
+#include "sim/simulator.hpp"
+#include "storage/checkpoint.hpp"
+#include "vm/workload.hpp"
+
+namespace vecycle {
+namespace {
+
+// =====================================================================
+// Digest properties: one-shot == any chunking; injective in practice.
+// =====================================================================
+
+class DigestChunking
+    : public ::testing::TestWithParam<std::tuple<DigestAlgorithm, int>> {};
+
+TEST_P(DigestChunking, ChunkedUpdateEqualsOneShot) {
+  const auto [algorithm, size] = GetParam();
+  if (algorithm == DigestAlgorithm::kFnv1a) {
+    GTEST_SKIP() << "FNV has no incremental context in the public API";
+  }
+  std::vector<std::byte> data(static_cast<std::size_t>(size));
+  Xoshiro256 rng(static_cast<std::uint64_t>(size) * 31 + 7);
+  for (auto& b : data) b = static_cast<std::byte>(rng.Next());
+
+  const auto oneshot = ComputeDigest(algorithm, data.data(), data.size());
+
+  // Re-hash through every prefix split point of a coarse grid.
+  for (std::size_t split = 0; split <= data.size();
+       split += std::max<std::size_t>(1, data.size() / 7)) {
+    Digest128 chunked;
+    switch (algorithm) {
+      case DigestAlgorithm::kMd5: {
+        Md5 ctx;
+        ctx.Update(data.data(), split);
+        ctx.Update(data.data() + split, data.size() - split);
+        chunked = ctx.Finalize();
+        break;
+      }
+      case DigestAlgorithm::kSha1: {
+        Sha1 ctx;
+        ctx.Update(data.data(), split);
+        ctx.Update(data.data() + split, data.size() - split);
+        chunked = ctx.Finalize();
+        break;
+      }
+      case DigestAlgorithm::kSha256: {
+        Sha256 ctx;
+        ctx.Update(data.data(), split);
+        ctx.Update(data.data() + split, data.size() - split);
+        chunked = ctx.Finalize();
+        break;
+      }
+      case DigestAlgorithm::kFnv1a:
+        return;
+    }
+    EXPECT_EQ(chunked, oneshot) << "split at " << split;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndAlgorithms, DigestChunking,
+    ::testing::Combine(::testing::Values(DigestAlgorithm::kMd5,
+                                         DigestAlgorithm::kSha1,
+                                         DigestAlgorithm::kSha256),
+                       ::testing::Values(0, 1, 55, 56, 63, 64, 65, 127, 500,
+                                         4096)),
+    [](const auto& info) {
+      return std::string(ToString(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DigestProperty, NoCollisionsAcrossManyRandomPages) {
+  // 10k random 64-byte buffers: all four algorithms must keep them
+  // distinct (a collision here would mean a broken implementation, not
+  // bad luck).
+  Xoshiro256 rng(99);
+  for (const auto algorithm :
+       {DigestAlgorithm::kMd5, DigestAlgorithm::kSha1,
+        DigestAlgorithm::kSha256, DigestAlgorithm::kFnv1a}) {
+    std::map<Digest128, std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+      std::uint64_t buffer[8];
+      for (auto& w : buffer) w = rng.Next();
+      const auto digest =
+          ComputeDigest(algorithm, buffer, sizeof(buffer));
+      const auto [it, inserted] = seen.emplace(digest, i);
+      EXPECT_TRUE(inserted)
+          << ToString(algorithm) << " collision between inputs "
+          << it->second << " and " << i;
+    }
+  }
+}
+
+// =====================================================================
+// Simulator properties: arbitrary schedules fire in nondecreasing order.
+// =====================================================================
+
+class SimulatorOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorOrdering, RandomSchedulesFireInOrder) {
+  sim::Simulator simulator;
+  Xoshiro256 rng(GetParam());
+  std::vector<SimTime> fired;
+  // Seed events that recursively schedule more events.
+  std::function<void(int)> plant = [&](int depth) {
+    fired.push_back(simulator.Now());
+    if (depth <= 0) return;
+    const int children = static_cast<int>(rng.NextBelow(3));
+    for (int c = 0; c < children; ++c) {
+      simulator.Schedule(Seconds(static_cast<double>(rng.NextBelow(100))),
+                         [&plant, depth] { plant(depth - 1); });
+    }
+  };
+  for (int i = 0; i < 10; ++i) {
+    simulator.Schedule(Seconds(static_cast<double>(rng.NextBelow(1000))),
+                       [&plant] { plant(4); });
+  }
+  simulator.Run();
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_GE(fired[i], fired[i - 1]);
+  }
+  EXPECT_GT(fired.size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorOrdering,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// =====================================================================
+// Workload properties: exact op accounting over fragmented intervals.
+// =====================================================================
+
+class WorkloadRate : public ::testing::TestWithParam<double> {};
+
+TEST_P(WorkloadRate, FragmentedAdvancesHonorTheRateExactly) {
+  const double rate = GetParam();
+  vm::GuestMemory memory(MiB(16), vm::ContentMode::kSeedOnly);
+  vm::UniformRandomWorkload workload(rate, 5);
+  // 1000 seconds delivered in awkward fragments.
+  Xoshiro256 rng(11);
+  double remaining = 1000.0;
+  while (remaining > 0.0) {
+    const double step = std::min(
+        remaining, 0.1 + static_cast<double>(rng.NextBelow(50)) / 10.0);
+    workload.Advance(memory, Seconds(step));
+    remaining -= step;
+  }
+  // The fractional-carry mechanism bounds the error at one op (plus the
+  // float rounding of the fragment sum); drift must not accumulate.
+  EXPECT_NEAR(static_cast<double>(memory.TotalWrites()), rate * 1000.0,
+              1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, WorkloadRate,
+                         ::testing::Values(0.1, 1.0, 3.7, 12.5, 100.0));
+
+// =====================================================================
+// Similarity metric properties.
+// =====================================================================
+
+TEST(SimilarityProperty, BoundedAndReflexive) {
+  Xoshiro256 rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint64_t> ha(128);
+    std::vector<std::uint64_t> hb(128);
+    for (auto& h : ha) h = rng.NextBelow(64);
+    for (auto& h : hb) h = rng.NextBelow(64);
+    const fp::Fingerprint a(kSimEpoch, ha);
+    const fp::Fingerprint b(Minutes(30), hb);
+    const double s = fp::Similarity(a, b);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    EXPECT_DOUBLE_EQ(fp::Similarity(a, a), 1.0);
+  }
+}
+
+TEST(SimilarityProperty, MonotoneUnderContentLoss) {
+  // Removing shared content from b can only lower similarity(a, b).
+  Xoshiro256 rng(22);
+  std::vector<std::uint64_t> base(256);
+  for (std::size_t i = 0; i < base.size(); ++i) base[i] = i;
+  const fp::Fingerprint a(kSimEpoch, base);
+
+  double previous = 1.0;
+  auto hashes = base;
+  for (int round = 0; round < 8; ++round) {
+    // Replace 32 surviving entries with fresh content.
+    for (int k = 0; k < 32; ++k) {
+      hashes[rng.NextBelow(hashes.size())] = (1ull << 40) + rng.Next();
+    }
+    const fp::Fingerprint b(Minutes(30 * (round + 1)), hashes);
+    const double s = fp::Similarity(a, b);
+    EXPECT_LE(s, previous + 1e-12);
+    previous = s;
+  }
+}
+
+// =====================================================================
+// Migration invariants swept across strategy x mode x size x churn.
+// =====================================================================
+
+struct SweepCase {
+  migration::Strategy strategy;
+  vm::ContentMode mode;
+  std::uint64_t ram_mib;
+  double churn_pages_per_s;
+};
+
+class MigrationSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MigrationSweep, InvariantsHold) {
+  const auto param = GetParam();
+
+  sim::Simulator simulator;
+  sim::Link link(sim::LinkConfig::Lan());
+  sim::ChecksumEngine src_cpu{sim::ChecksumEngineConfig{}};
+  sim::ChecksumEngine dst_cpu{sim::ChecksumEngineConfig{}};
+  sim::Disk src_disk{sim::DiskConfig::Hdd()};
+  sim::Disk dst_disk{sim::DiskConfig::Hdd()};
+  storage::CheckpointStore src_store{src_disk};
+  storage::CheckpointStore dst_store{dst_disk};
+
+  vm::GuestMemory memory(MiB(param.ram_mib), param.mode);
+  Xoshiro256 rng(0xbeef ^ param.ram_mib);
+  vm::MemoryProfile{}.Apply(memory, rng);
+
+  // Stale checkpoint + VM metadata from a previous visit.
+  const auto departure = memory.Generations();
+  dst_store.Save("vm", storage::Checkpoint::CaptureFrom(memory), kSimEpoch);
+  std::vector<Digest128> knowledge;
+  for (vm::PageId p = 0; p < memory.PageCount(); ++p) {
+    knowledge.push_back(memory.PageDigest(p));
+  }
+
+  // Churn before and during the migration.
+  vm::UniformRandomWorkload churn(param.churn_pages_per_s, 0x5ee);
+  churn.Advance(memory, Seconds(30.0));
+
+  migration::MigrationRun run;
+  run.simulator = &simulator;
+  run.link = &link;
+  run.direction = sim::Direction::kAtoB;
+  run.source_memory = &memory;
+  run.workload = &churn;
+  run.source = {&src_cpu, &src_store};
+  run.destination = {&dst_cpu, &dst_store};
+  run.vm_id = "vm";
+  run.config.strategy = param.strategy;
+  run.source_knowledge = knowledge;
+  run.departure_generations = departure;
+
+  const auto outcome = migration::RunMigration(std::move(run));
+  const auto& stats = outcome.stats;
+
+  // 1. Exact reconstruction, always.
+  EXPECT_TRUE(outcome.dest_memory->ContentEquals(memory));
+  // 2. Round-1 accounting covers every page exactly once.
+  EXPECT_EQ(stats.Round1Pages(), memory.PageCount());
+  // 3. Time and traffic are sane.
+  EXPECT_GT(stats.total_time, SimDuration::zero());
+  EXPECT_GT(stats.tx_bytes.count, 0u);
+  EXPECT_GE(stats.total_time, stats.downtime);
+  // 4. A checkpoint-using strategy never ships more than RAM + overhead.
+  EXPECT_LT(stats.tx_bytes.count,
+            Pages(memory.PageCount()).count + memory.PageCount() * 64);
+  // 5. Incoming digests describe the final state: every page's digest is
+  //    findable.
+  for (vm::PageId p = 0; p < memory.PageCount(); p += 97) {
+    EXPECT_TRUE(std::binary_search(outcome.incoming_digests.begin(),
+                                   outcome.incoming_digests.end(),
+                                   outcome.dest_memory->PageDigest(p)));
+  }
+}
+
+std::vector<SweepCase> SweepCases() {
+  std::vector<SweepCase> cases;
+  for (const auto strategy :
+       {migration::Strategy::kFull, migration::Strategy::kDedup,
+        migration::Strategy::kDirtyTracking, migration::Strategy::kHashes,
+        migration::Strategy::kDirtyPlusDedup,
+        migration::Strategy::kHashesPlusDedup}) {
+    for (const auto mode :
+         {vm::ContentMode::kSeedOnly, vm::ContentMode::kMaterialized}) {
+      for (const std::uint64_t ram : {4ull, 16ull}) {
+        for (const double churn : {0.0, 200.0}) {
+          // Materialized mode only at the small size (it carries real
+          // 4 KiB images).
+          if (mode == vm::ContentMode::kMaterialized && ram > 4) continue;
+          cases.push_back(SweepCase{strategy, mode, ram, churn});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategyModeSizeChurn, MigrationSweep, ::testing::ValuesIn(SweepCases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      const auto& c = info.param;
+      std::string name = ToString(c.strategy);
+      for (auto& ch : name) {
+        if (ch == '+') ch = '_';
+      }
+      name += c.mode == vm::ContentMode::kSeedOnly ? "_seed" : "_bytes";
+      name += "_" + std::to_string(c.ram_mib) + "mib";
+      name += c.churn_pages_per_s > 0 ? "_churn" : "_still";
+      return name;
+    });
+
+}  // namespace
+}  // namespace vecycle

@@ -1,0 +1,175 @@
+// Reproduction gate: the paper's headline quantitative claims, asserted
+// as tests so a regression in any layer (trace calibration, device
+// models, protocol) fails CI rather than silently bending the figures.
+// Tolerances are deliberately generous — these guard the *shape* of each
+// result, per EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "analysis/binning.hpp"
+#include "analysis/technique.hpp"
+#include "analysis/vdi.hpp"
+#include "bench_helpers_for_tests.hpp"
+#include "traces/synthesizer.hpp"
+
+namespace vecycle {
+namespace {
+
+traces::MachineSpec Scaled(traces::MachineSpec spec) {
+  spec.model_pages = 8192;
+  return spec;
+}
+
+// --- §4.4 / Fig. 6: best-case idle VM. ---
+
+TEST(Reproduction, Fig6LanSpeedupIsAtLeastThreefold) {
+  vm::IdleWorkload idle_a{vm::IdleWorkload::Config{}};
+  const auto baseline = testbench::MeasureReturnMigration(
+      sim::LinkConfig::Lan(), GiB(1), migration::Strategy::kFull, &idle_a,
+      Minutes(2));
+  vm::IdleWorkload idle_b{vm::IdleWorkload::Config{}};
+  const auto vecycle = testbench::MeasureReturnMigration(
+      sim::LinkConfig::Lan(), GiB(1), migration::Strategy::kHashes, &idle_b,
+      Minutes(2));
+
+  // Paper: 3x faster on small VMs; traffic down two orders of magnitude.
+  EXPECT_GE(ToSeconds(baseline.total_time) / ToSeconds(vecycle.total_time),
+            2.5);
+  EXPECT_GE(static_cast<double>(baseline.tx_bytes.count) /
+                static_cast<double>(vecycle.tx_bytes.count),
+            50.0);
+  // Paper: ~10 s/GiB baseline over GbE.
+  EXPECT_NEAR(ToSeconds(baseline.total_time), 10.0, 2.5);
+}
+
+TEST(Reproduction, Fig6WanBenefitIsLarger) {
+  vm::IdleWorkload idle_a{vm::IdleWorkload::Config{}};
+  const auto baseline = testbench::MeasureReturnMigration(
+      sim::LinkConfig::Wan(), GiB(1), migration::Strategy::kFull, &idle_a,
+      Minutes(2));
+  vm::IdleWorkload idle_b{vm::IdleWorkload::Config{}};
+  const auto vecycle = testbench::MeasureReturnMigration(
+      sim::LinkConfig::Wan(), GiB(1), migration::Strategy::kHashes, &idle_b,
+      Minutes(2));
+  // Paper: 177 s -> 16 s at 1 GiB (11x); we require >8x.
+  EXPECT_GE(ToSeconds(baseline.total_time) / ToSeconds(vecycle.total_time),
+            8.0);
+}
+
+// --- §4.5 / Fig. 7: proportional decay with update rate. ---
+
+TEST(Reproduction, Fig7DeltasTrackThePaper) {
+  const auto run = [](double update_fraction,
+                      migration::Strategy strategy) {
+    testbench::TwoHostWorld world(sim::LinkConfig::Lan());
+    core::VmInstance vm("vm", GiB(1), vm::ContentMode::kSeedOnly);
+    vm::SequentialRamdiskWorkload ramdisk(vm.Memory().PageCount(), 0.9,
+                                          0xd15c);
+    ramdisk.Fill(vm.Memory());
+    world.orchestrator.Deploy(vm, "A");
+    world.orchestrator.Migrate(
+        vm, "B", testbench::StrategyConfig(migration::Strategy::kFull));
+    ramdisk.UpdateFraction(vm.Memory(), update_fraction);
+    return world.orchestrator.Migrate(vm, "A",
+                                      testbench::StrategyConfig(strategy));
+  };
+
+  const auto baseline = run(0.5, migration::Strategy::kFull);
+  // Paper LAN deltas: -72% at 25%, -49% at 50%, -27% at 75%.
+  const struct {
+    double update;
+    double expected_delta;
+  } cases[] = {{0.25, -0.72}, {0.50, -0.49}, {0.75, -0.27}};
+  for (const auto& c : cases) {
+    const auto vecycle = run(c.update, migration::Strategy::kHashes);
+    const double delta = ToSeconds(vecycle.total_time) /
+                             ToSeconds(baseline.total_time) -
+                         1.0;
+    EXPECT_NEAR(delta, c.expected_delta, 0.12)
+        << "update fraction " << c.update;
+  }
+  // At 100% updates VeCycle converges to the baseline.
+  const auto full_update = run(1.0, migration::Strategy::kHashes);
+  EXPECT_NEAR(ToSeconds(full_update.total_time) /
+                  ToSeconds(baseline.total_time),
+              1.0, 0.15);
+}
+
+// --- §2.3 / Fig. 1-2: trace similarity calibration. ---
+
+TEST(Reproduction, Fig1SimilarityBandsHold) {
+  const auto decay_at = [](const fp::Trace& trace, double hours) {
+    analysis::SimilarityDecayOptions options;
+    options.max_delta = Hours(hours + 1.0);
+    options.max_pairs_per_bin = 64;
+    const auto decay = analysis::SimilarityDecay(trace, options);
+    return decay.back().mean;
+  };
+
+  const auto server_b =
+      traces::SynthesizeTrace(Scaled(traces::FindMachine("Server B")));
+  const auto server_c =
+      traces::SynthesizeTrace(Scaled(traces::FindMachine("Server C")));
+  // "The average similarity after 24 hours is between 40% (Server B) and
+  // 20% (Server C)."
+  EXPECT_NEAR(decay_at(server_b, 24.0), 0.40, 0.10);
+  EXPECT_NEAR(decay_at(server_c, 24.0), 0.22, 0.08);
+
+  const auto crawler =
+      traces::SynthesizeTrace(Scaled(traces::FindMachine("Crawler A")));
+  EXPECT_LT(decay_at(crawler, 5.0), 0.27);  // "below 20% after 5 hours"
+}
+
+// --- §4.2-4.3 / Fig. 5: technique ordering. ---
+
+TEST(Reproduction, Fig5OrderingHoldsOnEveryMachine) {
+  for (const char* name : {"Server A", "Server B", "Server C", "Laptop A"}) {
+    const auto trace =
+        traces::SynthesizeTrace(Scaled(traces::FindMachine(name)));
+    analysis::TechniqueSummaryOptions options;
+    options.max_pairs = 128;
+    const auto s = analysis::SummarizeTechniques(trace, options);
+    EXPECT_GT(s.mean_dedup, s.mean_dirty) << name;
+    EXPECT_GE(s.mean_dirty, s.mean_dirty_dedup) << name;
+    EXPECT_GE(s.mean_dirty_dedup, s.mean_hashes_dedup - 0.01) << name;
+    EXPECT_GE(s.mean_hashes, s.mean_hashes_dedup) << name;
+  }
+}
+
+TEST(Reproduction, Fig5ServerABarsNearPaper) {
+  const auto trace =
+      traces::SynthesizeTrace(Scaled(traces::FindMachine("Server A")));
+  analysis::TechniqueSummaryOptions options;
+  options.max_pairs = 256;
+  const auto s = analysis::SummarizeTechniques(trace, options);
+  EXPECT_NEAR(s.mean_dedup, 0.92, 0.05);         // paper .92
+  EXPECT_NEAR(s.mean_hashes, 0.65, 0.08);        // paper .65
+  EXPECT_NEAR(s.mean_hashes_dedup, 0.64, 0.08);  // paper .64
+}
+
+// --- §4.6 / Fig. 8: the VDI aggregate. ---
+
+TEST(Reproduction, Fig8AggregatesNearPaper) {
+  auto spec = traces::DesktopMachine();
+  spec.model_pages = 8192;
+  const auto trace = traces::SynthesizeTrace(spec);
+  const auto report = analysis::AnalyzeVdi(trace, spec.nominal_ram,
+                                           analysis::VdiScheduleOptions{});
+
+  const double dedup_frac =
+      static_cast<double>(report.total_dedup.count) /
+      static_cast<double>(report.total_full.count);
+  const double vecycle_frac =
+      static_cast<double>(report.total_vecycle.count) /
+      static_cast<double>(report.total_full.count);
+  const double vs_dirty =
+      1.0 - static_cast<double>(report.total_vecycle.count) /
+                static_cast<double>(report.total_dirty_dedup.count);
+
+  EXPECT_NEAR(dedup_frac, 0.86, 0.06);    // paper: 86% of baseline
+  EXPECT_NEAR(vecycle_frac, 0.25, 0.07);  // paper: 25% of baseline
+  EXPECT_NEAR(vs_dirty, 0.09, 0.06);      // paper: 9% fewer pages
+  EXPECT_EQ(report.rows.size(), 26u);     // paper: 26 migrations
+}
+
+}  // namespace
+}  // namespace vecycle

@@ -1,0 +1,254 @@
+// Discrete-event engine, FIFO resources, and the link/disk/checksum
+// device models.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/checksum_engine.hpp"
+#include "sim/disk.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace vecycle::sim {
+namespace {
+
+// --- Event loop. ---
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.Schedule(Seconds(3.0), [&] { order.push_back(3); });
+  simulator.Schedule(Seconds(1.0), [&] { order.push_back(1); });
+  simulator.Schedule(Seconds(2.0), [&] { order.push_back(2); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    simulator.Schedule(Seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator simulator;
+  SimTime observed = kSimEpoch;
+  simulator.Schedule(Seconds(5.0), [&] { observed = simulator.Now(); });
+  simulator.Run();
+  EXPECT_EQ(observed, Seconds(5.0));
+  EXPECT_EQ(simulator.Now(), Seconds(5.0));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.Schedule(Seconds(1.0), [&] {
+    ++fired;
+    simulator.Schedule(Seconds(1.0), [&] { ++fired; });
+  });
+  simulator.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulator.Now(), Seconds(2.0));
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator simulator;
+  simulator.Schedule(Seconds(2.0), [&] {
+    EXPECT_THROW(simulator.ScheduleAt(Seconds(1.0), [] {}), CheckFailure);
+  });
+  simulator.Run();
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.Schedule(Seconds(1.0), [&] { ++fired; });
+  simulator.Schedule(Seconds(10.0), [&] { ++fired; });
+  simulator.RunUntil(Seconds(5.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.Now(), Seconds(5.0));
+  EXPECT_EQ(simulator.PendingEvents(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesIdleClock) {
+  Simulator simulator;
+  simulator.RunUntil(Hours(8.0));
+  EXPECT_EQ(simulator.Now(), Hours(8.0));
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator simulator;
+  EXPECT_FALSE(simulator.Step());
+}
+
+// --- FIFO resource. ---
+
+TEST(FifoResource, BackToBackRequestsQueue) {
+  FifoResource resource;
+  const auto first = resource.Reserve(Seconds(0.0), Seconds(2.0));
+  EXPECT_EQ(first.start, Seconds(0.0));
+  EXPECT_EQ(first.end, Seconds(2.0));
+  // Requested at t=1 but the device is busy until t=2.
+  const auto second = resource.Reserve(Seconds(1.0), Seconds(2.0));
+  EXPECT_EQ(second.start, Seconds(2.0));
+  EXPECT_EQ(second.end, Seconds(4.0));
+}
+
+TEST(FifoResource, IdleGapsAreHonored) {
+  FifoResource resource;
+  resource.Reserve(Seconds(0.0), Seconds(1.0));
+  const auto later = resource.Reserve(Seconds(10.0), Seconds(1.0));
+  EXPECT_EQ(later.start, Seconds(10.0));
+}
+
+TEST(FifoResource, BusyTimeAccumulates) {
+  FifoResource resource;
+  resource.Reserve(Seconds(0.0), Seconds(2.0));
+  resource.Reserve(Seconds(0.0), Seconds(3.0));
+  EXPECT_EQ(resource.BusyTime(), Seconds(5.0));
+}
+
+// --- Link model. ---
+
+TEST(Link, LanDeliversAtAboutGigabitGoodput) {
+  Link link(LinkConfig::Lan());
+  const SimTime arrival =
+      link.Transmit(Direction::kAtoB, kSimEpoch, GiB(1));
+  // ~115 MiB/s goodput after framing: 1 GiB in ~9.3 s (+0.2 ms latency).
+  EXPECT_NEAR(ToSeconds(arrival), 9.2, 0.4);
+}
+
+TEST(Link, WanIsWindowLimited) {
+  const auto config = LinkConfig::Wan();
+  // 192 KiB / 27 ms ≈ 7 MiB/s — far below the 465 Mbps line rate.
+  EXPECT_LT(config.EffectiveBandwidth().bytes_per_second,
+            MegabitsPerSecond(465.0).bytes_per_second);
+  EXPECT_NEAR(config.EffectiveBandwidth().bytes_per_second / (1 << 20), 7.1,
+              0.3);
+}
+
+TEST(Link, DirectionsAreIndependent) {
+  Link link(LinkConfig::Lan());
+  const SimTime ab = link.Transmit(Direction::kAtoB, kSimEpoch, MiB(100));
+  const SimTime ba = link.Transmit(Direction::kBtoA, kSimEpoch, MiB(100));
+  // Full duplex: the reverse transfer is not queued behind the forward one.
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(Link, SameDirectionTransfersQueue) {
+  Link link(LinkConfig::Lan());
+  const SimTime first = link.Transmit(Direction::kAtoB, kSimEpoch, MiB(100));
+  const SimTime second =
+      link.Transmit(Direction::kAtoB, kSimEpoch, MiB(100));
+  EXPECT_GT(second, first);
+}
+
+TEST(Link, TrafficAccounting) {
+  Link link(LinkConfig::Lan());
+  link.Transmit(Direction::kAtoB, kSimEpoch, MiB(10));
+  link.Transmit(Direction::kAtoB, kSimEpoch, MiB(5));
+  link.Transmit(Direction::kBtoA, kSimEpoch, MiB(1));
+  EXPECT_EQ(link.Stats(Direction::kAtoB).payload_bytes, MiB(15));
+  EXPECT_EQ(link.Stats(Direction::kAtoB).transfers, 2u);
+  EXPECT_EQ(link.Stats(Direction::kBtoA).payload_bytes, MiB(1));
+  // Wire bytes exceed payload by the framing overhead.
+  EXPECT_GT(link.Stats(Direction::kAtoB).wire_bytes,
+            link.Stats(Direction::kAtoB).payload_bytes);
+}
+
+TEST(Link, LatencyAddsToDelivery) {
+  LinkConfig config;
+  config.bandwidth = GigabitsPerSecond(1.0);
+  config.latency = Milliseconds(27.0);
+  Link link(config);
+  const SimTime tiny = link.Transmit(Direction::kAtoB, kSimEpoch, Bytes{1});
+  EXPECT_GE(tiny, Milliseconds(27.0));
+}
+
+// --- Disk model. ---
+
+TEST(Disk, SequentialReadAtConfiguredRate) {
+  Disk disk(DiskConfig::Hdd());
+  const SimTime done = disk.ReadSequential(kSimEpoch, MiB(120));
+  EXPECT_NEAR(ToSeconds(done), 1.0, 0.01);
+}
+
+TEST(Disk, RandomReadsPayPositioningCost) {
+  Disk disk(DiskConfig::Hdd());
+  const SimTime one = disk.ReadRandom(kSimEpoch, Bytes{kPageSize});
+  // 12 ms positioning dominates the 33 us of transfer.
+  EXPECT_NEAR(ToSeconds(one), 0.012, 0.001);
+  EXPECT_EQ(disk.RandomReads(), 1u);
+}
+
+TEST(Disk, SsdRandomReadsAreCheap) {
+  Disk hdd(DiskConfig::Hdd());
+  Disk ssd(DiskConfig::Ssd());
+  const SimTime hdd_time = hdd.ReadRandom(kSimEpoch, Bytes{kPageSize});
+  const SimTime ssd_time = ssd.ReadRandom(kSimEpoch, Bytes{kPageSize});
+  EXPECT_LT(ToSeconds(ssd_time) * 10, ToSeconds(hdd_time));
+}
+
+TEST(Disk, RequestsSerializeOnTheDevice) {
+  Disk disk(DiskConfig::Hdd());
+  const SimTime first = disk.ReadSequential(kSimEpoch, MiB(120));
+  const SimTime second = disk.WriteSequential(kSimEpoch, MiB(110));
+  EXPECT_GT(second, first);  // write waits for the read
+}
+
+TEST(Disk, ByteCountersTrack) {
+  Disk disk(DiskConfig::Ssd());
+  disk.ReadSequential(kSimEpoch, MiB(10));
+  disk.WriteSequential(kSimEpoch, MiB(20));
+  EXPECT_EQ(disk.ReadBytes(), MiB(10));
+  EXPECT_EQ(disk.WrittenBytes(), MiB(20));
+}
+
+// --- Checksum engine. ---
+
+TEST(ChecksumEngine, Md5RateMatchesPaper) {
+  ChecksumEngine engine(ChecksumEngineConfig{});
+  const SimTime done =
+      engine.Hash(kSimEpoch, MiB(350), DigestAlgorithm::kMd5);
+  EXPECT_NEAR(ToSeconds(done), 1.0, 0.01);
+}
+
+TEST(ChecksumEngine, Sha1IsSlowerThanMd5) {
+  ChecksumEngine a(ChecksumEngineConfig{});
+  ChecksumEngine b(ChecksumEngineConfig{});
+  const SimTime md5 = a.Hash(kSimEpoch, GiB(1), DigestAlgorithm::kMd5);
+  const SimTime sha1 = b.Hash(kSimEpoch, GiB(1), DigestAlgorithm::kSha1);
+  EXPECT_GT(sha1, md5);
+}
+
+TEST(ChecksumEngine, FnvRunsNearMemorySpeed) {
+  ChecksumEngine engine(ChecksumEngineConfig{});
+  const SimTime fnv = engine.Hash(kSimEpoch, GiB(1), DigestAlgorithm::kFnv1a);
+  EXPECT_LT(ToSeconds(fnv), 0.5);
+}
+
+TEST(ChecksumEngine, ThreadsScaleThroughput) {
+  ChecksumEngineConfig config;
+  config.threads = 4;
+  ChecksumEngine engine(config);
+  const SimTime done =
+      engine.Hash(kSimEpoch, MiB(1400), DigestAlgorithm::kMd5);
+  EXPECT_NEAR(ToSeconds(done), 1.0, 0.01);
+}
+
+TEST(ChecksumEngine, WorkSerializesOnOneEngine) {
+  ChecksumEngine engine(ChecksumEngineConfig{});
+  const SimTime first = engine.Hash(kSimEpoch, MiB(350), DigestAlgorithm::kMd5);
+  const SimTime second =
+      engine.Hash(kSimEpoch, MiB(350), DigestAlgorithm::kMd5);
+  EXPECT_NEAR(ToSeconds(second), 2 * ToSeconds(first), 0.01);
+  EXPECT_EQ(engine.HashedBytes(), MiB(700));
+}
+
+}  // namespace
+}  // namespace vecycle::sim

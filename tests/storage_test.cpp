@@ -1,0 +1,297 @@
+// Checkpoints, the sorted checksum index (§3.3), and the per-host
+// checkpoint store with disk-time accounting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "storage/checkpoint.hpp"
+#include "storage/checkpoint_store.hpp"
+#include "storage/checksum_index.hpp"
+#include "vm/guest_memory.hpp"
+
+namespace vecycle::storage {
+namespace {
+
+vm::GuestMemory MakeMemory(Bytes ram = MiB(4)) {
+  vm::GuestMemory memory(ram, vm::ContentMode::kSeedOnly);
+  Xoshiro256 rng(1);
+  vm::MemoryProfile{}.Apply(memory, rng);
+  return memory;
+}
+
+// --- Checkpoint capture / restore. ---
+
+TEST(Checkpoint, CapturesContentAndGenerations) {
+  auto memory = MakeMemory();
+  memory.WritePage(5, 42);
+  const auto cp = Checkpoint::CaptureFrom(memory);
+  EXPECT_EQ(cp.PageCount(), memory.PageCount());
+  EXPECT_EQ(cp.SeedAt(5), 42u);
+  EXPECT_EQ(cp.GenerationAt(5), memory.Generation(5));
+}
+
+TEST(Checkpoint, RestoreReproducesContent) {
+  auto memory = MakeMemory();
+  const auto cp = Checkpoint::CaptureFrom(memory);
+  vm::GuestMemory fresh(memory.RamSize(), vm::ContentMode::kSeedOnly);
+  cp.RestoreInto(fresh);
+  EXPECT_TRUE(fresh.ContentEquals(memory));
+}
+
+TEST(Checkpoint, RestoreGeometryMismatchThrows) {
+  auto memory = MakeMemory(MiB(4));
+  const auto cp = Checkpoint::CaptureFrom(memory);
+  vm::GuestMemory other(MiB(8), vm::ContentMode::kSeedOnly);
+  EXPECT_THROW(cp.RestoreInto(other), CheckFailure);
+}
+
+TEST(Checkpoint, SizeOnDiskIsFullImage) {
+  auto memory = MakeMemory(MiB(4));
+  const auto cp = Checkpoint::CaptureFrom(memory);
+  EXPECT_EQ(cp.SizeOnDisk(), MiB(4));
+}
+
+TEST(Checkpoint, DigestMatchesGuestMemory) {
+  auto memory = MakeMemory();
+  const auto cp = Checkpoint::CaptureFrom(memory);
+  for (vm::PageId page = 0; page < 16; ++page) {
+    EXPECT_EQ(cp.DigestAt(page, DigestAlgorithm::kMd5),
+              memory.PageDigest(page));
+  }
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  auto memory = MakeMemory();
+  const auto cp = Checkpoint::CaptureFrom(memory);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "vecycle_ckpt_test.bin")
+          .string();
+  cp.SaveFile(path);
+  const auto loaded = Checkpoint::LoadFile(path);
+  EXPECT_EQ(loaded.Seeds(), cp.Seeds());
+  EXPECT_EQ(loaded.Generations(), cp.Generations());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoadRejectsGarbageFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "vecycle_garbage.bin")
+          .string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a checkpoint", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(Checkpoint::LoadFile(path), CheckFailure);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, IntegrityDigestDetectsCorruption) {
+  auto memory = MakeMemory();
+  auto cp = Checkpoint::CaptureFrom(memory);
+  EXPECT_TRUE(cp.IntegrityOk());
+  cp.CorruptPageForTesting(7, 0xDEAD);
+  EXPECT_FALSE(cp.IntegrityOk());
+}
+
+TEST(Checkpoint, FileLoadRejectsCorruptImage) {
+  auto memory = MakeMemory();
+  auto cp = Checkpoint::CaptureFrom(memory);
+  cp.CorruptPageForTesting(3, 0xBEEF);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "vecycle_corrupt_ckpt.bin")
+          .string();
+  cp.SaveFile(path);  // saves the stale digest alongside corrupt data
+  EXPECT_THROW(Checkpoint::LoadFile(path), CheckFailure);
+  std::filesystem::remove(path);
+}
+
+// --- Checksum index. ---
+
+TEST(ChecksumIndex, LookupFindsEveryPage) {
+  auto memory = MakeMemory();
+  const auto cp = Checkpoint::CaptureFrom(memory);
+  const auto index = ChecksumIndex::Build(cp, DigestAlgorithm::kMd5);
+  for (vm::PageId page = 0; page < cp.PageCount(); ++page) {
+    const auto found = index.Lookup(cp.DigestAt(page, DigestAlgorithm::kMd5));
+    ASSERT_TRUE(found.has_value());
+    // Duplicates may resolve to a different offset with the same content.
+    EXPECT_EQ(cp.SeedAt(*found), cp.SeedAt(page));
+  }
+}
+
+TEST(ChecksumIndex, MissingDigestReturnsNullopt) {
+  auto memory = MakeMemory();
+  const auto cp = Checkpoint::CaptureFrom(memory);
+  const auto index = ChecksumIndex::Build(cp, DigestAlgorithm::kMd5);
+  EXPECT_FALSE(index.Lookup(Digest128::FromWords(0xdead, 0xbeef)).has_value());
+}
+
+TEST(ChecksumIndex, DistinctCountCollapsesDuplicates) {
+  vm::GuestMemory memory(MiB(1), vm::ContentMode::kSeedOnly);
+  for (vm::PageId p = 0; p < memory.PageCount(); ++p) {
+    memory.WritePage(p, p % 10);  // 10 distinct contents
+  }
+  const auto cp = Checkpoint::CaptureFrom(memory);
+  const auto index = ChecksumIndex::Build(cp, DigestAlgorithm::kMd5);
+  EXPECT_EQ(index.EntryCount(), memory.PageCount());
+  EXPECT_EQ(index.DistinctDigests(), 10u);
+  EXPECT_EQ(index.DistinctDigestList().size(), 10u);
+}
+
+TEST(ChecksumIndex, BulkExchangeSizeMatchesPaperExample) {
+  // §3.2: a 4 GiB VM has 2^20 pages -> 16 MiB of MD5 checksums. Verify at
+  // reduced scale: 4 MiB VM, 1024 pages, all distinct -> 16 KiB.
+  vm::GuestMemory memory(MiB(4), vm::ContentMode::kSeedOnly);
+  for (vm::PageId p = 0; p < memory.PageCount(); ++p) {
+    memory.WritePage(p, p + 1000);
+  }
+  const auto cp = Checkpoint::CaptureFrom(memory);
+  const auto index = ChecksumIndex::Build(cp, DigestAlgorithm::kMd5);
+  EXPECT_EQ(index.BulkExchangeSize(), KiB(16));
+}
+
+TEST(ChecksumIndex, FromEntriesSortsInput) {
+  std::vector<std::pair<Digest128, vm::PageId>> entries = {
+      {Digest128::FromWords(3, 0), 30},
+      {Digest128::FromWords(1, 0), 10},
+      {Digest128::FromWords(2, 0), 20},
+  };
+  const auto index =
+      ChecksumIndex::FromEntries(std::move(entries), DigestAlgorithm::kMd5);
+  EXPECT_EQ(index.Lookup(Digest128::FromWords(1, 0)), 10u);
+  EXPECT_EQ(index.Lookup(Digest128::FromWords(2, 0)), 20u);
+  EXPECT_EQ(index.Lookup(Digest128::FromWords(3, 0)), 30u);
+}
+
+// --- Checkpoint store. ---
+
+TEST(CheckpointStore, SaveChargesSequentialWrite) {
+  sim::Disk disk(sim::DiskConfig::Hdd());
+  CheckpointStore store(disk);
+  auto memory = MakeMemory(MiB(110));
+  const SimTime done =
+      store.Save("vm", Checkpoint::CaptureFrom(memory), kSimEpoch);
+  EXPECT_NEAR(ToSeconds(done), 1.0, 0.05);  // 110 MiB at 110 MiB/s
+  EXPECT_TRUE(store.Has("vm"));
+  EXPECT_EQ(disk.WrittenBytes(), MiB(110));
+}
+
+TEST(CheckpointStore, LoadChargesSequentialRead) {
+  sim::Disk disk(sim::DiskConfig::Hdd());
+  CheckpointStore store(disk);
+  auto memory = MakeMemory(MiB(120));
+  store.Save("vm", Checkpoint::CaptureFrom(memory), kSimEpoch);
+  // The save occupied the disk until ~1.1 s; loading at t=10 s is past it,
+  // so the scan takes exactly 120 MiB / 120 MiB/s = 1 s.
+  const auto load = store.Load("vm", Seconds(10.0));
+  ASSERT_NE(load.checkpoint, nullptr);
+  EXPECT_NEAR(ToSeconds(load.ready_at), 11.0, 0.05);
+}
+
+TEST(CheckpointStore, LoadMissingVmThrows) {
+  sim::Disk disk(sim::DiskConfig::Hdd());
+  CheckpointStore store(disk);
+  EXPECT_THROW(store.Load("ghost", kSimEpoch), CheckFailure);
+}
+
+TEST(CheckpointStore, SaveReplacesPrevious) {
+  sim::Disk disk(sim::DiskConfig::Hdd());
+  CheckpointStore store(disk);
+  auto memory = MakeMemory();
+  store.Save("vm", Checkpoint::CaptureFrom(memory), kSimEpoch);
+  memory.WritePage(0, 777);
+  store.Save("vm", Checkpoint::CaptureFrom(memory), kSimEpoch);
+  EXPECT_EQ(store.Size(), 1u);
+  EXPECT_EQ(store.Peek("vm")->SeedAt(0), 777u);
+}
+
+TEST(CheckpointStore, FootprintSumsImages) {
+  sim::Disk disk(sim::DiskConfig::Hdd());
+  CheckpointStore store(disk);
+  store.Save("a", Checkpoint::CaptureFrom(MakeMemory(MiB(4))), kSimEpoch);
+  store.Save("b", Checkpoint::CaptureFrom(MakeMemory(MiB(8))), kSimEpoch);
+  EXPECT_EQ(store.FootprintOnDisk(), MiB(12));
+  store.Drop("a");
+  EXPECT_EQ(store.FootprintOnDisk(), MiB(8));
+}
+
+// --- Retention policy. ---
+
+TEST(Retention, QuotaEvictsLeastRecentlyUsed) {
+  sim::Disk disk(sim::DiskConfig::Hdd());
+  RetentionPolicy policy;
+  policy.disk_quota = MiB(10);
+  CheckpointStore store(disk, policy);
+
+  store.Save("a", Checkpoint::CaptureFrom(MakeMemory(MiB(4))), Seconds(0));
+  store.Save("b", Checkpoint::CaptureFrom(MakeMemory(MiB(4))), Seconds(1));
+  // Touch "a" so "b" becomes the LRU entry.
+  store.Load("a", Seconds(10));
+  // A third 4 MiB checkpoint exceeds the 10 MiB quota: "b" must go.
+  store.Save("c", Checkpoint::CaptureFrom(MakeMemory(MiB(4))), Seconds(20));
+
+  EXPECT_TRUE(store.Has("a"));
+  EXPECT_FALSE(store.Has("b"));
+  EXPECT_TRUE(store.Has("c"));
+  EXPECT_EQ(store.Evictions(), 1u);
+  EXPECT_LE(store.FootprintOnDisk().count, MiB(10).count);
+}
+
+TEST(Retention, CountCapEvicts) {
+  sim::Disk disk(sim::DiskConfig::Hdd());
+  RetentionPolicy policy;
+  policy.max_checkpoints = 2;
+  CheckpointStore store(disk, policy);
+  store.Save("a", Checkpoint::CaptureFrom(MakeMemory()), Seconds(0));
+  store.Save("b", Checkpoint::CaptureFrom(MakeMemory()), Seconds(1));
+  store.Save("c", Checkpoint::CaptureFrom(MakeMemory()), Seconds(2));
+  EXPECT_EQ(store.Size(), 2u);
+  EXPECT_FALSE(store.Has("a"));  // oldest evicted
+}
+
+TEST(Retention, ReplacingOwnCheckpointNeedsNoEviction) {
+  sim::Disk disk(sim::DiskConfig::Hdd());
+  RetentionPolicy policy;
+  policy.disk_quota = MiB(4);
+  CheckpointStore store(disk, policy);
+  store.Save("a", Checkpoint::CaptureFrom(MakeMemory(MiB(4))), Seconds(0));
+  store.Save("a", Checkpoint::CaptureFrom(MakeMemory(MiB(4))), Seconds(1));
+  EXPECT_TRUE(store.Has("a"));
+  EXPECT_EQ(store.Evictions(), 0u);
+}
+
+TEST(Retention, OversizedCheckpointIsDiscarded) {
+  sim::Disk disk(sim::DiskConfig::Hdd());
+  RetentionPolicy policy;
+  policy.disk_quota = MiB(2);
+  CheckpointStore store(disk, policy);
+  store.Save("big", Checkpoint::CaptureFrom(MakeMemory(MiB(4))),
+             Seconds(0));
+  EXPECT_FALSE(store.Has("big"));
+  EXPECT_EQ(store.Evictions(), 1u);
+}
+
+TEST(Retention, UnlimitedByDefault) {
+  sim::Disk disk(sim::DiskConfig::Hdd());
+  CheckpointStore store(disk);
+  for (int i = 0; i < 16; ++i) {
+    store.Save("vm" + std::to_string(i),
+               Checkpoint::CaptureFrom(MakeMemory()), Seconds(i));
+  }
+  EXPECT_EQ(store.Size(), 16u);
+  EXPECT_EQ(store.Evictions(), 0u);
+}
+
+TEST(CheckpointStore, ReadBlockIsRandomAccess) {
+  sim::Disk disk(sim::DiskConfig::Hdd());
+  CheckpointStore store(disk);
+  store.ReadBlock(kSimEpoch);
+  EXPECT_EQ(disk.RandomReads(), 1u);
+}
+
+}  // namespace
+}  // namespace vecycle::storage

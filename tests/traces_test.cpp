@@ -1,0 +1,201 @@
+// Machine registry (Table 1) and trace synthesis: determinism, schedule
+// behaviour, and calibration against the observables the paper publishes
+// (Fig. 1 similarity decay, Fig. 4 duplicate/zero fractions, §2.3 trace
+// counts). Calibration tests run at reduced page counts for speed — the
+// statistics are scale-free.
+#include <gtest/gtest.h>
+
+#include "analysis/binning.hpp"
+#include "common/check.hpp"
+#include "traces/machine_spec.hpp"
+#include "traces/synthesizer.hpp"
+
+namespace vecycle::traces {
+namespace {
+
+MachineSpec Scaled(MachineSpec spec, std::uint64_t pages = 8192) {
+  spec.model_pages = pages;
+  return spec;
+}
+
+double MeanSimilarityAt(const fp::Trace& trace, double hours) {
+  analysis::SimilarityDecayOptions options;
+  options.max_delta = Hours(hours + 1.0);
+  options.max_pairs_per_bin = 64;
+  const auto decay = analysis::SimilarityDecay(trace, options);
+  double value = -1.0;
+  for (const auto& bin : decay) {
+    if (ToSeconds(bin.center) <= hours * 3600.0 + 1.0) value = bin.mean;
+  }
+  VEC_CHECK(value >= 0.0);
+  return value;
+}
+
+double MeanDuplicateFraction(const fp::Trace& trace) {
+  const auto series = analysis::ComputeComposition(trace);
+  double sum = 0.0;
+  for (const double d : series.duplicate_fraction) sum += d;
+  return sum / static_cast<double>(series.duplicate_fraction.size());
+}
+
+// --- Registry (Table 1). ---
+
+TEST(MachineRegistry, Table1HasSixEvaluatedMachines) {
+  const auto machines = Table1Machines();
+  ASSERT_EQ(machines.size(), 6u);
+  EXPECT_EQ(machines[0].name, "Server A");
+  EXPECT_EQ(machines[0].nominal_ram, GiB(1));
+  EXPECT_EQ(machines[1].nominal_ram, GiB(4));
+  EXPECT_EQ(machines[2].nominal_ram, GiB(8));
+  for (std::size_t i = 3; i < 6; ++i) {
+    EXPECT_EQ(machines[i].os, "OSX");
+    EXPECT_EQ(machines[i].nominal_ram, GiB(2));
+  }
+}
+
+TEST(MachineRegistry, AllRegistryEntriesValidate) {
+  for (const auto& m : Table1AllMachines()) EXPECT_NO_THROW(m.Validate());
+  for (const auto& m : CrawlerMachines()) EXPECT_NO_THROW(m.Validate());
+  EXPECT_NO_THROW(DesktopMachine().Validate());
+}
+
+TEST(MachineRegistry, TraceIdsMatchTable1) {
+  EXPECT_EQ(FindMachine("Server A").trace_id, "00065BEE5AA7");
+  EXPECT_EQ(FindMachine("Server B").trace_id, "00188B30D847");
+  EXPECT_EQ(FindMachine("Server C").trace_id, "001E4F36E2FB");
+  EXPECT_EQ(FindMachine("Laptop A").trace_id, "001B6333F86A");
+}
+
+TEST(MachineRegistry, FindUnknownMachineThrows) {
+  EXPECT_THROW(FindMachine("Server Z"), CheckFailure);
+}
+
+TEST(MachineSpec, ValidateCatchesBadWeights) {
+  auto spec = Table1Machines()[0];
+  spec.regions.push_back({0.5, Hours(1)});
+  EXPECT_THROW(spec.Validate(), CheckFailure);
+}
+
+// --- Synthesis mechanics. ---
+
+TEST(TraceSynthesizer, IsDeterministic) {
+  const auto spec = Scaled(Table1Machines()[0], 2048);
+  const auto a = SynthesizeTrace(spec);
+  const auto b = SynthesizeTrace(spec);
+  ASSERT_EQ(a.Size(), b.Size());
+  for (std::size_t i = 0; i < a.Size(); ++i) {
+    EXPECT_EQ(a.At(i).PageHashes(), b.At(i).PageHashes());
+  }
+}
+
+TEST(TraceSynthesizer, DifferentSeedsGiveDifferentTraces) {
+  auto spec = Scaled(Table1Machines()[0], 2048);
+  const auto a = SynthesizeTrace(spec);
+  spec.seed ^= 0xffff;
+  const auto b = SynthesizeTrace(spec);
+  EXPECT_NE(a.At(1).PageHashes(), b.At(1).PageHashes());
+}
+
+TEST(TraceSynthesizer, ServerTraceHasFullFingerprintCount) {
+  // 7 days at 30 min: 336 steps + the t=0 capture.
+  const auto trace = SynthesizeTrace(Scaled(Table1Machines()[0], 2048));
+  EXPECT_EQ(trace.Size(), 337u);
+}
+
+TEST(TraceSynthesizer, CrawlerTraceHas4DaysOfFingerprints) {
+  const auto trace = SynthesizeTrace(Scaled(CrawlerMachines()[0], 2048));
+  EXPECT_EQ(trace.Size(), 193u);  // §2.3: 192 intervals over 4 days
+}
+
+TEST(TraceSynthesizer, DesktopTraceCovers19Days) {
+  const auto trace = SynthesizeTrace(Scaled(DesktopMachine(), 2048));
+  EXPECT_EQ(trace.Size(), 913u);  // §4.6: 912 intervals over 19 days
+}
+
+TEST(TraceSynthesizer, LaptopsMissFingerprintsWhenPoweredOff) {
+  // §2.3: laptops yielded only 151-205 of the 336 possible fingerprints.
+  const auto trace = SynthesizeTrace(Scaled(Table1Machines()[3], 2048));
+  EXPECT_LT(trace.Size(), 280u);
+  EXPECT_GT(trace.Size(), 120u);
+}
+
+TEST(TraceSynthesizer, MemoryChangesOverTime) {
+  const auto trace = SynthesizeTrace(Scaled(Table1Machines()[0], 2048));
+  EXPECT_NE(trace.At(0).PageHashes(), trace.At(48).PageHashes());
+}
+
+TEST(TraceSynthesizer, PowerOffFreezesMemory) {
+  auto spec = Scaled(Table1Machines()[3], 2048);  // laptop
+  TraceSynthesizer synth(spec);
+  // Drive steps until we observe an off interval; memory must not change
+  // across it.
+  for (int i = 0; i < 400; ++i) {
+    const auto writes_before = synth.Memory().TotalWrites();
+    synth.Step();
+    if (!synth.PoweredOn()) {
+      EXPECT_EQ(synth.Memory().TotalWrites(), writes_before);
+      return;
+    }
+  }
+  FAIL() << "laptop never powered off in 400 steps";
+}
+
+// --- Calibration against the paper's observables. ---
+
+TEST(Calibration, ServerBSimilarityAt24hNearPaper) {
+  // §2.3: "the average similarity after 24 hours is between 40% (Server
+  // B) and 20% (Server C)".
+  const auto trace = SynthesizeTrace(Scaled(Table1Machines()[1]));
+  EXPECT_NEAR(MeanSimilarityAt(trace, 24.0), 0.40, 0.09);
+}
+
+TEST(Calibration, ServerCSimilarityAt24hNearPaper) {
+  const auto trace = SynthesizeTrace(Scaled(Table1Machines()[2]));
+  EXPECT_NEAR(MeanSimilarityAt(trace, 24.0), 0.20, 0.08);
+}
+
+TEST(Calibration, CrawlerDropsBelow20PercentWithin5Hours) {
+  // §2.3: crawlers average ~40% after one hour, below 20% after five.
+  const auto trace = SynthesizeTrace(Scaled(CrawlerMachines()[0]));
+  EXPECT_NEAR(MeanSimilarityAt(trace, 1.0), 0.45, 0.12);
+  EXPECT_LT(MeanSimilarityAt(trace, 5.0), 0.25);
+}
+
+TEST(Calibration, SimilarityDecaysMonotonicallyOnAverage) {
+  const auto trace = SynthesizeTrace(Scaled(Table1Machines()[0]));
+  const double s1 = MeanSimilarityAt(trace, 1.0);
+  const double s6 = MeanSimilarityAt(trace, 6.0);
+  const double s24 = MeanSimilarityAt(trace, 24.0);
+  EXPECT_GT(s1, s6);
+  EXPECT_GT(s6, s24);
+  EXPECT_GT(s24, 0.1);  // never collapses: the stable core remains
+}
+
+TEST(Calibration, ServerDuplicateFractionsMatchFig4) {
+  // Fig. 4: Server A ~5%, Server C ~20%.
+  const auto a = SynthesizeTrace(Scaled(Table1Machines()[0]));
+  const auto c = SynthesizeTrace(Scaled(Table1Machines()[2]));
+  EXPECT_NEAR(MeanDuplicateFraction(a), 0.07, 0.03);
+  EXPECT_NEAR(MeanDuplicateFraction(c), 0.20, 0.04);
+}
+
+TEST(Calibration, ZeroPagesStayBelowFivePercentForServers) {
+  // Fig. 4 right: zero pages "stable and low at less than 5%".
+  for (int i = 0; i < 3; ++i) {
+    const auto trace = SynthesizeTrace(Scaled(Table1Machines()[static_cast<std::size_t>(i)]));
+    const auto series = analysis::ComputeComposition(trace);
+    double sum = 0.0;
+    for (const double z : series.zero_fraction) sum += z;
+    EXPECT_LT(sum / static_cast<double>(series.zero_fraction.size()), 0.05);
+  }
+}
+
+TEST(Calibration, DesktopStaysHighlySimilarOverNight) {
+  // §4.6 implies the overnight (idle) interval barely degrades the
+  // checkpoint: 16-hour deltas must stay well above the crawler regime.
+  const auto trace = SynthesizeTrace(Scaled(DesktopMachine()));
+  EXPECT_GT(MeanSimilarityAt(trace, 16.0), 0.6);
+}
+
+}  // namespace
+}  // namespace vecycle::traces

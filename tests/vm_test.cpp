@@ -1,0 +1,343 @@
+// Guest memory model: dual content representation, digests, generation
+// counters, dirty snapshots, memory profiles, and workload mutators.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "common/check.hpp"
+#include "digest/hasher.hpp"
+#include "vm/dirty_tracker.hpp"
+#include "vm/guest_memory.hpp"
+#include "vm/workload.hpp"
+
+namespace vecycle::vm {
+namespace {
+
+// --- Page materialization. ---
+
+TEST(MaterializePage, ZeroSeedGivesZeroPage) {
+  std::array<std::byte, kPageSize> page;
+  MaterializePage(kZeroPageSeed, page);
+  for (const auto b : page) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(MaterializePage, IsDeterministic) {
+  std::array<std::byte, kPageSize> a;
+  std::array<std::byte, kPageSize> b;
+  MaterializePage(12345, a);
+  MaterializePage(12345, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MaterializePage, DistinctSeedsGiveDistinctContent) {
+  std::array<std::byte, kPageSize> a;
+  std::array<std::byte, kPageSize> b;
+  MaterializePage(1, a);
+  MaterializePage(2, b);
+  EXPECT_NE(a, b);
+}
+
+// --- GuestMemory basics. ---
+
+TEST(GuestMemory, GeometryFromRamSize) {
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  EXPECT_EQ(memory.PageCount(), 256u);
+  EXPECT_EQ(memory.RamSize(), MiB(1));
+}
+
+TEST(GuestMemory, UnalignedRamSizeThrows) {
+  EXPECT_THROW(GuestMemory(Bytes{kPageSize + 1}, ContentMode::kSeedOnly),
+               CheckFailure);
+}
+
+TEST(GuestMemory, StartsAllZeroPages) {
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  EXPECT_EQ(memory.CountZeroPages(), memory.PageCount());
+}
+
+TEST(GuestMemory, WriteChangesSeedAndGeneration) {
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  memory.WritePage(7, 999);
+  EXPECT_EQ(memory.Seed(7), 999u);
+  EXPECT_EQ(memory.Generation(7), 1u);
+  EXPECT_EQ(memory.Generation(8), 0u);
+  EXPECT_EQ(memory.TotalWrites(), 1u);
+}
+
+TEST(GuestMemory, RewriteWithSameContentStillBumpsGeneration) {
+  // This is the semantic that makes dirty tracking overestimate (§4.3).
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  memory.WritePage(3, 42);
+  memory.WritePage(3, 42);
+  EXPECT_EQ(memory.Generation(3), 2u);
+}
+
+TEST(GuestMemory, CopyPageMovesContentAndDirtiesDestination) {
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  memory.WritePage(1, 42);
+  memory.CopyPage(1, 2);
+  EXPECT_EQ(memory.Seed(2), 42u);
+  EXPECT_EQ(memory.Generation(2), 1u);
+  EXPECT_EQ(memory.Generation(1), 1u);  // source untouched by the copy
+}
+
+TEST(GuestMemory, OutOfRangeAccessThrows) {
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  EXPECT_THROW((void)memory.Seed(memory.PageCount()), CheckFailure);
+  EXPECT_THROW(memory.WritePage(memory.PageCount(), 1), CheckFailure);
+}
+
+// --- Digest semantics across modes. ---
+
+TEST(GuestMemory, EqualSeedsGiveEqualDigestsWithinMode) {
+  for (const auto mode :
+       {ContentMode::kSeedOnly, ContentMode::kMaterialized}) {
+    GuestMemory memory(MiB(1), mode);
+    memory.WritePage(0, 123);
+    memory.WritePage(1, 123);
+    memory.WritePage(2, 456);
+    EXPECT_EQ(memory.PageDigest(0), memory.PageDigest(1));
+    EXPECT_NE(memory.PageDigest(0), memory.PageDigest(2));
+  }
+}
+
+TEST(GuestMemory, ContentHashMatchesAcrossModes) {
+  GuestMemory seeded(MiB(1), ContentMode::kSeedOnly);
+  GuestMemory materialized(MiB(1), ContentMode::kMaterialized);
+  seeded.WritePage(0, 77);
+  materialized.WritePage(0, 77);
+  EXPECT_EQ(seeded.ContentHash64(0), materialized.ContentHash64(0));
+}
+
+TEST(GuestMemory, MaterializedDigestHashesRealBytes) {
+  GuestMemory memory(MiB(1), ContentMode::kMaterialized);
+  memory.WritePage(0, 55);
+  // Independently materialize and hash; must match PageDigest.
+  std::array<std::byte, kPageSize> bytes;
+  MaterializePage(55, bytes);
+  const auto expected =
+      ComputeDigest(memory.Algorithm(), bytes.data(), bytes.size());
+  EXPECT_EQ(memory.PageDigest(0), expected);
+}
+
+TEST(GuestMemory, ReadPageAgreesWithPageBytes) {
+  GuestMemory memory(MiB(1), ContentMode::kMaterialized);
+  memory.WritePage(4, 99);
+  std::array<std::byte, kPageSize> copy;
+  memory.ReadPage(4, copy);
+  const auto view = memory.PageBytes(4);
+  EXPECT_TRUE(std::equal(copy.begin(), copy.end(), view.begin()));
+}
+
+TEST(GuestMemory, PageBytesThrowsInSeedMode) {
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  EXPECT_THROW((void)memory.PageBytes(0), CheckFailure);
+}
+
+TEST(GuestMemory, ContentEqualsComparesContent) {
+  GuestMemory a(MiB(1), ContentMode::kSeedOnly);
+  GuestMemory b(MiB(1), ContentMode::kSeedOnly);
+  a.WritePage(0, 1);
+  b.WritePage(0, 1);
+  EXPECT_TRUE(a.ContentEquals(b));
+  b.WritePage(0, 2);
+  EXPECT_FALSE(a.ContentEquals(b));
+}
+
+TEST(GuestMemory, SetGenerationsAdoptsVector) {
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  std::vector<std::uint64_t> generations(memory.PageCount(), 9);
+  memory.SetGenerations(generations);
+  EXPECT_EQ(memory.Generation(0), 9u);
+  EXPECT_THROW(memory.SetGenerations({1, 2, 3}), CheckFailure);
+}
+
+// --- Memory profile. ---
+
+TEST(MemoryProfile, CompositionMatchesRequestedFractions) {
+  GuestMemory memory(MiB(64), ContentMode::kSeedOnly);  // 16384 pages
+  Xoshiro256 rng(1);
+  MemoryProfile profile;
+  profile.zero_fraction = 0.05;
+  profile.duplicate_fraction = 0.10;
+  profile.Apply(memory, rng);
+
+  const double zeros = static_cast<double>(memory.CountZeroPages()) /
+                       static_cast<double>(memory.PageCount());
+  EXPECT_NEAR(zeros, 0.05, 0.01);
+
+  std::set<std::uint64_t> unique;
+  for (PageId p = 0; p < memory.PageCount(); ++p) {
+    unique.insert(memory.Seed(p));
+  }
+  const double dup_fraction =
+      1.0 - static_cast<double>(unique.size()) /
+                static_cast<double>(memory.PageCount());
+  // Zero pages collapse to one seed; dup pool of 512 seeds absorbs ~10%.
+  EXPECT_NEAR(dup_fraction, 0.15, 0.03);
+}
+
+TEST(MemoryProfile, InvalidFractionsThrow) {
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  Xoshiro256 rng(1);
+  MemoryProfile profile;
+  profile.zero_fraction = 0.6;
+  profile.duplicate_fraction = 0.6;
+  EXPECT_THROW(profile.Apply(memory, rng), CheckFailure);
+}
+
+// --- Dirty snapshots. ---
+
+TEST(DirtySnapshot, DetectsWrites) {
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  DirtySnapshot snapshot(memory);
+  memory.WritePage(10, 1);
+  memory.WritePage(20, 2);
+  EXPECT_TRUE(snapshot.IsDirty(memory, 10));
+  EXPECT_FALSE(snapshot.IsDirty(memory, 11));
+  EXPECT_EQ(snapshot.CountDirty(memory), 2u);
+  EXPECT_EQ(snapshot.DirtyPages(memory), (std::vector<PageId>{10, 20}));
+}
+
+TEST(DirtySnapshot, MismatchedGeometryThrows) {
+  GuestMemory small(MiB(1), ContentMode::kSeedOnly);
+  GuestMemory big(MiB(2), ContentMode::kSeedOnly);
+  DirtySnapshot snapshot(small);
+  EXPECT_THROW((void)snapshot.CountDirty(big), CheckFailure);
+}
+
+// --- Workloads. ---
+
+TEST(IdleWorkload, WritesAtConfiguredRate) {
+  GuestMemory memory(MiB(16), ContentMode::kSeedOnly);
+  IdleWorkload::Config config;
+  config.write_rate_pages_per_s = 4.0;
+  IdleWorkload workload(config);
+  workload.Advance(memory, Seconds(100.0));
+  EXPECT_EQ(memory.TotalWrites(), 400u);
+}
+
+TEST(IdleWorkload, CarriesFractionalWritesAcrossSteps) {
+  GuestMemory memory(MiB(16), ContentMode::kSeedOnly);
+  IdleWorkload::Config config;
+  config.write_rate_pages_per_s = 0.5;
+  IdleWorkload workload(config);
+  for (int i = 0; i < 100; ++i) workload.Advance(memory, Seconds(1.0));
+  EXPECT_EQ(memory.TotalWrites(), 50u);
+}
+
+TEST(IdleWorkload, WritesStayInHotRegion) {
+  GuestMemory memory(MiB(64), ContentMode::kSeedOnly);
+  IdleWorkload::Config config;
+  config.write_rate_pages_per_s = 100.0;
+  config.hot_region_pages = 128;
+  IdleWorkload workload(config);
+  DirtySnapshot snapshot(memory);
+  workload.Advance(memory, Seconds(100.0));
+  for (const PageId page : snapshot.DirtyPages(memory)) {
+    EXPECT_LT(page, 128u);
+  }
+}
+
+TEST(UniformRandomWorkload, SpreadsWritesAcrossRam) {
+  GuestMemory memory(MiB(16), ContentMode::kSeedOnly);  // 4096 pages
+  UniformRandomWorkload workload(100.0, /*seed=*/3);
+  DirtySnapshot snapshot(memory);
+  workload.Advance(memory, Seconds(20.0));
+  const auto dirty = snapshot.DirtyPages(memory);
+  // 2000 writes over 4096 pages: expect wide coverage, some collisions.
+  EXPECT_GT(dirty.size(), 1500u);
+  EXPECT_LT(dirty.size(), 2001u);
+}
+
+TEST(HotspotWorkload, ConcentratesWrites) {
+  GuestMemory memory(MiB(64), ContentMode::kSeedOnly);  // 16384 pages
+  HotspotWorkload::Config config;
+  config.write_rate_pages_per_s = 1000.0;
+  config.hot_fraction = 0.1;
+  config.hot_probability = 0.9;
+  HotspotWorkload workload(config);
+  DirtySnapshot snapshot(memory);
+  workload.Advance(memory, Seconds(10.0));
+  const auto hot_boundary =
+      static_cast<PageId>(0.1 * static_cast<double>(memory.PageCount()));
+  std::uint64_t hot_writes = 0;
+  std::uint64_t total = 0;
+  for (const PageId page : snapshot.DirtyPages(memory)) {
+    ++total;
+    if (page < hot_boundary) ++hot_writes;
+  }
+  EXPECT_GT(total, 0u);
+  // Dirty-page fraction in the hot region must dominate.
+  EXPECT_GT(static_cast<double>(hot_writes) / static_cast<double>(total),
+            0.5);
+}
+
+TEST(SequentialRamdisk, FillCoversConfiguredSpan) {
+  GuestMemory memory(MiB(16), ContentMode::kSeedOnly);
+  SequentialRamdiskWorkload ramdisk(memory.PageCount(), 0.9, /*seed=*/5);
+  ramdisk.Fill(memory);
+  EXPECT_EQ(ramdisk.PageSpan(),
+            static_cast<std::uint64_t>(0.9 * memory.PageCount()));
+  // All ramdisk pages have fresh (non-zero) content.
+  for (std::uint64_t i = 0; i < ramdisk.PageSpan(); ++i) {
+    EXPECT_NE(memory.Seed(ramdisk.FirstPage() + i), kZeroPageSeed);
+  }
+}
+
+TEST(SequentialRamdisk, UpdateFractionTouchesExactCount) {
+  GuestMemory memory(MiB(16), ContentMode::kSeedOnly);
+  SequentialRamdiskWorkload ramdisk(memory.PageCount(), 0.9, /*seed=*/5);
+  ramdisk.Fill(memory);
+  DirtySnapshot snapshot(memory);
+  ramdisk.UpdateFraction(memory, 0.25);
+  const auto expected =
+      static_cast<std::uint64_t>(0.25 * static_cast<double>(ramdisk.PageSpan()));
+  EXPECT_EQ(snapshot.CountDirty(memory), expected);
+}
+
+TEST(SequentialRamdisk, UpdatesStayInsideRamdisk) {
+  GuestMemory memory(MiB(16), ContentMode::kSeedOnly);
+  SequentialRamdiskWorkload ramdisk(memory.PageCount(), 0.5, /*seed=*/5);
+  ramdisk.Fill(memory);
+  DirtySnapshot snapshot(memory);
+  ramdisk.UpdateFraction(memory, 1.0);
+  for (const PageId page : snapshot.DirtyPages(memory)) {
+    EXPECT_LT(page, ramdisk.FirstPage() + ramdisk.PageSpan());
+  }
+}
+
+TEST(PageRemapWorkload, PreservesContentMultiset) {
+  GuestMemory memory(MiB(16), ContentMode::kSeedOnly);
+  Xoshiro256 rng(1);
+  MemoryProfile{}.Apply(memory, rng);
+
+  std::multiset<std::uint64_t> before;
+  for (PageId p = 0; p < memory.PageCount(); ++p) {
+    before.insert(memory.Seed(p));
+  }
+
+  PageRemapWorkload workload(50.0, /*seed=*/9);
+  workload.Advance(memory, Seconds(10.0));
+
+  std::multiset<std::uint64_t> after;
+  for (PageId p = 0; p < memory.PageCount(); ++p) {
+    after.insert(memory.Seed(p));
+  }
+  EXPECT_EQ(before, after);
+  // ...but pages were dirtied (the Fig. 5 dirty-tracking overestimate).
+  EXPECT_GT(memory.TotalWrites(), memory.PageCount());
+}
+
+TEST(CompositeWorkload, RunsAllParts) {
+  GuestMemory memory(MiB(16), ContentMode::kSeedOnly);
+  CompositeWorkload composite;
+  composite.Add(std::make_unique<UniformRandomWorkload>(10.0, 1));
+  composite.Add(std::make_unique<UniformRandomWorkload>(20.0, 2));
+  composite.Advance(memory, Seconds(10.0));
+  EXPECT_EQ(memory.TotalWrites(), 300u);
+}
+
+}  // namespace
+}  // namespace vecycle::vm
