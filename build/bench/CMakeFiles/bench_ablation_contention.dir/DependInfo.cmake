@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_contention.cpp" "bench/CMakeFiles/bench_ablation_contention.dir/bench_ablation_contention.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_contention.dir/bench_ablation_contention.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vecycle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/digest/CMakeFiles/vecycle_digest.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vecycle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vecycle_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/vecycle_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/traces/CMakeFiles/vecycle_traces.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vecycle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vecycle_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/vecycle_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vecycle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/vecycle_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hash_exchange.dir/bench_ablation_hash_exchange.cpp.o"
+  "CMakeFiles/bench_ablation_hash_exchange.dir/bench_ablation_hash_exchange.cpp.o.d"
+  "bench_ablation_hash_exchange"
+  "bench_ablation_hash_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hash_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_postcopy.dir/bench_ablation_postcopy.cpp.o"
+  "CMakeFiles/bench_ablation_postcopy.dir/bench_ablation_postcopy.cpp.o.d"
+  "bench_ablation_postcopy"
+  "bench_ablation_postcopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_postcopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_duplicate_pages.dir/bench_fig4_duplicate_pages.cpp.o"
+  "CMakeFiles/bench_fig4_duplicate_pages.dir/bench_fig4_duplicate_pages.cpp.o.d"
+  "bench_fig4_duplicate_pages"
+  "bench_fig4_duplicate_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_duplicate_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_update_rates.dir/bench_fig7_update_rates.cpp.o"
+  "CMakeFiles/bench_fig7_update_rates.dir/bench_fig7_update_rates.cpp.o.d"
+  "bench_fig7_update_rates"
+  "bench_fig7_update_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_update_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_vdi.dir/bench_fig8_vdi.cpp.o"
+  "CMakeFiles/bench_fig8_vdi.dir/bench_fig8_vdi.cpp.o.d"
+  "bench_fig8_vdi"
+  "bench_fig8_vdi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_vdi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_digest.dir/bench_micro_digest.cpp.o"
+  "CMakeFiles/bench_micro_digest.dir/bench_micro_digest.cpp.o.d"
+  "bench_micro_digest"
+  "bench_micro_digest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_digest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

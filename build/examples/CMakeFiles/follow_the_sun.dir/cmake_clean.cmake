@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/follow_the_sun.dir/follow_the_sun.cpp.o"
+  "CMakeFiles/follow_the_sun.dir/follow_the_sun.cpp.o.d"
+  "follow_the_sun"
+  "follow_the_sun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/follow_the_sun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

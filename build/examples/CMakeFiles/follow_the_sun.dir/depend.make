@@ -1,0 +1,2 @@
+# Empty dependencies file for follow_the_sun.
+# This may be replaced when dependencies are built.

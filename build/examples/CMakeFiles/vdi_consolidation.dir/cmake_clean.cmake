@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdi_consolidation.dir/vdi_consolidation.cpp.o"
+  "CMakeFiles/vdi_consolidation.dir/vdi_consolidation.cpp.o.d"
+  "vdi_consolidation"
+  "vdi_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdi_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/binning.cpp" "src/analysis/CMakeFiles/vecycle_analysis.dir/binning.cpp.o" "gcc" "src/analysis/CMakeFiles/vecycle_analysis.dir/binning.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/analysis/CMakeFiles/vecycle_analysis.dir/table.cpp.o" "gcc" "src/analysis/CMakeFiles/vecycle_analysis.dir/table.cpp.o.d"
+  "/root/repo/src/analysis/technique.cpp" "src/analysis/CMakeFiles/vecycle_analysis.dir/technique.cpp.o" "gcc" "src/analysis/CMakeFiles/vecycle_analysis.dir/technique.cpp.o.d"
+  "/root/repo/src/analysis/vdi.cpp" "src/analysis/CMakeFiles/vecycle_analysis.dir/vdi.cpp.o" "gcc" "src/analysis/CMakeFiles/vecycle_analysis.dir/vdi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vecycle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/vecycle_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vecycle_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/digest/CMakeFiles/vecycle_digest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

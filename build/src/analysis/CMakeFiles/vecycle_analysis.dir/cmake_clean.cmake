@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecycle_analysis.dir/binning.cpp.o"
+  "CMakeFiles/vecycle_analysis.dir/binning.cpp.o.d"
+  "CMakeFiles/vecycle_analysis.dir/table.cpp.o"
+  "CMakeFiles/vecycle_analysis.dir/table.cpp.o.d"
+  "CMakeFiles/vecycle_analysis.dir/technique.cpp.o"
+  "CMakeFiles/vecycle_analysis.dir/technique.cpp.o.d"
+  "CMakeFiles/vecycle_analysis.dir/vdi.cpp.o"
+  "CMakeFiles/vecycle_analysis.dir/vdi.cpp.o.d"
+  "libvecycle_analysis.a"
+  "libvecycle_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecycle_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

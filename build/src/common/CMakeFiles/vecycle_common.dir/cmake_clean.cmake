@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecycle_common.dir/log.cpp.o"
+  "CMakeFiles/vecycle_common.dir/log.cpp.o.d"
+  "CMakeFiles/vecycle_common.dir/units.cpp.o"
+  "CMakeFiles/vecycle_common.dir/units.cpp.o.d"
+  "libvecycle_common.a"
+  "libvecycle_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecycle_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecycle_core.dir/consolidation.cpp.o"
+  "CMakeFiles/vecycle_core.dir/consolidation.cpp.o.d"
+  "CMakeFiles/vecycle_core.dir/orchestrator.cpp.o"
+  "CMakeFiles/vecycle_core.dir/orchestrator.cpp.o.d"
+  "libvecycle_core.a"
+  "libvecycle_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecycle_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

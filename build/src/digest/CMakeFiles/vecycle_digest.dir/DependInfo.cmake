@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/digest/digest.cpp" "src/digest/CMakeFiles/vecycle_digest.dir/digest.cpp.o" "gcc" "src/digest/CMakeFiles/vecycle_digest.dir/digest.cpp.o.d"
+  "/root/repo/src/digest/fnv.cpp" "src/digest/CMakeFiles/vecycle_digest.dir/fnv.cpp.o" "gcc" "src/digest/CMakeFiles/vecycle_digest.dir/fnv.cpp.o.d"
+  "/root/repo/src/digest/hasher.cpp" "src/digest/CMakeFiles/vecycle_digest.dir/hasher.cpp.o" "gcc" "src/digest/CMakeFiles/vecycle_digest.dir/hasher.cpp.o.d"
+  "/root/repo/src/digest/md5.cpp" "src/digest/CMakeFiles/vecycle_digest.dir/md5.cpp.o" "gcc" "src/digest/CMakeFiles/vecycle_digest.dir/md5.cpp.o.d"
+  "/root/repo/src/digest/sha1.cpp" "src/digest/CMakeFiles/vecycle_digest.dir/sha1.cpp.o" "gcc" "src/digest/CMakeFiles/vecycle_digest.dir/sha1.cpp.o.d"
+  "/root/repo/src/digest/sha256.cpp" "src/digest/CMakeFiles/vecycle_digest.dir/sha256.cpp.o" "gcc" "src/digest/CMakeFiles/vecycle_digest.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vecycle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

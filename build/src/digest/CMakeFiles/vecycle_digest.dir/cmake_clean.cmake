@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecycle_digest.dir/digest.cpp.o"
+  "CMakeFiles/vecycle_digest.dir/digest.cpp.o.d"
+  "CMakeFiles/vecycle_digest.dir/fnv.cpp.o"
+  "CMakeFiles/vecycle_digest.dir/fnv.cpp.o.d"
+  "CMakeFiles/vecycle_digest.dir/hasher.cpp.o"
+  "CMakeFiles/vecycle_digest.dir/hasher.cpp.o.d"
+  "CMakeFiles/vecycle_digest.dir/md5.cpp.o"
+  "CMakeFiles/vecycle_digest.dir/md5.cpp.o.d"
+  "CMakeFiles/vecycle_digest.dir/sha1.cpp.o"
+  "CMakeFiles/vecycle_digest.dir/sha1.cpp.o.d"
+  "CMakeFiles/vecycle_digest.dir/sha256.cpp.o"
+  "CMakeFiles/vecycle_digest.dir/sha256.cpp.o.d"
+  "libvecycle_digest.a"
+  "libvecycle_digest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecycle_digest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fingerprint/fingerprint.cpp" "src/fingerprint/CMakeFiles/vecycle_fingerprint.dir/fingerprint.cpp.o" "gcc" "src/fingerprint/CMakeFiles/vecycle_fingerprint.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/fingerprint/trace.cpp" "src/fingerprint/CMakeFiles/vecycle_fingerprint.dir/trace.cpp.o" "gcc" "src/fingerprint/CMakeFiles/vecycle_fingerprint.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vecycle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vecycle_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/digest/CMakeFiles/vecycle_digest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecycle_fingerprint.dir/fingerprint.cpp.o"
+  "CMakeFiles/vecycle_fingerprint.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/vecycle_fingerprint.dir/trace.cpp.o"
+  "CMakeFiles/vecycle_fingerprint.dir/trace.cpp.o.d"
+  "libvecycle_fingerprint.a"
+  "libvecycle_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecycle_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

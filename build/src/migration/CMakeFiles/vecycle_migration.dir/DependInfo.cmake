@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/migration/destination.cpp" "src/migration/CMakeFiles/vecycle_migration.dir/destination.cpp.o" "gcc" "src/migration/CMakeFiles/vecycle_migration.dir/destination.cpp.o.d"
+  "/root/repo/src/migration/engine.cpp" "src/migration/CMakeFiles/vecycle_migration.dir/engine.cpp.o" "gcc" "src/migration/CMakeFiles/vecycle_migration.dir/engine.cpp.o.d"
+  "/root/repo/src/migration/postcopy.cpp" "src/migration/CMakeFiles/vecycle_migration.dir/postcopy.cpp.o" "gcc" "src/migration/CMakeFiles/vecycle_migration.dir/postcopy.cpp.o.d"
+  "/root/repo/src/migration/source.cpp" "src/migration/CMakeFiles/vecycle_migration.dir/source.cpp.o" "gcc" "src/migration/CMakeFiles/vecycle_migration.dir/source.cpp.o.d"
+  "/root/repo/src/migration/strategy.cpp" "src/migration/CMakeFiles/vecycle_migration.dir/strategy.cpp.o" "gcc" "src/migration/CMakeFiles/vecycle_migration.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vecycle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/digest/CMakeFiles/vecycle_digest.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vecycle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vecycle_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vecycle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vecycle_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

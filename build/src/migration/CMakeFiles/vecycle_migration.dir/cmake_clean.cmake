@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecycle_migration.dir/destination.cpp.o"
+  "CMakeFiles/vecycle_migration.dir/destination.cpp.o.d"
+  "CMakeFiles/vecycle_migration.dir/engine.cpp.o"
+  "CMakeFiles/vecycle_migration.dir/engine.cpp.o.d"
+  "CMakeFiles/vecycle_migration.dir/postcopy.cpp.o"
+  "CMakeFiles/vecycle_migration.dir/postcopy.cpp.o.d"
+  "CMakeFiles/vecycle_migration.dir/source.cpp.o"
+  "CMakeFiles/vecycle_migration.dir/source.cpp.o.d"
+  "CMakeFiles/vecycle_migration.dir/strategy.cpp.o"
+  "CMakeFiles/vecycle_migration.dir/strategy.cpp.o.d"
+  "libvecycle_migration.a"
+  "libvecycle_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecycle_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/migration/CMakeFiles/vecycle_migration.dir/strategy.cpp.o: \
+ /root/repo/src/migration/strategy.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/migration/strategy.hpp

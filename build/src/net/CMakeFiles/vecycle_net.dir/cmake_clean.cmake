@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecycle_net.dir/message.cpp.o"
+  "CMakeFiles/vecycle_net.dir/message.cpp.o.d"
+  "libvecycle_net.a"
+  "libvecycle_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecycle_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvecycle_net.a"
+)

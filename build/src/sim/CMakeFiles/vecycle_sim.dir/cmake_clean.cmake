@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecycle_sim.dir/sim.cpp.o"
+  "CMakeFiles/vecycle_sim.dir/sim.cpp.o.d"
+  "libvecycle_sim.a"
+  "libvecycle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecycle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

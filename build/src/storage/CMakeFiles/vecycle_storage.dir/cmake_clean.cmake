@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecycle_storage.dir/checkpoint.cpp.o"
+  "CMakeFiles/vecycle_storage.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/vecycle_storage.dir/checkpoint_store.cpp.o"
+  "CMakeFiles/vecycle_storage.dir/checkpoint_store.cpp.o.d"
+  "CMakeFiles/vecycle_storage.dir/checksum_index.cpp.o"
+  "CMakeFiles/vecycle_storage.dir/checksum_index.cpp.o.d"
+  "libvecycle_storage.a"
+  "libvecycle_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecycle_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

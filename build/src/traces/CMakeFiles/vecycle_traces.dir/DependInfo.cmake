@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traces/machine_spec.cpp" "src/traces/CMakeFiles/vecycle_traces.dir/machine_spec.cpp.o" "gcc" "src/traces/CMakeFiles/vecycle_traces.dir/machine_spec.cpp.o.d"
+  "/root/repo/src/traces/synthesizer.cpp" "src/traces/CMakeFiles/vecycle_traces.dir/synthesizer.cpp.o" "gcc" "src/traces/CMakeFiles/vecycle_traces.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vecycle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vecycle_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/vecycle_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/digest/CMakeFiles/vecycle_digest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecycle_traces.dir/machine_spec.cpp.o"
+  "CMakeFiles/vecycle_traces.dir/machine_spec.cpp.o.d"
+  "CMakeFiles/vecycle_traces.dir/synthesizer.cpp.o"
+  "CMakeFiles/vecycle_traces.dir/synthesizer.cpp.o.d"
+  "libvecycle_traces.a"
+  "libvecycle_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecycle_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvecycle_traces.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecycle_vm.dir/dirty_tracker.cpp.o"
+  "CMakeFiles/vecycle_vm.dir/dirty_tracker.cpp.o.d"
+  "CMakeFiles/vecycle_vm.dir/guest_memory.cpp.o"
+  "CMakeFiles/vecycle_vm.dir/guest_memory.cpp.o.d"
+  "CMakeFiles/vecycle_vm.dir/workload.cpp.o"
+  "CMakeFiles/vecycle_vm.dir/workload.cpp.o.d"
+  "libvecycle_vm.a"
+  "libvecycle_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecycle_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

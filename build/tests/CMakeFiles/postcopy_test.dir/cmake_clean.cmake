@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postcopy_test.dir/postcopy_test.cpp.o"
+  "CMakeFiles/postcopy_test.dir/postcopy_test.cpp.o.d"
+  "postcopy_test"
+  "postcopy_test.pdb"
+  "postcopy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postcopy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traces_test.dir/traces_test.cpp.o"
+  "CMakeFiles/traces_test.dir/traces_test.cpp.o.d"
+  "traces_test"
+  "traces_test.pdb"
+  "traces_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traces_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
