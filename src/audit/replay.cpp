@@ -1,0 +1,32 @@
+#include "audit/replay.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace vecycle::audit {
+
+namespace {
+
+std::uint64_t RunOnce(const ReplayCheck::Scenario& scenario) {
+  SimAuditor auditor;
+  const std::uint64_t stat_fingerprint = scenario(auditor);
+  return SplitMix64(auditor.Fingerprint() ^ stat_fingerprint).Next();
+}
+
+}  // namespace
+
+ReplayCheck::Result ReplayCheck::Compare(const Scenario& scenario) {
+  Result result;
+  result.first_fingerprint = RunOnce(scenario);
+  result.second_fingerprint = RunOnce(scenario);
+  return result;
+}
+
+void ReplayCheck::Verify(const Scenario& scenario) {
+  const Result result = Compare(scenario);
+  VEC_CHECK_MSG(result.Deterministic(),
+                "audit: scenario diverged between identical runs — "
+                "simulation is not deterministic");
+}
+
+}  // namespace vecycle::audit

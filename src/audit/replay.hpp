@@ -1,0 +1,46 @@
+// Determinism harness.
+//
+// Every experiment in this repository is supposed to be reproducible
+// bit-for-bit: the simulator breaks ties deterministically, all randomness
+// is seeded, and no component may consult wall-clock time or unseeded
+// entropy. ReplayCheck enforces that end-to-end: it runs a scenario twice
+// from scratch, each time under a fresh SimAuditor, and compares the
+// fingerprints of the two full event/stat sequences. Any divergence —
+// an unseeded RNG, iteration over pointer-keyed containers, leftover
+// static state — shows up as a fingerprint mismatch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "audit/audit.hpp"
+
+namespace vecycle::audit {
+
+class ReplayCheck {
+ public:
+  /// A scenario builds its entire world from scratch (simulator, memory,
+  /// stores — nothing may be reused across invocations), wires `auditor`
+  /// into the run, executes it, and returns a fingerprint of whatever
+  /// outcome statistics it cares about (0 is fine: the auditor's event
+  /// stream alone already covers the simulation's behaviour).
+  using Scenario = std::function<std::uint64_t(SimAuditor& auditor)>;
+
+  struct Result {
+    std::uint64_t first_fingerprint = 0;
+    std::uint64_t second_fingerprint = 0;
+    [[nodiscard]] bool Deterministic() const {
+      return first_fingerprint == second_fingerprint;
+    }
+  };
+
+  /// Runs `scenario` twice and reports both combined fingerprints
+  /// (auditor stream + scenario-returned stats).
+  static Result Compare(const Scenario& scenario);
+
+  /// Compare(), but throws CheckFailure on divergence — the form tests
+  /// and CI assertions use.
+  static void Verify(const Scenario& scenario);
+};
+
+}  // namespace vecycle::audit

@@ -61,6 +61,12 @@ struct MigrationConfig {
   /// avoid livelock against fast writers).
   std::uint32_t max_rounds = 16;
 
+  /// Runs this migration under the audit layer (src/audit): causality,
+  /// page/byte conservation, and end-state digest checks, each violation
+  /// throwing CheckFailure. The VECYCLE_AUDIT environment variable turns
+  /// this on globally regardless of the flag.
+  bool audit = false;
+
   void Validate() const;
 };
 

@@ -155,8 +155,10 @@ void DestinationActor::ApplyRecord(const net::PageRecord& record,
   const std::uint64_t seed = checkpoint_->SeedAt(*offset);
   // Cross-check the protocol invariant: the checkpoint block the index
   // points at really carries the content the source named.
-  VEC_CHECK(checkpoint_->DigestAt(*offset, params_.config.algorithm) ==
-            record.digest);
+  VEC_CHECK_MSG(checkpoint_->DigestAt(*offset, params_.config.algorithm) ==
+                    record.digest,
+                "checkpoint block does not carry the content its index "
+                "entry promises");
   memory_->WritePage(record.page, seed);
   ++pages_from_checkpoint_;
 }

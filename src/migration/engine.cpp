@@ -13,6 +13,15 @@ void MigrationConfig::Validate() const {
   VEC_CHECK_MSG(batch_pages > 0, "batch_pages must be positive");
   VEC_CHECK_MSG(max_rounds >= 2, "need at least one copy + one stop round");
   VEC_CHECK_MSG(query_window > 0, "query_window must be positive");
+  VEC_CHECK_MSG(compression.mean_ratio > 0.0 && compression.mean_ratio <= 1.0,
+                "compression mean_ratio must be in (0, 1]");
+  VEC_CHECK_MSG(
+      compression.ratio_jitter >= 0.0 && compression.ratio_jitter <= 1.0,
+      "compression ratio_jitter must be in [0, 1]");
+  VEC_CHECK_MSG(compression.compress_rate.bytes_per_second > 0.0,
+                "compression compress_rate must be positive");
+  VEC_CHECK_MSG(compression.decompress_rate.bytes_per_second > 0.0,
+                "compression decompress_rate must be positive");
 }
 
 /// All the wiring of one migration: channels, the two actors, and the
@@ -37,6 +46,31 @@ struct MigrationSession::Impl {
                                              run.config.algorithm);
     backward = std::make_unique<net::Channel>(simulator, *run.link, reverse,
                                               run.config.algorithm);
+
+    // Audit layer: an explicit auditor always wins; otherwise the config
+    // flag or VECYCLE_AUDIT creates a session-private one. The simulator
+    // and destination store are shared resources, so the session attaches
+    // to each only when no other auditor already observes it (first
+    // session wins under gang migrations) and detaches what it attached.
+    if (run.auditor != nullptr) {
+      auditor = run.auditor;
+    } else if (run.config.audit || audit::EnvEnabled()) {
+      owned_auditor = std::make_unique<audit::SimAuditor>();
+      auditor = owned_auditor.get();
+    }
+    if (auditor != nullptr) {
+      forward->SetAuditor(auditor, kForwardChannelId);
+      backward->SetAuditor(auditor, kBackwardChannelId);
+      if (simulator.Auditor() == nullptr) {
+        simulator.SetAuditor(auditor);
+        attached_simulator = true;
+      }
+      if (run.destination.store != nullptr &&
+          run.destination.store->Auditor() == nullptr) {
+        run.destination.store->SetAuditor(auditor);
+        attached_store = true;
+      }
+    }
 
     DestinationActor::Params dest_params;
     dest_params.simulator = &simulator;
@@ -135,6 +169,58 @@ struct MigrationSession::Impl {
     // (When need_bulk, Start happens inside OnBulkHashes at arrival.)
   }
 
+  ~Impl() {
+    if (attached_simulator) run.simulator->SetAuditor(nullptr);
+    if (attached_store) run.destination.store->SetAuditor(nullptr);
+  }
+
+  /// Run-level audit: conservation and end-state integrity, checked once
+  /// the outcome totals exist. (Causality and checkpoint integrity were
+  /// verified eagerly by the auditor as the run executed.)
+  void AuditOutcome(const MigrationOutcome& outcome) const {
+    const auto& stats = outcome.stats;
+    const std::uint64_t page_count = run.source_memory->PageCount();
+
+    // Page conservation: round 1 classifies every page into exactly one
+    // mechanism — full send, checksum-only record, dedup reference, or
+    // dirty-tracking skip.
+    VEC_CHECK_MSG(stats.Round1Pages() == page_count,
+                  "audit: round-1 page conservation violated (sent + "
+                  "skipped-via-checksum + dedup + clean-skips != page "
+                  "count)");
+    // Every checksum-only record was satisfied at the destination either
+    // by the locally initialized page or by a checkpoint read.
+    VEC_CHECK_MSG(stats.pages_matched_in_place + stats.pages_from_checkpoint ==
+                      stats.pages_sent_checksum,
+                  "audit: checksum-record conservation violated (matched "
+                  "in place + restored from checkpoint != checksum "
+                  "records sent)");
+    // Wire conservation: bytes the channels booked on the link equal the
+    // sum of the serialized message sizes the auditor observed.
+    VEC_CHECK_MSG(forward->PayloadSent() ==
+                      auditor->ChannelBytes(kForwardChannelId),
+                  "audit: forward wire bytes != sum of message sizes");
+    VEC_CHECK_MSG(backward->PayloadSent() ==
+                      auditor->ChannelBytes(kBackwardChannelId),
+                  "audit: backward wire bytes != sum of message sizes");
+    // End-state integrity: the reconstructed memory digests equal to the
+    // source at pause time.
+    VEC_CHECK_MSG(outcome.dest_memory->ContentFingerprint() ==
+                      run.source_memory->ContentFingerprint(),
+                  "audit: destination memory digest != source digest");
+
+    // Fold the outcome into the auditor's fingerprint so the determinism
+    // harness compares results, not just event shapes.
+    auditor->OnScalar("rounds", stats.rounds);
+    auditor->OnScalar("tx_bytes", stats.tx_bytes.count);
+    auditor->OnScalar("total_ns",
+                      static_cast<std::uint64_t>(stats.total_time.count()));
+    auditor->OnScalar("downtime_ns",
+                      static_cast<std::uint64_t>(stats.downtime.count()));
+    auditor->OnScalar("memory_digest",
+                      outcome.dest_memory->ContentFingerprint());
+  }
+
   MigrationOutcome Finalize() {
     VEC_CHECK_MSG(completed, "migration did not complete");
     VEC_CHECK_MSG(!finalized, "outcome already taken");
@@ -175,14 +261,23 @@ struct MigrationSession::Impl {
         std::unique(outcome.incoming_digests.begin(),
                     outcome.incoming_digests.end()),
         outcome.incoming_digests.end());
+
+    if (auditor != nullptr) AuditOutcome(outcome);
     return outcome;
   }
+
+  static constexpr std::uint32_t kForwardChannelId = 0;
+  static constexpr std::uint32_t kBackwardChannelId = 1;
 
   MigrationRun run;
   std::unique_ptr<net::Channel> forward;
   std::unique_ptr<net::Channel> backward;
   std::unique_ptr<DestinationActor> destination;
   std::unique_ptr<SourceActor> source;
+  std::unique_ptr<audit::SimAuditor> owned_auditor;
+  audit::SimAuditor* auditor = nullptr;
+  bool attached_simulator = false;
+  bool attached_store = false;
   SimTime completed_at = kSimEpoch;
   bool completed = false;
   bool finalized = false;

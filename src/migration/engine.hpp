@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "migration/config.hpp"
 #include "migration/stats.hpp"
 #include "sim/checksum_engine.hpp"
@@ -59,6 +60,12 @@ struct MigrationRun {
   /// The caller owns the map and its lifetime.
   std::unordered_map<std::uint64_t, std::uint64_t>* shared_dedup_cache =
       nullptr;
+
+  /// External auditor to run this migration under (determinism harness /
+  /// tests). When null and auditing is requested via config.audit or
+  /// VECYCLE_AUDIT, the session creates a private one. The caller owns
+  /// the auditor and must outlive the session.
+  audit::SimAuditor* auditor = nullptr;
 };
 
 struct MigrationOutcome {

@@ -11,6 +11,8 @@ void PostCopyConfig::Validate() const {
   VEC_CHECK_MSG(guest_touch_rate_per_s >= 0.0,
                 "touch rate must be non-negative");
   VEC_CHECK_MSG(prefetch_batch > 0, "prefetch batch must be positive");
+  VEC_CHECK_MSG(switchover_state.count > 0,
+                "switchover_state must be positive");
 }
 
 namespace {
@@ -24,6 +26,11 @@ enum class Residency : std::uint8_t {
 
 class PostCopyEngine {
  public:
+  ~PostCopyEngine() {
+    if (attached_simulator_) run_.simulator->SetAuditor(nullptr);
+    if (attached_store_) run_.dest_store->SetAuditor(nullptr);
+  }
+
   explicit PostCopyEngine(PostCopyRun run) : run_(std::move(run)) {
     VEC_CHECK(run_.simulator != nullptr);
     VEC_CHECK(run_.link != nullptr);
@@ -31,6 +38,13 @@ class PostCopyEngine {
     VEC_CHECK(run_.source_cpu != nullptr);
     VEC_CHECK(run_.dest_cpu != nullptr);
     run_.config.Validate();
+
+    if (run_.auditor != nullptr) {
+      auditor_ = run_.auditor;
+    } else if (run_.config.audit || audit::EnvEnabled()) {
+      owned_auditor_ = std::make_unique<audit::SimAuditor>();
+      auditor_ = owned_auditor_.get();
+    }
 
     auto& source = *run_.source_memory;
     dest_memory_ = std::make_unique<vm::GuestMemory>(
@@ -48,6 +62,16 @@ class PostCopyEngine {
     auto& simulator = *run_.simulator;
     auto& source = *run_.source_memory;
     const SimTime t0 = simulator.Now();
+
+    if (auditor_ != nullptr && simulator.Auditor() == nullptr) {
+      simulator.SetAuditor(auditor_);
+      attached_simulator_ = true;
+    }
+    if (auditor_ != nullptr && run_.dest_store != nullptr &&
+        run_.dest_store->Auditor() == nullptr) {
+      run_.dest_store->SetAuditor(auditor_);
+      attached_store_ = true;
+    }
 
     // Destination setup: restore the stale checkpoint if we may use it.
     SimTime setup_done = t0;
@@ -107,6 +131,8 @@ class PostCopyEngine {
                   "post-copy reconstruction diverged");
     dest_memory_->SetGenerations(source.Generations());
 
+    if (auditor_ != nullptr) AuditOutcome(source);
+
     PostCopyOutcome outcome;
     outcome.stats = stats_;
     outcome.dest_memory = std::move(dest_memory_);
@@ -115,6 +141,26 @@ class PostCopyEngine {
 
  private:
   std::uint64_t PageCount() const { return residency_.size(); }
+
+  /// Run-level audit: every page reached residency through exactly one
+  /// mechanism, and the reconstructed image digests equal to the source.
+  void AuditOutcome(const vm::GuestMemory& source) const {
+    VEC_CHECK_MSG(stats_.pages_from_checkpoint + stats_.pages_prefetched +
+                          stats_.remote_faults ==
+                      PageCount(),
+                  "audit: post-copy residency conservation violated "
+                  "(checkpoint + prefetch + fault != page count)");
+    VEC_CHECK_MSG(dest_memory_->ContentFingerprint() ==
+                      source.ContentFingerprint(),
+                  "audit: post-copy destination digest != source digest");
+    auditor_->OnScalar("pc_remote_faults", stats_.remote_faults);
+    auditor_->OnScalar("pc_tx_bytes", stats_.tx_bytes.count);
+    auditor_->OnScalar(
+        "pc_residency_ns",
+        static_cast<std::uint64_t>(stats_.time_to_residency.count()));
+    auditor_->OnScalar("pc_memory_digest",
+                       dest_memory_->ContentFingerprint());
+  }
 
   void MarkResident(vm::PageId page) {
     if (residency_[page] == Residency::kResident) return;
@@ -275,6 +321,10 @@ class PostCopyEngine {
   sim::ChecksumEngine fault_cpu_{sim::ChecksumEngineConfig{}};
   Xoshiro256 touch_rng_{1};
   PostCopyStats stats_;
+  std::unique_ptr<audit::SimAuditor> owned_auditor_;
+  audit::SimAuditor* auditor_ = nullptr;
+  bool attached_simulator_ = false;
+  bool attached_store_ = false;
   bool finished_ = false;
 };
 

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "migration/config.hpp"
@@ -43,6 +44,11 @@ struct PostCopyConfig {
   /// Pages per background-prefetch batch.
   std::uint32_t prefetch_batch = 256;
   std::uint64_t touch_seed = 1;
+
+  /// Runs this migration under the audit layer (src/audit): causality,
+  /// residency conservation, and end-state digest checks. VECYCLE_AUDIT
+  /// turns this on globally regardless of the flag.
+  bool audit = false;
 
   void Validate() const;
 };
@@ -75,6 +81,10 @@ struct PostCopyRun {
   storage::CheckpointStore* dest_store = nullptr;  ///< nullable
   storage::VmId vm_id = "vm";
   PostCopyConfig config;
+
+  /// External auditor (determinism harness / tests); when null and
+  /// auditing is requested, the run creates a private one. Caller-owned.
+  audit::SimAuditor* auditor = nullptr;
 };
 
 struct PostCopyOutcome {

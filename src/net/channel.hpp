@@ -8,6 +8,7 @@
 #include <functional>
 #include <utility>
 
+#include "audit/audit.hpp"
 #include "common/check.hpp"
 #include "net/message.hpp"
 #include "sim/link.hpp"
@@ -30,6 +31,14 @@ class Channel {
 
   void SetReceiver(Handler handler) { receiver_ = std::move(handler); }
 
+  /// Attaches an audit observer notified of every send; `channel_id`
+  /// distinguishes this channel in the auditor's per-channel accounting.
+  /// Pass nullptr to detach.
+  void SetAuditor(audit::AuditSink* auditor, std::uint32_t channel_id = 0) {
+    auditor_ = auditor;
+    audit_channel_id_ = channel_id;
+  }
+
   /// Sends `message`, booking wire time from `earliest` (never before the
   /// simulator's current time). Returns the delivery time.
   SimTime Send(Message message, SimTime earliest) {
@@ -39,6 +48,11 @@ class Channel {
     const SimTime arrival = link_.Transmit(direction_, start, wire);
     payload_sent_ += wire;
     ++messages_sent_;
+    if (auditor_ != nullptr) {
+      auditor_->OnMessageSent(audit_channel_id_,
+                              static_cast<std::uint32_t>(message.type),
+                              wire.count, start, arrival);
+    }
     simulator_.ScheduleAt(
         arrival, [this, msg = std::move(message), arrival]() mutable {
           receiver_(msg, arrival);
@@ -62,6 +76,8 @@ class Channel {
   sim::Direction direction_;
   DigestAlgorithm algorithm_;
   Handler receiver_;
+  audit::AuditSink* auditor_ = nullptr;
+  std::uint32_t audit_channel_id_ = 0;
   Bytes payload_sent_;
   std::uint64_t messages_sent_ = 0;
 };

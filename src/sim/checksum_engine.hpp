@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/check.hpp"
 #include "common/units.hpp"
 #include "digest/digest.hpp"
 #include "sim/simulator.hpp"
@@ -28,6 +29,18 @@ struct ChecksumEngineConfig {
   /// lever for >1 Gbps links). The model divides work evenly.
   std::uint32_t threads = 1;
 
+  void Validate() const {
+    VEC_CHECK_MSG(md5_rate.bytes_per_second > 0.0,
+                  "checksum md5_rate must be positive");
+    VEC_CHECK_MSG(sha1_rate.bytes_per_second > 0.0,
+                  "checksum sha1_rate must be positive");
+    VEC_CHECK_MSG(sha256_rate.bytes_per_second > 0.0,
+                  "checksum sha256_rate must be positive");
+    VEC_CHECK_MSG(fnv_rate.bytes_per_second > 0.0,
+                  "checksum fnv_rate must be positive");
+    VEC_CHECK_MSG(threads > 0, "checksum engine needs at least one thread");
+  }
+
   [[nodiscard]] ByteRate RateFor(DigestAlgorithm algorithm) const {
     switch (algorithm) {
       case DigestAlgorithm::kMd5:
@@ -45,7 +58,9 @@ struct ChecksumEngineConfig {
 
 class ChecksumEngine {
  public:
-  explicit ChecksumEngine(ChecksumEngineConfig config) : config_(config) {}
+  explicit ChecksumEngine(ChecksumEngineConfig config) : config_(config) {
+    config_.Validate();
+  }
 
   /// Books hashing of `n` bytes with `algorithm`; returns completion time.
   SimTime Hash(SimTime earliest, Bytes n, DigestAlgorithm algorithm) {

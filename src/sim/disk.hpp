@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "common/check.hpp"
 #include "common/units.hpp"
 #include "sim/simulator.hpp"
 
@@ -23,6 +24,15 @@ struct DiskConfig {
   /// Average positioning time charged per non-sequential request
   /// (seek + rotational delay for HDD, controller latency for SSD).
   SimDuration random_access = Milliseconds(12.0);
+
+  void Validate() const {
+    VEC_CHECK_MSG(sequential_read.bytes_per_second > 0.0,
+                  "disk sequential_read rate must be positive");
+    VEC_CHECK_MSG(sequential_write.bytes_per_second > 0.0,
+                  "disk sequential_write rate must be positive");
+    VEC_CHECK_MSG(random_access >= SimDuration::zero(),
+                  "disk random_access must be non-negative");
+  }
 
   /// Samsung HD204UI 2 TB, 5400 rpm, SATA-2.
   static DiskConfig Hdd() {
@@ -41,7 +51,7 @@ struct DiskConfig {
 
 class Disk {
  public:
-  explicit Disk(DiskConfig config) : config_(config) {}
+  explicit Disk(DiskConfig config) : config_(config) { config_.Validate(); }
 
   /// Books a sequential streaming read of `n` bytes.
   SimTime ReadSequential(SimTime earliest, Bytes n) {

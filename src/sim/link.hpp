@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "common/check.hpp"
 #include "common/units.hpp"
 #include "sim/simulator.hpp"
 
@@ -35,6 +36,13 @@ struct LinkConfig {
     return ByteRate{std::min(bandwidth.bytes_per_second, window_rate)};
   }
 
+  void Validate() const {
+    VEC_CHECK_MSG(bandwidth.bytes_per_second > 0.0,
+                  "link bandwidth must be positive");
+    VEC_CHECK_MSG(latency >= SimDuration::zero(),
+                  "link latency must be non-negative");
+  }
+
   /// Gigabit Ethernet LAN of the paper's testbed. 0.2 ms is a typical
   /// switched-LAN RTT/2; the paper quotes the effective payload rate as
   /// ~120 MiB/s, which 1 Gbps with ~6% framing overhead reproduces.
@@ -57,7 +65,7 @@ enum class Direction { kAtoB, kBtoA };
 
 class Link {
  public:
-  explicit Link(LinkConfig config) : config_(config) {}
+  explicit Link(LinkConfig config) : config_(config) { config_.Validate(); }
 
   /// Books the transmission of `payload` bytes in `dir`, starting no
   /// earlier than `earliest`. Returns the time at which the last byte

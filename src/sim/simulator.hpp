@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "common/check.hpp"
 #include "common/units.hpp"
 
@@ -52,6 +53,8 @@ class Simulator {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.when;
+    ++executed_;
+    if (auditor_ != nullptr) auditor_->OnEventExecuted(ev.when, ev.seq);
     (*ev.action)();
     return true;
   }
@@ -73,7 +76,16 @@ class Simulator {
   }
 
   [[nodiscard]] std::size_t PendingEvents() const { return queue_.size(); }
-  [[nodiscard]] std::uint64_t ProcessedEvents() const { return next_seq_; }
+  /// Events actually executed so far (not merely scheduled).
+  [[nodiscard]] std::uint64_t ProcessedEvents() const { return executed_; }
+  /// Events ever scheduled, executed or still pending.
+  [[nodiscard]] std::uint64_t ScheduledEvents() const { return next_seq_; }
+
+  /// Attaches an audit observer notified of every executed event; pass
+  /// nullptr to detach. The caller owns the sink and must detach it (or
+  /// keep it alive) for as long as the simulator runs.
+  void SetAuditor(audit::AuditSink* auditor) { auditor_ = auditor; }
+  [[nodiscard]] audit::AuditSink* Auditor() const { return auditor_; }
 
  private:
   struct Event {
@@ -94,6 +106,8 @@ class Simulator {
 
   SimTime now_ = kSimEpoch;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  audit::AuditSink* auditor_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

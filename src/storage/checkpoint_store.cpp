@@ -50,6 +50,9 @@ SimTime CheckpointStore::Save(const VmId& vm, Checkpoint checkpoint,
   }
   const bool fits = MakeRoom(vm, size);
   VEC_CHECK_MSG(fits, "retention policy cannot accommodate checkpoint");
+  if (auditor_ != nullptr) {
+    auditor_->OnCheckpointVerified(checkpoint.IntegrityOk());
+  }
   checkpoints_[vm] = Entry{std::move(checkpoint), done};
   return done;
 }
@@ -68,6 +71,9 @@ CheckpointStore::LoadResult CheckpointStore::Load(const VmId& vm,
   result.ready_at =
       disk_.ReadSequential(earliest, it->second.checkpoint.SizeOnDisk());
   it->second.last_used = std::max(it->second.last_used, result.ready_at);
+  if (auditor_ != nullptr) {
+    auditor_->OnCheckpointVerified(it->second.checkpoint.IntegrityOk());
+  }
   return result;
 }
 

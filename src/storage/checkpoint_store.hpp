@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "audit/audit.hpp"
 #include "common/units.hpp"
 #include "sim/disk.hpp"
 #include "storage/checkpoint.hpp"
@@ -74,6 +75,12 @@ class CheckpointStore {
   [[nodiscard]] std::uint64_t Evictions() const { return evictions_; }
   [[nodiscard]] const RetentionPolicy& Policy() const { return policy_; }
 
+  /// Attaches an audit observer: every Save and Load then re-verifies the
+  /// image digest and reports the result (end-state integrity of the
+  /// checkpoint path). Pass nullptr to detach.
+  void SetAuditor(audit::AuditSink* auditor) { auditor_ = auditor; }
+  [[nodiscard]] audit::AuditSink* Auditor() const { return auditor_; }
+
   [[nodiscard]] sim::Disk& Disk() { return disk_; }
 
  private:
@@ -89,6 +96,7 @@ class CheckpointStore {
 
   sim::Disk& disk_;
   RetentionPolicy policy_;
+  audit::AuditSink* auditor_ = nullptr;
   std::unordered_map<VmId, Entry> checkpoints_;
   std::uint64_t evictions_ = 0;
 };

@@ -114,6 +114,18 @@ bool GuestMemory::ContentEquals(const GuestMemory& other) const {
   return seeds_ == other.seeds_;
 }
 
+std::uint64_t GuestMemory::ContentFingerprint() const {
+  // Order-sensitive mix over the seed vector. Seeds are content identity
+  // in both modes, so two memories fingerprint equal iff every page's
+  // content matches — the cheap whole-image digest the audit layer
+  // compares after a migration.
+  std::uint64_t fingerprint = 0x9e3779b97f4a7c15ull;
+  for (const auto seed : seeds_) {
+    fingerprint = SplitMix64(fingerprint ^ seed).Next();
+  }
+  return fingerprint;
+}
+
 std::uint64_t GuestMemory::CountZeroPages() const {
   std::uint64_t zeros = 0;
   for (const auto seed : seeds_) {
@@ -123,7 +135,8 @@ std::uint64_t GuestMemory::CountZeroPages() const {
 }
 
 void MemoryProfile::Apply(GuestMemory& memory, Xoshiro256& rng) const {
-  VEC_CHECK(zero_fraction >= 0.0 && duplicate_fraction >= 0.0);
+  VEC_CHECK_MSG(zero_fraction >= 0.0 && duplicate_fraction >= 0.0,
+                "memory profile fractions must be non-negative");
   VEC_CHECK_MSG(zero_fraction + duplicate_fraction <= 1.0,
                 "memory profile fractions exceed 100%");
   VEC_CHECK(duplicate_pool_size > 0);

@@ -98,6 +98,11 @@ class GuestMemory {
   /// True iff both memories have identical content page-by-page.
   [[nodiscard]] bool ContentEquals(const GuestMemory& other) const;
 
+  /// Order-sensitive 64-bit digest of the whole image's content; equal iff
+  /// page-by-page content is equal. The audit layer compares source and
+  /// destination fingerprints after every migration.
+  [[nodiscard]] std::uint64_t ContentFingerprint() const;
+
   [[nodiscard]] std::uint64_t CountZeroPages() const;
 
  private:

@@ -61,8 +61,11 @@ void UniformRandomWorkload::Advance(GuestMemory& memory, SimDuration dt) {
 HotspotWorkload::HotspotWorkload(Config config)
     : config_(config), rng_(config.seed) {
   VEC_CHECK(config_.write_rate_pages_per_s >= 0.0);
-  VEC_CHECK(config_.hot_fraction > 0.0 && config_.hot_fraction <= 1.0);
-  VEC_CHECK(config_.hot_probability >= 0.0 && config_.hot_probability <= 1.0);
+  VEC_CHECK_MSG(config_.hot_fraction > 0.0 && config_.hot_fraction <= 1.0,
+                "hot_fraction must be in (0, 1]");
+  VEC_CHECK_MSG(
+      config_.hot_probability >= 0.0 && config_.hot_probability <= 1.0,
+      "hot_probability must be in [0, 1]");
 }
 
 void HotspotWorkload::Advance(GuestMemory& memory, SimDuration dt) {
@@ -83,7 +86,8 @@ void HotspotWorkload::Advance(GuestMemory& memory, SimDuration dt) {
 SequentialRamdiskWorkload::SequentialRamdiskWorkload(
     std::uint64_t memory_pages, double ramdisk_fraction, std::uint64_t seed)
     : rng_(seed) {
-  VEC_CHECK(ramdisk_fraction > 0.0 && ramdisk_fraction <= 1.0);
+  VEC_CHECK_MSG(ramdisk_fraction > 0.0 && ramdisk_fraction <= 1.0,
+                "ramdisk_fraction must be in (0, 1]");
   span_pages_ = static_cast<std::uint64_t>(
       ramdisk_fraction * static_cast<double>(memory_pages));
   VEC_CHECK(span_pages_ > 0);
@@ -101,7 +105,8 @@ void SequentialRamdiskWorkload::Fill(GuestMemory& memory) {
 
 void SequentialRamdiskWorkload::UpdateFraction(GuestMemory& memory,
                                                double fraction) {
-  VEC_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  VEC_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
+                "update fraction must be in [0, 1]");
   VEC_CHECK(first_page_ + span_pages_ <= memory.PageCount());
   const auto updates =
       static_cast<std::uint64_t>(fraction * static_cast<double>(span_pages_));

@@ -1,0 +1,190 @@
+// Every public Validate() rejects each invalid field with a CheckFailure
+// whose message names the field distinctly — so a failing configuration
+// points at the exact mistake, not a generic "invalid config".
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "migration/config.hpp"
+#include "migration/engine.hpp"
+#include "migration/postcopy.hpp"
+#include "sim/checksum_engine.hpp"
+#include "sim/disk.hpp"
+#include "sim/link.hpp"
+
+namespace vecycle {
+namespace {
+
+/// Runs `mutate` on a default config, validates, and returns the
+/// CheckFailure message — failing the test if nothing was thrown or the
+/// message lacks `expected` substring.
+template <typename Config>
+std::string RejectionMessage(const std::function<void(Config&)>& mutate,
+                             const std::string& expected) {
+  Config config;
+  mutate(config);
+  try {
+    config.Validate();
+  } catch (const CheckFailure& failure) {
+    const std::string what = failure.what();
+    EXPECT_NE(what.find(expected), std::string::npos)
+        << "message \"" << what << "\" does not mention \"" << expected
+        << '"';
+    return what;
+  }
+  ADD_FAILURE() << "Validate() accepted a config that should fail: "
+                << expected;
+  return {};
+}
+
+/// Asserts all collected rejection messages are pairwise distinct.
+void ExpectDistinct(const std::vector<std::string>& messages) {
+  const std::set<std::string> unique(messages.begin(), messages.end());
+  EXPECT_EQ(unique.size(), messages.size())
+      << "two invalid fields produce the same diagnostic";
+}
+
+TEST(MigrationConfigValidate, RejectsEachInvalidFieldDistinctly) {
+  using migration::MigrationConfig;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<MigrationConfig>(
+      [](auto& c) { c.batch_pages = 0; }, "batch_pages must be positive"));
+  messages.push_back(RejectionMessage<MigrationConfig>(
+      [](auto& c) { c.max_rounds = 1; },
+      "need at least one copy + one stop round"));
+  messages.push_back(RejectionMessage<MigrationConfig>(
+      [](auto& c) { c.query_window = 0; }, "query_window must be positive"));
+  messages.push_back(RejectionMessage<MigrationConfig>(
+      [](auto& c) { c.compression.mean_ratio = 0.0; },
+      "compression mean_ratio must be in (0, 1]"));
+  messages.push_back(RejectionMessage<MigrationConfig>(
+      [](auto& c) { c.compression.ratio_jitter = -0.1; },
+      "compression ratio_jitter must be in [0, 1]"));
+  messages.push_back(RejectionMessage<MigrationConfig>(
+      [](auto& c) { c.compression.compress_rate = MiBPerSecond(0.0); },
+      "compression compress_rate must be positive"));
+  messages.push_back(RejectionMessage<MigrationConfig>(
+      [](auto& c) { c.compression.decompress_rate = MiBPerSecond(0.0); },
+      "compression decompress_rate must be positive"));
+  ExpectDistinct(messages);
+
+  // Boundary values the checks must accept.
+  MigrationConfig ok;
+  ok.max_rounds = 2;
+  ok.compression.mean_ratio = 1.0;
+  ok.compression.ratio_jitter = 0.0;
+  EXPECT_NO_THROW(ok.Validate());
+}
+
+TEST(LinkConfigValidate, RejectsEachInvalidFieldDistinctly) {
+  using sim::LinkConfig;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<LinkConfig>(
+      [](auto& c) { c.bandwidth = MiBPerSecond(0.0); },
+      "link bandwidth must be positive"));
+  messages.push_back(RejectionMessage<LinkConfig>(
+      [](auto& c) { c.latency = Seconds(-0.001); },
+      "link latency must be non-negative"));
+  ExpectDistinct(messages);
+  EXPECT_NO_THROW(LinkConfig::Lan().Validate());
+  EXPECT_NO_THROW(LinkConfig::Wan().Validate());
+}
+
+TEST(LinkConfigValidate, ConstructorRefusesInvalidConfig) {
+  sim::LinkConfig config;
+  config.bandwidth = MiBPerSecond(-5.0);
+  EXPECT_THROW(sim::Link{config}, CheckFailure);
+}
+
+TEST(DiskConfigValidate, RejectsEachInvalidFieldDistinctly) {
+  using sim::DiskConfig;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<DiskConfig>(
+      [](auto& c) { c.sequential_read = MiBPerSecond(0.0); },
+      "disk sequential_read rate must be positive"));
+  messages.push_back(RejectionMessage<DiskConfig>(
+      [](auto& c) { c.sequential_write = MiBPerSecond(0.0); },
+      "disk sequential_write rate must be positive"));
+  messages.push_back(RejectionMessage<DiskConfig>(
+      [](auto& c) { c.random_access = Seconds(-0.001); },
+      "disk random_access must be non-negative"));
+  ExpectDistinct(messages);
+  EXPECT_NO_THROW(DiskConfig::Hdd().Validate());
+  EXPECT_NO_THROW(DiskConfig::Ssd().Validate());
+}
+
+TEST(DiskConfigValidate, ConstructorRefusesInvalidConfig) {
+  sim::DiskConfig config;
+  config.sequential_write = MiBPerSecond(0.0);
+  EXPECT_THROW(sim::Disk{config}, CheckFailure);
+}
+
+TEST(ChecksumEngineConfigValidate, RejectsEachInvalidFieldDistinctly) {
+  using sim::ChecksumEngineConfig;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<ChecksumEngineConfig>(
+      [](auto& c) { c.md5_rate = MiBPerSecond(0.0); },
+      "checksum md5_rate must be positive"));
+  messages.push_back(RejectionMessage<ChecksumEngineConfig>(
+      [](auto& c) { c.sha1_rate = MiBPerSecond(0.0); },
+      "checksum sha1_rate must be positive"));
+  messages.push_back(RejectionMessage<ChecksumEngineConfig>(
+      [](auto& c) { c.sha256_rate = MiBPerSecond(0.0); },
+      "checksum sha256_rate must be positive"));
+  messages.push_back(RejectionMessage<ChecksumEngineConfig>(
+      [](auto& c) { c.fnv_rate = MiBPerSecond(0.0); },
+      "checksum fnv_rate must be positive"));
+  messages.push_back(RejectionMessage<ChecksumEngineConfig>(
+      [](auto& c) { c.threads = 0; },
+      "checksum engine needs at least one thread"));
+  ExpectDistinct(messages);
+  EXPECT_NO_THROW(ChecksumEngineConfig{}.Validate());
+}
+
+TEST(ChecksumEngineConfigValidate, ConstructorRefusesInvalidConfig) {
+  sim::ChecksumEngineConfig config;
+  config.threads = 0;
+  EXPECT_THROW(sim::ChecksumEngine{config}, CheckFailure);
+}
+
+TEST(PostCopyConfigValidate, RejectsEachInvalidFieldDistinctly) {
+  using migration::PostCopyConfig;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<PostCopyConfig>(
+      [](auto& c) { c.guest_touch_rate_per_s = -1.0; },
+      "touch rate must be non-negative"));
+  messages.push_back(RejectionMessage<PostCopyConfig>(
+      [](auto& c) { c.prefetch_batch = 0; },
+      "prefetch batch must be positive"));
+  messages.push_back(RejectionMessage<PostCopyConfig>(
+      [](auto& c) { c.switchover_state = Bytes{0}; },
+      "switchover_state must be positive"));
+  ExpectDistinct(messages);
+  EXPECT_NO_THROW(PostCopyConfig{}.Validate());
+}
+
+// The diagnostics must stay distinct ACROSS config types too: a log line
+// containing only the message still identifies the failing knob.
+TEST(AllValidates, MessagesAreGloballyDistinct) {
+  const std::vector<std::string> messages = {
+      RejectionMessage<migration::MigrationConfig>(
+          [](auto& c) { c.batch_pages = 0; }, "batch_pages"),
+      RejectionMessage<sim::LinkConfig>(
+          [](auto& c) { c.bandwidth = MiBPerSecond(0.0); }, "bandwidth"),
+      RejectionMessage<sim::DiskConfig>(
+          [](auto& c) { c.sequential_read = MiBPerSecond(0.0); },
+          "sequential_read"),
+      RejectionMessage<sim::ChecksumEngineConfig>(
+          [](auto& c) { c.md5_rate = MiBPerSecond(0.0); }, "md5_rate"),
+      RejectionMessage<migration::PostCopyConfig>(
+          [](auto& c) { c.prefetch_batch = 0; }, "prefetch batch"),
+  };
+  ExpectDistinct(messages);
+}
+
+}  // namespace
+}  // namespace vecycle

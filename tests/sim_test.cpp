@@ -86,6 +86,33 @@ TEST(Simulator, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(simulator.Step());
 }
 
+// Regression: ProcessedEvents() used to report scheduled events, so a
+// never-run simulator with queued work claimed it had processed them.
+TEST(Simulator, ProcessedEventsCountsExecutedNotScheduled) {
+  Simulator simulator;
+  simulator.Schedule(Seconds(1.0), [] {});
+  simulator.Schedule(Seconds(2.0), [] {});
+  simulator.Schedule(Seconds(3.0), [] {});
+  EXPECT_EQ(simulator.ProcessedEvents(), 0u);
+  EXPECT_EQ(simulator.ScheduledEvents(), 3u);
+
+  EXPECT_TRUE(simulator.Step());
+  EXPECT_EQ(simulator.ProcessedEvents(), 1u);
+
+  simulator.Run();
+  EXPECT_EQ(simulator.ProcessedEvents(), 3u);
+  EXPECT_EQ(simulator.ScheduledEvents(), 3u);
+}
+
+TEST(Simulator, RunUntilExecutesOnlyDueEvents) {
+  Simulator simulator;
+  simulator.Schedule(Seconds(1.0), [] {});
+  simulator.Schedule(Seconds(5.0), [] {});
+  simulator.RunUntil(Seconds(2.0));
+  EXPECT_EQ(simulator.ProcessedEvents(), 1u);
+  EXPECT_EQ(simulator.ScheduledEvents(), 2u);
+}
+
 // --- FIFO resource. ---
 
 TEST(FifoResource, BackToBackRequestsQueue) {

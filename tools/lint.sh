@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Repo-specific lint rules, run by CI next to clang-tidy. Each rule prints
+# the offending locations and the script exits non-zero if any rule fails.
+#
+#   1. No build artifacts tracked by git.
+#   2. All headers start their include story with #pragma once.
+#   3. No naked assert() in src/ — invariants use VEC_CHECK/VEC_CHECK_MSG,
+#      which stay armed in release builds and throw a catchable error.
+#   4. Compound VEC_CHECK conditions (&&/||) must use VEC_CHECK_MSG: when
+#      a multi-clause check fires, the expression alone does not say which
+#      clause failed, so a message is mandatory.
+#   5. Every public Validate() is exercised by a test that checks
+#      CheckFailure behaviour.
+set -u
+
+cd "$(dirname "$0")/.."
+failures=0
+
+fail() {
+  echo "lint: $1" >&2
+  failures=$((failures + 1))
+}
+
+# --- Rule 1: no tracked build artifacts. ------------------------------
+tracked_artifacts=$(git ls-files | grep -E \
+  '(^|/)build[^/]*/|(^|/)CMakeCache\.txt$|(^|/)CMakeFiles/|\.(o|obj|a|so|dylib)$' \
+  || true)
+if [ -n "${tracked_artifacts}" ]; then
+  echo "${tracked_artifacts}" >&2
+  fail "build artifacts are tracked by git (rule 1)"
+fi
+
+# --- Rule 2: #pragma once in every header. ----------------------------
+missing_pragma=$(git ls-files 'src/*.hpp' 'tests/*.hpp' 'bench/*.hpp' |
+  while read -r header; do
+    grep -q '^#pragma once$' "${header}" || echo "${header}"
+  done)
+if [ -n "${missing_pragma}" ]; then
+  echo "${missing_pragma}" >&2
+  fail "headers without #pragma once (rule 2)"
+fi
+
+# --- Rule 3: no naked assert() in src/. -------------------------------
+# static_assert is fine (compile-time); assert() vanishes under NDEBUG,
+# so runtime invariants must go through VEC_CHECK instead.
+naked_asserts=$(grep -rnE '(^|[^_[:alnum:]])assert\(' src/ \
+  --include='*.hpp' --include='*.cpp' | grep -v 'static_assert' || true)
+if [ -n "${naked_asserts}" ]; then
+  echo "${naked_asserts}" >&2
+  fail "naked assert() in src/ — use VEC_CHECK/VEC_CHECK_MSG (rule 3)"
+fi
+
+# --- Rule 4: compound VEC_CHECK conditions need a message. ------------
+# Join each VEC_CHECK(...) call (they may span lines) and flag && or ||
+# inside the condition. The macro definition itself is exempt.
+compound_checks=$(git ls-files 'src/*.hpp' 'src/*.cpp' |
+  grep -v '^src/common/check.hpp$' |
+  xargs awk '
+    /VEC_CHECK\(/ { collecting = 1; call = ""; start = FILENAME ":" FNR }
+    collecting {
+      call = call $0
+      depth = gsub(/\(/, "(", $0) - gsub(/\)/, ")", $0)
+      total += depth
+      if (total <= 0) {
+        collecting = 0; total = 0
+        if (call ~ /&&|\|\|/) print start ": " call
+      }
+    }
+  ' || true)
+if [ -n "${compound_checks}" ]; then
+  echo "${compound_checks}" >&2
+  fail "compound VEC_CHECK without message — use VEC_CHECK_MSG (rule 4)"
+fi
+
+# --- Rule 5: every Validate() has CheckFailure test coverage. ---------
+# For each type declaring `void Validate() const` in src/, some test file
+# must mention both the type name and CheckFailure.
+validate_types=$(git ls-files 'src/*.hpp' | xargs awk '
+  /^(struct|class) [A-Za-z_]/ { type = $2; sub(/[^A-Za-z0-9_].*/, "", type) }
+  /void Validate\(\) const/ && type != "" { print type }
+' | sort -u)
+for type in ${validate_types}; do
+  covered=$(grep -l "CheckFailure" tests/*.cpp | xargs grep -l "${type}" || true)
+  if [ -z "${covered}" ]; then
+    fail "no test exercises CheckFailure for ${type}::Validate() (rule 5)"
+  fi
+done
+
+if [ "${failures}" -gt 0 ]; then
+  echo "lint: ${failures} rule(s) failed" >&2
+  exit 1
+fi
+echo "lint: all rules pass"
