@@ -40,6 +40,7 @@ migration::MigrationStats Run(sim::LinkConfig link, DigestAlgorithm algorithm,
 }  // namespace
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_ablation_checksum");
   bench::PrintHeader(
       "Ablation: checksum algorithm and link speed (2 GiB idle VM)");
 

@@ -42,6 +42,7 @@ migration::MigrationStats Run(sim::LinkConfig link,
 }  // namespace
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_ablation_compression");
   bench::PrintHeader(
       "Ablation: wire compression x checkpoint recycling (2 GiB VM)");
 

@@ -103,6 +103,7 @@ core::ConsolidationManager::Stats RunWeek(migration::Strategy strategy) {
 }  // namespace
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_ablation_consolidation");
   bench::PrintHeader(
       "Ablation: consolidation loop, 8 x 512 MiB desktops, 5 weekdays");
 

@@ -103,6 +103,7 @@ EvacuationResult Evacuate(std::size_t vm_count,
 }  // namespace
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_ablation_contention");
   bench::PrintHeader(
       "Ablation: evacuating N concurrent 512 MiB VMs over one GbE link");
 

@@ -30,6 +30,7 @@ migration::MigrationStats RunRemapHeavy(sim::DiskConfig disk) {
 }  // namespace
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_ablation_disk");
   bench::PrintHeader("Ablation: checkpoint on HDD vs SSD (2 GiB VM, LAN)");
 
   analysis::Table table({"Workload", "Disk", "Migration time", "Setup time",

@@ -38,6 +38,7 @@ migration::MigrationStats Run(sim::LinkConfig link,
 }  // namespace
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_ablation_hash_exchange");
   bench::PrintHeader(
       "Ablation: hash-exchange protocol (512 MiB idle VM, cold source)");
 

@@ -58,6 +58,7 @@ migration::PostCopyStats Run(sim::LinkConfig link, bool use_checkpoint,
 }  // namespace
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_ablation_postcopy");
   bench::PrintHeader(
       "Ablation: post-copy x checkpoint recycling (1 GiB VM, busy guest)");
 

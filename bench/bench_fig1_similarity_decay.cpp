@@ -16,6 +16,7 @@
 #include "traces/synthesizer.hpp"
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_fig1_similarity_decay");
   using namespace vecycle;
 
   bench::PrintHeader("Figure 1: memory similarity vs time between snapshots");

@@ -9,6 +9,7 @@
 #include "traces/synthesizer.hpp"
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_fig2_week_similarity");
   using namespace vecycle;
 
   bench::PrintHeader("Figure 2: Server C similarity over the full 7 days");

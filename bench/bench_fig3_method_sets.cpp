@@ -19,6 +19,7 @@
 #include "traces/synthesizer.hpp"
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_fig3_method_sets");
   using namespace vecycle;
 
   bench::PrintHeader("Figure 3 (quantified): page sets per method");

@@ -27,6 +27,7 @@ double MeanOf(const std::vector<double>& values) {
 }  // namespace
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_fig4_duplicate_pages");
   using namespace vecycle;
 
   bench::PrintHeader("Figure 4: duplicate pages and zero pages over time");

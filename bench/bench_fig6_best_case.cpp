@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_fig6_best_case");
   using namespace vecycle;
 
   const std::vector<std::uint64_t> sizes_mib = {1024, 2048, 4096, 6144};

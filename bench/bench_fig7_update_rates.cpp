@@ -40,6 +40,7 @@ migration::MigrationStats RunOne(sim::LinkConfig link, double update_fraction,
 }  // namespace
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_fig7_update_rates");
   const std::vector<double> updates = {0.0, 0.25, 0.50, 0.75, 1.0};
 
   for (const auto& [net_label, link] :

@@ -16,6 +16,7 @@
 #include "traces/synthesizer.hpp"
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_fig8_vdi");
   using namespace vecycle;
 
   bench::PrintHeader("Figure 8: VDI consolidation, 26 migrations over 13 weekdays");

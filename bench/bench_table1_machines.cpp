@@ -9,6 +9,7 @@
 #include "traces/machine_spec.hpp"
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("bench_table1_machines");
   using namespace vecycle;
 
   bench::PrintHeader("Table 1: traced systems (Memory Buddies corpus model)");

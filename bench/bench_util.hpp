@@ -12,6 +12,7 @@
 #include "core/orchestrator.hpp"
 #include "core/vm_instance.hpp"
 #include "migration/engine.hpp"
+#include "obs/report.hpp"
 #include "vm/workload.hpp"
 
 namespace vecycle::bench {

@@ -20,9 +20,11 @@
 #include "core/cluster.hpp"
 #include "core/orchestrator.hpp"
 #include "core/vm_instance.hpp"
+#include "obs/report.hpp"
 #include "vm/workload.hpp"
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("follow_the_sun");
   using namespace vecycle;
 
   sim::Simulator simulator;

@@ -12,9 +12,11 @@
 #include "core/cluster.hpp"
 #include "core/orchestrator.hpp"
 #include "core/vm_instance.hpp"
+#include "obs/report.hpp"
 #include "vm/workload.hpp"
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("quickstart");
   using namespace vecycle;
 
   // 1. A cluster: two hosts joined by gigabit Ethernet, each with a local

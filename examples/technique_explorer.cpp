@@ -16,6 +16,7 @@
 #include "core/cluster.hpp"
 #include "core/orchestrator.hpp"
 #include "core/vm_instance.hpp"
+#include "obs/report.hpp"
 #include "vm/workload.hpp"
 
 namespace {
@@ -55,6 +56,7 @@ migration::MigrationStats Measure(migration::Strategy strategy,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const vecycle::obs::ScopedReporter reporter("technique_explorer");
   const double dwell = argc > 1 ? std::atof(argv[1]) : 60.0;
   std::printf(
       "1 GiB VM, hotspot+remap guest, %g minutes between outbound and "

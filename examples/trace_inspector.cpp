@@ -18,6 +18,7 @@
 #include "analysis/table.hpp"
 #include "analysis/technique.hpp"
 #include "common/check.hpp"
+#include "obs/report.hpp"
 #include "traces/synthesizer.hpp"
 
 namespace {
@@ -134,6 +135,7 @@ int Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const vecycle::obs::ScopedReporter reporter("trace_inspector");
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   try {

@@ -17,6 +17,7 @@
 #include "core/cluster.hpp"
 #include "core/orchestrator.hpp"
 #include "core/vm_instance.hpp"
+#include "obs/report.hpp"
 #include "vm/workload.hpp"
 
 namespace {
@@ -100,6 +101,7 @@ double RunWeek(migration::Strategy strategy, bool print) {
 }  // namespace
 
 int main() {
+  const vecycle::obs::ScopedReporter reporter("vdi_consolidation");
   std::printf("One work week, 10 migrations, 2 GiB virtual desktop.\n\n");
 
   std::printf("--- Baseline (full pre-copy, no checkpoint reuse) ---\n");

@@ -1,5 +1,7 @@
 #include "digest/digest.hpp"
 
+#include "common/check.hpp"
+
 namespace vecycle {
 
 std::string Digest128::ToHex() const {
@@ -25,7 +27,7 @@ const char* ToString(DigestAlgorithm algorithm) {
     case DigestAlgorithm::kFnv1a:
       return "fnv1a";
   }
-  return "?";
+  VEC_CHECK_MSG(false, "ToString: unenumerated digest algorithm");
 }
 
 }  // namespace vecycle

@@ -1,5 +1,6 @@
 #include "digest/hasher.hpp"
 
+#include "common/check.hpp"
 #include "digest/fnv.hpp"
 #include "digest/md5.hpp"
 #include "digest/sha1.hpp"
@@ -19,7 +20,9 @@ Digest128 ComputeDigest(DigestAlgorithm algorithm, const void* data,
     case DigestAlgorithm::kFnv1a:
       return FnvDigest(data, size);
   }
-  return {};
+  // A zero digest for an unknown algorithm would silently collide with
+  // every other unknown-algorithm digest; fail loudly instead.
+  VEC_CHECK_MSG(false, "ComputeDigest: unenumerated digest algorithm");
 }
 
 Digest128 ComputeDigest(DigestAlgorithm algorithm,

@@ -67,6 +67,14 @@ struct MigrationConfig {
   /// this on globally regardless of the flag.
   bool audit = false;
 
+  /// Runs this migration under the observability layer (src/obs): per-round
+  /// spans, channel byte timelines, CPU backlog and dirty-page counters
+  /// recorded into obs::GlobalTrace(), and a metrics record of every
+  /// MigrationStats field into obs::GlobalMetrics(). The VECYCLE_TRACE
+  /// environment variable turns this on globally regardless of the flag.
+  /// Disabled, the cost is one pointer test per event.
+  bool trace = false;
+
   void Validate() const;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "migration/destination.hpp"
+#include "migration/observe.hpp"
 #include "migration/source.hpp"
 #include "net/channel.hpp"
 
@@ -38,6 +39,7 @@ struct MigrationSession::Impl {
 
     auto& simulator = *run.simulator;
     const SimTime t0 = simulator.Now();
+    start_time = t0;
     const sim::Direction reverse = run.direction == sim::Direction::kAtoB
                                        ? sim::Direction::kBtoA
                                        : sim::Direction::kAtoB;
@@ -70,6 +72,52 @@ struct MigrationSession::Impl {
         run.destination.store->SetAuditor(auditor);
         attached_store = true;
       }
+    }
+
+    // Observability layer, same resolution and attach rules as the audit
+    // layer: an explicit recorder wins; otherwise the config flag or
+    // VECYCLE_TRACE routes to the process-wide recorder. Shared resources
+    // (simulator, CPUs, store) are claimed only when free and released on
+    // teardown; the channels and the source actor are session-owned.
+    if (run.tracer != nullptr) {
+      tracer = run.tracer;
+    } else if (run.config.trace || obs::EnvEnabled()) {
+      tracer = &obs::GlobalTrace();
+    }
+    if (run.metrics != nullptr) {
+      metrics = run.metrics;
+    } else if (tracer != nullptr) {
+      metrics = &obs::GlobalMetrics();
+    }
+    if (tracer != nullptr) {
+      label = run.vm_id;
+      label += "/";
+      label += ToString(run.config.strategy);
+      const auto process = tracer->NewProcess(label);
+      session_track = tracer->Track(process, "session");
+      const auto source_track = tracer->Track(process, "source rounds");
+      forward->SetTracer(tracer, tracer->Track(process, "link to dest"));
+      backward->SetTracer(tracer, tracer->Track(process, "link to source"));
+      if (run.source.cpu->Tracer() == nullptr) {
+        run.source.cpu->SetTracer(tracer, tracer->Track(process, "cpu source"));
+        attached_source_cpu = true;
+      }
+      if (run.destination.cpu->Tracer() == nullptr) {
+        run.destination.cpu->SetTracer(tracer,
+                                       tracer->Track(process, "cpu dest"));
+        attached_dest_cpu = true;
+      }
+      if (run.destination.store != nullptr &&
+          run.destination.store->Tracer() == nullptr) {
+        run.destination.store->SetTracer(tracer,
+                                         tracer->Track(process, "store"));
+        attached_store_tracer = true;
+      }
+      if (simulator.Tracer() == nullptr) {
+        simulator.SetTracer(tracer, tracer->Track(process, "event loop"));
+        attached_simulator_tracer = true;
+      }
+      trace_source_track = source_track;
     }
 
     DestinationActor::Params dest_params;
@@ -128,6 +176,8 @@ struct MigrationSession::Impl {
     src_params.departure_generations =
         std::move(run.departure_generations);
     src_params.shared_dedup_cache = run.shared_dedup_cache;
+    src_params.tracer = tracer;
+    src_params.trace_track = trace_source_track;
 
     if (use_query) {
       // §3.2's alternative scheme: the source asks the destination about
@@ -172,6 +222,10 @@ struct MigrationSession::Impl {
   ~Impl() {
     if (attached_simulator) run.simulator->SetAuditor(nullptr);
     if (attached_store) run.destination.store->SetAuditor(nullptr);
+    if (attached_simulator_tracer) run.simulator->SetTracer(nullptr);
+    if (attached_source_cpu) run.source.cpu->SetTracer(nullptr);
+    if (attached_dest_cpu) run.destination.cpu->SetTracer(nullptr);
+    if (attached_store_tracer) run.destination.store->SetTracer(nullptr);
   }
 
   /// Run-level audit: conservation and end-state integrity, checked once
@@ -263,6 +317,21 @@ struct MigrationSession::Impl {
         outcome.incoming_digests.end());
 
     if (auditor != nullptr) AuditOutcome(outcome);
+    if (tracer != nullptr) {
+      // Durations only known now: the whole migration and the setup scan,
+      // recorded retroactively on the session track (they would overlap
+      // the per-round spans on the source lane).
+      tracer->Span(session_track, tracer->Name("setup"), start_time,
+                   start_time + outcome.stats.setup_time);
+      tracer->Span(session_track, tracer->Name("migration"),
+                   source->RoundOneStart(), completed_at);
+      tracer->Span(session_track, tracer->Name("downtime"),
+                   source->PauseTime(), completed_at);
+    }
+    if (metrics != nullptr) {
+      RecordMigrationStats(*metrics, label.empty() ? run.vm_id : label,
+                           outcome.stats);
+    }
     return outcome;
   }
 
@@ -278,6 +347,18 @@ struct MigrationSession::Impl {
   audit::SimAuditor* auditor = nullptr;
   bool attached_simulator = false;
   bool attached_store = false;
+
+  obs::TraceRecorder* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string label;
+  obs::TrackId session_track = 0;
+  obs::TrackId trace_source_track = 0;
+  bool attached_simulator_tracer = false;
+  bool attached_source_cpu = false;
+  bool attached_dest_cpu = false;
+  bool attached_store_tracer = false;
+
+  SimTime start_time = kSimEpoch;
   SimTime completed_at = kSimEpoch;
   bool completed = false;
   bool finalized = false;

@@ -13,6 +13,8 @@
 #include "audit/audit.hpp"
 #include "migration/config.hpp"
 #include "migration/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/checksum_engine.hpp"
 #include "sim/link.hpp"
 #include "sim/simulator.hpp"
@@ -66,6 +68,13 @@ struct MigrationRun {
   /// VECYCLE_AUDIT, the session creates a private one. The caller owns
   /// the auditor and must outlive the session.
   audit::SimAuditor* auditor = nullptr;
+
+  /// External trace recorder / metrics registry (tests, custom sinks).
+  /// When null and tracing is requested via config.trace or VECYCLE_TRACE,
+  /// the session records into obs::GlobalTrace() / obs::GlobalMetrics().
+  /// The caller owns both and must outlive the session.
+  obs::TraceRecorder* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct MigrationOutcome {

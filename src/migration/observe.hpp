@@ -1,0 +1,30 @@
+// Adapters from migration result structs to the obs metrics schema.
+//
+// These live in the migration layer (not obs) because they read
+// MigrationStats / PostCopyStats; obs stays below migration in the
+// dependency graph. Every field of the struct is serialized — the CI
+// schema check (tools/validate_metrics.py) counts on that — plus the
+// derived rates the paper reports, guarded against zero denominators by
+// the helpers on the structs themselves.
+#pragma once
+
+#include <string_view>
+
+#include "migration/postcopy.hpp"
+#include "migration/stats.hpp"
+#include "obs/metrics.hpp"
+
+namespace vecycle::migration {
+
+/// Appends one "precopy" record covering every MigrationStats field
+/// (counters) and the derived seconds/throughput/compression gauges.
+obs::MetricsRecord& RecordMigrationStats(obs::MetricsRegistry& registry,
+                                         std::string_view label,
+                                         const MigrationStats& stats);
+
+/// Appends one "postcopy" record covering every PostCopyStats field.
+obs::MetricsRecord& RecordPostCopyStats(obs::MetricsRegistry& registry,
+                                        std::string_view label,
+                                        const PostCopyStats& stats);
+
+}  // namespace vecycle::migration

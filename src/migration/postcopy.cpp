@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "migration/observe.hpp"
 #include "net/message.hpp"
 
 namespace vecycle::migration {
@@ -29,6 +30,10 @@ class PostCopyEngine {
   ~PostCopyEngine() {
     if (attached_simulator_) run_.simulator->SetAuditor(nullptr);
     if (attached_store_) run_.dest_store->SetAuditor(nullptr);
+    if (attached_simulator_tracer_) run_.simulator->SetTracer(nullptr);
+    if (attached_source_cpu_) run_.source_cpu->SetTracer(nullptr);
+    if (attached_dest_cpu_) run_.dest_cpu->SetTracer(nullptr);
+    if (attached_store_tracer_) run_.dest_store->SetTracer(nullptr);
   }
 
   explicit PostCopyEngine(PostCopyRun run) : run_(std::move(run)) {
@@ -44,6 +49,47 @@ class PostCopyEngine {
     } else if (run_.config.audit || audit::EnvEnabled()) {
       owned_auditor_ = std::make_unique<audit::SimAuditor>();
       auditor_ = owned_auditor_.get();
+    }
+
+    // Observability layer: same resolution as the pre-copy engine.
+    if (run_.tracer != nullptr) {
+      tracer_ = run_.tracer;
+    } else if (run_.config.trace || obs::EnvEnabled()) {
+      tracer_ = &obs::GlobalTrace();
+    }
+    if (run_.metrics != nullptr) {
+      metrics_ = run_.metrics;
+    } else if (tracer_ != nullptr) {
+      metrics_ = &obs::GlobalMetrics();
+    }
+    if (tracer_ != nullptr) {
+      const auto process = tracer_->NewProcess(run_.vm_id + "/postcopy");
+      phase_track_ = tracer_->Track(process, "phases");
+      prefetch_track_ = tracer_->Track(process, "prefetch");
+      fault_track_ = tracer_->Track(process, "faults");
+      remaining_counter_ = tracer_->Name("remaining_pages");
+      fault_name_ = tracer_->Name("remote_fault");
+      if (run_.source_cpu->Tracer() == nullptr) {
+        run_.source_cpu->SetTracer(tracer_,
+                                   tracer_->Track(process, "cpu source"));
+        attached_source_cpu_ = true;
+      }
+      if (run_.dest_cpu->Tracer() == nullptr) {
+        run_.dest_cpu->SetTracer(tracer_,
+                                 tracer_->Track(process, "cpu dest"));
+        attached_dest_cpu_ = true;
+      }
+      if (run_.dest_store != nullptr &&
+          run_.dest_store->Tracer() == nullptr) {
+        run_.dest_store->SetTracer(tracer_,
+                                   tracer_->Track(process, "store"));
+        attached_store_tracer_ = true;
+      }
+      if (run_.simulator->Tracer() == nullptr) {
+        run_.simulator->SetTracer(tracer_,
+                                  tracer_->Track(process, "event loop"));
+        attached_simulator_tracer_ = true;
+      }
     }
 
     auto& source = *run_.source_memory;
@@ -133,6 +179,20 @@ class PostCopyEngine {
 
     if (auditor_ != nullptr) AuditOutcome(source);
 
+    if (tracer_ != nullptr) {
+      // Durations only known now, recorded retroactively on one lane:
+      // setup scan, the switchover gap (the entire downtime), and the
+      // residency window the prefetcher and faults filled.
+      tracer_->Span(phase_track_, tracer_->Name("setup"), t0, setup_done);
+      tracer_->Span(phase_track_, tracer_->Name("switchover"), switch_start,
+                    resumed);
+      tracer_->Span(phase_track_, tracer_->Name("residency"), resumed_at_,
+                    resumed_at_ + stats_.time_to_residency);
+    }
+    if (metrics_ != nullptr) {
+      RecordPostCopyStats(*metrics_, run_.vm_id + "/postcopy", stats_);
+    }
+
     PostCopyOutcome outcome;
     outcome.stats = stats_;
     outcome.dest_memory = std::move(dest_memory_);
@@ -206,6 +266,10 @@ class PostCopyEngine {
 
   void PumpPrefetch() {
     const SimTime now = run_.simulator->Now();
+    if (tracer_ != nullptr) {
+      tracer_->Counter(prefetch_track_, remaining_counter_, now,
+                       static_cast<double>(remaining_));
+    }
     std::uint32_t handled = 0;
     SimTime last_arrival = now;
     while (prefetch_cursor_ < PageCount() &&
@@ -291,6 +355,10 @@ class PostCopyEngine {
         const SimTime arrival = BookFetch(page, ready);
         fetch_arrival_[page] = arrival;
         ++stats_.remote_faults;
+        if (tracer_ != nullptr) {
+          tracer_->Instant(fault_track_, fault_name_, now);
+          tracer_->Arg(tracer_->Name("page"), page);
+        }
         stats_.total_stall += arrival - now;
         resume_at = arrival;
         CompleteFetch(page, arrival);
@@ -325,6 +393,17 @@ class PostCopyEngine {
   audit::SimAuditor* auditor_ = nullptr;
   bool attached_simulator_ = false;
   bool attached_store_ = false;
+  obs::TraceRecorder* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TrackId phase_track_ = 0;
+  obs::TrackId prefetch_track_ = 0;
+  obs::TrackId fault_track_ = 0;
+  obs::NameId remaining_counter_ = 0;
+  obs::NameId fault_name_ = 0;
+  bool attached_simulator_tracer_ = false;
+  bool attached_source_cpu_ = false;
+  bool attached_dest_cpu_ = false;
+  bool attached_store_tracer_ = false;
   bool finished_ = false;
 };
 

@@ -23,6 +23,8 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "migration/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/checksum_engine.hpp"
 #include "sim/link.hpp"
 #include "sim/simulator.hpp"
@@ -49,6 +51,12 @@ struct PostCopyConfig {
   /// residency conservation, and end-state digest checks. VECYCLE_AUDIT
   /// turns this on globally regardless of the flag.
   bool audit = false;
+
+  /// Runs this migration under the observability layer (src/obs):
+  /// switchover/residency spans, remaining-page counter, per-fault
+  /// instants, and a metrics record of every PostCopyStats field.
+  /// VECYCLE_TRACE turns this on globally regardless of the flag.
+  bool trace = false;
 
   void Validate() const;
 };
@@ -85,6 +93,12 @@ struct PostCopyRun {
   /// External auditor (determinism harness / tests); when null and
   /// auditing is requested, the run creates a private one. Caller-owned.
   audit::SimAuditor* auditor = nullptr;
+
+  /// External trace recorder / metrics registry; when null and tracing is
+  /// requested via config.trace or VECYCLE_TRACE, the run records into
+  /// obs::GlobalTrace() / obs::GlobalMetrics(). Caller-owned.
+  obs::TraceRecorder* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct PostCopyOutcome {

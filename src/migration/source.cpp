@@ -1,6 +1,7 @@
 #include "migration/source.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.hpp"
 
@@ -49,6 +50,10 @@ void SourceActor::OnMessage(const net::Message& message, SimTime arrival) {
       OnRoundAck(arrival);
       break;
     case net::MessageType::kDoneAck:
+      if (round_span_open_) {
+        params_.tracer->EndSpan(round_span_, arrival);
+        round_span_open_ = false;
+      }
       if (on_finished) on_finished(arrival);
       break;
     case net::MessageType::kPageBatch:
@@ -242,6 +247,18 @@ void SourceActor::BeginRound(SimTime start, std::vector<vm::PageId> pages,
   cursor_ = 0;
   round_is_final_ = final_round;
   stats_.rounds = round_;
+  if (params_.tracer != nullptr) {
+    auto& tracer = *params_.tracer;
+    const std::string label =
+        final_round ? "round " + std::to_string(round_) + " (stop-and-copy)"
+                    : "round " + std::to_string(round_);
+    round_span_ =
+        tracer.BeginSpan(params_.trace_track, tracer.Name(label), start);
+    round_span_open_ = true;
+    const std::uint64_t pending =
+        round_ == 1 ? params_.memory->PageCount() : round_pages_.size();
+    tracer.Arg(tracer.Name("pages"), pending);
+  }
   params_.simulator->ScheduleAt(std::max(start, params_.simulator->Now()),
                                 [this] { PumpBatches(); });
 }
@@ -307,6 +324,16 @@ void SourceActor::OnRoundAck(SimTime arrival) {
   const bool out_of_rounds = round_ + 1 >= params_.config.max_rounds;
   const bool small_enough =
       dirty.size() <= params_.config.stop_copy_threshold_pages;
+
+  if (params_.tracer != nullptr) {
+    auto& tracer = *params_.tracer;
+    if (round_span_open_) {
+      tracer.EndSpan(round_span_, arrival);
+      round_span_open_ = false;
+    }
+    tracer.Counter(params_.trace_track, tracer.Name("dirty_pages"), arrival,
+                   static_cast<double>(dirty.size()));
+  }
 
   if (small_enough || out_of_rounds) {
     // Stop-and-copy: pause the VM (no more dirtying) and ship the rest.

@@ -19,6 +19,7 @@
 #include "migration/stats.hpp"
 #include "net/channel.hpp"
 #include "net/message.hpp"
+#include "obs/trace.hpp"
 #include "sim/checksum_engine.hpp"
 #include "vm/dirty_tracker.hpp"
 #include "vm/guest_memory.hpp"
@@ -58,6 +59,11 @@ class SourceActor {
     /// Null gives each migration a private cache.
     std::unordered_map<std::uint64_t, std::uint64_t>* shared_dedup_cache =
         nullptr;
+
+    /// Trace recorder for per-round spans and the dirty-page counter;
+    /// null when tracing is off (the engine resolves enablement).
+    obs::TraceRecorder* tracer = nullptr;
+    obs::TrackId trace_track = 0;
   };
 
   explicit SourceActor(Params params);
@@ -147,6 +153,9 @@ class SourceActor {
   bool round_is_final_ = false;
 
   vm::DirtySnapshot round_snapshot_;
+  /// Trace state: the currently open per-round span, if any.
+  obs::SpanId round_span_ = 0;
+  bool round_span_open_ = false;
   SimTime round_start_ = kSimEpoch;
   SimTime round1_start_ = kSimEpoch;
   SimTime last_send_ = kSimEpoch;

@@ -55,6 +55,25 @@ struct MigrationStats {
     return pages_sent_full + pages_sent_checksum + pages_dup_ref +
            pages_skipped_clean;
   }
+
+  /// On-wire / original payload size. 1.0 when no payload was eligible for
+  /// compression (compression off, or every page travelled as checksum,
+  /// dedup reference or zero page) — dividing by payload_bytes_original
+  /// there would be 0/0.
+  [[nodiscard]] double CompressionRatio() const {
+    if (payload_bytes_original.count == 0) return 1.0;
+    return static_cast<double>(payload_bytes_on_wire.count) /
+           static_cast<double>(payload_bytes_original.count);
+  }
+
+  /// Effective send rate tx_bytes / total_time. 0 when total_time is zero
+  /// (a degenerate instant migration, e.g. every page skipped) rather
+  /// than a division by zero.
+  [[nodiscard]] double ThroughputBytesPerSecond() const {
+    const double seconds = ToSeconds(total_time);
+    if (seconds <= 0.0) return 0.0;
+    return static_cast<double>(tx_bytes.count) / seconds;
+  }
 };
 
 }  // namespace vecycle::migration

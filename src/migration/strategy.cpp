@@ -1,5 +1,7 @@
 #include "migration/strategy.hpp"
 
+#include "common/check.hpp"
+
 namespace vecycle::migration {
 
 const char* ToString(Strategy strategy) {
@@ -17,7 +19,7 @@ const char* ToString(Strategy strategy) {
     case Strategy::kHashesPlusDedup:
       return "hashes+dedup";
   }
-  return "?";
+  VEC_CHECK_MSG(false, "ToString: unenumerated migration strategy");
 }
 
 }  // namespace vecycle::migration

@@ -11,6 +11,7 @@
 #include "audit/audit.hpp"
 #include "common/check.hpp"
 #include "net/message.hpp"
+#include "obs/trace.hpp"
 #include "sim/link.hpp"
 #include "sim/simulator.hpp"
 
@@ -39,6 +40,14 @@ class Channel {
     audit_channel_id_ = channel_id;
   }
 
+  /// Attaches a trace recorder that receives a cumulative wire-byte counter
+  /// on `track` at each send's start time; nullptr detaches.
+  void SetTracer(obs::TraceRecorder* tracer, obs::TrackId track = 0) {
+    tracer_ = tracer;
+    tracer_track_ = track;
+    if (tracer_ != nullptr) tracer_counter_ = tracer_->Name("wire_bytes");
+  }
+
   /// Sends `message`, booking wire time from `earliest` (never before the
   /// simulator's current time). Returns the delivery time.
   SimTime Send(Message message, SimTime earliest) {
@@ -52,6 +61,10 @@ class Channel {
       auditor_->OnMessageSent(audit_channel_id_,
                               static_cast<std::uint32_t>(message.type),
                               wire.count, start, arrival);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Counter(tracer_track_, tracer_counter_, start,
+                       static_cast<double>(payload_sent_.count));
     }
     simulator_.ScheduleAt(
         arrival, [this, msg = std::move(message), arrival]() mutable {
@@ -78,6 +91,9 @@ class Channel {
   Handler receiver_;
   audit::AuditSink* auditor_ = nullptr;
   std::uint32_t audit_channel_id_ = 0;
+  obs::TraceRecorder* tracer_ = nullptr;
+  obs::TrackId tracer_track_ = 0;
+  obs::NameId tracer_counter_ = 0;
   Bytes payload_sent_;
   std::uint64_t messages_sent_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "net/message.hpp"
 
+#include "common/check.hpp"
+
 namespace vecycle::net {
 
 const char* ToString(MessageType type) {
@@ -17,7 +19,7 @@ const char* ToString(MessageType type) {
     case MessageType::kDoneAck:
       return "done-ack";
   }
-  return "?";
+  VEC_CHECK_MSG(false, "ToString: unenumerated message type");
 }
 
 Bytes Message::WireSize(DigestAlgorithm algorithm) const {

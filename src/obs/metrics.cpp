@@ -1,0 +1,93 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vecycle::obs {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string Number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+MetricsRecord& MetricsRegistry::NewRecord(std::string_view label,
+                                          std::string_view kind) {
+  records_.push_back(MetricsRecord{});
+  records_.back().label = std::string(label);
+  records_.back().kind = std::string(kind);
+  return records_.back();
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out,
+                                std::string_view source) const {
+  out << "{\"schema\":\"vecycle.metrics.v1\",\"source\":\""
+      << JsonEscape(source) << "\",\"records\":[";
+  bool first_record = true;
+  for (const auto& record : records_) {
+    if (!first_record) out << ",";
+    first_record = false;
+    out << "{\"label\":\"" << JsonEscape(record.label) << "\",\"kind\":\""
+        << JsonEscape(record.kind) << "\",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : record.counters) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << JsonEscape(name) << "\":" << value;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : record.gauges) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << JsonEscape(name) << "\":" << Number(value);
+    }
+    out << "}}";
+  }
+  out << "]}\n";
+}
+
+std::string MetricsRegistry::ToJson(std::string_view source) const {
+  std::ostringstream out;
+  WriteJson(out, source);
+  return out.str();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace vecycle::obs

@@ -1,0 +1,54 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vecycle::obs {
+
+namespace {
+
+std::string OutputDir() {
+  const char* dir = std::getenv("VECYCLE_TRACE_DIR");
+  return (dir != nullptr && *dir != '\0') ? dir : ".";
+}
+
+/// Best-effort write; a reporting failure must not fail the bench run
+/// (and destructors must not throw), so problems go to stderr only.
+template <typename WriteBody>
+void WriteFile(const std::string& path, const WriteBody& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "[obs] cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  body(out);
+  if (!out) {
+    std::fprintf(stderr, "[obs] short write to %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(stderr, "[obs] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+ScopedReporter::~ScopedReporter() {
+  const TraceRecorder& trace = GlobalTrace();
+  const MetricsRegistry& metrics = GlobalMetrics();
+  if (trace.Empty() && metrics.Empty()) return;
+  const std::string stem = OutputDir() + "/" + name_;
+  if (!trace.Empty()) {
+    WriteFile(stem + ".trace.json",
+              [&trace](std::ostream& out) { trace.WriteChromeTrace(out); });
+  }
+  if (!metrics.Empty()) {
+    WriteFile(stem + ".metrics.json", [&](std::ostream& out) {
+      metrics.WriteJson(out, name_);
+    });
+  }
+}
+
+}  // namespace vecycle::obs

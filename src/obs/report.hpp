@@ -1,0 +1,32 @@
+// Exit-time artifact dump for the bench and example binaries.
+//
+// A ScopedReporter declared at the top of main() writes the process-wide
+// recorders to disk when the scope ends and tracing actually ran:
+//
+//   ${VECYCLE_TRACE_DIR:-.}/<name>.trace.json    (chrome://tracing, Perfetto)
+//   ${VECYCLE_TRACE_DIR:-.}/<name>.metrics.json  (vecycle.metrics.v1)
+//
+// With tracing off (no VECYCLE_TRACE, no config flag) both recorders stay
+// empty and nothing is written, so every binary can carry one
+// unconditionally. CI points VECYCLE_TRACE_DIR at its artifact directory.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace vecycle::obs {
+
+class ScopedReporter {
+ public:
+  /// `name` becomes the file stem, conventionally the binary's own name.
+  explicit ScopedReporter(std::string_view name) : name_(name) {}
+  ~ScopedReporter();
+
+  ScopedReporter(const ScopedReporter&) = delete;
+  ScopedReporter& operator=(const ScopedReporter&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace vecycle::obs

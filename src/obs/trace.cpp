@@ -1,0 +1,241 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace vecycle::obs {
+
+namespace {
+
+/// JSON string escaping for the small identifier set we intern (labels
+/// come from code, not user input, but a stray quote must not corrupt the
+/// file).
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Chrome-trace timestamps are microseconds; keep nanosecond precision as
+/// a fixed three-decimal fraction so output formatting is deterministic.
+std::string Micros(SimTime t) {
+  const std::int64_t ns = t.count();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+/// Deterministic rendering for counter values (which are exact integers
+/// in every series we record, but the API allows doubles).
+std::string Number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+NameId TraceRecorder::Name(std::string_view name) {
+  const auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  const NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint32_t TraceRecorder::NewProcess(std::string_view label) {
+  process_labels_.push_back(Name(label));
+  return static_cast<std::uint32_t>(process_labels_.size() - 1);
+}
+
+TrackId TraceRecorder::Track(std::uint32_t process, std::string_view name) {
+  VEC_CHECK_MSG(process < process_labels_.size(),
+                "trace track refers to an unknown process");
+  tracks_.push_back(TrackInfo{process, Name(name)});
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+void TraceRecorder::Push(Phase phase, TrackId track, NameId name,
+                         SimTime start, SimTime end, double value) {
+  VEC_CHECK_MSG(track < tracks_.size(), "trace event on unknown track");
+  VEC_CHECK_MSG(start >= kSimEpoch,
+                "trace event before the simulation epoch");
+  VEC_CHECK_MSG(end >= start, "trace span ends before it starts");
+  events_.push_back(Event{phase, track, name, start, end, value,
+                          static_cast<std::uint32_t>(args_.size())});
+}
+
+SpanId TraceRecorder::BeginSpan(TrackId track, NameId name, SimTime start) {
+  Push(Phase::kSpan, track, name, start, start, 0.0);
+  const SpanId id = events_.size() - 1;
+  open_spans_[track].push_back(id);
+  return id;
+}
+
+void TraceRecorder::EndSpan(SpanId span, SimTime end) {
+  VEC_CHECK_MSG(span < events_.size(), "EndSpan on unknown span");
+  Event& event = events_[span];
+  VEC_CHECK_MSG(event.phase == Phase::kSpan, "EndSpan on a non-span event");
+  auto& stack = open_spans_[event.track];
+  VEC_CHECK_MSG(!stack.empty() && stack.back() == span,
+                "spans on one track must close innermost-first");
+  stack.pop_back();
+  VEC_CHECK_MSG(end >= event.start, "trace span ends before it starts");
+  event.end = end;
+}
+
+void TraceRecorder::Span(TrackId track, NameId name, SimTime start,
+                         SimTime end) {
+  Push(Phase::kSpan, track, name, start, end, 0.0);
+}
+
+void TraceRecorder::Instant(TrackId track, NameId name, SimTime at) {
+  Push(Phase::kInstant, track, name, at, at, 0.0);
+}
+
+void TraceRecorder::Counter(TrackId track, NameId name, SimTime at,
+                            double value) {
+  Push(Phase::kCounter, track, name, at, at, value);
+}
+
+void TraceRecorder::Arg(NameId key, std::uint64_t value) {
+  VEC_CHECK_MSG(!events_.empty(), "Arg with no event to attach to");
+  args_.emplace_back(key, value);
+  events_.back().args_end = static_cast<std::uint32_t>(args_.size());
+}
+
+void TraceRecorder::Clear() {
+  events_.clear();
+  args_.clear();
+  open_spans_.clear();
+  // Interned names, processes and tracks survive: callers may hold ids.
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
+  // Sort by (start, recording order): the stable order viewers want and
+  // the byte-identical order ReplayCheck compares.
+  std::vector<std::uint64_t> order(events_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::uint64_t a, std::uint64_t b) {
+                     return events_[a].start < events_[b].start;
+                   });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+
+  // Metadata: process and track (thread) names.
+  for (std::size_t pid = 0; pid < process_labels_.size(); ++pid) {
+    comma();
+    out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":\""
+        << JsonEscape(names_[process_labels_[pid]]) << "\"}}";
+  }
+  for (std::size_t tid = 0; tid < tracks_.size(); ++tid) {
+    comma();
+    out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":"
+        << tracks_[tid].process << ",\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << JsonEscape(names_[tracks_[tid].name])
+        << "\"}}";
+  }
+
+  for (const std::uint64_t index : order) {
+    const Event& event = events_[index];
+    const TrackInfo& track = tracks_[event.track];
+    comma();
+    out << "{\"name\":\"" << JsonEscape(names_[event.name]) << "\",\"pid\":"
+        << track.process << ",\"tid\":" << event.track << ",\"ts\":"
+        << Micros(event.start);
+    switch (event.phase) {
+      case Phase::kSpan:
+        out << ",\"ph\":\"X\",\"dur\":" << Micros(event.end - event.start);
+        break;
+      case Phase::kInstant:
+        out << ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case Phase::kCounter:
+        out << ",\"ph\":\"C\"";
+        break;
+    }
+    const std::uint32_t args_begin =
+        index == 0 ? 0 : events_[index - 1].args_end;
+    const bool has_args = event.phase == Phase::kCounter ||
+                          args_begin != event.args_end;
+    if (has_args) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      if (event.phase == Phase::kCounter) {
+        out << "\"" << JsonEscape(names_[event.name])
+            << "\":" << Number(event.value);
+        first_arg = false;
+      }
+      for (std::uint32_t a = args_begin; a != event.args_end; ++a) {
+        if (!first_arg) out << ",";
+        first_arg = false;
+        out << "\"" << JsonEscape(names_[args_[a].first])
+            << "\":" << args_[a].second;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "]}\n";
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  std::ostringstream out;
+  WriteChromeTrace(out);
+  return out.str();
+}
+
+bool EnvEnabled() {
+  const char* raw = std::getenv("VECYCLE_TRACE");
+  if (raw == nullptr) return false;
+  std::string value(raw);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return value == "1" || value == "true" || value == "on" || value == "yes";
+}
+
+TraceRecorder& GlobalTrace() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+}  // namespace vecycle::obs

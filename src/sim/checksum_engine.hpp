@@ -52,7 +52,10 @@ struct ChecksumEngineConfig {
       case DigestAlgorithm::kFnv1a:
         return fnv_rate;
     }
-    return md5_rate;
+    // Reaching here means an algorithm was added to the enum without a
+    // configured rate; silently hashing it at the MD5 rate would skew every
+    // timing result, so fail loudly instead.
+    VEC_CHECK_MSG(false, "ChecksumEngineConfig::RateFor: unenumerated digest algorithm");
   }
 };
 
@@ -72,12 +75,30 @@ class ChecksumEngine {
   /// same cores the checksums run on, so hashing and compression contend
   /// realistically.
   SimTime Work(SimTime earliest, Bytes n, ByteRate rate) {
+    if (tracer_ != nullptr) {
+      // Backlog already queued on the cores when this request arrives —
+      // positive values mean hashing (not the link) is the bottleneck.
+      const SimTime avail = core_.AvailableAt();
+      const auto backlog =
+          avail > earliest ? (avail - earliest).count() : SimDuration::rep{0};
+      tracer_->Counter(tracer_track_, tracer_counter_, earliest,
+                       static_cast<double>(backlog));
+    }
     const double effective =
         rate.bytes_per_second * static_cast<double>(config_.threads);
     const auto booking =
         core_.Reserve(earliest, ByteRate{effective}.TimeFor(n));
     return booking.end;
   }
+
+  /// Attaches a trace recorder that receives a per-request CPU backlog
+  /// counter (nanoseconds of queued work) on `track`; nullptr detaches.
+  void SetTracer(obs::TraceRecorder* tracer, obs::TrackId track = 0) {
+    tracer_ = tracer;
+    tracer_track_ = track;
+    if (tracer_ != nullptr) tracer_counter_ = tracer_->Name("cpu_backlog_ns");
+  }
+  [[nodiscard]] obs::TraceRecorder* Tracer() const { return tracer_; }
 
   [[nodiscard]] Bytes HashedBytes() const { return hashed_bytes_; }
   [[nodiscard]] const ChecksumEngineConfig& Config() const { return config_; }
@@ -91,6 +112,9 @@ class ChecksumEngine {
   ChecksumEngineConfig config_;
   FifoResource core_;
   Bytes hashed_bytes_;
+  obs::TraceRecorder* tracer_ = nullptr;
+  obs::TrackId tracer_track_ = 0;
+  obs::NameId tracer_counter_ = 0;
 };
 
 }  // namespace vecycle::sim

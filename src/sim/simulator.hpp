@@ -20,6 +20,7 @@
 #include "audit/audit.hpp"
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 
 namespace vecycle::sim {
 
@@ -55,6 +56,12 @@ class Simulator {
     now_ = ev.when;
     ++executed_;
     if (auditor_ != nullptr) auditor_->OnEventExecuted(ev.when, ev.seq);
+    if (tracer_ != nullptr && (executed_ & (kTraceSampleStride - 1)) == 0) {
+      // Sampled queue-depth timeline: one counter event per stride keeps
+      // the trace small while still showing event-loop pressure.
+      tracer_->Counter(tracer_track_, tracer_counter_, now_,
+                       static_cast<double>(queue_.size()));
+    }
     (*ev.action)();
     return true;
   }
@@ -87,6 +94,16 @@ class Simulator {
   void SetAuditor(audit::AuditSink* auditor) { auditor_ = auditor; }
   [[nodiscard]] audit::AuditSink* Auditor() const { return auditor_; }
 
+  /// Attaches a trace recorder that receives a sampled pending-event
+  /// counter on `track` (one sample every 256 executed events; a single
+  /// pointer test per event when detached). Pass nullptr to detach.
+  void SetTracer(obs::TraceRecorder* tracer, obs::TrackId track = 0) {
+    tracer_ = tracer;
+    tracer_track_ = track;
+    if (tracer_ != nullptr) tracer_counter_ = tracer_->Name("pending_events");
+  }
+  [[nodiscard]] obs::TraceRecorder* Tracer() const { return tracer_; }
+
  private:
   struct Event {
     SimTime when;
@@ -104,10 +121,15 @@ class Simulator {
     }
   };
 
+  static constexpr std::uint64_t kTraceSampleStride = 256;
+
   SimTime now_ = kSimEpoch;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   audit::AuditSink* auditor_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
+  obs::TrackId tracer_track_ = 0;
+  obs::NameId tracer_counter_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

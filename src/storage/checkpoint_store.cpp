@@ -39,6 +39,9 @@ SimTime CheckpointStore::Save(const VmId& vm, Checkpoint checkpoint,
   VEC_CHECK_MSG(!checkpoint.Empty(), "refusing to store an empty checkpoint");
   const Bytes size = checkpoint.SizeOnDisk();
   const SimTime done = disk_.WriteSequential(earliest, size);
+  if (tracer_ != nullptr) {
+    tracer_->Span(tracer_track_, tracer_->Name("save " + vm), earliest, done);
+  }
 
   // Replacing our own previous checkpoint never needs room for both.
   checkpoints_.erase(vm);
@@ -71,6 +74,10 @@ CheckpointStore::LoadResult CheckpointStore::Load(const VmId& vm,
   result.ready_at =
       disk_.ReadSequential(earliest, it->second.checkpoint.SizeOnDisk());
   it->second.last_used = std::max(it->second.last_used, result.ready_at);
+  if (tracer_ != nullptr) {
+    tracer_->Span(tracer_track_, tracer_->Name("load " + vm), earliest,
+                  result.ready_at);
+  }
   if (auditor_ != nullptr) {
     auditor_->OnCheckpointVerified(it->second.checkpoint.IntegrityOk());
   }

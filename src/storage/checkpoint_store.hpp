@@ -15,6 +15,7 @@
 
 #include "audit/audit.hpp"
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 #include "sim/disk.hpp"
 #include "storage/checkpoint.hpp"
 
@@ -81,6 +82,14 @@ class CheckpointStore {
   void SetAuditor(audit::AuditSink* auditor) { auditor_ = auditor; }
   [[nodiscard]] audit::AuditSink* Auditor() const { return auditor_; }
 
+  /// Attaches a trace recorder: every Save and Load then emits a
+  /// retroactive disk-time span on `track`. Pass nullptr to detach.
+  void SetTracer(obs::TraceRecorder* tracer, obs::TrackId track = 0) {
+    tracer_ = tracer;
+    tracer_track_ = track;
+  }
+  [[nodiscard]] obs::TraceRecorder* Tracer() const { return tracer_; }
+
   [[nodiscard]] sim::Disk& Disk() { return disk_; }
 
  private:
@@ -97,6 +106,8 @@ class CheckpointStore {
   sim::Disk& disk_;
   RetentionPolicy policy_;
   audit::AuditSink* auditor_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
+  obs::TrackId tracer_track_ = 0;
   std::unordered_map<VmId, Entry> checkpoints_;
   std::uint64_t evictions_ = 0;
 };

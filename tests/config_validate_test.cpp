@@ -151,6 +151,15 @@ TEST(ChecksumEngineConfigValidate, ConstructorRefusesInvalidConfig) {
   EXPECT_THROW(sim::ChecksumEngine{config}, CheckFailure);
 }
 
+TEST(ChecksumEngineConfigValidate, RateForRejectsUnenumeratedAlgorithm) {
+  // The old fallback silently billed unknown algorithms at md5_rate,
+  // skewing every timing result; it must fail loudly instead.
+  const sim::ChecksumEngineConfig config;
+  EXPECT_GT(config.RateFor(DigestAlgorithm::kFnv1a).bytes_per_second, 0.0);
+  EXPECT_THROW((void)config.RateFor(static_cast<DigestAlgorithm>(42)),
+               CheckFailure);
+}
+
 TEST(PostCopyConfigValidate, RejectsEachInvalidFieldDistinctly) {
   using migration::PostCopyConfig;
   std::vector<std::string> messages;

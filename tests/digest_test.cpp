@@ -280,5 +280,85 @@ TEST(Hasher, AlgorithmNames) {
   EXPECT_STREQ(ToString(DigestAlgorithm::kFnv1a), "fnv1a");
 }
 
+TEST(Hasher, UnenumeratedAlgorithmFailsLoudly) {
+  // A zero digest for an unknown algorithm (the old fallback) would make
+  // every page "match" every other; this must be a hard failure instead.
+  const auto bogus = static_cast<DigestAlgorithm>(42);
+  const std::string input = "x";
+  EXPECT_THROW(ComputeDigest(bogus, input.data(), input.size()),
+               CheckFailure);
+  EXPECT_THROW(ToString(bogus), CheckFailure);
+}
+
+// --- Padding-boundary inputs across all algorithms. ---
+//
+// Both MD5 and SHA pad to a 64-byte block with an 8-byte (MD5/SHA-1/
+// SHA-256) length trailer, so 55/56 straddle the one-vs-two-block padding
+// decision and 63/64/65 straddle the block boundary itself. Reference
+// digests computed with Python hashlib (SHA digests truncated to their
+// leading 128 bits, matching Digest128).
+
+struct BoundaryVector {
+  std::size_t length;
+  const char* md5;
+  const char* sha1;
+  const char* sha256;
+};
+
+constexpr BoundaryVector kBoundaryVectors[] = {
+    {0, "d41d8cd98f00b204e9800998ecf8427e",
+     "da39a3ee5e6b4b0d3255bfef95601890",
+     "e3b0c44298fc1c149afbf4c8996fb924"},
+    {55, "04364420e25c512fd958a70738aa8f72",
+     "cef734ba81a024479e09eb5a75b6ddae",
+     "d5e285683cd4efc02d021a5c62014694"},
+    {56, "668a72d5ba17f08e62dabcafad6db14b",
+     "901305367c259952f4e7af8323f480d5",
+     "04c26261370ee7541549d16dee320c72"},
+    {63, "7dc2ca208106a2f703567bdff99d8981",
+     "0ddc4e0cccd9a12850deb5abb0853a44",
+     "75220b47218278e656f2013bb8f0c455"},
+    {64, "c1bb4f81d892b2d57947682aeb252456",
+     "bb2fa3ee7afb9f54c6dfb5d021f14b1f",
+     "7ce100971f64e7001e8fe5a51973ecdf"},
+    {65, "1bc932052302d074bdec39795fe00cf6",
+     "78c741ddc482e4cdf8c474a0876347a0",
+     "9537c5fdf120482f7d58d25e9ed583f5"},
+};
+
+TEST(PaddingBoundaries, AllAlgorithmsMatchReferenceDigests) {
+  for (const auto& v : kBoundaryVectors) {
+    const std::string input(v.length, 'x');
+    EXPECT_EQ(
+        ComputeDigest(DigestAlgorithm::kMd5, input.data(), input.size())
+            .ToHex(),
+        v.md5)
+        << "md5 length " << v.length;
+    EXPECT_EQ(
+        ComputeDigest(DigestAlgorithm::kSha1, input.data(), input.size())
+            .ToHex(),
+        v.sha1)
+        << "sha1 length " << v.length;
+    EXPECT_EQ(
+        ComputeDigest(DigestAlgorithm::kSha256, input.data(), input.size())
+            .ToHex(),
+        v.sha256)
+        << "sha256 length " << v.length;
+  }
+}
+
+TEST(PaddingBoundaries, IncrementalSplitsAgreeAtEveryBoundary) {
+  // The same inputs fed through Update() in two pieces at every split
+  // point must reproduce the one-shot digest.
+  const std::string input(65, 'x');
+  for (std::size_t split : {0u, 1u, 55u, 56u, 63u, 64u, 65u}) {
+    Md5 md5;
+    md5.Update(input.data(), split);
+    md5.Update(input.data() + split, input.size() - split);
+    EXPECT_EQ(md5.Finalize().ToHex(), kBoundaryVectors[5].md5)
+        << "split " << split;
+  }
+}
+
 }  // namespace
 }  // namespace vecycle

@@ -12,6 +12,7 @@
 #include "digest/sha256.hpp"
 #include "fingerprint/fingerprint.hpp"
 #include "migration/engine.hpp"
+#include "net/message.hpp"
 #include "sim/simulator.hpp"
 #include "storage/checkpoint.hpp"
 #include "vm/workload.hpp"
@@ -317,6 +318,160 @@ INSTANTIATE_TEST_SUITE_P(
       name += c.mode == vm::ContentMode::kSeedOnly ? "_seed" : "_bytes";
       name += "_" + std::to_string(c.ram_mib) + "mib";
       name += c.churn_pages_per_s > 0 ? "_churn" : "_still";
+      return name;
+    });
+
+// =====================================================================
+// Stats conservation: the byte and page counters MigrationStats reports
+// must be complete (cover everything the link carried) and disjoint
+// (nothing booked under two names), for every strategy x hash-exchange
+// mode x compression. Unlike MigrationSweep above, the source starts
+// with NO knowledge of the destination, so the §3.2 bulk exchange and
+// the per-page-query variant actually run and their traffic has to
+// reconcile against the link's own byte counters.
+// =====================================================================
+
+struct ConservationCase {
+  migration::Strategy strategy;
+  migration::HashExchangeMode exchange;
+  bool compression;
+};
+
+class StatsConservation
+    : public ::testing::TestWithParam<ConservationCase> {};
+
+TEST_P(StatsConservation, WireAndPageAccountingReconcile) {
+  const auto param = GetParam();
+
+  sim::Simulator simulator;
+  sim::Link link(sim::LinkConfig::Lan());
+  sim::ChecksumEngine src_cpu{sim::ChecksumEngineConfig{}};
+  sim::ChecksumEngine dst_cpu{sim::ChecksumEngineConfig{}};
+  sim::Disk dst_disk{sim::DiskConfig::Hdd()};
+  storage::CheckpointStore dst_store{dst_disk};
+
+  vm::GuestMemory memory(MiB(16), vm::ContentMode::kSeedOnly);
+  Xoshiro256 rng(0xacc0);
+  vm::MemoryProfile{}.Apply(memory, rng);
+
+  // Stale checkpoint + departure-time generations from a previous visit,
+  // then churn so later rounds and dirty skips both occur.
+  const auto departure = memory.Generations();
+  dst_store.Save("vm", storage::Checkpoint::CaptureFrom(memory), kSimEpoch);
+  vm::UniformRandomWorkload churn(400.0, 0x5ee);
+  churn.Advance(memory, Seconds(30.0));
+
+  migration::MigrationRun run;
+  run.simulator = &simulator;
+  run.link = &link;
+  run.direction = sim::Direction::kAtoB;
+  run.source_memory = &memory;
+  run.workload = &churn;
+  run.source = {&src_cpu, nullptr};
+  run.destination = {&dst_cpu, &dst_store};
+  run.vm_id = "vm";
+  run.config.strategy = param.strategy;
+  run.config.hash_exchange = param.exchange;
+  run.config.query_window = 4;
+  run.config.compression.enabled = param.compression;
+  run.config.stop_copy_threshold_pages = 64;
+  run.departure_generations = departure;
+  // Deliberately no source_knowledge: the exchange protocol must run.
+
+  const auto outcome = migration::RunMigration(std::move(run));
+  const auto& stats = outcome.stats;
+  const auto& fwd = link.Stats(sim::Direction::kAtoB);
+  const auto& bwd = link.Stats(sim::Direction::kBtoA);
+  const std::uint64_t digest_bytes = WireSizeBytes(run.config.algorithm);
+  const std::uint64_t question = net::kRecordHeaderBytes + digest_bytes;
+  const std::uint64_t verdict = net::kRecordHeaderBytes + 1;
+
+  // Round-1 page classification is a partition of guest RAM.
+  EXPECT_EQ(stats.Round1Pages(), memory.PageCount());
+  // Every checksum-only record was satisfied exactly once downstream.
+  EXPECT_EQ(stats.pages_matched_in_place + stats.pages_from_checkpoint,
+            stats.pages_sent_checksum);
+
+  // Forward direction: everything on the wire is either channel traffic
+  // (tx_bytes) or a raw query question frame — nothing else, nothing
+  // counted twice.
+  EXPECT_EQ(fwd.payload_bytes.count,
+            stats.tx_bytes.count + stats.query_count * question);
+  // Backward direction: the bulk exchange, one control ack per round, and
+  // the query verdict frames.
+  EXPECT_EQ(bwd.payload_bytes.count,
+            stats.bulk_exchange_bytes.count +
+                stats.rounds * net::kControlFrameBytes +
+                stats.query_count * verdict);
+  // query_bytes is exactly the question+verdict traffic, and the two
+  // exchange mechanisms are mutually exclusive.
+  EXPECT_EQ(stats.query_bytes.count,
+            stats.query_count * (question + verdict));
+  if (param.exchange == migration::HashExchangeMode::kBulk) {
+    EXPECT_EQ(stats.query_count, 0u);
+    EXPECT_EQ(stats.query_bytes.count, 0u);
+    // The exchange must actually have run for hash strategies (the
+    // source started with no knowledge), or the equations above pass
+    // vacuously.
+    if (migration::UsesContentHashes(param.strategy)) {
+      EXPECT_GT(stats.bulk_exchange_bytes.count, 0u);
+    }
+  } else {
+    EXPECT_EQ(stats.bulk_exchange_bytes.count, 0u);
+    if (migration::UsesContentHashes(param.strategy)) {
+      EXPECT_GT(stats.query_count, 0u);
+    }
+  }
+  // Grand total: link payload in both directions decomposes into the
+  // three disjoint stats counters plus the per-round ack frames.
+  EXPECT_EQ(fwd.payload_bytes.count + bwd.payload_bytes.count,
+            stats.tx_bytes.count + stats.bulk_exchange_bytes.count +
+                stats.query_bytes.count +
+                stats.rounds * net::kControlFrameBytes);
+
+  // Compression accounting: on-wire never exceeds original; both zero
+  // when compression is off.
+  EXPECT_LE(stats.payload_bytes_on_wire.count,
+            stats.payload_bytes_original.count);
+  if (!param.compression) {
+    EXPECT_EQ(stats.payload_bytes_original.count, 0u);
+    EXPECT_EQ(stats.payload_bytes_on_wire.count, 0u);
+  }
+  // Guarded derived rates are finite even in degenerate corners.
+  EXPECT_GE(stats.CompressionRatio(), 0.0);
+  EXPECT_LE(stats.CompressionRatio(), 1.0);
+  EXPECT_GE(stats.ThroughputBytesPerSecond(), 0.0);
+}
+
+std::vector<ConservationCase> ConservationCases() {
+  std::vector<ConservationCase> cases;
+  for (const auto strategy :
+       {migration::Strategy::kFull, migration::Strategy::kDedup,
+        migration::Strategy::kDirtyTracking, migration::Strategy::kHashes,
+        migration::Strategy::kDirtyPlusDedup,
+        migration::Strategy::kHashesPlusDedup}) {
+    for (const auto exchange : {migration::HashExchangeMode::kBulk,
+                                migration::HashExchangeMode::kPerPageQuery}) {
+      for (const bool compression : {false, true}) {
+        cases.push_back(ConservationCase{strategy, exchange, compression});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategyExchangeCompression, StatsConservation,
+    ::testing::ValuesIn(ConservationCases()),
+    [](const ::testing::TestParamInfo<ConservationCase>& info) {
+      const auto& c = info.param;
+      std::string name = ToString(c.strategy);
+      for (auto& ch : name) {
+        if (ch == '+') ch = '_';
+      }
+      name += c.exchange == migration::HashExchangeMode::kBulk ? "_bulk"
+                                                               : "_query";
+      name += c.compression ? "_zlib" : "_raw";
       return name;
     });
 

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validates observability artifacts emitted by the bench binaries.
+
+Usage:
+    tools/validate_metrics.py METRICS_JSON [--trace TRACE_JSON]
+
+Checks that METRICS_JSON follows the vecycle.metrics.v1 schema and that
+every "precopy" record carries the full MigrationStats field set (and
+every "postcopy" record the full PostCopyStats set), so a stats field
+added without extending migration/observe.cpp fails CI here.
+
+With --trace, also checks the Chrome-trace file: it must parse, use only
+the phases the recorder emits, and contain a "round 1" span for every
+migration process — the per-round timeline the traces exist for.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+PRECOPY_COUNTERS = {
+    "rounds", "tx_bytes", "bulk_exchange_bytes", "query_bytes",
+    "query_count", "pages_sent_full", "pages_sent_checksum",
+    "pages_dup_ref", "pages_skipped_clean", "pages_resent_dirty",
+    "pages_matched_in_place", "pages_from_checkpoint",
+    "source_hashed_bytes", "dest_hashed_bytes", "payload_bytes_original",
+    "payload_bytes_on_wire", "total_time_ns", "downtime_ns",
+    "setup_time_ns", "round1_pages",
+}
+PRECOPY_GAUGES = {
+    "total_time_s", "downtime_s", "setup_time_s", "throughput_mib_per_s",
+    "compression_ratio",
+}
+POSTCOPY_COUNTERS = {
+    "remote_faults", "pages_prefetched", "pages_from_checkpoint",
+    "tx_bytes", "checksum_vector_bytes", "downtime_ns",
+    "time_to_residency_ns", "total_stall_ns",
+}
+POSTCOPY_GAUGES = {"downtime_s", "time_to_residency_s", "total_stall_s"}
+
+TRACE_PHASES = {"M", "X", "i", "C"}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def require(condition, message):
+    if not condition:
+        raise ValidationError(message)
+
+
+def validate_metrics(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    require(doc.get("schema") == "vecycle.metrics.v1",
+            f"schema is {doc.get('schema')!r}, want 'vecycle.metrics.v1'")
+    require(isinstance(doc.get("source"), str) and doc["source"],
+            "source must be a non-empty string")
+    records = doc.get("records")
+    require(isinstance(records, list) and records,
+            "records must be a non-empty list")
+
+    for index, record in enumerate(records):
+        where = f"record {index} ({record.get('label', '?')})"
+        require(isinstance(record.get("label"), str) and record["label"],
+                f"{where}: label must be a non-empty string")
+        require(isinstance(record.get("kind"), str),
+                f"{where}: kind must be a string")
+        counters = record.get("counters")
+        gauges = record.get("gauges")
+        require(isinstance(counters, dict), f"{where}: counters must be an "
+                "object")
+        require(isinstance(gauges, dict), f"{where}: gauges must be an "
+                "object")
+        for name, value in counters.items():
+            require(isinstance(value, int) and not isinstance(value, bool)
+                    and value >= 0,
+                    f"{where}: counter {name} must be a non-negative int")
+        for name, value in gauges.items():
+            require(isinstance(value, numbers.Real)
+                    and not isinstance(value, bool),
+                    f"{where}: gauge {name} must be a number")
+
+        wanted = {
+            "precopy": (PRECOPY_COUNTERS, PRECOPY_GAUGES),
+            "postcopy": (POSTCOPY_COUNTERS, POSTCOPY_GAUGES),
+        }.get(record["kind"])
+        if wanted is not None:
+            missing = ((wanted[0] - counters.keys())
+                       | (wanted[1] - gauges.keys()))
+            require(not missing,
+                    f"{where}: missing {record['kind']} fields: "
+                    f"{sorted(missing)}")
+    return doc
+
+
+def validate_trace(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    events = doc.get("traceEvents")
+    require(isinstance(events, list) and events,
+            "traceEvents must be a non-empty list")
+
+    processes = {}  # pid -> label
+    spans_by_pid = {}
+    last_ts = None
+    for event in events:
+        phase = event.get("ph")
+        require(phase in TRACE_PHASES, f"unexpected phase {phase!r}")
+        if phase == "M":
+            if event.get("name") == "process_name":
+                processes[event["pid"]] = event["args"]["name"]
+            continue
+        ts = event.get("ts")
+        require(isinstance(ts, numbers.Real) and ts >= 0,
+                "event timestamps must be non-negative numbers")
+        require(last_ts is None or ts >= last_ts,
+                "events must be sorted by timestamp")
+        last_ts = ts
+        if phase == "X":
+            require(event.get("dur", 0) >= 0, "span durations must be >= 0")
+            spans_by_pid.setdefault(event["pid"], set()).add(event["name"])
+
+    # Every migration process (one per strategy in the fig5 sweep) must
+    # carry its per-round spans.
+    migrations = 0
+    for pid, label in processes.items():
+        if label.endswith("/postcopy") or "/" not in label:
+            continue
+        migrations += 1
+        require("round 1" in spans_by_pid.get(pid, set()),
+                f"process {label!r} has no 'round 1' span")
+    require(migrations > 0, "trace contains no migration process")
+    return len(events), migrations
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", help="path to a *.metrics.json file")
+    parser.add_argument("--trace", help="path to a *.trace.json file")
+    args = parser.parse_args()
+
+    try:
+        doc = validate_metrics(args.metrics)
+        kinds = [record["kind"] for record in doc["records"]]
+        print(f"OK {args.metrics}: {len(kinds)} records "
+              f"({kinds.count('precopy')} precopy, "
+              f"{kinds.count('postcopy')} postcopy)")
+        if args.trace:
+            events, migrations = validate_trace(args.trace)
+            print(f"OK {args.trace}: {events} events, "
+                  f"{migrations} migration processes with round spans")
+    except (ValidationError, OSError, json.JSONDecodeError, KeyError) as err:
+        print(f"FAIL: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
