@@ -1,0 +1,259 @@
+// Wall-clock performance harness for the hot paths this repo's benches
+// lean on: page hashing (uncached vs memoized), digest-set construction
+// and membership probing (flat hash set vs the sorted-vector baseline it
+// replaced), simulator event throughput, and the full six-strategy
+// migration sweep of bench_fig5. Workloads are deterministic (fixed
+// seeds, fixed iteration counts); only the measured wall time varies by
+// machine. Emits BENCH_perf.json for tools/bench_compare.py.
+//
+// Usage: bench_perf [--out BENCH_perf.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "digest/digest_memo.hpp"
+#include "digest/digest_set.hpp"
+#include "digest/hasher.hpp"
+#include "sim/simulator.hpp"
+#include "vm/guest_memory.hpp"
+
+namespace {
+
+using namespace vecycle;
+using Clock = std::chrono::steady_clock;
+
+struct Result {
+  std::string name;
+  std::uint64_t iters = 0;
+  double ns_per_op = 0.0;
+  double bytes_per_sec = 0.0;  // 0 = not a throughput benchmark
+};
+
+/// Best-of-`reps` wall time of `body()` (which performs `iters`
+/// operations), after one untimed warmup call.
+template <typename Body>
+Result Measure(const std::string& name, std::uint64_t iters,
+               std::uint64_t bytes_per_op, int reps, Body body) {
+  body();  // warmup
+  double best_ns = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    body();
+    const auto t1 = Clock::now();
+    best_ns = std::min(
+        best_ns, std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  Result result;
+  result.name = name;
+  result.iters = iters;
+  result.ns_per_op = best_ns / static_cast<double>(iters);
+  if (bytes_per_op > 0) {
+    result.bytes_per_sec = static_cast<double>(bytes_per_op) * 1e9 /
+                           result.ns_per_op;
+  }
+  std::printf("%-32s %12.1f ns/op", name.c_str(), result.ns_per_op);
+  if (bytes_per_op > 0) {
+    std::printf("  %8.1f MiB/s", result.bytes_per_sec / (1024.0 * 1024.0));
+  }
+  std::printf("\n");
+  return result;
+}
+
+std::vector<Digest128> RandomDigests(std::uint64_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Digest128> digests;
+  digests.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    digests.push_back(Digest128::FromWords(rng.Next(), rng.Next()));
+  }
+  return digests;
+}
+
+// --- page hashing -----------------------------------------------------
+
+Result BenchPageHashMaterialized() {
+  constexpr std::uint64_t kPages = 2048;
+  vm::GuestMemory memory(Bytes{kPages * kPageSize},
+                         vm::ContentMode::kMaterialized);
+  Xoshiro256 rng(7);
+  for (vm::PageId p = 0; p < kPages; ++p) memory.WritePage(p, rng.Next());
+  memory.SetDigestCacheEnabled(false);  // honest MD5 per call
+  return Measure("page_hash_materialized", kPages, kPageSize, 10, [&] {
+    for (vm::PageId p = 0; p < kPages; ++p) {
+      volatile std::uint64_t sink = memory.PageDigest(p).words[0];
+      (void)sink;
+    }
+  });
+}
+
+Result BenchPageHashSeed() {
+  constexpr std::uint64_t kPages = 65536;
+  vm::GuestMemory memory(Bytes{kPages * kPageSize},
+                         vm::ContentMode::kSeedOnly);
+  Xoshiro256 rng(7);
+  for (vm::PageId p = 0; p < kPages; ++p) memory.WritePage(p, rng.Next());
+  memory.SetDigestCacheEnabled(false);
+  return Measure("page_hash_seed", kPages, 0, 10, [&] {
+    for (vm::PageId p = 0; p < kPages; ++p) {
+      volatile std::uint64_t sink = memory.PageDigest(p).words[0];
+      (void)sink;
+    }
+  });
+}
+
+Result BenchPageDigestCached() {
+  constexpr std::uint64_t kPages = 65536;
+  vm::GuestMemory memory(Bytes{kPages * kPageSize},
+                         vm::ContentMode::kSeedOnly);
+  Xoshiro256 rng(7);
+  for (vm::PageId p = 0; p < kPages; ++p) memory.WritePage(p, rng.Next());
+  for (vm::PageId p = 0; p < kPages; ++p) (void)memory.PageDigest(p);
+  return Measure("page_digest_cached", kPages, 0, 10, [&] {
+    for (vm::PageId p = 0; p < kPages; ++p) {
+      volatile std::uint64_t sink = memory.PageDigest(p).words[0];
+      (void)sink;
+    }
+  });
+}
+
+// --- digest-set membership --------------------------------------------
+
+Result BenchDigestSetBuild() {
+  constexpr std::uint64_t kCount = 65536;
+  const auto digests = RandomDigests(kCount, 11);
+  return Measure("digest_set_build_64k", kCount, 0, 10, [&] {
+    DigestSet set(digests);  // copies the vector, then builds
+    volatile std::uint64_t sink = set.Size();
+    (void)sink;
+  });
+}
+
+Result BenchDigestSetProbe(bool hit) {
+  constexpr std::uint64_t kCount = 65536;
+  const DigestSet set(RandomDigests(kCount, 11));
+  const auto probes = hit ? RandomDigests(kCount, 11)   // same stream
+                          : RandomDigests(kCount, 13);  // disjoint stream
+  return Measure(hit ? "digest_set_probe_hit" : "digest_set_probe_miss",
+                 kCount, 0, 10, [&] {
+                   std::uint64_t found = 0;
+                   for (const auto& d : probes) {
+                     found += set.Contains(d) ? 1 : 0;
+                   }
+                   volatile std::uint64_t sink = found;
+                   (void)sink;
+                 });
+}
+
+Result BenchSortedVectorProbe() {
+  // The representation DigestSet replaced, kept as the comparison point.
+  constexpr std::uint64_t kCount = 65536;
+  auto sorted = RandomDigests(kCount, 11);
+  std::sort(sorted.begin(), sorted.end());
+  const auto probes = RandomDigests(kCount, 11);
+  return Measure("sorted_vector_probe_hit", kCount, 0, 10, [&] {
+    std::uint64_t found = 0;
+    for (const auto& d : probes) {
+      found += std::binary_search(sorted.begin(), sorted.end(), d) ? 1 : 0;
+    }
+    volatile std::uint64_t sink = found;
+    (void)sink;
+  });
+}
+
+// --- simulator --------------------------------------------------------
+
+Result BenchSimulatorEvents() {
+  constexpr std::uint64_t kEvents = 200000;
+  return Measure("simulator_events", kEvents, 0, 10, [&] {
+    sim::Simulator simulator;
+    simulator.Reserve(kEvents);
+    Xoshiro256 rng(3);
+    std::uint64_t fired = 0;
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      simulator.ScheduleAt(SimTime{std::chrono::nanoseconds(
+                               rng.Next() % 1000000000)},
+                           [&fired] { ++fired; });
+    }
+    simulator.Run();
+    volatile std::uint64_t sink = fired;
+    (void)sink;
+  });
+}
+
+// --- end-to-end sweep -------------------------------------------------
+
+Result BenchMigrationSweep() {
+  constexpr std::uint64_t kMigrations = 6;
+  return Measure("migration_sweep", kMigrations, 0, 3, [&] {
+    for (const auto strategy :
+         {migration::Strategy::kFull, migration::Strategy::kDedup,
+          migration::Strategy::kDirtyTracking, migration::Strategy::kHashes,
+          migration::Strategy::kDirtyPlusDedup,
+          migration::Strategy::kHashesPlusDedup}) {
+      vm::UniformRandomWorkload churn(400.0, 0x5eed);
+      (void)bench::MeasureReturnMigration(sim::LinkConfig::Lan(), MiB(64),
+                                          strategy, &churn, Seconds(30.0));
+    }
+  });
+}
+
+void WriteJson(const std::string& path, const std::vector<Result>& results) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n  \"schema\": \"vecycle.bench_perf.v1\",\n");
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"iters\": %llu, "
+                 "\"ns_per_op\": %.3f, \"ops_per_sec\": %.3f",
+                 r.name.c_str(),
+                 static_cast<unsigned long long>(r.iters), r.ns_per_op,
+                 1e9 / r.ns_per_op);
+    if (r.bytes_per_sec > 0) {
+      std::fprintf(out, ", \"bytes_per_sec\": %.1f", r.bytes_per_sec);
+    }
+    std::fprintf(out, "}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::PrintHeader("bench_perf: hot-path wall-clock benchmarks");
+
+  std::vector<Result> results;
+  results.push_back(BenchPageHashMaterialized());
+  results.push_back(BenchPageHashSeed());
+  results.push_back(BenchPageDigestCached());
+  results.push_back(BenchDigestSetBuild());
+  results.push_back(BenchDigestSetProbe(/*hit=*/true));
+  results.push_back(BenchDigestSetProbe(/*hit=*/false));
+  results.push_back(BenchSortedVectorProbe());
+  results.push_back(BenchSimulatorEvents());
+  SeedDigestMemo::Instance().Clear();  // sweep warms its own memo
+  results.push_back(BenchMigrationSweep());
+
+  if (!out_path.empty()) WriteJson(out_path, results);
+  return 0;
+}

@@ -41,7 +41,7 @@ migration::MigrationStats MigrationOrchestrator::Migrate(
   run.destination = {&dest_host.Cpu(), &dest_host.Store()};
   run.vm_id = vm.Id();
   run.config = config;
-  run.source_knowledge = vm.KnownPagesAt(to);
+  run.source_knowledge_set = vm.KnownPageSetAt(to);
   run.departure_generations = vm.GenerationsAtDeparture(to);
 
   auto outcome = migration::RunMigration(std::move(run));

@@ -14,6 +14,7 @@
 
 #include "core/host.hpp"
 #include "digest/digest.hpp"
+#include "digest/digest_set.hpp"
 #include "vm/guest_memory.hpp"
 #include "vm/workload.hpp"
 
@@ -49,10 +50,20 @@ class VmInstance {
   [[nodiscard]] std::vector<Digest128> KnownPagesAt(
       const HostId& host) const {
     const auto it = known_pages_.find(host);
-    return it == known_pages_.end() ? std::vector<Digest128>{} : it->second;
+    return it == known_pages_.end() ? std::vector<Digest128>{}
+                                    : it->second->ToSortedVector();
+  }
+  /// Prebuilt membership set for `host`; null if never visited. The set is
+  /// built once in RememberPagesAt, so every later migration toward `host`
+  /// probes it without re-sorting or re-hashing anything.
+  [[nodiscard]] std::shared_ptr<const DigestSet> KnownPageSetAt(
+      const HostId& host) const {
+    const auto it = known_pages_.find(host);
+    return it == known_pages_.end() ? nullptr : it->second;
   }
   void RememberPagesAt(const HostId& host, std::vector<Digest128> digests) {
-    known_pages_[host] = std::move(digests);
+    known_pages_[host] =
+        std::make_shared<const DigestSet>(std::move(digests));
   }
 
   /// Generation counters at the moment the VM last departed `host`.
@@ -77,7 +88,7 @@ class VmInstance {
   std::unique_ptr<vm::GuestMemory> memory_;
   std::unique_ptr<vm::Workload> workload_;
   HostId current_host_;
-  std::unordered_map<HostId, std::vector<Digest128>> known_pages_;
+  std::unordered_map<HostId, std::shared_ptr<const DigestSet>> known_pages_;
   std::unordered_map<HostId, std::vector<std::uint64_t>>
       departure_generations_;
 };

@@ -1,0 +1,94 @@
+#include "digest/digest_memo.hpp"
+
+#include "common/rng.hpp"
+
+namespace vecycle {
+
+namespace {
+// +1 keeps every real tag away from 0, the free-slot marker.
+std::uint16_t TagOf(DigestAlgorithm algorithm,
+                    SeedDigestMemo::Flavor flavor) {
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(algorithm) + 1) |
+      (static_cast<std::uint16_t>(flavor) << 8));
+}
+}  // namespace
+
+SeedDigestMemo& SeedDigestMemo::Instance() {
+  thread_local SeedDigestMemo memo;
+  return memo;
+}
+
+std::uint64_t SeedDigestMemo::ProbeStart(std::uint64_t seed,
+                                         std::uint16_t tag) const {
+  return SplitMix64(seed ^ (static_cast<std::uint64_t>(tag) << 48)).Next() &
+         mask_;
+}
+
+std::optional<Digest128> SeedDigestMemo::Find(DigestAlgorithm algorithm,
+                                              Flavor flavor,
+                                              std::uint64_t seed) {
+  if (slots_.empty()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  const std::uint16_t tag = TagOf(algorithm, flavor);
+  for (std::uint64_t i = ProbeStart(seed, tag);; i = (i + 1) & mask_) {
+    const Slot& slot = slots_[i];
+    if (slot.tag == 0) {
+      ++misses_;
+      return std::nullopt;
+    }
+    if (slot.tag == tag && slot.seed == seed) {
+      ++hits_;
+      return slot.digest;
+    }
+  }
+}
+
+void SeedDigestMemo::Store(DigestAlgorithm algorithm, Flavor flavor,
+                           std::uint64_t seed, const Digest128& digest) {
+  if (size_ >= kMaxEntries) return;
+  if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) Grow();
+  const std::uint16_t tag = TagOf(algorithm, flavor);
+  for (std::uint64_t i = ProbeStart(seed, tag);; i = (i + 1) & mask_) {
+    Slot& slot = slots_[i];
+    if (slot.tag == 0) {
+      slot.seed = seed;
+      slot.tag = tag;
+      slot.digest = digest;
+      ++size_;
+      return;
+    }
+    if (slot.tag == tag && slot.seed == seed) return;  // already present
+  }
+}
+
+void SeedDigestMemo::Grow() {
+  const std::uint64_t new_capacity =
+      slots_.empty() ? 4096 : slots_.size() * 2;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_capacity, Slot{});
+  mask_ = new_capacity - 1;
+  for (const Slot& slot : old) {
+    if (slot.tag == 0) continue;
+    for (std::uint64_t i = ProbeStart(slot.seed, slot.tag);;
+         i = (i + 1) & mask_) {
+      if (slots_[i].tag == 0) {
+        slots_[i] = slot;
+        break;
+      }
+    }
+  }
+}
+
+void SeedDigestMemo::Clear() {
+  slots_.clear();
+  slots_.shrink_to_fit();
+  mask_ = 0;
+  size_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace vecycle

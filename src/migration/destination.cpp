@@ -71,8 +71,7 @@ SimTime DestinationActor::Prepare(SimTime start, bool send_bulk_hashes) {
   return ready;
 }
 
-void DestinationActor::OnMessage(const net::Message& message,
-                                 SimTime arrival) {
+void DestinationActor::OnMessage(net::Message&& message, SimTime arrival) {
   switch (message.type) {
     case net::MessageType::kPageBatch:
       ApplyBatch(message, arrival);

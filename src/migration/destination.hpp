@@ -48,8 +48,9 @@ class DestinationActor {
   /// path). Returns the setup completion time.
   SimTime Prepare(SimTime start, bool send_bulk_hashes);
 
-  /// Channel receiver: dispatch on message type.
-  void OnMessage(const net::Message& message, SimTime arrival);
+  /// Channel receiver: dispatch on message type. Rvalue to match the
+  /// channel's zero-copy delivery; batches are applied in place.
+  void OnMessage(net::Message&& message, SimTime arrival);
 
   /// Invoked once, when the final round has been fully applied and the VM
   /// runs at the destination.

@@ -131,7 +131,15 @@ struct MigrationSession::Impl {
     dest_params.mode = run.source_memory->Mode();
     destination = std::make_unique<DestinationActor>(std::move(dest_params));
 
-    const bool source_has_knowledge = !run.source_knowledge.empty();
+    // Event-heap capacity hint: round 1 pumps ~page_count/batch_pages
+    // batches, each scheduling a pump continuation and a delivery.
+    simulator.Reserve(static_cast<std::size_t>(
+        run.source_memory->PageCount() / run.config.batch_pages + 16));
+
+    const bool source_has_knowledge =
+        (run.source_knowledge_set != nullptr &&
+         !run.source_knowledge_set->Empty()) ||
+        !run.source_knowledge.empty();
     const bool dest_has_checkpoint =
         UsesCheckpoint(run.config.strategy) &&
         run.destination.store != nullptr &&
@@ -152,6 +160,7 @@ struct MigrationSession::Impl {
       // any stale knowledge the VM carries about this destination is
       // useless (e.g. the checkpoint was evicted or the VM was resized).
       run.source_knowledge.clear();
+      run.source_knowledge_set.reset();
     }
 
     // Hash-exchange planning (§3.2): needed only when the source lacks
@@ -173,6 +182,7 @@ struct MigrationSession::Impl {
     src_params.workload = run.workload;
     src_params.config = run.config;
     src_params.dest_digests = std::move(run.source_knowledge);
+    src_params.dest_digest_set = std::move(run.source_knowledge_set);
     src_params.departure_generations =
         std::move(run.departure_generations);
     src_params.shared_dedup_cache = run.shared_dedup_cache;
@@ -200,11 +210,11 @@ struct MigrationSession::Impl {
     }
     source = std::make_unique<SourceActor>(std::move(src_params));
 
-    forward->SetReceiver([this](const net::Message& m, SimTime t) {
-      destination->OnMessage(m, t);
+    forward->SetReceiver([this](net::Message&& m, SimTime t) {
+      destination->OnMessage(std::move(m), t);
     });
-    backward->SetReceiver([this](const net::Message& m, SimTime t) {
-      source->OnMessage(m, t);
+    backward->SetReceiver([this](net::Message&& m, SimTime t) {
+      source->OnMessage(std::move(m), t);
     });
     destination->on_complete = [this](SimTime t) {
       completed_at = t;

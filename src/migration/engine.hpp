@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "audit/audit.hpp"
+#include "digest/digest_set.hpp"
 #include "migration/config.hpp"
 #include "migration/stats.hpp"
 #include "obs/metrics.hpp"
@@ -51,6 +52,11 @@ struct MigrationRun {
   /// migration). Empty + content-hash strategy + checkpoint at the
   /// destination triggers the §3.2 bulk exchange instead.
   std::vector<Digest128> source_knowledge;
+
+  /// Prebuilt membership set with the same meaning as source_knowledge;
+  /// wins when non-null. VmInstance builds the set once per remembered
+  /// host, so repeat migrations probe it with zero rebuild cost.
+  std::shared_ptr<const DigestSet> source_knowledge_set;
 
   /// Generation counters at the moment the VM last left the destination
   /// (Miyakodori); empty means no dirty-tracking state.

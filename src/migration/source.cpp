@@ -18,13 +18,18 @@ SourceActor::SourceActor(Params params) : params_(std::move(params)) {
         params_.departure_generations.size() == params_.memory->PageCount(),
         "departure generation vector does not match memory geometry");
   }
-  dest_digests_ = std::move(params_.dest_digests);
-  std::sort(dest_digests_.begin(), dest_digests_.end());
+  if (params_.dest_digest_set != nullptr) {
+    shared_dest_digests_ = std::move(params_.dest_digest_set);
+  } else if (!params_.dest_digests.empty()) {
+    owned_dest_digests_ = DigestSet(std::move(params_.dest_digests));
+  }
 }
 
 bool SourceActor::DestHas(const Digest128& digest) const {
-  return std::binary_search(dest_digests_.begin(), dest_digests_.end(),
-                            digest);
+  const DigestSet& digests = shared_dest_digests_ != nullptr
+                                 ? *shared_dest_digests_
+                                 : owned_dest_digests_;
+  return digests.Contains(digest);
 }
 
 void SourceActor::Start(SimTime start) {
@@ -35,14 +40,16 @@ void SourceActor::Start(SimTime start) {
   BeginRound(start, {}, /*final_round=*/false);
 }
 
-void SourceActor::OnMessage(const net::Message& message, SimTime arrival) {
+void SourceActor::OnMessage(net::Message&& message, SimTime arrival) {
   switch (message.type) {
     case net::MessageType::kBulkHashes: {
       VEC_CHECK_MSG(!started_, "bulk hashes after round 1 started");
-      dest_digests_ = message.bulk_hashes;
-      std::sort(dest_digests_.begin(), dest_digests_.end());
       stats_.bulk_exchange_bytes +=
           message.WireSize(params_.config.algorithm);
+      // Consume the payload by move; the hash set needs no sort, so the
+      // digests go straight from the wire into the probe table.
+      owned_dest_digests_ = DigestSet(std::move(message.bulk_hashes));
+      shared_dest_digests_.reset();
       Start(arrival);
       break;
     }

@@ -11,10 +11,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
+#include "digest/digest_set.hpp"
 #include "migration/config.hpp"
 #include "migration/stats.hpp"
 #include "net/channel.hpp"
@@ -36,10 +38,15 @@ class SourceActor {
     vm::GuestMemory* memory = nullptr;  ///< the live VM
     vm::Workload* workload = nullptr;   ///< nullable: frozen guest
     MigrationConfig config;
-    /// Digests of pages known to exist at the destination (sorted). For
-    /// ping-pong migrations the caller provides this from the previous
-    /// incoming migration; otherwise it arrives via OnBulkHashes.
+    /// Digests of pages known to exist at the destination (any order).
+    /// For ping-pong migrations the caller provides this from the
+    /// previous incoming migration; otherwise it arrives via the bulk
+    /// exchange. Built into a flat hash set once, at construction.
     std::vector<Digest128> dest_digests;
+    /// Prebuilt membership set sharing the same meaning as dest_digests —
+    /// the zero-rebuild fast path for callers (VmInstance) that keep the
+    /// set across migrations. Wins over dest_digests when non-null.
+    std::shared_ptr<const DigestSet> dest_digest_set;
     /// Per-page generation counters at the moment the VM last left the
     /// destination host (Miyakodori state); empty disables dirty skips.
     std::vector<std::uint64_t> departure_generations;
@@ -71,8 +78,9 @@ class SourceActor {
   /// Begins round 1 at `start` (>= destination readiness).
   void Start(SimTime start);
 
-  /// Channel receiver for the reverse direction.
-  void OnMessage(const net::Message& message, SimTime arrival);
+  /// Channel receiver for the reverse direction. Takes the message by
+  /// rvalue so the bulk-hash payload is consumed by move, not copied.
+  void OnMessage(net::Message&& message, SimTime arrival);
 
   /// Invoked when the source has received the final done-ack.
   std::function<void(SimTime)> on_finished;
@@ -129,7 +137,10 @@ class SourceActor {
 
   Params params_;
   MigrationStats stats_;
-  std::vector<Digest128> dest_digests_;  // sorted
+  /// O(1) destination-membership set (owned: built from dest_digests or
+  /// the bulk exchange). Unused when the caller provided a prebuilt set.
+  DigestSet owned_dest_digests_;
+  std::shared_ptr<const DigestSet> shared_dest_digests_;
   /// Sender-side dedup cache: content seed -> cache slot of the first
   /// transmission this migration.
   std::unordered_map<std::uint64_t, std::uint64_t> dedup_cache_;

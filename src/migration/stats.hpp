@@ -51,6 +51,11 @@ struct MigrationStats {
   Bytes payload_bytes_original;
   Bytes payload_bytes_on_wire;
 
+  /// Field-wise equality — the caching-invariance tests assert that two
+  /// runs of the same scenario report identical simulated quantities.
+  friend bool operator==(const MigrationStats&,
+                         const MigrationStats&) = default;
+
   [[nodiscard]] std::uint64_t Round1Pages() const {
     return pages_sent_full + pages_sent_checksum + pages_dup_ref +
            pages_skipped_clean;

@@ -20,8 +20,11 @@ namespace vecycle::net {
 class Channel {
  public:
   /// Handler invoked at delivery time. `arrival` is the simulated time the
-  /// last byte reached the receiver.
-  using Handler = std::function<void(const Message&, SimTime arrival)>;
+  /// last byte reached the receiver. The message is delivered by rvalue:
+  /// a batch's record vector (or a bulk-hash payload) moves from sender to
+  /// receiver without a single copy — receivers that only read may still
+  /// bind a `const Message&` parameter.
+  using Handler = std::function<void(Message&&, SimTime arrival)>;
 
   Channel(sim::Simulator& simulator, sim::Link& link, sim::Direction direction,
           DigestAlgorithm algorithm)
@@ -68,7 +71,7 @@ class Channel {
     }
     simulator_.ScheduleAt(
         arrival, [this, msg = std::move(message), arrival]() mutable {
-          receiver_(msg, arrival);
+          receiver_(std::move(msg), arrival);
         });
     return arrival;
   }

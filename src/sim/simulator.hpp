@@ -12,8 +12,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -42,17 +40,24 @@ class Simulator {
   /// the simulated past.
   void ScheduleAt(SimTime when, Action action) {
     VEC_CHECK_MSG(when >= now_, "cannot schedule into the simulated past");
-    queue_.push(Event{when, next_seq_++, std::move(action)});
+    queue_.push_back(Event{when, next_seq_++, std::move(action)});
+    SiftUp(queue_.size() - 1);
+  }
+
+  /// Capacity hint: pre-sizes the event heap for `additional` upcoming
+  /// events, so bursty schedulers (a migration pumping thousands of
+  /// batches) do not pay repeated heap-array reallocations.
+  void Reserve(std::size_t additional) {
+    queue_.reserve(queue_.size() + additional);
   }
 
   /// Runs one event; returns false if the queue is empty.
   bool Step() {
     if (queue_.empty()) return false;
-    // priority_queue::top is const; the action must be moved out, so copy
-    // the handle then pop. Event holds the action by shared_ptr to keep the
-    // copy cheap.
-    Event ev = queue_.top();
-    queue_.pop();
+    // The hand-rolled heap pops by move: the action leaves the queue
+    // without the copy (or the shared_ptr indirection) std::priority_queue
+    // would force through its const top().
+    Event ev = PopEarliest();
     now_ = ev.when;
     ++executed_;
     if (auditor_ != nullptr) auditor_->OnEventExecuted(ev.when, ev.seq);
@@ -62,7 +67,7 @@ class Simulator {
       tracer_->Counter(tracer_track_, tracer_counter_, now_,
                        static_cast<double>(queue_.size()));
     }
-    (*ev.action)();
+    ev.action();
     return true;
   }
 
@@ -75,7 +80,7 @@ class Simulator {
 
   /// Runs until the queue drains or the simulated clock passes `deadline`.
   SimTime RunUntil(SimTime deadline) {
-    while (!queue_.empty() && queue_.top().when <= deadline) {
+    while (!queue_.empty() && queue_.front().when <= deadline) {
       Step();
     }
     if (now_ < deadline) now_ = deadline;
@@ -105,21 +110,60 @@ class Simulator {
   [[nodiscard]] obs::TraceRecorder* Tracer() const { return tracer_; }
 
  private:
+  /// Heap node. Holds the action inline (std::function moves are cheap and
+  /// noexcept), so scheduling allocates nothing beyond the closure itself.
   struct Event {
     SimTime when;
     std::uint64_t seq;
-    std::shared_ptr<Action> action;
-
-    Event(SimTime w, std::uint64_t s, Action a)
-        : when(w), seq(s), action(std::make_shared<Action>(std::move(a))) {}
+    Action action;
   };
 
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+  static bool Earlier(const Event& a, const Event& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  // Binary min-heap over queue_ ordered by (when, seq). Hand-rolled so the
+  // root can be moved out on pop and sifts shift a hole instead of
+  // swapping (one move per level, not three).
+  void SiftUp(std::size_t index) {
+    Event ev = std::move(queue_[index]);
+    while (index > 0) {
+      const std::size_t parent = (index - 1) / 2;
+      if (!Earlier(ev, queue_[parent])) break;
+      queue_[index] = std::move(queue_[parent]);
+      index = parent;
     }
-  };
+    queue_[index] = std::move(ev);
+  }
+
+  void SiftDown(std::size_t index) {
+    Event ev = std::move(queue_[index]);
+    const std::size_t count = queue_.size();
+    while (true) {
+      std::size_t child = 2 * index + 1;
+      if (child >= count) break;
+      if (child + 1 < count && Earlier(queue_[child + 1], queue_[child])) {
+        ++child;
+      }
+      if (!Earlier(queue_[child], ev)) break;
+      queue_[index] = std::move(queue_[child]);
+      index = child;
+    }
+    queue_[index] = std::move(ev);
+  }
+
+  Event PopEarliest() {
+    Event top = std::move(queue_.front());
+    if (queue_.size() > 1) {
+      queue_.front() = std::move(queue_.back());
+      queue_.pop_back();
+      SiftDown(0);
+    } else {
+      queue_.pop_back();
+    }
+    return top;
+  }
 
   static constexpr std::uint64_t kTraceSampleStride = 256;
 
@@ -130,7 +174,7 @@ class Simulator {
   obs::TraceRecorder* tracer_ = nullptr;
   obs::TrackId tracer_track_ = 0;
   obs::NameId tracer_counter_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> queue_;
 };
 
 /// A serialized device: at most one request in service at a time, FIFO.

@@ -43,6 +43,10 @@ class Checkpoint {
 
   /// Digest of the page image at `page` under `algorithm`, matching what
   /// GuestMemory::PageDigest produces for the same content in seed mode.
+  /// Checkpoints are immutable after capture, so results are memoized per
+  /// page (one algorithm at a time — the one the migration runs under);
+  /// the index build warms the cache the destination's per-record
+  /// cross-checks then hit.
   [[nodiscard]] Digest128 DigestAt(vm::PageId page,
                                    DigestAlgorithm algorithm) const;
 
@@ -58,7 +62,9 @@ class Checkpoint {
   /// at capture time; a checkpoint that sat on a flaky disk can be
   /// verified against it before the destination trusts it (§3.3's
   /// initialization scan is the natural place — the data is being read
-  /// anyway).
+  /// anyway). Memoized: the image is immutable, and IntegrityOk() gates
+  /// every migration, so recomputing a multi-hundred-KiB MD5 per check
+  /// was the single hottest path in the wall-clock profile.
   [[nodiscard]] Digest128 ImageDigest() const;
   [[nodiscard]] bool IntegrityOk() const {
     return ImageDigest() == captured_digest_;
@@ -76,9 +82,19 @@ class Checkpoint {
   static Checkpoint LoadFile(const std::string& path);
 
  private:
+  void InvalidateDigestCaches();
+
   std::vector<std::uint64_t> seeds_;
   std::vector<std::uint64_t> generations_;
   Digest128 captured_digest_;
+
+  // Memoization over the immutable image (CorruptPageForTesting is the
+  // only mutation and invalidates). `mutable`: caching is invisible to
+  // observable state; the simulation is single-threaded.
+  mutable std::vector<Digest128> page_digest_cache_;
+  mutable std::vector<std::uint64_t> page_digest_tag_;  // algorithm+1, 0=none
+  mutable Digest128 image_digest_cache_;
+  mutable bool image_digest_cached_ = false;
 };
 
 }  // namespace vecycle::storage

@@ -14,8 +14,16 @@ std::vector<PageId> DirtySnapshot::DirtyPages(
     const GuestMemory& memory) const {
   VEC_CHECK_MSG(memory.PageCount() == generations_.size(),
                 "snapshot taken from a different-sized memory");
-  std::vector<PageId> dirty;
   const auto& current = memory.Generations();
+  // Count first so the result vector is allocated exactly once; two linear
+  // scans of the contiguous counter arrays are cheaper than reallocation
+  // copies on large dirty sets.
+  std::uint64_t count = 0;
+  for (PageId page = 0; page < current.size(); ++page) {
+    if (current[page] != generations_[page]) ++count;
+  }
+  std::vector<PageId> dirty;
+  dirty.reserve(count);
   for (PageId page = 0; page < current.size(); ++page) {
     if (current[page] != generations_[page]) dirty.push_back(page);
   }

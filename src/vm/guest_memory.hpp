@@ -83,11 +83,32 @@ class GuestMemory {
   /// Strong digest of the page's content with the configured algorithm.
   /// In kMaterialized mode this hashes the real 4 KiB image; in kSeedOnly
   /// mode it hashes the 8-byte seed — equal-iff-equal-content either way.
+  ///
+  /// Memoized per page, keyed on the generation counter: re-digesting an
+  /// unmodified page (every strategy sweep, every migration round, the
+  /// post-migration incoming-digest scan) is a cache hit instead of a
+  /// fresh MD5. Writes invalidate by bumping the generation;
+  /// SetGenerations re-stamps valid entries (content is unchanged there).
   [[nodiscard]] Digest128 PageDigest(PageId page) const;
 
   /// Fast 64-bit content hash for fingerprinting and analysis. Collision
   /// probability over millions of pages is negligible for statistics.
+  /// Memoized with the same generation-keyed scheme as PageDigest.
   [[nodiscard]] std::uint64_t ContentHash64(PageId page) const;
+
+  /// Toggles digest/hash memoization (on by default). Disabling clears
+  /// the caches; results must be byte-identical either way — the switch
+  /// exists so tests and benches can prove exactly that, and so
+  /// memory-constrained million-page sweeps can opt out of the
+  /// 24 B/page cache footprint.
+  void SetDigestCacheEnabled(bool enabled);
+  [[nodiscard]] bool DigestCacheEnabled() const { return cache_enabled_; }
+
+  /// Memoization counters (benchmarks and cache tests).
+  [[nodiscard]] std::uint64_t DigestCacheHits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t DigestCacheMisses() const {
+    return cache_misses_;
+  }
 
   /// Copies the page's (possibly expanded) bytes into `out` (4 KiB).
   void ReadPage(PageId page, std::span<std::byte> out) const;
@@ -107,6 +128,7 @@ class GuestMemory {
 
  private:
   void CheckPage(PageId page) const;
+  [[nodiscard]] Digest128 ComputePageDigest(PageId page) const;
 
   ContentMode mode_;
   DigestAlgorithm algorithm_;
@@ -114,6 +136,20 @@ class GuestMemory {
   std::vector<std::uint64_t> generations_;
   std::vector<std::byte> backing_;  // PageCount()*kPageSize in kMaterialized
   std::uint64_t total_writes_ = 0;
+
+  // Digest memoization. A cache entry is valid iff its key equals the
+  // page's current generation + 1 (0 = never cached); every write bumps
+  // the generation, so stale entries can never be observed. Vectors are
+  // allocated lazily on the first digest/hash call and are `mutable`
+  // because memoization does not change observable content (the simulator
+  // is single-threaded by design).
+  mutable std::vector<Digest128> digest_cache_;
+  mutable std::vector<std::uint64_t> digest_cache_key_;
+  mutable std::vector<std::uint64_t> hash64_cache_;
+  mutable std::vector<std::uint64_t> hash64_cache_key_;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
+  bool cache_enabled_ = true;
 };
 
 /// Initial memory composition, following the structure the Memory Buddies

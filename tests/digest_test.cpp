@@ -4,12 +4,15 @@
 // boundary-condition behaviour.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "digest/digest.hpp"
+#include "digest/digest_set.hpp"
 #include "digest/fnv.hpp"
 #include "digest/hasher.hpp"
 #include "digest/md5.hpp"
@@ -358,6 +361,89 @@ TEST(PaddingBoundaries, IncrementalSplitsAgreeAtEveryBoundary) {
     EXPECT_EQ(md5.Finalize().ToHex(), kBoundaryVectors[5].md5)
         << "split " << split;
   }
+}
+
+// --- DigestSet: flat O(1) membership vs the sorted-vector baseline. ---
+
+std::vector<Digest128> RandomCorpus(std::uint64_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Digest128> corpus;
+  corpus.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    corpus.push_back(Digest128::FromWords(rng.Next(), rng.Next()));
+  }
+  return corpus;
+}
+
+TEST(DigestSet, EmptySetContainsNothing) {
+  const DigestSet set{std::vector<Digest128>{}};
+  EXPECT_TRUE(set.Empty());
+  EXPECT_EQ(set.Size(), 0u);
+  EXPECT_FALSE(set.Contains(Digest128::FromWords(1, 2)));
+  const DigestSet default_constructed;
+  EXPECT_FALSE(default_constructed.Contains(Digest128::FromWords(1, 2)));
+}
+
+TEST(DigestSet, AgreesWithBinarySearchOnRandomCorpus) {
+  const auto corpus = RandomCorpus(5000, 0xd1d1);
+  auto sorted = corpus;
+  std::sort(sorted.begin(), sorted.end());
+  const DigestSet set(corpus);
+
+  for (const auto& digest : corpus) {
+    EXPECT_TRUE(set.Contains(digest));
+  }
+  // Random probes (overwhelmingly non-members) must give the same answer
+  // binary search over the sorted list gives.
+  for (const auto& probe : RandomCorpus(2000, 0xfeed)) {
+    EXPECT_EQ(set.Contains(probe),
+              std::binary_search(sorted.begin(), sorted.end(), probe));
+  }
+}
+
+TEST(DigestSet, LowWordCollisionsDoNotConfuseMembership) {
+  // Every digest here shares the low 64 bits the probe hash is derived
+  // from; only the full-digest comparison in the slot can tell them
+  // apart. Members must be found, the absent sibling must not.
+  constexpr std::uint64_t kSharedLow = 0x1234567812345678ull;
+  std::vector<Digest128> corpus;
+  for (std::uint64_t hi = 0; hi < 257; ++hi) {
+    corpus.push_back(Digest128::FromWords(hi, kSharedLow));
+  }
+  const DigestSet set(corpus);
+  for (const auto& digest : corpus) {
+    EXPECT_TRUE(set.Contains(digest));
+  }
+  EXPECT_FALSE(set.Contains(Digest128::FromWords(999, kSharedLow)));
+  EXPECT_FALSE(set.Contains(Digest128::FromWords(0, kSharedLow + 1)));
+}
+
+TEST(DigestSet, DeduplicatesAndSortsBack) {
+  auto corpus = RandomCorpus(1000, 0xabcd);
+  auto with_dups = corpus;
+  with_dups.insert(with_dups.end(), corpus.begin(), corpus.end());
+  const DigestSet set(with_dups);
+  EXPECT_EQ(set.Size(), corpus.size());
+
+  std::sort(corpus.begin(), corpus.end());
+  EXPECT_EQ(set.ToSortedVector(), corpus);
+}
+
+TEST(DigestSet, InternalEmptyMarkerValueIsStorable) {
+  // The implementation reserves one arbitrary 128-bit value as its
+  // free-slot marker; storing exactly that value must still work.
+  const auto marker =
+      Digest128::FromWords(0x9d5c6fabe17c4e2bull, 0x3f84a1d0c2b96e57ull);
+  std::vector<Digest128> corpus = RandomCorpus(16, 0x11);
+  corpus.push_back(marker);
+  corpus.push_back(marker);  // duplicate of the marker too
+  const DigestSet set(corpus);
+  EXPECT_TRUE(set.Contains(marker));
+  EXPECT_EQ(set.Size(), 17u);
+  auto sorted = RandomCorpus(16, 0x11);
+  sorted.push_back(marker);
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(set.ToSortedVector(), sorted);
 }
 
 }  // namespace

@@ -475,5 +475,61 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// =====================================================================
+// Caching invariance: digest memoization is a wall-clock optimization
+// only. Simulated CPU time is charged by the ChecksumEngine regardless
+// of whether the real MD5 ran, so every MigrationStats field must be
+// identical with the digest caches enabled and disabled.
+// =====================================================================
+
+migration::MigrationStats RunCachingScenario(migration::Strategy strategy,
+                                             bool cache_enabled) {
+  sim::Simulator simulator;
+  sim::Link link(sim::LinkConfig::Lan());
+  sim::ChecksumEngine src_cpu{sim::ChecksumEngineConfig{}};
+  sim::ChecksumEngine dst_cpu{sim::ChecksumEngineConfig{}};
+  sim::Disk dst_disk{sim::DiskConfig::Hdd()};
+  storage::CheckpointStore dst_store{dst_disk};
+
+  vm::GuestMemory memory(MiB(8), vm::ContentMode::kSeedOnly);
+  memory.SetDigestCacheEnabled(cache_enabled);
+  Xoshiro256 rng(0xcac4e);
+  vm::MemoryProfile{}.Apply(memory, rng);
+
+  const auto departure = memory.Generations();
+  dst_store.Save("vm", storage::Checkpoint::CaptureFrom(memory), kSimEpoch);
+  vm::UniformRandomWorkload churn(300.0, 0x5ee);
+  churn.Advance(memory, Seconds(20.0));
+
+  migration::MigrationRun run;
+  run.simulator = &simulator;
+  run.link = &link;
+  run.direction = sim::Direction::kAtoB;
+  run.source_memory = &memory;
+  run.workload = &churn;
+  run.source = {&src_cpu, nullptr};
+  run.destination = {&dst_cpu, &dst_store};
+  run.vm_id = "vm";
+  run.config.strategy = strategy;
+  run.config.stop_copy_threshold_pages = 64;
+  run.departure_generations = departure;
+  // No source knowledge, so hash strategies run the full bulk exchange
+  // and every digest-dependent code path executes.
+
+  return migration::RunMigration(std::move(run)).stats;
+}
+
+TEST(CachingInvariance, StatsIdenticalWithDigestCacheOnAndOff) {
+  for (const auto strategy :
+       {migration::Strategy::kFull, migration::Strategy::kDedup,
+        migration::Strategy::kDirtyTracking, migration::Strategy::kHashes,
+        migration::Strategy::kDirtyPlusDedup,
+        migration::Strategy::kHashesPlusDedup}) {
+    const auto with_cache = RunCachingScenario(strategy, true);
+    const auto without_cache = RunCachingScenario(strategy, false);
+    EXPECT_EQ(with_cache, without_cache) << ToString(strategy);
+  }
+}
+
 }  // namespace
 }  // namespace vecycle

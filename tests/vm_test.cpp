@@ -153,6 +153,139 @@ TEST(GuestMemory, SetGenerationsAdoptsVector) {
   EXPECT_THROW(memory.SetGenerations({1, 2, 3}), CheckFailure);
 }
 
+// --- Digest memoization. ---
+
+/// Honest recomputation of what PageDigest should return, bypassing every
+/// cache layer.
+Digest128 HonestDigest(const GuestMemory& memory, PageId page) {
+  if (memory.Mode() == ContentMode::kMaterialized) {
+    std::array<std::byte, kPageSize> bytes;
+    MaterializePage(memory.Seed(page), bytes);
+    return ComputeDigest(memory.Algorithm(), bytes.data(), bytes.size());
+  }
+  const std::uint64_t seed = memory.Seed(page);
+  return ComputeDigest(memory.Algorithm(), &seed, sizeof(seed));
+}
+
+TEST(DigestCache, CachedAndUncachedDigestsAreByteIdentical) {
+  for (const auto mode :
+       {ContentMode::kSeedOnly, ContentMode::kMaterialized}) {
+    GuestMemory cached(MiB(1), mode);
+    GuestMemory uncached(MiB(1), mode);
+    uncached.SetDigestCacheEnabled(false);
+    Xoshiro256 rng(0xcafe);
+    for (PageId p = 0; p < cached.PageCount(); ++p) {
+      const std::uint64_t seed = rng.Next();
+      cached.WritePage(p, seed);
+      uncached.WritePage(p, seed);
+    }
+    for (PageId p = 0; p < cached.PageCount(); ++p) {
+      EXPECT_EQ(cached.PageDigest(p), uncached.PageDigest(p));
+      // Second read serves from the cache; still identical.
+      EXPECT_EQ(cached.PageDigest(p), uncached.PageDigest(p));
+      EXPECT_EQ(cached.ContentHash64(p), uncached.ContentHash64(p));
+    }
+    EXPECT_GT(cached.DigestCacheHits(), 0u);
+    EXPECT_EQ(uncached.DigestCacheHits(), 0u);
+  }
+}
+
+TEST(DigestCache, WritePageInvalidates) {
+  for (const auto mode :
+       {ContentMode::kSeedOnly, ContentMode::kMaterialized}) {
+    GuestMemory memory(MiB(1), mode);
+    memory.WritePage(0, 111);
+    const auto before = memory.PageDigest(0);
+    memory.WritePage(0, 222);
+    const auto after = memory.PageDigest(0);
+    EXPECT_NE(before, after);
+    EXPECT_EQ(after, HonestDigest(memory, 0));
+  }
+}
+
+TEST(DigestCache, CopyPageInvalidatesDestination) {
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  memory.WritePage(0, 111);
+  memory.WritePage(1, 222);
+  const auto dest_before = memory.PageDigest(1);
+  memory.CopyPage(0, 1);
+  EXPECT_NE(memory.PageDigest(1), dest_before);
+  EXPECT_EQ(memory.PageDigest(1), memory.PageDigest(0));
+}
+
+TEST(DigestCache, SetGenerationsKeepsDigestsValid) {
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  memory.WritePage(0, 333);
+  const auto digest = memory.PageDigest(0);  // cached at generation 1
+  std::vector<std::uint64_t> generations(memory.PageCount(), 0);
+  memory.SetGenerations(generations);  // content untouched
+  EXPECT_EQ(memory.PageDigest(0), digest);
+  EXPECT_EQ(memory.PageDigest(0), HonestDigest(memory, 0));
+}
+
+TEST(DigestCache, GenerationAliasingAfterSetGenerationsIsSafe) {
+  // The dangerous interleaving: cache a digest at generation g, rewind
+  // the counters with SetGenerations, then write until the counter
+  // climbs back to g. A naive generation-keyed cache would serve the
+  // stale digest for the new content.
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  memory.WritePage(0, 444);  // generation 1
+  const auto stale = memory.PageDigest(0);
+  std::vector<std::uint64_t> generations(memory.PageCount(), 0);
+  memory.SetGenerations(generations);  // back to generation 0
+  memory.WritePage(0, 555);  // generation 1 again, new content
+  EXPECT_NE(memory.PageDigest(0), stale);
+  EXPECT_EQ(memory.PageDigest(0), HonestDigest(memory, 0));
+}
+
+TEST(DigestCache, SetGenerationsDropsEntriesStaledByEarlierWrites) {
+  // The other dangerous interleaving: cache a digest, *overwrite* the
+  // page (staling the entry), then SetGenerations. Re-stamping every
+  // nonzero key would resurrect the stale digest as valid under the new
+  // counters. This is exactly the destination-side sequence during a
+  // checkpoint-assisted migration: ApplyRecord computes PageDigest for
+  // the in-place check, then WritePage fetches the real content, then
+  // Finalize adopts the source's generation counters.
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  memory.WritePage(0, 666);                    // generation 1
+  const auto stale = memory.PageDigest(0);     // cached at generation 1
+  memory.WritePage(0, 777);                    // generation 2, entry stale
+  std::vector<std::uint64_t> generations(memory.PageCount(), 5);
+  memory.SetGenerations(generations);
+  EXPECT_NE(memory.PageDigest(0), stale);
+  EXPECT_EQ(memory.PageDigest(0), HonestDigest(memory, 0));
+}
+
+TEST(DigestCache, HitAndMissCountersTrack) {
+  GuestMemory memory(MiB(1), ContentMode::kSeedOnly);
+  memory.WritePage(0, 1);
+  EXPECT_EQ(memory.DigestCacheMisses(), 0u);
+  (void)memory.PageDigest(0);
+  EXPECT_EQ(memory.DigestCacheMisses(), 1u);
+  EXPECT_EQ(memory.DigestCacheHits(), 0u);
+  (void)memory.PageDigest(0);
+  EXPECT_EQ(memory.DigestCacheHits(), 1u);
+  memory.WritePage(0, 2);
+  (void)memory.PageDigest(0);
+  EXPECT_EQ(memory.DigestCacheMisses(), 2u);
+}
+
+TEST(DigestCache, ContentFingerprintUnaffectedByCaching) {
+  GuestMemory cached(MiB(1), ContentMode::kSeedOnly);
+  GuestMemory uncached(MiB(1), ContentMode::kSeedOnly);
+  uncached.SetDigestCacheEnabled(false);
+  for (PageId p = 0; p < cached.PageCount(); ++p) {
+    cached.WritePage(p, p * 31 + 7);
+    uncached.WritePage(p, p * 31 + 7);
+  }
+  const auto before = cached.ContentFingerprint();
+  for (PageId p = 0; p < cached.PageCount(); ++p) {
+    (void)cached.PageDigest(p);  // warm the cache
+  }
+  EXPECT_EQ(cached.ContentFingerprint(), before);
+  EXPECT_EQ(cached.ContentFingerprint(), uncached.ContentFingerprint());
+}
+
 // --- Memory profile. ---
 
 TEST(MemoryProfile, CompositionMatchesRequestedFractions) {
