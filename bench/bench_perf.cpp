@@ -11,10 +11,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/cluster.hpp"
+#include "core/scheduler.hpp"
+#include "core/vm_instance.hpp"
 #include "digest/digest_memo.hpp"
 #include "digest/digest_set.hpp"
 #include "digest/hasher.hpp"
@@ -201,6 +205,44 @@ Result BenchMigrationSweep() {
   });
 }
 
+Result BenchFleetSweep() {
+  // Scheduler-driven fleet wave: 8 VMs on 3 hosts, per-host caps of 2,
+  // all submitted at once so admissions overlap and queue. The world is
+  // rebuilt per rep — the measurement covers setup + drain, matching how
+  // the examples use the scheduler.
+  constexpr std::uint64_t kFleet = 8;
+  return Measure("fleet_sweep", kFleet, 0, 3, [&] {
+    sim::Simulator simulator;
+    core::Cluster cluster(simulator);
+    cluster.AddHost({"a", sim::DiskConfig::Ssd(), {}, {}});
+    cluster.AddHost({"b", sim::DiskConfig::Ssd(), {}, {}});
+    cluster.AddHost({"c", sim::DiskConfig::Ssd(), {}, {}});
+    cluster.Connect("a", "b", sim::LinkConfig::Lan());
+    cluster.Connect("b", "c", sim::LinkConfig::Lan());
+    cluster.Connect("a", "c", sim::LinkConfig::Lan());
+    core::SchedulerConfig scheduler_config;
+    scheduler_config.max_outgoing_per_host = 2;
+    scheduler_config.max_incoming_per_host = 2;
+    core::MigrationScheduler scheduler(cluster, scheduler_config);
+    const char* hosts[] = {"a", "b", "c"};
+    std::vector<std::unique_ptr<core::VmInstance>> fleet;
+    for (std::uint64_t i = 0; i < kFleet; ++i) {
+      fleet.push_back(std::make_unique<core::VmInstance>(
+          "vm-" + std::to_string(i), MiB(16), vm::ContentMode::kSeedOnly));
+      Xoshiro256 rng(0xf1ee7 + i);
+      vm::MemoryProfile{}.Apply(fleet.back()->Memory(), rng);
+      fleet.back()->SetCurrentHost(hosts[i % 3]);
+    }
+    migration::MigrationConfig config;
+    config.strategy = migration::Strategy::kHashesPlusDedup;
+    for (std::uint64_t i = 0; i < kFleet; ++i) {
+      scheduler.Submit(*fleet[i], hosts[(i + 1) % 3], config);
+    }
+    volatile std::uint64_t sink = scheduler.Drain();
+    (void)sink;
+  });
+}
+
 void WriteJson(const std::string& path, const std::vector<Result>& results) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
@@ -253,6 +295,7 @@ int main(int argc, char** argv) {
   results.push_back(BenchSimulatorEvents());
   SeedDigestMemo::Instance().Clear();  // sweep warms its own memo
   results.push_back(BenchMigrationSweep());
+  results.push_back(BenchFleetSweep());
 
   if (!out_path.empty()) WriteJson(out_path, results);
   return 0;

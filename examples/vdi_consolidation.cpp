@@ -1,21 +1,28 @@
-// Virtual desktop consolidation (the §4.6 scenario, run live).
+// Virtual desktop consolidation at fleet scale (the §4.6 scenario).
 //
-// A virtual desktop runs on the user's workstation during office hours
-// and on a shared consolidation server overnight, so the workstation can
-// power off. Every weekday: 9 am server->workstation, 5 pm back. This
-// example drives a full week of that schedule through the migration
-// engine (not just trace analysis) and prints per-migration costs for a
-// checkpoint-less baseline versus VeCycle.
+// Eight virtual desktops run on three workstation pools during office
+// hours and consolidate onto one shared server overnight, so the
+// workstations can power off. Every weekday at 5 pm all eight desktops
+// migrate to the server *at once* — the MigrationScheduler admits them as
+// overlapping sessions that contend for the pool uplinks and the server's
+// disk, and desktops leaving the same pool form a gang that shares a
+// sender-side dedup cache (the desktops are clones of one golden image,
+// so most of that content crosses each uplink once). At 9 am they all fan
+// back out. A full week of that schedule runs for a checkpoint-less
+// baseline versus VeCycle with gang dedup.
 //
 // Run:   ./build/examples/vdi_consolidation
+// Env:   VECYCLE_AUDIT=1 runs every session under the audit layer.
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/table.hpp"
 #include "common/rng.hpp"
 #include "core/cluster.hpp"
 #include "core/orchestrator.hpp"
+#include "core/scheduler.hpp"
 #include "core/vm_instance.hpp"
 #include "obs/report.hpp"
 #include "vm/workload.hpp"
@@ -23,6 +30,10 @@
 namespace {
 
 using namespace vecycle;
+
+constexpr int kDesktops = 8;
+const char* const kPools[] = {"pool-a", "pool-b", "pool-c"};
+constexpr int kPoolCount = 3;
 
 /// Office-hours desktop activity: heavy hotspot writes by day, a trickle
 /// at night. The orchestrator advances this workload between migrations.
@@ -47,54 +58,128 @@ class OfficeWorkload : public vm::Workload {
   bool daytime_ = true;
 };
 
+/// A desktop cloned from the golden VDI image: two thirds of its pages
+/// come from a pool every clone shares, the rest are the user's own.
+std::unique_ptr<core::VmInstance> MakeDesktop(int index) {
+  auto vm = std::make_unique<core::VmInstance>(
+      "desktop-" + std::to_string(index), MiB(256),
+      vm::ContentMode::kSeedOnly);
+  Xoshiro256 image_rng(7);  // the same golden image for every clone
+  Xoshiro256 user_rng(100 + static_cast<std::uint64_t>(index));
+  for (vm::PageId page = 0; page < vm->Memory().PageCount(); ++page) {
+    if (page % 3 != 0) {
+      vm->Memory().WritePage(page,
+                             5'000'000 + image_rng.NextBelow(200'000));
+    } else {
+      vm->Memory().WritePage(page, user_rng.Next() | (1ull << 62));
+    }
+  }
+  return vm;
+}
+
+struct WaveResult {
+  Bytes traffic;
+  SimDuration slowest = SimDuration::zero();
+  std::uint64_t reused_pages = 0;
+};
+
+/// Migrates the whole fleet to per-VM destinations in one scheduler
+/// drain and aggregates the wave's cost.
+WaveResult MigrateWave(core::MigrationOrchestrator& orchestrator,
+                       const std::vector<core::VmInstance*>& fleet,
+                       const std::vector<std::string>& destinations,
+                       const migration::MigrationConfig& config) {
+  const std::size_t first =
+      orchestrator.Scheduler().Completions().size();
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    orchestrator.MigrateAsync(*fleet[i], destinations[i], config);
+  }
+  orchestrator.Drain();
+  WaveResult result;
+  const auto& completions = orchestrator.Scheduler().Completions();
+  for (std::size_t i = first; i < completions.size(); ++i) {
+    const auto& stats = completions[i].stats;
+    result.traffic += stats.tx_bytes;
+    result.slowest = std::max(result.slowest, stats.total_time);
+    result.reused_pages += stats.pages_sent_checksum +
+                           stats.pages_skipped_clean +
+                           stats.pages_dup_ref;
+  }
+  return result;
+}
+
 double RunWeek(migration::Strategy strategy, bool print) {
   sim::Simulator simulator;
   core::Cluster cluster(simulator);
-  cluster.AddHost({"workstation", sim::DiskConfig::Hdd(), {}, {}});
-  cluster.AddHost({"server", sim::DiskConfig::Hdd(), {}, {}});
-  cluster.Connect("workstation", "server", sim::LinkConfig::Lan());
-  core::MigrationOrchestrator orchestrator(cluster);
+  for (const char* pool : kPools) {
+    cluster.AddHost({pool, sim::DiskConfig::Hdd(), {}, {}});
+  }
+  cluster.AddHost({"server", sim::DiskConfig::Ssd(), {}, {}});
+  for (const char* pool : kPools) {
+    cluster.Connect(pool, "server", sim::LinkConfig::Lan());
+  }
 
-  // A modest 2 GiB desktop keeps the example snappy; scale at will.
-  core::VmInstance vm("desktop", GiB(2), vm::ContentMode::kSeedOnly);
-  Xoshiro256 rng(1);
-  vm::MemoryProfile profile;
-  profile.duplicate_fraction = 0.14;
-  profile.Apply(vm.Memory(), rng);
-  auto workload = std::make_unique<OfficeWorkload>(99);
-  auto* office = workload.get();
-  vm.SetWorkload(std::move(workload));
-  orchestrator.Deploy(vm, "workstation");
+  // Evening and morning waves move all eight desktops at once: leave the
+  // per-host caps open so every session overlaps.
+  core::SchedulerConfig scheduler_config;
+  scheduler_config.max_outgoing_per_host = 0;
+  scheduler_config.max_incoming_per_host = 0;
+  core::MigrationOrchestrator orchestrator(cluster, scheduler_config);
+
+  std::vector<std::unique_ptr<core::VmInstance>> desktops;
+  std::vector<core::VmInstance*> fleet;
+  std::vector<OfficeWorkload*> offices;
+  std::vector<std::string> homes;
+  for (int i = 0; i < kDesktops; ++i) {
+    desktops.push_back(MakeDesktop(i));
+    auto workload =
+        std::make_unique<OfficeWorkload>(99 + static_cast<std::uint64_t>(i));
+    offices.push_back(workload.get());
+    desktops.back()->SetWorkload(std::move(workload));
+    homes.emplace_back(kPools[i % kPoolCount]);
+    orchestrator.Deploy(*desktops.back(), homes.back());
+    fleet.push_back(desktops.back().get());
+  }
+  const std::vector<std::string> server_wave(kDesktops, "server");
 
   migration::MigrationConfig config;
   config.strategy = strategy;
 
-  analysis::Table table({"Day", "Direction", "Time", "Traffic", "Reused"});
+  analysis::Table table(
+      {"Day", "Direction", "Traffic", "Slowest", "Reused pages"});
   double total_tx_gib = 0.0;
   for (int day = 0; day < 5; ++day) {
-    // 5 pm: leave the office; desktop consolidates onto the server.
-    office->SetDaytime(true);
-    orchestrator.RunFor(vm, Hours(8));
-    const auto evening = orchestrator.Migrate(vm, "server", config);
-    total_tx_gib += ToGiB(evening.tx_bytes);
-    table.AddRow({"day " + std::to_string(day + 1), "wks -> srv",
-                  FormatDuration(evening.total_time),
-                  FormatBytes(evening.tx_bytes),
-                  std::to_string(evening.pages_sent_checksum +
-                                 evening.pages_skipped_clean)});
+    // 5 pm: the office empties; all desktops consolidate onto the server.
+    for (auto* office : offices) office->SetDaytime(true);
+    orchestrator.RunFor(fleet, Hours(8));
+    const auto evening =
+        MigrateWave(orchestrator, fleet, server_wave, config);
+    total_tx_gib += ToGiB(evening.traffic);
+    table.AddRow({"day " + std::to_string(day + 1), "pools -> srv",
+                  FormatBytes(evening.traffic),
+                  FormatDuration(evening.slowest),
+                  std::to_string(evening.reused_pages)});
 
-    // 9 am next morning: the user arrives; desktop moves back.
-    office->SetDaytime(false);
-    orchestrator.RunFor(vm, Hours(16));
-    const auto morning = orchestrator.Migrate(vm, "workstation", config);
-    total_tx_gib += ToGiB(morning.tx_bytes);
-    table.AddRow({"day " + std::to_string(day + 2), "srv -> wks",
-                  FormatDuration(morning.total_time),
-                  FormatBytes(morning.tx_bytes),
-                  std::to_string(morning.pages_sent_checksum +
-                                 morning.pages_skipped_clean)});
+    // 9 am next morning: everyone is back; desktops fan out again.
+    for (auto* office : offices) office->SetDaytime(false);
+    orchestrator.RunFor(fleet, Hours(16));
+    const auto morning = MigrateWave(orchestrator, fleet, homes, config);
+    total_tx_gib += ToGiB(morning.traffic);
+    table.AddRow({"day " + std::to_string(day + 2), "srv -> pools",
+                  FormatBytes(morning.traffic),
+                  FormatDuration(morning.slowest),
+                  std::to_string(morning.reused_pages)});
   }
-  if (print) std::printf("%s\n", table.Render().c_str());
+  if (print) {
+    std::printf("%s\n", table.Render().c_str());
+    // Where the checkpoints ended up, via the cluster's const iteration.
+    for (const auto* host : cluster.Hosts()) {
+      std::printf("  %-8s holds %zu checkpoint(s), %s on disk\n",
+                  host->Id().c_str(), host->Store().Size(),
+                  FormatBytes(host->Store().FootprintOnDisk()).c_str());
+    }
+    std::printf("\n");
+  }
   return total_tx_gib;
 }
 
@@ -102,13 +187,18 @@ double RunWeek(migration::Strategy strategy, bool print) {
 
 int main() {
   const vecycle::obs::ScopedReporter reporter("vdi_consolidation");
-  std::printf("One work week, 10 migrations, 2 GiB virtual desktop.\n\n");
+  std::printf(
+      "One work week, %d virtual desktops on %d workstation pools + 1 "
+      "server,\n%d overlapping migrations per wave, 10 waves.\n\n",
+      kDesktops, kPoolCount, kDesktops);
 
   std::printf("--- Baseline (full pre-copy, no checkpoint reuse) ---\n");
   const double baseline = RunWeek(migration::Strategy::kFull, true);
 
-  std::printf("--- VeCycle (content-based checkpoint recycling) ---\n");
-  const double vecycle = RunWeek(migration::Strategy::kHashes, true);
+  std::printf("--- VeCycle + gang dedup (checkpoints recycled, clones\n");
+  std::printf("    leaving one pool share a sender-side cache) ---\n");
+  const double vecycle =
+      RunWeek(migration::Strategy::kHashesPlusDedup, true);
 
   std::printf(
       "weekly migration traffic: baseline %.1f GiB, VeCycle %.1f GiB "

@@ -20,6 +20,7 @@ class Cluster {
   explicit Cluster(sim::Simulator& simulator) : simulator_(simulator) {}
 
   Host& AddHost(HostConfig config) {
+    config.Validate();
     VEC_CHECK_MSG(FindHost(config.id) == nullptr,
                   "duplicate host id: " + config.id);
     hosts_.push_back(std::make_unique<Host>(std::move(config)));
@@ -44,11 +45,39 @@ class Cluster {
     }
     return nullptr;
   }
+  [[nodiscard]] const Host* FindHost(const HostId& id) const {
+    for (const auto& host : hosts_) {
+      if (host->Id() == id) return host.get();
+    }
+    return nullptr;
+  }
 
   [[nodiscard]] Host& GetHost(const HostId& id) {
     Host* host = FindHost(id);
     VEC_CHECK_MSG(host != nullptr, "unknown host: " + id);
     return *host;
+  }
+  [[nodiscard]] const Host& GetHost(const HostId& id) const {
+    const Host* host = FindHost(id);
+    VEC_CHECK_MSG(host != nullptr, "unknown host: " + id);
+    return *host;
+  }
+
+  /// All hosts in AddHost order — a stable iteration order for fleet
+  /// tooling (reports, schedulers, examples).
+  [[nodiscard]] std::vector<const Host*> Hosts() const {
+    std::vector<const Host*> out;
+    out.reserve(hosts_.size());
+    for (const auto& host : hosts_) out.push_back(host.get());
+    return out;
+  }
+
+  /// The direct link between two hosts, in either endpoint order, or
+  /// nullptr when they are not connected.
+  [[nodiscard]] const sim::Link* LinkBetween(const HostId& a,
+                                             const HostId& b) const {
+    const auto it = links_.find(Key(a, b));
+    return it == links_.end() ? nullptr : it->second.get();
   }
 
   /// The link between two hosts plus the direction a->b on it.
@@ -72,6 +101,7 @@ class Cluster {
 
   [[nodiscard]] sim::Simulator& Simulator() { return simulator_; }
   [[nodiscard]] std::size_t HostCount() const { return hosts_.size(); }
+  [[nodiscard]] std::size_t LinkCount() const { return links_.size(); }
 
  private:
   static std::pair<HostId, HostId> Key(const HostId& a, const HostId& b) {

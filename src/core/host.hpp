@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "common/check.hpp"
 #include "sim/checksum_engine.hpp"
 #include "sim/disk.hpp"
 #include "storage/checkpoint_store.hpp"
@@ -21,12 +22,22 @@ struct HostConfig {
   /// Checkpoint retention bounds; unlimited by default (§1: "local
   /// storage is cheap and abundant").
   storage::RetentionPolicy retention;
+
+  /// Fails fast on configs that cannot name a host or retain a single
+  /// checkpoint. The disk and CPU rate configs also self-validate here,
+  /// so a bad fleet config surfaces before any device is built.
+  void Validate() const {
+    VEC_CHECK_MSG(!id.empty(), "host id must be non-empty");
+    disk.Validate();
+    cpu.Validate();
+    retention.Validate();
+  }
 };
 
 class Host {
  public:
   explicit Host(HostConfig config)
-      : config_(std::move(config)),
+      : config_((config.Validate(), std::move(config))),
         disk_(config_.disk),
         cpu_(config_.cpu),
         store_(disk_, config_.retention) {}

@@ -20,6 +20,27 @@ void MigrationOrchestrator::RunFor(VmInstance& vm, SimDuration duration) {
   }
 }
 
+void MigrationOrchestrator::RunFor(const std::vector<VmInstance*>& vms,
+                                   SimDuration duration) {
+  auto& simulator = cluster_.Simulator();
+  simulator.RunUntil(simulator.Now() + duration);
+  for (VmInstance* vm : vms) {
+    VEC_CHECK(vm != nullptr);
+    VEC_CHECK_MSG(!vm->CurrentHost().empty(), "VM is not deployed");
+    if (vm->Workload() != nullptr) {
+      vm->Workload()->Advance(vm->Memory(), duration);
+    }
+  }
+}
+
+SessionId MigrationOrchestrator::MigrateAsync(
+    VmInstance& vm, const HostId& to,
+    const migration::MigrationConfig& config, int priority,
+    MigrationScheduler::CompletionCallback on_complete) {
+  return scheduler_.Submit(vm, to, config, priority,
+                           std::move(on_complete));
+}
+
 migration::MigrationStats MigrationOrchestrator::Migrate(
     VmInstance& vm, const HostId& to,
     const migration::MigrationConfig& config) {

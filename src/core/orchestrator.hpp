@@ -13,7 +13,10 @@
 //     one and the strategy uses it.
 #pragma once
 
+#include <vector>
+
 #include "core/cluster.hpp"
+#include "core/scheduler.hpp"
 #include "core/vm_instance.hpp"
 #include "migration/engine.hpp"
 
@@ -21,7 +24,9 @@ namespace vecycle::core {
 
 class MigrationOrchestrator {
  public:
-  explicit MigrationOrchestrator(Cluster& cluster) : cluster_(cluster) {}
+  explicit MigrationOrchestrator(Cluster& cluster,
+                                 SchedulerConfig scheduler_config = {})
+      : cluster_(cluster), scheduler_(cluster, scheduler_config) {}
 
   /// Places `vm` on `host` (initial deployment, no traffic).
   void Deploy(VmInstance& vm, const HostId& host);
@@ -30,13 +35,32 @@ class MigrationOrchestrator {
   /// the VM's workload is applied over the interval.
   void RunFor(VmInstance& vm, SimDuration duration);
 
+  /// Fleet variant: advances simulated time once, then applies every
+  /// VM's workload over the interval.
+  void RunFor(const std::vector<VmInstance*>& vms, SimDuration duration);
+
   /// Migrates `vm` from its current host to `to` and returns the measured
   /// statistics. The VM must be deployed and the hosts connected.
+  /// Synchronous: runs the event loop to completion before returning.
   migration::MigrationStats Migrate(VmInstance& vm, const HostId& to,
                                     const migration::MigrationConfig& config);
 
+  /// Queues a migration on the scheduler and returns its session id; the
+  /// migration runs (possibly overlapping others) on the next Drain().
+  SessionId MigrateAsync(
+      VmInstance& vm, const HostId& to,
+      const migration::MigrationConfig& config, int priority = 0,
+      MigrationScheduler::CompletionCallback on_complete = nullptr);
+
+  /// Runs every queued migration to completion; returns how many
+  /// finished. See MigrationScheduler::Drain.
+  std::size_t Drain() { return scheduler_.Drain(); }
+
+  [[nodiscard]] MigrationScheduler& Scheduler() { return scheduler_; }
+
  private:
   Cluster& cluster_;
+  MigrationScheduler scheduler_;
 };
 
 }  // namespace vecycle::core

@@ -1,0 +1,219 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace vecycle::core {
+
+MigrationScheduler::MigrationScheduler(Cluster& cluster,
+                                       SchedulerConfig config)
+    : cluster_(cluster), config_(config) {}
+
+MigrationScheduler::~MigrationScheduler() = default;
+
+SessionId MigrationScheduler::Submit(VmInstance& vm, const HostId& to,
+                                     const migration::MigrationConfig& config,
+                                     int priority,
+                                     CompletionCallback on_complete) {
+  VEC_CHECK_MSG(!vm.CurrentHost().empty(), "VM is not deployed");
+  (void)cluster_.GetHost(to);  // existence check, before queueing
+  config.Validate();
+
+  Request request;
+  request.id = next_id_++;
+  request.vm = &vm;
+  request.to = to;
+  request.config = config;
+  request.priority = priority;
+  request.on_complete = std::move(on_complete);
+  const SessionId id = request.id;
+  queued_.push_back(std::move(request));
+  return id;
+}
+
+const MigrationScheduler::Completion* MigrationScheduler::FindCompletion(
+    SessionId id) const {
+  for (const auto& completion : completions_) {
+    if (completion.id == id) return &completion;
+  }
+  return nullptr;
+}
+
+void MigrationScheduler::AdmitEligible() {
+  while (true) {
+    // Pick the admissible request with the highest priority (ties: lowest
+    // id). A request is admissible when its VM is idle, it is the VM's
+    // oldest queued request (per-VM FIFO — later legs of one journey
+    // cannot overtake earlier ones, whatever their priority), and both
+    // endpoint hosts have capacity under the configured caps.
+    std::size_t best = queued_.size();
+    std::unordered_set<const VmInstance*> seen;
+    for (std::size_t i = 0; i < queued_.size(); ++i) {
+      const Request& request = queued_[i];
+      const bool first_for_vm = seen.insert(request.vm).second;
+      if (!first_for_vm) continue;
+      const bool vm_busy = std::any_of(
+          running_.begin(), running_.end(), [&](const auto& entry) {
+            return entry.second.request.vm == request.vm;
+          });
+      if (vm_busy) continue;
+      const HostId& from = request.vm->CurrentHost();
+      if (config_.max_outgoing_per_host != 0) {
+        const auto it = outgoing_.find(from);
+        if (it != outgoing_.end() &&
+            it->second >= config_.max_outgoing_per_host) {
+          continue;
+        }
+      }
+      if (config_.max_incoming_per_host != 0) {
+        const auto it = incoming_.find(request.to);
+        if (it != incoming_.end() &&
+            it->second >= config_.max_incoming_per_host) {
+          continue;
+        }
+      }
+      if (best == queued_.size() ||
+          request.priority > queued_[best].priority) {
+        best = i;
+      }
+    }
+    if (best == queued_.size()) return;
+    Request request = std::move(queued_[best]);
+    queued_.erase(queued_.begin() +
+                  static_cast<std::ptrdiff_t>(best));
+    StartSession(std::move(request));
+  }
+}
+
+void MigrationScheduler::StartSession(Request request) {
+  const HostId from = request.vm->CurrentHost();
+  VEC_CHECK_MSG(!from.empty(), "VM is not deployed");
+  VEC_CHECK_MSG(from != request.to,
+                "VM " + request.vm->Id() + " is already on " + request.to);
+
+  Host& source_host = cluster_.GetHost(from);
+  Host& dest_host = cluster_.GetHost(request.to);
+  const auto path = cluster_.PathBetween(from, request.to);
+
+  // Identical wiring to MigrationOrchestrator::Migrate, plus the session
+  // identity and the in-loop checkpoint write-back (the synchronous path
+  // books the write-back after its private event loop drains; here the
+  // disk stays contended by the sessions still running).
+  migration::MigrationRun run;
+  run.simulator = &cluster_.Simulator();
+  run.link = path.link;
+  run.direction = path.direction;
+  run.session_id = request.id;
+  run.write_back_checkpoint = true;
+  run.source_memory = &request.vm->Memory();
+  run.workload = request.vm->Workload();
+  run.source = {&source_host.Cpu(), &source_host.Store()};
+  run.destination = {&dest_host.Cpu(), &dest_host.Store()};
+  run.vm_id = request.vm->Id();
+  run.config = request.config;
+  run.source_knowledge_set = request.vm->KnownPageSetAt(request.to);
+  run.departure_generations =
+      request.vm->GenerationsAtDeparture(request.to);
+  run.auditor = config_.auditor;
+  run.tracer = config_.tracer;
+  run.metrics = config_.metrics;
+
+  Running running;
+  running.from = from;
+  if (config_.gang_dedup) {
+    running.in_gang = true;
+    running.gang_key = {from, request.to};
+    Gang& gang = gangs_[running.gang_key];
+    ++gang.sessions;
+    run.shared_dedup_cache = &gang.cache;
+  }
+
+  const SessionId id = request.id;
+  run.on_complete = [this, id](SimTime when) {
+    OnSessionFinished(id, when);
+  };
+
+  ++outgoing_[from];
+  ++incoming_[request.to];
+  running.request = std::move(request);
+  running.session =
+      std::make_unique<migration::MigrationSession>(std::move(run));
+  running_.emplace(id, std::move(running));
+}
+
+void MigrationScheduler::OnSessionFinished(SessionId id, SimTime when) {
+  const auto it = running_.find(id);
+  VEC_CHECK_MSG(it != running_.end(), "completion for unknown session");
+  Running& running = it->second;
+  VmInstance& vm = *running.request.vm;
+  const HostId from = running.from;
+  const HostId to = running.request.to;
+
+  auto outcome = running.session->TakeOutcome();
+
+  // Same bookkeeping, same order, as the synchronous orchestrator path.
+  // (The checkpoint write-back already happened inside the session.)
+  vm.RememberDeparture(from, vm.Memory().Generations());
+  vm.RememberPagesAt(from, std::move(outcome.incoming_digests));
+  vm.AdoptMemory(std::move(outcome.dest_memory));
+  vm.SetCurrentHost(to);
+
+  const auto release = [](std::unordered_map<HostId, std::size_t>& counts,
+                          const HostId& host) {
+    const auto entry = counts.find(host);
+    VEC_CHECK_MSG(entry != counts.end() && entry->second > 0,
+                  "session count underflow for host " + host);
+    if (--entry->second == 0) counts.erase(entry);
+  };
+  release(outgoing_, from);
+  release(incoming_, to);
+  if (running.in_gang) {
+    const auto gang = gangs_.find(running.gang_key);
+    VEC_CHECK_MSG(gang != gangs_.end() && gang->second.sessions > 0,
+                  "gang refcount underflow");
+    if (--gang->second.sessions == 0) gangs_.erase(gang);
+  }
+
+  Completion completion;
+  completion.id = id;
+  completion.vm = &vm;
+  completion.from = from;
+  completion.to = to;
+  completion.stats = outcome.stats;
+  completion.completed_at = outcome.completed_at;
+
+  CompletionCallback callback = std::move(running.request.on_complete);
+  // This runs inside the session's own done-ack handler; the session
+  // object must outlive the call, so park it instead of destroying it.
+  retired_.push_back(std::move(running.session));
+  running_.erase(it);
+
+  completions_.push_back(std::move(completion));
+  if (callback) callback(completions_.back());
+  (void)when;
+
+  // Capacity just freed up — admit the next queued request(s) now, at
+  // the completion's sim time, exactly when a real control plane would.
+  AdmitEligible();
+}
+
+std::size_t MigrationScheduler::Drain() {
+  const std::size_t before = completions_.size();
+  AdmitEligible();
+  while (!running_.empty() || !queued_.empty()) {
+    VEC_CHECK_MSG(!running_.empty(),
+                  "scheduler stuck: queued migrations can never be "
+                  "admitted (check caps and VM placement)");
+    cluster_.Simulator().Run();
+    retired_.clear();
+    // The event loop only drains when every running session finished;
+    // completions may have queued fresh submissions via callbacks.
+    AdmitEligible();
+  }
+  retired_.clear();
+  return completions_.size() - before;
+}
+
+}  // namespace vecycle::core

@@ -1,0 +1,157 @@
+// Datacenter-scale migration scheduler.
+//
+// The engine layer knows how to run ONE migration (MigrationSession, an
+// event-driven actor pair on a shared simulator). This layer turns that
+// into fleet operations: callers Submit() as many migrations as they
+// like, the scheduler admits them against per-host concurrency caps,
+// runs the admitted ones as overlapping sessions that contend for the
+// shared links / disks / checksum engines, and starts queued ones the
+// moment capacity frees up — all inside a single Drain() of the event
+// loop. Completion performs the same §3/§4.4 bookkeeping as the
+// synchronous MigrationOrchestrator::Migrate (checkpoint write-back at
+// the source, digest-set and generation memory, VM relocation), so a
+// scheduler that admits one session at a time reproduces the synchronous
+// engine's results exactly.
+//
+// Concurrent sessions from one host to one destination form a gang
+// (VMFlock [4]): they share a sender-side dedup cache, so page content
+// common across the gang's VMs travels once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "core/cluster.hpp"
+#include "core/vm_instance.hpp"
+#include "migration/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vecycle::core {
+
+using SessionId = std::uint64_t;
+
+struct SchedulerConfig {
+  /// Per-host admission caps (0 = unlimited). The defaults mirror common
+  /// hypervisor practice: a host saturates on a couple of simultaneous
+  /// migrations per direction, more just thrash the NIC and disk.
+  std::size_t max_outgoing_per_host = 2;
+  std::size_t max_incoming_per_host = 2;
+
+  /// Share the sender-side dedup cache across concurrently admitted
+  /// sessions with the same (from, to) pair — gang migration. The cache
+  /// lives exactly as long as its gang, so serial admission still gives
+  /// every session a fresh cache (serial equivalence is preserved).
+  bool gang_dedup = true;
+
+  /// Shared observers handed to every session (callers own them; null
+  /// means each session resolves its own from config/env as before).
+  /// A shared auditor is how fleet tests check cross-session
+  /// conservation: channel ids derive from session ids, so per-session
+  /// byte accounts stay separate inside one auditor.
+  audit::SimAuditor* auditor = nullptr;
+  obs::TraceRecorder* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class MigrationScheduler {
+ public:
+  /// Everything known about a finished session. `vm` points at the
+  /// caller's instance (now relocated to `to`).
+  struct Completion {
+    SessionId id = 0;
+    VmInstance* vm = nullptr;
+    HostId from;
+    HostId to;
+    migration::MigrationStats stats;
+    SimTime completed_at = kSimEpoch;
+  };
+  using CompletionCallback = std::function<void(const Completion&)>;
+
+  explicit MigrationScheduler(Cluster& cluster, SchedulerConfig config = {});
+  ~MigrationScheduler();
+
+  MigrationScheduler(const MigrationScheduler&) = delete;
+  MigrationScheduler& operator=(const MigrationScheduler&) = delete;
+
+  /// Queues a migration of `vm` to `to`. The source host is read from
+  /// the VM at *admission* time, so several legs of one VM's journey can
+  /// be submitted up front (they run in submission order — per-VM FIFO —
+  /// regardless of priority). Higher `priority` admits first across
+  /// different VMs; ties admit in submission order. Returns the session
+  /// id (session ids start at 1; 0 is the engine's anonymous default).
+  SessionId Submit(VmInstance& vm, const HostId& to,
+                   const migration::MigrationConfig& config,
+                   int priority = 0, CompletionCallback on_complete = nullptr);
+
+  /// Runs the event loop until every submitted migration has completed,
+  /// admitting queued sessions as capacity frees. Returns the number of
+  /// sessions completed by this call. Throws CheckFailure if requests
+  /// remain that can never be admitted.
+  std::size_t Drain();
+
+  [[nodiscard]] std::size_t QueuedCount() const { return queued_.size(); }
+  [[nodiscard]] std::size_t RunningCount() const { return running_.size(); }
+
+  /// All completions since construction, in completion order.
+  [[nodiscard]] const std::vector<Completion>& Completions() const {
+    return completions_;
+  }
+  [[nodiscard]] const Completion* FindCompletion(SessionId id) const;
+
+  [[nodiscard]] const SchedulerConfig& Config() const { return config_; }
+
+ private:
+  struct Request {
+    SessionId id = 0;
+    VmInstance* vm = nullptr;
+    HostId to;
+    migration::MigrationConfig config;
+    int priority = 0;
+    CompletionCallback on_complete;
+  };
+
+  struct Running {
+    Request request;
+    HostId from;
+    std::unique_ptr<migration::MigrationSession> session;
+    bool in_gang = false;
+    std::pair<HostId, HostId> gang_key;
+  };
+
+  /// One gang: the shared sender-side dedup cache plus a refcount of the
+  /// concurrently running sessions using it.
+  struct Gang {
+    std::unordered_map<std::uint64_t, std::uint64_t> cache;
+    std::size_t sessions = 0;
+  };
+
+  void AdmitEligible();
+  void StartSession(Request request);
+  void OnSessionFinished(SessionId id, SimTime when);
+
+  Cluster& cluster_;
+  SchedulerConfig config_;
+  SessionId next_id_ = 1;
+
+  std::vector<Request> queued_;  ///< submission (id) order
+  std::map<SessionId, Running> running_;
+  /// Sessions finished but not yet destructible: OnSessionFinished runs
+  /// inside the session's own actor callback, so destruction is deferred
+  /// until the event loop returns control to Drain().
+  std::vector<std::unique_ptr<migration::MigrationSession>> retired_;
+
+  std::unordered_map<HostId, std::size_t> outgoing_;
+  std::unordered_map<HostId, std::size_t> incoming_;
+  std::map<std::pair<HostId, HostId>, Gang> gangs_;
+
+  std::vector<Completion> completions_;
+};
+
+}  // namespace vecycle::core

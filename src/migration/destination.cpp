@@ -72,6 +72,8 @@ SimTime DestinationActor::Prepare(SimTime start, bool send_bulk_hashes) {
 }
 
 void DestinationActor::OnMessage(net::Message&& message, SimTime arrival) {
+  VEC_CHECK_MSG(message.session == params_.session_id,
+                "message routed to the wrong migration session (destination)");
   switch (message.type) {
     case net::MessageType::kPageBatch:
       ApplyBatch(message, arrival);

@@ -36,6 +36,9 @@ class DestinationActor {
     MigrationConfig config;
     std::uint64_t page_count = 0;
     vm::ContentMode mode = vm::ContentMode::kSeedOnly;
+    /// Session this actor belongs to; every delivered message must carry
+    /// the same tag (cross-session routing check on shared links).
+    std::uint64_t session_id = 0;
   };
 
   explicit DestinationActor(Params params);

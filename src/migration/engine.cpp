@@ -1,14 +1,32 @@
 #include "migration/engine.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.hpp"
 #include "migration/destination.hpp"
 #include "migration/observe.hpp"
 #include "migration/source.hpp"
 #include "net/channel.hpp"
+#include "storage/checkpoint.hpp"
 
 namespace vecycle::migration {
+
+const char* ToString(SessionPhase phase) {
+  switch (phase) {
+    case SessionPhase::kHashExchange:
+      return "hash-exchange";
+    case SessionPhase::kPreCopy:
+      return "pre-copy";
+    case SessionPhase::kStopAndCopy:
+      return "stop-and-copy";
+    case SessionPhase::kCheckpointWriteBack:
+      return "checkpoint-write-back";
+    case SessionPhase::kDone:
+      return "done";
+  }
+  VEC_CHECK_MSG(false, "unknown SessionPhase");
+}
 
 void MigrationConfig::Validate() const {
   VEC_CHECK_MSG(batch_pages > 0, "batch_pages must be positive");
@@ -29,7 +47,10 @@ void MigrationConfig::Validate() const {
 /// completion latch. Kept behind a pimpl so MigrationSession's header
 /// stays light.
 struct MigrationSession::Impl {
-  explicit Impl(MigrationRun run_in) : run(std::move(run_in)) {
+  explicit Impl(MigrationRun run_in)
+      : run(std::move(run_in)),
+        forward_channel_id(static_cast<std::uint32_t>(2 * run.session_id)),
+        backward_channel_id(forward_channel_id + 1) {
     VEC_CHECK(run.simulator != nullptr);
     VEC_CHECK(run.link != nullptr);
     VEC_CHECK(run.source_memory != nullptr);
@@ -48,6 +69,8 @@ struct MigrationSession::Impl {
                                              run.config.algorithm);
     backward = std::make_unique<net::Channel>(simulator, *run.link, reverse,
                                               run.config.algorithm);
+    forward->SetSessionTag(run.session_id);
+    backward->SetSessionTag(run.session_id);
 
     // Audit layer: an explicit auditor always wins; otherwise the config
     // flag or VECYCLE_AUDIT creates a session-private one. The simulator
@@ -61,8 +84,8 @@ struct MigrationSession::Impl {
       auditor = owned_auditor.get();
     }
     if (auditor != nullptr) {
-      forward->SetAuditor(auditor, kForwardChannelId);
-      backward->SetAuditor(auditor, kBackwardChannelId);
+      forward->SetAuditor(auditor, forward_channel_id);
+      backward->SetAuditor(auditor, backward_channel_id);
       if (simulator.Auditor() == nullptr) {
         simulator.SetAuditor(auditor);
         attached_simulator = true;
@@ -93,6 +116,10 @@ struct MigrationSession::Impl {
       label = run.vm_id;
       label += "/";
       label += ToString(run.config.strategy);
+      if (run.session_id != 0) {
+        label += "#";
+        label += std::to_string(run.session_id);
+      }
       const auto process = tracer->NewProcess(label);
       session_track = tracer->Track(process, "session");
       const auto source_track = tracer->Track(process, "source rounds");
@@ -129,6 +156,7 @@ struct MigrationSession::Impl {
     dest_params.config = run.config;
     dest_params.page_count = run.source_memory->PageCount();
     dest_params.mode = run.source_memory->Mode();
+    dest_params.session_id = run.session_id;
     destination = std::make_unique<DestinationActor>(std::move(dest_params));
 
     // Event-heap capacity hint: round 1 pumps ~page_count/batch_pages
@@ -186,6 +214,7 @@ struct MigrationSession::Impl {
     src_params.departure_generations =
         std::move(run.departure_generations);
     src_params.shared_dedup_cache = run.shared_dedup_cache;
+    src_params.session_id = run.session_id;
     src_params.tracer = tracer;
     src_params.trace_track = trace_source_track;
 
@@ -216,9 +245,28 @@ struct MigrationSession::Impl {
     backward->SetReceiver([this](net::Message&& m, SimTime t) {
       source->OnMessage(std::move(m), t);
     });
+    // State machine hooks: the actors report the milestones, the session
+    // tracks the phase and decides when the whole migration is over. The
+    // session is finished only when the destination runs the VM *and* the
+    // source has seen the final done-ack — the done-ack arrival is the
+    // last event of the migration, so a scheduler chaining sessions off
+    // on_complete starts the next one at the same sim time the synchronous
+    // facade would (serial equivalence).
+    source->on_started = [this](SimTime) {
+      AdvanceTo(SessionPhase::kPreCopy);
+    };
+    source->on_pause = [this](SimTime) {
+      AdvanceTo(SessionPhase::kStopAndCopy);
+    };
+    source->on_finished = [this](SimTime t) {
+      source_finished = true;
+      finished_at = t;
+      MaybeFinish();
+    };
     destination->on_complete = [this](SimTime t) {
       completed_at = t;
       completed = true;
+      MaybeFinish();
     };
 
     // Destination setup (§3.3), then kick off round 1.
@@ -236,6 +284,29 @@ struct MigrationSession::Impl {
     if (attached_source_cpu) run.source.cpu->SetTracer(nullptr);
     if (attached_dest_cpu) run.destination.cpu->SetTracer(nullptr);
     if (attached_store_tracer) run.destination.store->SetTracer(nullptr);
+  }
+
+  /// Phases advance strictly forward; a backwards transition means the
+  /// protocol misfired (e.g. a round started after the stop-and-copy).
+  void AdvanceTo(SessionPhase next) {
+    VEC_CHECK_MSG(static_cast<int>(next) > static_cast<int>(phase),
+                  "migration session phase may only advance");
+    phase = next;
+  }
+
+  /// Called from both completion hooks; fires once, when the destination
+  /// runs the VM and the source has seen the done-ack. Books the optional
+  /// §4.4 source-side checkpoint write-back, then notifies the caller.
+  void MaybeFinish() {
+    if (!completed || !source_finished) return;
+    if (run.write_back_checkpoint && run.source.store != nullptr) {
+      AdvanceTo(SessionPhase::kCheckpointWriteBack);
+      run.source.store->Save(
+          run.vm_id, storage::Checkpoint::CaptureFrom(*run.source_memory),
+          completed_at);
+    }
+    AdvanceTo(SessionPhase::kDone);
+    if (run.on_complete) run.on_complete(finished_at);
   }
 
   /// Run-level audit: conservation and end-state integrity, checked once
@@ -262,10 +333,10 @@ struct MigrationSession::Impl {
     // Wire conservation: bytes the channels booked on the link equal the
     // sum of the serialized message sizes the auditor observed.
     VEC_CHECK_MSG(forward->PayloadSent() ==
-                      auditor->ChannelBytes(kForwardChannelId),
+                      auditor->ChannelBytes(forward_channel_id),
                   "audit: forward wire bytes != sum of message sizes");
     VEC_CHECK_MSG(backward->PayloadSent() ==
-                      auditor->ChannelBytes(kBackwardChannelId),
+                      auditor->ChannelBytes(backward_channel_id),
                   "audit: backward wire bytes != sum of message sizes");
     // End-state integrity: the reconstructed memory digests equal to the
     // source at pause time.
@@ -275,6 +346,7 @@ struct MigrationSession::Impl {
 
     // Fold the outcome into the auditor's fingerprint so the determinism
     // harness compares results, not just event shapes.
+    auditor->OnScalar("session_id", run.session_id);
     auditor->OnScalar("rounds", stats.rounds);
     auditor->OnScalar("tx_bytes", stats.tx_bytes.count);
     auditor->OnScalar("total_ns",
@@ -339,16 +411,26 @@ struct MigrationSession::Impl {
                    source->PauseTime(), completed_at);
     }
     if (metrics != nullptr) {
-      RecordMigrationStats(*metrics, label.empty() ? run.vm_id : label,
-                           outcome.stats);
+      std::string metric_label = label;
+      if (metric_label.empty()) {
+        metric_label = run.vm_id;
+        if (run.session_id != 0) {
+          metric_label += "#";
+          metric_label += std::to_string(run.session_id);
+        }
+      }
+      RecordMigrationStats(*metrics, metric_label, outcome.stats,
+                           run.session_id);
     }
     return outcome;
   }
 
-  static constexpr std::uint32_t kForwardChannelId = 0;
-  static constexpr std::uint32_t kBackwardChannelId = 1;
-
   MigrationRun run;
+  /// Audit channel ids derive from the session id so that sessions sharing
+  /// one auditor keep separate per-channel byte accounts (0/1 for the
+  /// anonymous single-session default).
+  const std::uint32_t forward_channel_id;
+  const std::uint32_t backward_channel_id;
   std::unique_ptr<net::Channel> forward;
   std::unique_ptr<net::Channel> backward;
   std::unique_ptr<DestinationActor> destination;
@@ -370,7 +452,10 @@ struct MigrationSession::Impl {
 
   SimTime start_time = kSimEpoch;
   SimTime completed_at = kSimEpoch;
+  SimTime finished_at = kSimEpoch;
+  SessionPhase phase = SessionPhase::kHashExchange;
   bool completed = false;
+  bool source_finished = false;
   bool finalized = false;
 };
 
@@ -380,6 +465,10 @@ MigrationSession::MigrationSession(MigrationRun run)
 MigrationSession::~MigrationSession() = default;
 
 bool MigrationSession::Completed() const { return impl_->completed; }
+
+SessionPhase MigrationSession::Phase() const { return impl_->phase; }
+
+std::uint64_t MigrationSession::Id() const { return impl_->run.session_id; }
 
 MigrationOutcome MigrationSession::TakeOutcome() {
   return impl_->Finalize();

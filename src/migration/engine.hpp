@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,30 @@ struct MigrationRun {
   sim::Link* link = nullptr;
   /// Direction of page flow on the link (source -> destination).
   sim::Direction direction = sim::Direction::kAtoB;
+
+  /// Session identity under a scheduler. Distinguishes overlapping
+  /// migrations everywhere they meet shared infrastructure: audit channel
+  /// ids derive from it (2*id forward, 2*id+1 backward), wire messages are
+  /// stamped with it, and trace/metrics labels carry a "#id" suffix when
+  /// it is nonzero. 0 is the anonymous single-session default, which keeps
+  /// the pre-session channel ids 0/1.
+  std::uint64_t session_id = 0;
+
+  /// When true, the session itself performs the paper's §4.4 post-copy
+  /// bookkeeping step — writing the departed VM's checkpoint to the
+  /// *source* host's store at completion — as its final state-machine
+  /// phase. The synchronous facade leaves this off (the orchestrator does
+  /// the write-back after RunMigration, as before); the scheduler turns it
+  /// on so overlapping sessions book their checkpoint writes inside the
+  /// shared event loop.
+  bool write_back_checkpoint = false;
+
+  /// Invoked exactly once, when the session reaches SessionPhase::kDone:
+  /// the destination runs the VM, the source has seen the final done-ack,
+  /// and the optional checkpoint write-back has been booked. TakeOutcome()
+  /// is legal from inside the callback. The scheduler uses this to admit
+  /// queued migrations the moment capacity frees up.
+  std::function<void(SimTime)> on_complete;
 
   vm::GuestMemory* source_memory = nullptr;  ///< the live VM
   vm::Workload* workload = nullptr;          ///< nullable
@@ -99,6 +124,20 @@ struct MigrationOutcome {
 /// memory exactly.
 MigrationOutcome RunMigration(MigrationRun run);
 
+/// Explicit state machine of one migration session. Phases advance
+/// strictly in declaration order (kCheckpointWriteBack is skipped unless
+/// MigrationRun::write_back_checkpoint is set); a transition that would
+/// run backwards throws CheckFailure.
+enum class SessionPhase {
+  kHashExchange,        ///< destination setup + §3.2 bulk hash transfer
+  kPreCopy,             ///< iterative copy rounds, guest still running
+  kStopAndCopy,         ///< VM paused, final dirty set in flight
+  kCheckpointWriteBack, ///< §4.4 source-side checkpoint write
+  kDone,                ///< VM runs at the destination
+};
+
+const char* ToString(SessionPhase phase);
+
 /// A migration wired up but not yet driven to completion: construct one
 /// (or several — they share links and CPUs and contend realistically,
 /// batch by batch), run the shared simulator, then TakeOutcome().
@@ -117,6 +156,12 @@ class MigrationSession {
 
   /// True once the VM runs at the destination.
   [[nodiscard]] bool Completed() const;
+
+  /// Where the session's state machine currently stands.
+  [[nodiscard]] SessionPhase Phase() const;
+
+  /// The MigrationRun::session_id this session was created with.
+  [[nodiscard]] std::uint64_t Id() const;
 
   /// Collects statistics and the reconstructed memory; valid exactly once,
   /// after completion.

@@ -14,8 +14,10 @@ std::uint64_t Ns(SimDuration d) {
 
 obs::MetricsRecord& RecordMigrationStats(obs::MetricsRegistry& registry,
                                          std::string_view label,
-                                         const MigrationStats& stats) {
+                                         const MigrationStats& stats,
+                                         std::uint64_t session_id) {
   auto& record = registry.NewRecord(label, "precopy");
+  record.Counter("session_id", session_id);
   record.Counter("rounds", stats.rounds);
   record.Counter("tx_bytes", stats.tx_bytes.count);
   record.Counter("bulk_exchange_bytes", stats.bulk_exchange_bytes.count);

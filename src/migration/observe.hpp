@@ -8,6 +8,7 @@
 // the helpers on the structs themselves.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 
 #include "migration/postcopy.hpp"
@@ -18,9 +19,13 @@ namespace vecycle::migration {
 
 /// Appends one "precopy" record covering every MigrationStats field
 /// (counters) and the derived seconds/throughput/compression gauges.
+/// `session_id` is the scheduler's session identity (0 for the anonymous
+/// synchronous facade); it is emitted as its own counter so fleet runs can
+/// be joined against per-session audit/trace data by id, not label.
 obs::MetricsRecord& RecordMigrationStats(obs::MetricsRegistry& registry,
                                          std::string_view label,
-                                         const MigrationStats& stats);
+                                         const MigrationStats& stats,
+                                         std::uint64_t session_id = 0);
 
 /// Appends one "postcopy" record covering every PostCopyStats field.
 obs::MetricsRecord& RecordPostCopyStats(obs::MetricsRegistry& registry,

@@ -37,10 +37,13 @@ void SourceActor::Start(SimTime start) {
   started_ = true;
   round1_start_ = start;
   last_send_ = start;
+  if (on_started) on_started(start);
   BeginRound(start, {}, /*final_round=*/false);
 }
 
 void SourceActor::OnMessage(net::Message&& message, SimTime arrival) {
+  VEC_CHECK_MSG(message.session == params_.session_id,
+                "message routed to the wrong migration session (source)");
   switch (message.type) {
     case net::MessageType::kBulkHashes: {
       VEC_CHECK_MSG(!started_, "bulk hashes after round 1 started");
@@ -345,6 +348,7 @@ void SourceActor::OnRoundAck(SimTime arrival) {
   if (small_enough || out_of_rounds) {
     // Stop-and-copy: pause the VM (no more dirtying) and ship the rest.
     pause_time_ = arrival;
+    if (on_pause) on_pause(arrival);
     BeginRound(arrival, dirty, /*final_round=*/true);
   } else {
     BeginRound(arrival, dirty, /*final_round=*/false);

@@ -71,6 +71,10 @@ class SourceActor {
     /// null when tracing is off (the engine resolves enablement).
     obs::TraceRecorder* tracer = nullptr;
     obs::TrackId trace_track = 0;
+
+    /// Session this actor belongs to; every delivered message must carry
+    /// the same tag (cross-session routing check on shared links).
+    std::uint64_t session_id = 0;
   };
 
   explicit SourceActor(Params params);
@@ -84,6 +88,11 @@ class SourceActor {
 
   /// Invoked when the source has received the final done-ack.
   std::function<void(SimTime)> on_finished;
+  /// Invoked once when round 1 begins (pre-copy phase entered) — on the
+  /// bulk-exchange path this is the arrival of the destination's hashes.
+  std::function<void(SimTime)> on_started;
+  /// Invoked once when the VM pauses for the stop-and-copy round.
+  std::function<void(SimTime)> on_pause;
 
   [[nodiscard]] const MigrationStats& Stats() const { return stats_; }
   [[nodiscard]] MigrationStats& MutableStats() { return stats_; }

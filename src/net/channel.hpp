@@ -43,6 +43,13 @@ class Channel {
     audit_channel_id_ = channel_id;
   }
 
+  /// Session tag stamped onto every message this channel sends, so
+  /// endpoints of concurrent migrations sharing one link can verify each
+  /// delivery reached the session it belongs to. 0 (the default) is the
+  /// anonymous single-session case.
+  void SetSessionTag(std::uint64_t session) { session_tag_ = session; }
+  [[nodiscard]] std::uint64_t SessionTag() const { return session_tag_; }
+
   /// Attaches a trace recorder that receives a cumulative wire-byte counter
   /// on `track` at each send's start time; nullptr detaches.
   void SetTracer(obs::TraceRecorder* tracer, obs::TrackId track = 0) {
@@ -55,6 +62,7 @@ class Channel {
   /// simulator's current time). Returns the delivery time.
   SimTime Send(Message message, SimTime earliest) {
     VEC_CHECK_MSG(receiver_ != nullptr, "channel has no receiver");
+    message.session = session_tag_;
     const SimTime start = std::max(earliest, simulator_.Now());
     const Bytes wire = message.WireSize(algorithm_);
     const SimTime arrival = link_.Transmit(direction_, start, wire);
@@ -97,6 +105,7 @@ class Channel {
   obs::TraceRecorder* tracer_ = nullptr;
   obs::TrackId tracer_track_ = 0;
   obs::NameId tracer_counter_ = 0;
+  std::uint64_t session_tag_ = 0;
   Bytes payload_sent_;
   std::uint64_t messages_sent_ = 0;
 };

@@ -63,6 +63,12 @@ struct PageRecord {
 struct Message {
   MessageType type = MessageType::kPageBatch;
   std::uint32_t round = 0;
+  /// Migration session the message belongs to, stamped by the sending
+  /// channel. Routing metadata only (a real implementation demultiplexes
+  /// by TCP connection), so it does not count toward WireSize; endpoints
+  /// assert it to catch cross-session misrouting when many sessions share
+  /// one link.
+  std::uint64_t session = 0;
   std::vector<PageRecord> records;       // kPageBatch
   std::vector<Digest128> bulk_hashes;    // kBulkHashes
 

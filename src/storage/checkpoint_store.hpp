@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "audit/audit.hpp"
+#include "common/check.hpp"
 #include "common/units.hpp"
 #include "obs/trace.hpp"
 #include "sim/disk.hpp"
@@ -31,6 +32,19 @@ using VmId = std::string;
 struct RetentionPolicy {
   Bytes disk_quota{0};           ///< total image bytes; 0 = unlimited
   std::size_t max_checkpoints = 0;  ///< count cap; 0 = unlimited
+
+  /// Rejects quotas too small to ever retain a checkpoint: a nonzero
+  /// disk_quota below one image means every Save immediately discards
+  /// what it wrote, silently degrading all migrations to cold ones.
+  /// Opt-in (HostConfig::Validate calls it) rather than enforced by
+  /// CheckpointStore, because eviction tests construct deliberately tiny
+  /// stores on purpose.
+  void Validate(Bytes min_checkpoint_image = Pages(1)) const {
+    VEC_CHECK_MSG(
+        disk_quota.count == 0 || disk_quota >= min_checkpoint_image,
+        "retention disk_quota smaller than one checkpoint image (use 0 "
+        "for unlimited)");
+  }
 };
 
 class CheckpointStore {

@@ -9,12 +9,15 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "core/cluster.hpp"
+#include "core/host.hpp"
 #include "migration/config.hpp"
 #include "migration/engine.hpp"
 #include "migration/postcopy.hpp"
 #include "sim/checksum_engine.hpp"
 #include "sim/disk.hpp"
 #include "sim/link.hpp"
+#include "storage/checkpoint_store.hpp"
 
 namespace vecycle {
 namespace {
@@ -160,6 +163,73 @@ TEST(ChecksumEngineConfigValidate, RateForRejectsUnenumeratedAlgorithm) {
                CheckFailure);
 }
 
+TEST(RetentionPolicyValidate, RejectsQuotaSmallerThanOneImage) {
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<storage::RetentionPolicy>(
+      [](auto& c) { c.disk_quota = Bytes{kPageSize - 1}; },
+      "retention disk_quota smaller than one checkpoint image"));
+  ExpectDistinct(messages);
+
+  // Boundary and sentinel values the check must accept: exactly one page
+  // image, and 0 meaning unlimited.
+  storage::RetentionPolicy one_page;
+  one_page.disk_quota = Pages(1);
+  EXPECT_NO_THROW(one_page.Validate());
+  EXPECT_NO_THROW(storage::RetentionPolicy{}.Validate());
+
+  // Callers with bigger images can raise the floor.
+  storage::RetentionPolicy small;
+  small.disk_quota = MiB(1);
+  EXPECT_THROW(small.Validate(MiB(2)), CheckFailure);
+  EXPECT_NO_THROW(small.Validate(MiB(1)));
+}
+
+TEST(HostConfigValidate, RejectsEachInvalidFieldDistinctly) {
+  using core::HostConfig;
+  std::vector<std::string> messages;
+  // A default HostConfig has an empty id, so the "mutation" is a no-op.
+  messages.push_back(RejectionMessage<HostConfig>(
+      [](auto&) {}, "host id must be non-empty"));
+  messages.push_back(RejectionMessage<HostConfig>(
+      [](auto& c) {
+        c.id = "h";
+        c.retention.disk_quota = Bytes{1};
+      },
+      "retention disk_quota smaller than one checkpoint image"));
+  messages.push_back(RejectionMessage<HostConfig>(
+      [](auto& c) {
+        c.id = "h";
+        c.disk.sequential_read = MiBPerSecond(0.0);
+      },
+      "disk sequential_read rate must be positive"));
+  messages.push_back(RejectionMessage<HostConfig>(
+      [](auto& c) {
+        c.id = "h";
+        c.cpu.md5_rate = MiBPerSecond(0.0);
+      },
+      "checksum md5_rate must be positive"));
+  ExpectDistinct(messages);
+
+  HostConfig ok;
+  ok.id = "h";
+  ok.retention.disk_quota = Pages(1);
+  EXPECT_NO_THROW(ok.Validate());
+}
+
+TEST(HostConfigValidate, HostConstructorAndClusterRefuseInvalidConfig) {
+  core::HostConfig config;  // empty id
+  EXPECT_THROW(core::Host{config}, CheckFailure);
+
+  sim::Simulator simulator;
+  core::Cluster cluster(simulator);
+  EXPECT_THROW(cluster.AddHost({}), CheckFailure);
+  core::HostConfig tiny_quota;
+  tiny_quota.id = "h";
+  tiny_quota.retention.disk_quota = Bytes{512};
+  EXPECT_THROW(cluster.AddHost(tiny_quota), CheckFailure);
+  EXPECT_EQ(cluster.HostCount(), 0u);
+}
+
 TEST(PostCopyConfigValidate, RejectsEachInvalidFieldDistinctly) {
   using migration::PostCopyConfig;
   std::vector<std::string> messages;
@@ -191,6 +261,9 @@ TEST(AllValidates, MessagesAreGloballyDistinct) {
           [](auto& c) { c.md5_rate = MiBPerSecond(0.0); }, "md5_rate"),
       RejectionMessage<migration::PostCopyConfig>(
           [](auto& c) { c.prefetch_batch = 0; }, "prefetch batch"),
+      RejectionMessage<core::HostConfig>([](auto&) {}, "host id"),
+      RejectionMessage<storage::RetentionPolicy>(
+          [](auto& c) { c.disk_quota = Bytes{1}; }, "disk_quota"),
   };
   ExpectDistinct(messages);
 }

@@ -20,6 +20,7 @@ import numbers
 import sys
 
 PRECOPY_COUNTERS = {
+    "session_id",
     "rounds", "tx_bytes", "bulk_exchange_bytes", "query_bytes",
     "query_count", "pages_sent_full", "pages_sent_checksum",
     "pages_dup_ref", "pages_skipped_clean", "pages_resent_dirty",
@@ -93,6 +94,17 @@ def validate_metrics(path):
             require(not missing,
                     f"{where}: missing {record['kind']} fields: "
                     f"{sorted(missing)}")
+
+        # Scheduler sessions tag their label with "#<session_id>"; the
+        # suffix must agree with the session_id counter.
+        if record["kind"] == "precopy" and "#" in record["label"]:
+            suffix = record["label"].rsplit("#", 1)[1]
+            require(suffix.isdigit(),
+                    f"{where}: label session suffix {suffix!r} is not a "
+                    "number")
+            require(int(suffix) == counters.get("session_id"),
+                    f"{where}: label says session {suffix} but session_id "
+                    f"counter is {counters.get('session_id')}")
     return doc
 
 
