@@ -1,7 +1,6 @@
 #include "core/orchestrator.hpp"
 
 #include "common/check.hpp"
-#include "storage/checkpoint.hpp"
 
 namespace vecycle::core {
 
@@ -64,15 +63,12 @@ migration::MigrationStats MigrationOrchestrator::Migrate(
   run.config = config;
   run.source_knowledge_set = vm.KnownPageSetAt(to);
   run.departure_generations = vm.GenerationsAtDeparture(to);
+  // Checkpoint write-back happens inside the session (booked at the
+  // destination completion time, not counted in migration time — §4.4)
+  // so a session-private fault injector can still rot the saved image.
+  run.write_back_checkpoint = true;
 
   auto outcome = migration::RunMigration(std::move(run));
-
-  // Post-migration bookkeeping at the source: write the checkpoint of the
-  // departed VM (its final, paused state) to local disk. Not part of the
-  // measured migration time (§4.4), but it does occupy the disk.
-  source_host.Store().Save(vm.Id(),
-                           storage::Checkpoint::CaptureFrom(vm.Memory()),
-                           outcome.completed_at);
 
   // The VM remembers what it left behind at the source.
   vm.RememberDeparture(from, vm.Memory().Generations());

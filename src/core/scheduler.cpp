@@ -49,11 +49,16 @@ void MigrationScheduler::AdmitEligible() {
     // cannot overtake earlier ones, whatever their priority), and both
     // endpoint hosts have capacity under the configured caps.
     std::size_t best = queued_.size();
+    const SimTime now = cluster_.Simulator().Now();
     std::unordered_set<const VmInstance*> seen;
     for (std::size_t i = 0; i < queued_.size(); ++i) {
       const Request& request = queued_[i];
       const bool first_for_vm = seen.insert(request.vm).second;
       if (!first_for_vm) continue;
+      // A request waiting out its retry backoff still claims its VM's
+      // FIFO slot (later legs must not overtake it); it just cannot be
+      // admitted until the backoff expires.
+      if (request.not_before > now) continue;
       const bool vm_busy = std::any_of(
           running_.begin(), running_.end(), [&](const auto& entry) {
             return entry.second.request.vm == request.vm;
@@ -101,11 +106,17 @@ void MigrationScheduler::StartSession(Request request) {
   // identity and the in-loop checkpoint write-back (the synchronous path
   // books the write-back after its private event loop drains; here the
   // disk stays contended by the sessions still running).
+  // Retries run under a fresh session id: channel ids (and so the
+  // auditor's per-channel byte accounts) derive from the session id, and
+  // the aborted attempt's wire bytes must not leak into the retry's
+  // conservation checks. The caller-facing id stays `request.id`.
+  const SessionId sid = request.attempts == 0 ? request.id : next_id_++;
+
   migration::MigrationRun run;
   run.simulator = &cluster_.Simulator();
   run.link = path.link;
   run.direction = path.direction;
-  run.session_id = request.id;
+  run.session_id = sid;
   run.write_back_checkpoint = true;
   run.source_memory = &request.vm->Memory();
   run.workload = request.vm->Workload();
@@ -119,6 +130,8 @@ void MigrationScheduler::StartSession(Request request) {
   run.auditor = config_.auditor;
   run.tracer = config_.tracer;
   run.metrics = config_.metrics;
+  run.injector = config_.injector;
+  run.attempt = request.attempts;
 
   Running running;
   running.from = from;
@@ -130,35 +143,23 @@ void MigrationScheduler::StartSession(Request request) {
     run.shared_dedup_cache = &gang.cache;
   }
 
-  const SessionId id = request.id;
-  run.on_complete = [this, id](SimTime when) {
-    OnSessionFinished(id, when);
+  run.on_complete = [this, sid](SimTime when) {
+    OnSessionFinished(sid, when);
   };
+  run.on_failed = [this, sid](SimTime when) { OnSessionFailed(sid, when); };
 
   ++outgoing_[from];
   ++incoming_[request.to];
   running.request = std::move(request);
   running.session =
       std::make_unique<migration::MigrationSession>(std::move(run));
-  running_.emplace(id, std::move(running));
+  running_.emplace(sid, std::move(running));
 }
 
-void MigrationScheduler::OnSessionFinished(SessionId id, SimTime when) {
+MigrationScheduler::Request MigrationScheduler::ReleaseSlot(SessionId id) {
   const auto it = running_.find(id);
-  VEC_CHECK_MSG(it != running_.end(), "completion for unknown session");
+  VEC_CHECK_MSG(it != running_.end(), "outcome for unknown session");
   Running& running = it->second;
-  VmInstance& vm = *running.request.vm;
-  const HostId from = running.from;
-  const HostId to = running.request.to;
-
-  auto outcome = running.session->TakeOutcome();
-
-  // Same bookkeeping, same order, as the synchronous orchestrator path.
-  // (The checkpoint write-back already happened inside the session.)
-  vm.RememberDeparture(from, vm.Memory().Generations());
-  vm.RememberPagesAt(from, std::move(outcome.incoming_digests));
-  vm.AdoptMemory(std::move(outcome.dest_memory));
-  vm.SetCurrentHost(to);
 
   const auto release = [](std::unordered_map<HostId, std::size_t>& counts,
                           const HostId& host) {
@@ -167,31 +168,53 @@ void MigrationScheduler::OnSessionFinished(SessionId id, SimTime when) {
                   "session count underflow for host " + host);
     if (--entry->second == 0) counts.erase(entry);
   };
-  release(outgoing_, from);
-  release(incoming_, to);
+  release(outgoing_, running.from);
+  release(incoming_, running.request.to);
   if (running.in_gang) {
     const auto gang = gangs_.find(running.gang_key);
     VEC_CHECK_MSG(gang != gangs_.end() && gang->second.sessions > 0,
                   "gang refcount underflow");
+    // An aborted session may leave entries for content whose carrier
+    // message was cut in flight. That is harmless here — dup-ref records
+    // still carry the content seed, the cache only shapes wire bytes —
+    // so the cache survives for the gang's remaining sessions.
     if (--gang->second.sessions == 0) gangs_.erase(gang);
   }
 
+  Request request = std::move(running.request);
+  // Both completion and failure run inside the session's own actor
+  // callbacks; the session object must outlive the call, so park it
+  // instead of destroying it.
+  retired_.push_back(std::move(running.session));
+  running_.erase(it);
+  return request;
+}
+
+void MigrationScheduler::OnSessionFinished(SessionId id, SimTime when) {
+  const auto it = running_.find(id);
+  VEC_CHECK_MSG(it != running_.end(), "completion for unknown session");
+  auto outcome = it->second.session->TakeOutcome();
+  const HostId from = it->second.from;
+  Request request = ReleaseSlot(id);
+  VmInstance& vm = *request.vm;
+
+  // Same bookkeeping, same order, as the synchronous orchestrator path.
+  // (The checkpoint write-back already happened inside the session.)
+  vm.RememberDeparture(from, vm.Memory().Generations());
+  vm.RememberPagesAt(from, std::move(outcome.incoming_digests));
+  vm.AdoptMemory(std::move(outcome.dest_memory));
+  vm.SetCurrentHost(request.to);
+
   Completion completion;
-  completion.id = id;
+  completion.id = request.id;
   completion.vm = &vm;
   completion.from = from;
-  completion.to = to;
+  completion.to = request.to;
   completion.stats = outcome.stats;
   completion.completed_at = outcome.completed_at;
 
-  CompletionCallback callback = std::move(running.request.on_complete);
-  // This runs inside the session's own done-ack handler; the session
-  // object must outlive the call, so park it instead of destroying it.
-  retired_.push_back(std::move(running.session));
-  running_.erase(it);
-
   completions_.push_back(std::move(completion));
-  if (callback) callback(completions_.back());
+  if (request.on_complete) request.on_complete(completions_.back());
   (void)when;
 
   // Capacity just freed up — admit the next queued request(s) now, at
@@ -199,13 +222,62 @@ void MigrationScheduler::OnSessionFinished(SessionId id, SimTime when) {
   AdmitEligible();
 }
 
+void MigrationScheduler::OnSessionFailed(SessionId id, SimTime when) {
+  const HostId from = running_.count(id) != 0 ? running_.at(id).from
+                                              : HostId{};
+  Request request = ReleaseSlot(id);
+  ++request.attempts;
+
+  if (config_.max_attempts != 0 &&
+      request.attempts >= config_.max_attempts) {
+    if (config_.throw_on_abort) {
+      throw MigrationAborted(
+          "migration of " + request.vm->Id() + " (session " +
+          std::to_string(request.id) + ") aborted after " +
+          std::to_string(request.attempts) + " attempts");
+    }
+    aborts_.push_back(Abort{request.id, request.vm, from, request.to,
+                            request.attempts, when});
+    AdmitEligible();  // its host slots just freed up
+    return;
+  }
+
+  // Exponential backoff: retry_backoff * 2^(failures-1), shift-capped so
+  // a forever-retrying config cannot overflow the duration.
+  ++retries_;
+  const auto shift =
+      std::min<std::uint64_t>(request.attempts - 1, 16);
+  request.not_before =
+      when + config_.retry_backoff * static_cast<SimDuration::rep>(
+                                         std::uint64_t{1} << shift);
+  const SimTime wake = request.not_before;
+  // Front of the queue: this is, by construction, the VM's oldest
+  // request, and per-VM FIFO must survive the round trip through
+  // failure. Priority ties break by queue position, so the front slot
+  // also restores its original standing among equals.
+  queued_.insert(queued_.begin(), std::move(request));
+  // Without a wake event the loop could go idle before the backoff
+  // expires; AdmitEligible at the deadline restarts the session.
+  cluster_.Simulator().ScheduleAt(wake, [this] { AdmitEligible(); });
+  AdmitEligible();
+}
+
 std::size_t MigrationScheduler::Drain() {
   const std::size_t before = completions_.size();
   AdmitEligible();
   while (!running_.empty() || !queued_.empty()) {
-    VEC_CHECK_MSG(!running_.empty(),
-                  "scheduler stuck: queued migrations can never be "
-                  "admitted (check caps and VM placement)");
+    if (running_.empty()) {
+      // Nothing running and requests still queued: only legitimate when
+      // some request is waiting out a retry backoff (its wake event is
+      // in the simulator, so Run() below makes progress).
+      const SimTime now = cluster_.Simulator().Now();
+      const bool backing_off =
+          std::any_of(queued_.begin(), queued_.end(),
+                      [&](const Request& r) { return r.not_before > now; });
+      VEC_CHECK_MSG(backing_off,
+                    "scheduler stuck: queued migrations can never be "
+                    "admitted (check caps and VM placement)");
+    }
     cluster_.Simulator().Run();
     retired_.clear();
     // The event loop only drains when every running session finished;

@@ -27,8 +27,10 @@
 #include <vector>
 
 #include "audit/audit.hpp"
+#include "common/units.hpp"
 #include "core/cluster.hpp"
 #include "core/vm_instance.hpp"
+#include "fault/fault.hpp"
 #include "migration/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -36,6 +38,15 @@
 namespace vecycle::core {
 
 using SessionId = std::uint64_t;
+
+/// Thrown by the scheduler when a migration exhausts its retry budget
+/// and `SchedulerConfig::throw_on_abort` is set. Distinct from engine
+/// CheckFailures so fleet callers can tell "a fault won" from "the
+/// simulation is broken".
+class MigrationAborted : public CheckFailure {
+ public:
+  explicit MigrationAborted(const std::string& what) : CheckFailure(what) {}
+};
 
 struct SchedulerConfig {
   /// Per-host admission caps (0 = unlimited). The defaults mirror common
@@ -58,6 +69,23 @@ struct SchedulerConfig {
   audit::SimAuditor* auditor = nullptr;
   obs::TraceRecorder* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Shared fault injector handed to every session (caller owns it; see
+  /// fault/fault.hpp). One injector across the fleet means one fault
+  /// plan: all sessions on a link see the same outage windows.
+  fault::FaultInjector* injector = nullptr;
+
+  /// Fault recovery: a session aborted by an injected link outage is
+  /// requeued and retried up to `max_attempts` total attempts, with
+  /// exponential backoff (`retry_backoff`, doubled per failure) before
+  /// each retry. 0 attempts means retry forever.
+  std::size_t max_attempts = 3;
+  SimDuration retry_backoff = Seconds(5.0);
+
+  /// When a request exhausts its attempts: throw MigrationAborted (the
+  /// default — an unhandled abort should be loud), or record it in
+  /// Aborts() and keep draining the rest of the fleet.
+  bool throw_on_abort = true;
 };
 
 class MigrationScheduler {
@@ -105,16 +133,33 @@ class MigrationScheduler {
   }
   [[nodiscard]] const Completion* FindCompletion(SessionId id) const;
 
+  /// A request that exhausted its retry budget (only recorded when
+  /// `throw_on_abort` is off; otherwise the abort throws instead).
+  struct Abort {
+    SessionId id = 0;  ///< the id Submit() returned
+    VmInstance* vm = nullptr;
+    HostId from;
+    HostId to;
+    std::uint64_t attempts = 0;  ///< attempts consumed (== max_attempts)
+    SimTime failed_at = kSimEpoch;
+  };
+  [[nodiscard]] const std::vector<Abort>& Aborts() const { return aborts_; }
+
+  /// Failed attempts that were requeued for another try.
+  [[nodiscard]] std::uint64_t Retries() const { return retries_; }
+
   [[nodiscard]] const SchedulerConfig& Config() const { return config_; }
 
  private:
   struct Request {
-    SessionId id = 0;
+    SessionId id = 0;  ///< caller-facing id, stable across retries
     VmInstance* vm = nullptr;
     HostId to;
     migration::MigrationConfig config;
     int priority = 0;
     CompletionCallback on_complete;
+    std::uint64_t attempts = 0;     ///< failed attempts so far
+    SimTime not_before = kSimEpoch;  ///< retry backoff gate
   };
 
   struct Running {
@@ -135,6 +180,10 @@ class MigrationScheduler {
   void AdmitEligible();
   void StartSession(Request request);
   void OnSessionFinished(SessionId id, SimTime when);
+  void OnSessionFailed(SessionId id, SimTime when);
+  /// Tears down a running session's slot bookkeeping (host caps, gang
+  /// refcount) and parks the session object; returns its Request.
+  Request ReleaseSlot(SessionId id);
 
   Cluster& cluster_;
   SchedulerConfig config_;
@@ -152,6 +201,8 @@ class MigrationScheduler {
   std::map<std::pair<HostId, HostId>, Gang> gangs_;
 
   std::vector<Completion> completions_;
+  std::vector<Abort> aborts_;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace vecycle::core

@@ -1,0 +1,251 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+
+namespace vecycle::fault {
+
+namespace {
+
+/// Deterministic exponential draw with the given mean, from one uniform.
+/// 1 - u keeps the argument in (0, 1] so log() never sees zero.
+double ExponentialDraw(Xoshiro256& rng, double mean) {
+  const double u = rng.NextDouble();
+  return -mean * std::log(1.0 - u);
+}
+
+/// Expands (seed, salt, rate, mean duration) into sorted non-overlapping
+/// windows covering [0, horizon): exponential inter-arrivals between
+/// window starts, exponential durations.
+std::vector<FaultWindow> BuildWindows(std::uint64_t seed, std::uint64_t salt,
+                                      double per_hour, SimDuration mean,
+                                      SimDuration horizon) {
+  std::vector<FaultWindow> windows;
+  if (per_hour <= 0.0) return windows;
+  Xoshiro256 rng(SplitMix64(seed ^ salt).Next());
+  const double mean_gap_s = 3600.0 / per_hour;
+  const double mean_len_s = ToSeconds(mean);
+  double at_s = 0.0;
+  const double horizon_s = ToSeconds(horizon);
+  while (true) {
+    at_s += ExponentialDraw(rng, mean_gap_s);
+    if (at_s >= horizon_s) break;
+    const double len_s = std::max(1e-6, ExponentialDraw(rng, mean_len_s));
+    FaultWindow window;
+    window.start = kSimEpoch + Seconds(at_s);
+    window.end = kSimEpoch + Seconds(at_s + len_s);
+    // Merge windows that an early next arrival would overlap; the
+    // schedule stays sorted and disjoint, so queries binary-search.
+    if (!windows.empty() && window.start <= windows.back().end) {
+      windows.back().end = std::max(windows.back().end, window.end);
+    } else {
+      windows.push_back(window);
+    }
+    at_s += len_s;
+  }
+  return windows;
+}
+
+/// First window with end > start whose own start is < end, i.e. the
+/// earliest overlap of [start, end) with the schedule.
+std::optional<FaultWindow> FirstOverlap(const std::vector<FaultWindow>& windows,
+                                        SimTime start, SimTime end) {
+  const auto it = std::upper_bound(
+      windows.begin(), windows.end(), start,
+      [](SimTime t, const FaultWindow& w) { return t < w.end; });
+  if (it == windows.end() || it->start >= end) return std::nullopt;
+  return *it;
+}
+
+double ParseNumber(std::string_view key, std::string_view value) {
+  char* parse_end = nullptr;
+  const std::string owned(value);
+  const double parsed = std::strtod(owned.c_str(), &parse_end);
+  VEC_CHECK_MSG(parse_end != nullptr && *parse_end == '\0',
+                "VECYCLE_FAULTS: malformed value for " + std::string(key) +
+                    ": '" + owned + "'");
+  return parsed;
+}
+
+bool IsTruthyWord(std::string_view spec) {
+  std::string lowered(spec);
+  for (char& c : lowered) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lowered == "1" || lowered == "on" || lowered == "true" ||
+         lowered == "yes";
+}
+
+}  // namespace
+
+void FaultConfig::Validate() const {
+  VEC_CHECK_MSG(link_outages_per_hour >= 0.0 &&
+                    link_degradations_per_hour >= 0.0 &&
+                    disk_errors_per_hour >= 0.0,
+                "fault rates must be non-negative");
+  VEC_CHECK_MSG(link_outage_mean > SimDuration::zero() &&
+                    link_degradation_mean > SimDuration::zero() &&
+                    disk_error_mean > SimDuration::zero(),
+                "fault window mean durations must be positive");
+  VEC_CHECK_MSG(
+      link_degradation_factor > 0.0 && link_degradation_factor <= 1.0,
+      "link_degradation_factor must be in (0, 1]");
+  VEC_CHECK_MSG(corrupt_probability >= 0.0 && corrupt_probability <= 1.0 &&
+                    truncate_probability >= 0.0 &&
+                    truncate_probability <= 1.0,
+                "fault probabilities must be in [0, 1]");
+  VEC_CHECK_MSG(corrupt_pages > 0, "corrupt_pages must be positive");
+  VEC_CHECK_MSG(truncate_fraction > 0.0 && truncate_fraction <= 1.0,
+                "truncate_fraction must be in (0, 1]");
+  VEC_CHECK_MSG(horizon > SimDuration::zero(),
+                "fault horizon must be positive");
+}
+
+FaultConfig FaultConfig::FromSpec(std::string_view spec) {
+  FaultConfig config;
+  config.enabled = true;
+  if (IsTruthyWord(spec)) {
+    // Bare enablement: a default mixed plan — occasional WAN outages and
+    // a coin-flip of checkpoint rot, enough to exercise every recovery
+    // path without drowning the run in failures.
+    config.link_outages_per_hour = 1.0;
+    config.corrupt_probability = 0.5;
+    return config;
+  }
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find_first_of(",; ", pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view token = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    VEC_CHECK_MSG(eq != std::string_view::npos,
+                  "VECYCLE_FAULTS: expected key=value, got '" +
+                      std::string(token) + "'");
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "seed") {
+      config.seed = static_cast<std::uint64_t>(ParseNumber(key, value));
+    } else if (key == "link_outages_per_hour") {
+      config.link_outages_per_hour = ParseNumber(key, value);
+    } else if (key == "link_outage_ms") {
+      config.link_outage_mean = Milliseconds(ParseNumber(key, value));
+    } else if (key == "link_degradations_per_hour") {
+      config.link_degradations_per_hour = ParseNumber(key, value);
+    } else if (key == "link_degradation_ms") {
+      config.link_degradation_mean = Milliseconds(ParseNumber(key, value));
+    } else if (key == "link_degradation_factor") {
+      config.link_degradation_factor = ParseNumber(key, value);
+    } else if (key == "disk_errors_per_hour") {
+      config.disk_errors_per_hour = ParseNumber(key, value);
+    } else if (key == "disk_error_ms") {
+      config.disk_error_mean = Milliseconds(ParseNumber(key, value));
+    } else if (key == "corrupt_prob") {
+      config.corrupt_probability = ParseNumber(key, value);
+    } else if (key == "corrupt_pages") {
+      config.corrupt_pages =
+          static_cast<std::uint32_t>(ParseNumber(key, value));
+    } else if (key == "truncate_prob") {
+      config.truncate_probability = ParseNumber(key, value);
+    } else if (key == "truncate_fraction") {
+      config.truncate_fraction = ParseNumber(key, value);
+    } else if (key == "horizon_hours") {
+      config.horizon = Hours(ParseNumber(key, value));
+    } else {
+      VEC_CHECK_MSG(false, "VECYCLE_FAULTS: unknown key '" +
+                               std::string(key) + "'");
+    }
+  }
+  config.Validate();
+  return config;
+}
+
+FaultConfig FaultConfig::FromEnv() {
+  const char* raw = std::getenv("VECYCLE_FAULTS");
+  if (raw == nullptr || *raw == '\0') return FaultConfig{};
+  return FromSpec(raw);
+}
+
+bool EnvEnabled() {
+  const char* raw = std::getenv("VECYCLE_FAULTS");
+  return raw != nullptr && *raw != '\0';
+}
+
+FaultInjector::FaultInjector(FaultConfig config) : config_(config) {
+  config_.Validate();
+  if (!config_.enabled) return;
+  link_outages_ =
+      BuildWindows(config_.seed, 0x6c696e6b637574ull,
+                   config_.link_outages_per_hour, config_.link_outage_mean,
+                   config_.horizon);
+  link_degradations_ = BuildWindows(
+      config_.seed, 0x64656772616465ull, config_.link_degradations_per_hour,
+      config_.link_degradation_mean, config_.horizon);
+  disk_errors_ =
+      BuildWindows(config_.seed, 0x6469736b657272ull,
+                   config_.disk_errors_per_hour, config_.disk_error_mean,
+                   config_.horizon);
+}
+
+bool FaultInjector::LinkCut(SimTime start, SimTime end) {
+  if (!FirstOverlap(link_outages_, start, end).has_value()) return false;
+  ++counters_.link_cuts;
+  return true;
+}
+
+double FaultInjector::LinkDegradeFactor(SimTime at) {
+  if (!FirstOverlap(link_degradations_, at, at + Seconds(1e-9))
+           .has_value()) {
+    return 1.0;
+  }
+  ++counters_.degraded_transmits;
+  return config_.link_degradation_factor;
+}
+
+std::optional<FaultWindow> FaultInjector::DiskReadError(SimTime start,
+                                                        SimTime end) {
+  const auto overlap = FirstOverlap(disk_errors_, start, end);
+  if (overlap.has_value()) ++counters_.disk_read_errors;
+  return overlap;
+}
+
+CorruptionPlan FaultInjector::DecideCorruption(const std::string& vm,
+                                               std::uint64_t page_count) {
+  CorruptionPlan plan;
+  plan.truncate_from = page_count;
+  if (!config_.enabled || page_count == 0) return plan;
+  const std::uint64_t ordinal = save_ordinals_[vm]++;
+  // Key the stream on (seed, vm, ordinal) so the decision is a pure
+  // function of the plan and the save's identity — independent of what
+  // other VMs did, which keeps concurrent schedules deterministic.
+  std::uint64_t key = SplitMix64(config_.seed ^ 0x636f727275707400ull).Next();
+  for (const char c : vm) {
+    key = SplitMix64(key ^ static_cast<unsigned char>(c)).Next();
+  }
+  Xoshiro256 rng(SplitMix64(key ^ ordinal).Next());
+  if (rng.NextDouble() < config_.corrupt_probability) {
+    const std::uint64_t count =
+        std::min<std::uint64_t>(config_.corrupt_pages, page_count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      // Collisions are harmless: corrupting one page twice is one rot.
+      const std::uint64_t page = rng.NextBelow(page_count);
+      plan.rotted.emplace_back(page, rng.Next() | 1ull);
+    }
+    ++counters_.corrupted_checkpoints;
+  }
+  if (rng.NextDouble() < config_.truncate_probability) {
+    const auto kept = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(page_count) *
+                  (1.0 - config_.truncate_fraction)));
+    plan.truncate_from = std::min(page_count, std::max<std::uint64_t>(kept, 1));
+    if (plan.truncate_from < page_count) ++counters_.truncated_checkpoints;
+  }
+  return plan;
+}
+
+}  // namespace vecycle::fault

@@ -1,0 +1,164 @@
+// Fault injection — deterministic infrastructure failures.
+//
+// The paper's premise is an unreliable world: WAN links drop and degrade,
+// checkpoints sit on disks long enough to rot, and reads fail (§1, §3.3's
+// integrity scan exists precisely because checkpoints cannot be trusted).
+// This module turns that world into a reproducible schedule: a FaultPlan
+// expands one seed into windows of link outages/degradations and disk
+// read errors plus per-checkpoint corruption decisions, and a
+// FaultInjector answers point/interval queries against that schedule.
+// Devices (sim::Link, sim::Disk, storage::CheckpointStore) consult an
+// optional injector exactly the way they consult an optional auditor or
+// tracer: one pointer test when detached, so fault-free runs stay
+// byte-identical to builds without this module.
+//
+// All randomness flows from FaultConfig::seed through SplitMix64 /
+// xoshiro256**, so a given plan is bit-identical across runs and machines
+// and replays cleanly under audit::ReplayCheck.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace vecycle::fault {
+
+/// Parameters of a fault schedule. Rates are events per simulated hour;
+/// durations are means of exponentially distributed window lengths. A
+/// config with `enabled == false` (the default) injects nothing and is
+/// what every existing caller implicitly uses.
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+
+  /// Link outages: windows during which the link is down. A message whose
+  /// wire booking overlaps an outage is lost, which aborts its migration
+  /// session (the scheduler retries with backoff).
+  double link_outages_per_hour = 0.0;
+  SimDuration link_outage_mean = Seconds(2.0);
+
+  /// Link degradations: windows during which the effective bandwidth is
+  /// multiplied by `link_degradation_factor` (congestion, rerouting).
+  /// Transfers slow down but nothing is lost.
+  double link_degradations_per_hour = 0.0;
+  SimDuration link_degradation_mean = Seconds(30.0);
+  double link_degradation_factor = 0.25;
+
+  /// Disk read errors: windows during which a read booking fails.
+  /// Sequential checkpoint scans retry past the window; random block
+  /// reads fall back to re-fetching the page over the wire.
+  double disk_errors_per_hour = 0.0;
+  SimDuration disk_error_mean = Milliseconds(50.0);
+
+  /// Checkpoint bit-rot: probability that a checkpoint save silently
+  /// corrupts `corrupt_pages` random pages of the stored image.
+  double corrupt_probability = 0.0;
+  std::uint32_t corrupt_pages = 8;
+
+  /// Checkpoint truncation: probability that a save loses the tail
+  /// `truncate_fraction` of the image (a partial write the metadata did
+  /// not notice).
+  double truncate_probability = 0.0;
+  double truncate_fraction = 0.25;
+
+  /// Window schedules are pre-generated out to this simulated horizon so
+  /// queries are order-independent binary searches (replay-safe).
+  SimDuration horizon = Hours(24.0 * 14.0);
+
+  void Validate() const;
+
+  /// Parses a "key=value,key=value" spec (see docs/fault.md for the key
+  /// table). "1"/"on"/"true"/"yes" selects a default mixed plan. Throws
+  /// CheckFailure on unknown keys or malformed values.
+  static FaultConfig FromSpec(std::string_view spec);
+
+  /// Reads VECYCLE_FAULTS; disabled config when unset or empty.
+  static FaultConfig FromEnv();
+};
+
+/// True when VECYCLE_FAULTS is set to a non-empty value.
+[[nodiscard]] bool EnvEnabled();
+
+/// One closed-open [start, end) window of a fault schedule.
+struct FaultWindow {
+  SimTime start = kSimEpoch;
+  SimTime end = kSimEpoch;
+};
+
+/// How a checkpoint save is damaged: `rotted` pages get their content
+/// replaced by garbage seeds; pages at and beyond `truncate_from` are
+/// lost entirely (truncate_from == page_count means no truncation).
+struct CorruptionPlan {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> rotted;  ///< (page, bad seed)
+  std::uint64_t truncate_from = 0;
+  [[nodiscard]] bool Any(std::uint64_t page_count) const {
+    return !rotted.empty() || truncate_from < page_count;
+  }
+};
+
+/// Compiled fault plan: the concrete window schedules plus per-checkpoint
+/// corruption decisions, with counters of what was actually injected.
+/// Devices hold a nullable pointer to one injector; the owner (a session,
+/// a scheduler, or a test) outlives the devices' use of it.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  [[nodiscard]] const FaultConfig& Config() const { return config_; }
+
+  /// Does any link outage overlap the wire booking [start, end)?
+  /// Increments the cut counter when it does.
+  [[nodiscard]] bool LinkCut(SimTime start, SimTime end);
+
+  /// Bandwidth multiplier in effect at `at`: 1.0 outside degradation
+  /// windows, config.link_degradation_factor inside.
+  [[nodiscard]] double LinkDegradeFactor(SimTime at);
+
+  /// Earliest overlapping disk-error window for a read booked over
+  /// [start, end), or nullopt when the read succeeds.
+  [[nodiscard]] std::optional<FaultWindow> DiskReadError(SimTime start,
+                                                         SimTime end);
+
+  /// Decides how the `save_index`-th save of `vm`'s checkpoint is damaged
+  /// (deterministic in (seed, vm, save ordinal)). The injector tracks the
+  /// ordinal internally; callers just report each save.
+  CorruptionPlan DecideCorruption(const std::string& vm,
+                                  std::uint64_t page_count);
+
+  /// Injection counters, for tests and the fault_sweep bench.
+  struct Counters {
+    std::uint64_t link_cuts = 0;
+    std::uint64_t degraded_transmits = 0;
+    std::uint64_t disk_read_errors = 0;
+    std::uint64_t corrupted_checkpoints = 0;
+    std::uint64_t truncated_checkpoints = 0;
+  };
+  [[nodiscard]] const Counters& Stats() const { return counters_; }
+
+  /// The precomputed schedules, exposed for determinism tests.
+  [[nodiscard]] const std::vector<FaultWindow>& LinkOutages() const {
+    return link_outages_;
+  }
+  [[nodiscard]] const std::vector<FaultWindow>& LinkDegradations() const {
+    return link_degradations_;
+  }
+  [[nodiscard]] const std::vector<FaultWindow>& DiskErrorWindows() const {
+    return disk_errors_;
+  }
+
+ private:
+  FaultConfig config_;
+  std::vector<FaultWindow> link_outages_;
+  std::vector<FaultWindow> link_degradations_;
+  std::vector<FaultWindow> disk_errors_;
+  std::unordered_map<std::string, std::uint64_t> save_ordinals_;
+  Counters counters_;
+};
+
+}  // namespace vecycle::fault

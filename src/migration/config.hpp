@@ -5,6 +5,7 @@
 
 #include "common/units.hpp"
 #include "digest/digest.hpp"
+#include "fault/fault.hpp"
 #include "migration/strategy.hpp"
 
 namespace vecycle::migration {
@@ -74,6 +75,14 @@ struct MigrationConfig {
   /// environment variable turns this on globally regardless of the flag.
   /// Disabled, the cost is one pointer test per event.
   bool trace = false;
+
+  /// Runs this migration under the fault-injection layer (src/fault):
+  /// link outages abort the session (phase kFailed), degradations slow
+  /// it, disk errors and checkpoint rot exercise the per-page fallback
+  /// path. The VECYCLE_FAULTS environment variable supplies a plan
+  /// globally when this config is disabled. An explicit injector passed
+  /// via MigrationRun::injector (the scheduler's mode) wins over both.
+  fault::FaultConfig faults;
 
   void Validate() const;
 };

@@ -29,20 +29,16 @@ SimTime DestinationActor::Prepare(SimTime start, bool send_bulk_hashes) {
     // cannot seed the new geometry. Drop it and run a cold migration.
     params_.store->Drop(params_.vm_id);
   }
-  const bool integrity_ok =
-      geometry_matches &&
-      params_.store->Peek(params_.vm_id)->IntegrityOk();
-  if (wants_checkpoint && geometry_matches && !integrity_ok) {
-    // Latent disk corruption caught by the image digest during the §3.3
-    // scan: trusting the checkpoint would reconstruct wrong memory, so
-    // the migration falls back to a cold transfer.
-    params_.store->Drop(params_.vm_id);
-  }
-  if (wants_checkpoint && geometry_matches && integrity_ok) {
+  if (wants_checkpoint && geometry_matches) {
+    // A checkpoint that fails the §3.3 integrity scan is still used: its
+    // checksum index is built over the content actually on disk, so the
+    // damaged pages simply miss every lookup and degrade per page to a
+    // resend over the wire, instead of the whole migration going cold.
     // Sequential scan of the image (disk) pipelined with per-block
     // checksum computation (CPU); the slower of the two gates readiness.
     const auto load = params_.store->Load(params_.vm_id, start);
     checkpoint_ = load.checkpoint;
+    disk_read_errors_ += load.read_retries;
     ready = load.ready_at;
     if (UsesContentHashes(params_.config.strategy)) {
       const Bytes image = checkpoint_->SizeOnDisk();
@@ -77,6 +73,13 @@ void DestinationActor::OnMessage(net::Message&& message, SimTime arrival) {
   switch (message.type) {
     case net::MessageType::kPageBatch:
       ApplyBatch(message, arrival);
+      // A resend batch that retires the last outstanding request while a
+      // done message already arrived completes the migration now.
+      if (done_pending_ && outstanding_resends_ == 0 &&
+          resend_pending_.empty()) {
+        done_pending_ = false;
+        Complete(std::max(arrival, done_arrival_));
+      }
       break;
     case net::MessageType::kRoundEnd: {
       net::Message ack;
@@ -86,20 +89,37 @@ void DestinationActor::OnMessage(net::Message&& message, SimTime arrival) {
       break;
     }
     case net::MessageType::kDone: {
-      VEC_CHECK_MSG(!completed_, "duplicate done message");
-      completed_ = true;
-      const SimTime resume = std::max(arrival, work_done_);
-      net::Message ack;
-      ack.type = net::MessageType::kDoneAck;
-      params_.reply->Send(std::move(ack), resume);
-      if (on_complete) on_complete(resume);
+      VEC_CHECK_MSG(!completed_ && !done_pending_, "duplicate done message");
+      if (outstanding_resends_ > 0 || !resend_pending_.empty()) {
+        // Fallback pages are still in flight (FIFO puts their full
+        // content behind this done): resume only once they land.
+        done_pending_ = true;
+        done_arrival_ = arrival;
+        break;
+      }
+      Complete(arrival);
       break;
     }
     case net::MessageType::kBulkHashes:
     case net::MessageType::kRoundAck:
     case net::MessageType::kDoneAck:
+    case net::MessageType::kResendRequest:
       VEC_CHECK_MSG(false, "unexpected message at migration destination");
   }
+}
+
+void DestinationActor::Complete(SimTime at) {
+  completed_ = true;
+  const SimTime resume = std::max(at, work_done_);
+  net::Message ack;
+  ack.type = net::MessageType::kDoneAck;
+  params_.reply->Send(std::move(ack), resume);
+  if (on_complete) on_complete(resume);
+}
+
+void DestinationActor::RequestResend(vm::PageId page) {
+  resend_pending_.push_back(page);
+  ++fallback_requested_;
 }
 
 void DestinationActor::ApplyBatch(const net::Message& message,
@@ -118,12 +138,31 @@ void DestinationActor::ApplyBatch(const net::Message& message,
         params_.config.compression.decompress_rate);
     work_done_ = std::max(work_done_, done);
   }
+  if (!resend_pending_.empty()) {
+    // One request per applied batch: every page this batch could not
+    // satisfy locally goes back to the source for full content.
+    outstanding_resends_ += resend_pending_.size();
+    net::Message request;
+    request.type = net::MessageType::kResendRequest;
+    request.resend_pages = std::move(resend_pending_);
+    resend_pending_.clear();
+    params_.reply->Send(std::move(request), std::max(arrival, work_done_));
+  }
 }
 
 void DestinationActor::ApplyRecord(const net::PageRecord& record,
                                    SimTime arrival) {
   VEC_CHECK_MSG(record.page < memory_->PageCount(),
                 "page record out of range");
+
+  if (record.is_resend) {
+    // Full content answering an earlier resend request.
+    VEC_CHECK_MSG(outstanding_resends_ > 0,
+                  "resend record without an outstanding request");
+    --outstanding_resends_;
+    memory_->WritePage(record.page, record.content_seed);
+    return;
+  }
 
   if (record.has_payload || record.is_dup_ref || record.is_zero) {
     // Full content (directly, via the dedup cache, or the implicit zero
@@ -147,12 +186,25 @@ void DestinationActor::ApplyRecord(const net::PageRecord& record,
   }
 
   const auto offset = index_.Lookup(record.digest);
-  VEC_CHECK_MSG(offset.has_value(),
-                "checksum-only record for content absent at destination");
+  if (!offset.has_value()) {
+    // Checkpoint rot/truncation: the index was built over the content
+    // actually on disk, so a damaged page's true digest misses. Degrade
+    // per page — request the full content back — instead of aborting.
+    RequestResend(record.page);
+    return;
+  }
   VEC_CHECK(checkpoint_ != nullptr);
+  bool read_error = false;
   const SimTime read =
-      params_.store->ReadBlock(std::max(arrival, work_done_));
+      params_.store->ReadBlock(std::max(arrival, work_done_), &read_error);
   work_done_ = std::max(work_done_, read);
+  if (read_error) {
+    // The block read hit an injected disk-error window; the disk time is
+    // spent but the data cannot be trusted.
+    ++disk_read_errors_;
+    RequestResend(record.page);
+    return;
+  }
   const std::uint64_t seed = checkpoint_->SeedAt(*offset);
   // Cross-check the protocol invariant: the checkpoint block the index
   // points at really carries the content the source named.

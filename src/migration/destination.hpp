@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/units.hpp"
 #include "migration/config.hpp"
@@ -82,11 +83,25 @@ class DestinationActor {
   [[nodiscard]] std::uint64_t PagesFromCheckpoint() const {
     return pages_from_checkpoint_;
   }
+  /// Checksum-only pages this actor could not satisfy locally (damaged
+  /// checkpoint or failed block read) and requested back in full.
+  [[nodiscard]] std::uint64_t PagesFallback() const {
+    return fallback_requested_;
+  }
+  /// Injected disk-error windows hit by this migration's reads (setup
+  /// scan retries + failed random block reads).
+  [[nodiscard]] std::uint64_t DiskReadErrors() const {
+    return disk_read_errors_;
+  }
   [[nodiscard]] Bytes HashedBytes() const { return hashed_bytes_; }
 
  private:
   void ApplyBatch(const net::Message& message, SimTime arrival);
   void ApplyRecord(const net::PageRecord& record, SimTime arrival);
+  /// Queues `page` for a kResendRequest (flushed at batch end).
+  void RequestResend(vm::PageId page);
+  /// Resumes the VM: send the done-ack and fire on_complete.
+  void Complete(SimTime at);
 
   Params params_;
   std::unique_ptr<vm::GuestMemory> memory_;
@@ -101,8 +116,18 @@ class DestinationActor {
 
   std::uint64_t pages_matched_in_place_ = 0;
   std::uint64_t pages_from_checkpoint_ = 0;
+  std::uint64_t fallback_requested_ = 0;
+  std::uint64_t disk_read_errors_ = 0;
   Bytes hashed_bytes_;
   bool completed_ = false;
+
+  /// Per-page graceful degradation: pages whose checksum-only record
+  /// could not be satisfied, batched into one kResendRequest per applied
+  /// batch; the migration cannot complete while any are outstanding.
+  std::vector<vm::PageId> resend_pending_;
+  std::uint64_t outstanding_resends_ = 0;
+  bool done_pending_ = false;
+  SimTime done_arrival_ = kSimEpoch;
 };
 
 }  // namespace vecycle::migration

@@ -24,6 +24,8 @@ const char* ToString(SessionPhase phase) {
       return "checkpoint-write-back";
     case SessionPhase::kDone:
       return "done";
+    case SessionPhase::kFailed:
+      return "failed";
   }
   VEC_CHECK_MSG(false, "unknown SessionPhase");
 }
@@ -41,6 +43,7 @@ void MigrationConfig::Validate() const {
                 "compression compress_rate must be positive");
   VEC_CHECK_MSG(compression.decompress_rate.bytes_per_second > 0.0,
                 "compression decompress_rate must be positive");
+  faults.Validate();
 }
 
 /// All the wiring of one migration: channels, the two actors, and the
@@ -71,6 +74,52 @@ struct MigrationSession::Impl {
                                               run.config.algorithm);
     forward->SetSessionTag(run.session_id);
     backward->SetSessionTag(run.session_id);
+
+    // Lifetime token: every closure the session's channels and source
+    // actor put on the shared event heap is guarded by it. Teardown (or
+    // a fault abort) zeroes the token, so events already queued for this
+    // session fire as no-ops instead of calling into freed actors — the
+    // simulator may safely outlive any of its sessions.
+    alive = std::make_shared<bool>(true);
+    forward->SetLifetime(alive);
+    backward->SetLifetime(alive);
+    forward->SetFaultHandler([this](SimTime t) { OnFault(t); });
+    backward->SetFaultHandler([this](SimTime t) { OnFault(t); });
+
+    // Fault layer, same resolution and attach rules as the audit layer:
+    // an explicit injector (the scheduler's fleet-wide plan) wins;
+    // otherwise config.faults or VECYCLE_FAULTS creates a session-private
+    // one. The link, stores and disks are shared resources — attach only
+    // when free, detach what was attached.
+    if (run.injector != nullptr) {
+      injector = run.injector;
+    } else if (run.config.faults.enabled) {
+      owned_injector = std::make_unique<fault::FaultInjector>(run.config.faults);
+      injector = owned_injector.get();
+    } else if (fault::EnvEnabled()) {
+      owned_injector =
+          std::make_unique<fault::FaultInjector>(fault::FaultConfig::FromEnv());
+      injector = owned_injector.get();
+    }
+    if (injector != nullptr) {
+      if (run.link->Injector() == nullptr) {
+        run.link->SetFaultInjector(injector);
+        attached_link_injector = true;
+      }
+      for (auto* store : {run.source.store, run.destination.store}) {
+        if (store == nullptr) continue;
+        if (store->Injector() == nullptr) {
+          store->SetFaultInjector(injector);
+          if (store == run.source.store) attached_source_store_injector = true;
+          if (store == run.destination.store) attached_dest_store_injector = true;
+        }
+        if (store->Disk().Injector() == nullptr) {
+          store->Disk().SetFaultInjector(injector);
+          if (store == run.source.store) attached_source_disk_injector = true;
+          if (store == run.destination.store) attached_dest_disk_injector = true;
+        }
+      }
+    }
 
     // Audit layer: an explicit auditor always wins; otherwise the config
     // flag or VECYCLE_AUDIT creates a session-private one. The simulator
@@ -173,14 +222,21 @@ struct MigrationSession::Impl {
         run.destination.store != nullptr &&
         run.destination.store->Has(run.vm_id) &&
         run.destination.store->Peek(run.vm_id)->PageCount() ==
-            run.source_memory->PageCount() &&
+            run.source_memory->PageCount();
+    // A geometry-matching checkpoint that fails its integrity check is
+    // still usable for content-hash strategies — damaged pages degrade
+    // per page to a resend over the wire — but never for dirty-tracking
+    // skips, which restore skipped pages from it verbatim and would pin
+    // rotten content into the reconstructed memory.
+    const bool checkpoint_pristine =
+        dest_has_checkpoint &&
         run.destination.store->Peek(run.vm_id)->IntegrityOk();
-    if (!dest_has_checkpoint ||
+    if (!checkpoint_pristine ||
         run.departure_generations.size() !=
             run.source_memory->PageCount()) {
       // Dirty-tracking skips are only sound when the destination can
-      // restore the skipped pages from a matching checkpoint; first
-      // visits and resized VMs degrade to full.
+      // restore the skipped pages from a matching pristine checkpoint;
+      // first visits, resized VMs and rotten images degrade to full.
       run.departure_generations.clear();
     }
     if (!dest_has_checkpoint) {
@@ -217,6 +273,7 @@ struct MigrationSession::Impl {
     src_params.session_id = run.session_id;
     src_params.tracer = tracer;
     src_params.trace_track = trace_source_track;
+    src_params.lifetime = alive;
 
     if (use_query) {
       // §3.2's alternative scheme: the source asks the destination about
@@ -278,26 +335,69 @@ struct MigrationSession::Impl {
   }
 
   ~Impl() {
+    // Queued events of this session become no-ops before the actors and
+    // channels they would call into are freed.
+    if (alive != nullptr) *alive = false;
     if (attached_simulator) run.simulator->SetAuditor(nullptr);
     if (attached_store) run.destination.store->SetAuditor(nullptr);
     if (attached_simulator_tracer) run.simulator->SetTracer(nullptr);
     if (attached_source_cpu) run.source.cpu->SetTracer(nullptr);
     if (attached_dest_cpu) run.destination.cpu->SetTracer(nullptr);
     if (attached_store_tracer) run.destination.store->SetTracer(nullptr);
+    if (attached_link_injector) run.link->SetFaultInjector(nullptr);
+    if (attached_source_store_injector) {
+      run.source.store->SetFaultInjector(nullptr);
+    }
+    if (attached_dest_store_injector) {
+      run.destination.store->SetFaultInjector(nullptr);
+    }
+    if (attached_source_disk_injector) {
+      run.source.store->Disk().SetFaultInjector(nullptr);
+    }
+    if (attached_dest_disk_injector) {
+      run.destination.store->Disk().SetFaultInjector(nullptr);
+    }
   }
 
   /// Phases advance strictly forward; a backwards transition means the
   /// protocol misfired (e.g. a round started after the stop-and-copy).
+  /// kFailed is terminal and reachable from everywhere except kDone.
   void AdvanceTo(SessionPhase next) {
+    if (next == SessionPhase::kFailed) {
+      VEC_CHECK_MSG(
+          phase != SessionPhase::kDone && phase != SessionPhase::kFailed,
+          "cannot fail a finished or already-failed session");
+      phase = next;
+      return;
+    }
+    VEC_CHECK_MSG(phase != SessionPhase::kFailed,
+                  "failed migration session cannot advance");
     VEC_CHECK_MSG(static_cast<int>(next) > static_cast<int>(phase),
                   "migration session phase may only advance");
     phase = next;
+  }
+
+  /// An injected link outage cut one of this session's messages: abort
+  /// the attempt. The VM keeps running at the source; every event the
+  /// session still has queued is dropped via the lifetime token (partial
+  /// destination state is simply abandoned — a retry starts clean).
+  void OnFault(SimTime at) {
+    if (failed || phase == SessionPhase::kDone) return;
+    failed = true;
+    failed_at = at;
+    *alive = false;
+    AdvanceTo(SessionPhase::kFailed);
+    if (tracer != nullptr) {
+      tracer->Instant(session_track, tracer->Name("aborted: link cut"), at);
+    }
+    if (run.on_failed) run.on_failed(at);
   }
 
   /// Called from both completion hooks; fires once, when the destination
   /// runs the VM and the source has seen the done-ack. Books the optional
   /// §4.4 source-side checkpoint write-back, then notifies the caller.
   void MaybeFinish() {
+    if (failed) return;
     if (!completed || !source_finished) return;
     if (run.write_back_checkpoint && run.source.store != nullptr) {
       AdvanceTo(SessionPhase::kCheckpointWriteBack);
@@ -324,12 +424,19 @@ struct MigrationSession::Impl {
                   "skipped-via-checksum + dedup + clean-skips != page "
                   "count)");
     // Every checksum-only record was satisfied at the destination either
-    // by the locally initialized page or by a checkpoint read.
-    VEC_CHECK_MSG(stats.pages_matched_in_place + stats.pages_from_checkpoint ==
+    // by the locally initialized page, by a checkpoint read, or by the
+    // per-page fallback (full content re-sent over the wire).
+    VEC_CHECK_MSG(stats.pages_matched_in_place + stats.pages_from_checkpoint +
+                          stats.fallback_pages ==
                       stats.pages_sent_checksum,
                   "audit: checksum-record conservation violated (matched "
-                  "in place + restored from checkpoint != checksum "
-                  "records sent)");
+                  "in place + restored from checkpoint + fallback != "
+                  "checksum records sent)");
+    // Both endpoints agree on the fallback set: pages the destination
+    // requested equal pages the source re-sent.
+    VEC_CHECK_MSG(stats.fallback_pages == destination->PagesFallback(),
+                  "audit: fallback pages served by source != fallback "
+                  "pages requested by destination");
     // Wire conservation: bytes the channels booked on the link equal the
     // sum of the serialized message sizes the auditor observed.
     VEC_CHECK_MSG(forward->PayloadSent() ==
@@ -355,9 +462,19 @@ struct MigrationSession::Impl {
                       static_cast<std::uint64_t>(stats.downtime.count()));
     auditor->OnScalar("memory_digest",
                       outcome.dest_memory->ContentFingerprint());
+    auditor->OnScalar("fallback_pages", stats.fallback_pages);
+    auditor->OnScalar("disk_read_errors", stats.disk_read_errors);
+    auditor->OnScalar("retries", stats.retries);
   }
 
   MigrationOutcome Finalize() {
+    if (failed) {
+      throw MigrationFailed(
+          "migration of " + run.vm_id + " (session " +
+          std::to_string(run.session_id) + ", attempt " +
+          std::to_string(run.attempt) +
+          ") aborted by an injected link outage — no outcome to take");
+    }
     VEC_CHECK_MSG(completed, "migration did not complete");
     VEC_CHECK_MSG(!finalized, "outcome already taken");
     finalized = true;
@@ -377,6 +494,8 @@ struct MigrationSession::Impl {
     outcome.stats.pages_from_checkpoint =
         destination->PagesFromCheckpoint();
     outcome.stats.dest_hashed_bytes = destination->HashedBytes();
+    outcome.stats.disk_read_errors = destination->DiskReadErrors();
+    outcome.stats.retries = run.attempt;
     outcome.completed_at = completed_at;
 
     // Generation counters travel with the VM.
@@ -440,6 +559,15 @@ struct MigrationSession::Impl {
   bool attached_simulator = false;
   bool attached_store = false;
 
+  std::unique_ptr<fault::FaultInjector> owned_injector;
+  fault::FaultInjector* injector = nullptr;
+  std::shared_ptr<bool> alive;
+  bool attached_link_injector = false;
+  bool attached_source_store_injector = false;
+  bool attached_dest_store_injector = false;
+  bool attached_source_disk_injector = false;
+  bool attached_dest_disk_injector = false;
+
   obs::TraceRecorder* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   std::string label;
@@ -453,10 +581,12 @@ struct MigrationSession::Impl {
   SimTime start_time = kSimEpoch;
   SimTime completed_at = kSimEpoch;
   SimTime finished_at = kSimEpoch;
+  SimTime failed_at = kSimEpoch;
   SessionPhase phase = SessionPhase::kHashExchange;
   bool completed = false;
   bool source_finished = false;
   bool finalized = false;
+  bool failed = false;
 };
 
 MigrationSession::MigrationSession(MigrationRun run)
@@ -465,6 +595,8 @@ MigrationSession::MigrationSession(MigrationRun run)
 MigrationSession::~MigrationSession() = default;
 
 bool MigrationSession::Completed() const { return impl_->completed; }
+
+bool MigrationSession::Failed() const { return impl_->failed; }
 
 SessionPhase MigrationSession::Phase() const { return impl_->phase; }
 

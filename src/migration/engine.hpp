@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "audit/audit.hpp"
+#include "common/check.hpp"
 #include "digest/digest_set.hpp"
+#include "fault/fault.hpp"
 #include "migration/config.hpp"
 #include "migration/stats.hpp"
 #include "obs/metrics.hpp"
@@ -106,6 +108,23 @@ struct MigrationRun {
   /// The caller owns both and must outlive the session.
   obs::TraceRecorder* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// External fault injector (the scheduler's mode: one plan shared by
+  /// every attempt and session of a fleet). Wins over config.faults and
+  /// VECYCLE_FAULTS; when null and either of those enables faults, the
+  /// session creates a private injector. The caller owns the injector
+  /// and must outlive the session.
+  fault::FaultInjector* injector = nullptr;
+
+  /// Invoked at most once, when an injected link outage cuts one of this
+  /// session's messages: the session enters SessionPhase::kFailed, drops
+  /// every in-flight event it owns, and will never complete. The
+  /// scheduler uses this to release capacity and queue a retry.
+  std::function<void(SimTime)> on_failed;
+
+  /// Which attempt of a logical migration this session is (0 = first).
+  /// Reported as MigrationStats::retries by the attempt that completes.
+  std::uint64_t attempt = 0;
 };
 
 struct MigrationOutcome {
@@ -127,16 +146,28 @@ MigrationOutcome RunMigration(MigrationRun run);
 /// Explicit state machine of one migration session. Phases advance
 /// strictly in declaration order (kCheckpointWriteBack is skipped unless
 /// MigrationRun::write_back_checkpoint is set); a transition that would
-/// run backwards throws CheckFailure.
+/// run backwards throws CheckFailure. kFailed is terminal and reachable
+/// from every phase except kDone (an injected link outage aborts the
+/// attempt; the VM keeps running at the source).
 enum class SessionPhase {
   kHashExchange,        ///< destination setup + §3.2 bulk hash transfer
   kPreCopy,             ///< iterative copy rounds, guest still running
   kStopAndCopy,         ///< VM paused, final dirty set in flight
   kCheckpointWriteBack, ///< §4.4 source-side checkpoint write
   kDone,                ///< VM runs at the destination
+  kFailed,              ///< aborted by an injected fault; VM still at source
 };
 
 const char* ToString(SessionPhase phase);
+
+/// Thrown by TakeOutcome() on a session that aborted (SessionPhase::
+/// kFailed): there is no outcome — the VM never moved. Callers that
+/// retry (the scheduler) never call TakeOutcome on failed sessions;
+/// the synchronous RunMigration facade lets this propagate.
+class MigrationFailed : public CheckFailure {
+ public:
+  explicit MigrationFailed(const std::string& what) : CheckFailure(what) {}
+};
 
 /// A migration wired up but not yet driven to completion: construct one
 /// (or several — they share links and CPUs and contend realistically,
@@ -156,6 +187,9 @@ class MigrationSession {
 
   /// True once the VM runs at the destination.
   [[nodiscard]] bool Completed() const;
+
+  /// True once an injected fault aborted this session (terminal).
+  [[nodiscard]] bool Failed() const;
 
   /// Where the session's state machine currently stands.
   [[nodiscard]] SessionPhase Phase() const;

@@ -30,6 +30,9 @@ obs::MetricsRecord& RecordMigrationStats(obs::MetricsRegistry& registry,
   record.Counter("pages_resent_dirty", stats.pages_resent_dirty);
   record.Counter("pages_matched_in_place", stats.pages_matched_in_place);
   record.Counter("pages_from_checkpoint", stats.pages_from_checkpoint);
+  record.Counter("fallback_pages", stats.fallback_pages);
+  record.Counter("disk_read_errors", stats.disk_read_errors);
+  record.Counter("retries", stats.retries);
   record.Counter("source_hashed_bytes", stats.source_hashed_bytes.count);
   record.Counter("dest_hashed_bytes", stats.dest_hashed_bytes.count);
   record.Counter("payload_bytes_original",

@@ -66,11 +66,43 @@ void SourceActor::OnMessage(net::Message&& message, SimTime arrival) {
       }
       if (on_finished) on_finished(arrival);
       break;
+    case net::MessageType::kResendRequest:
+      ServeResend(message.resend_pages, arrival);
+      break;
     case net::MessageType::kPageBatch:
     case net::MessageType::kRoundEnd:
     case net::MessageType::kDone:
       VEC_CHECK_MSG(false, "unexpected message at migration source");
   }
+}
+
+void SourceActor::ServeResend(const std::vector<vm::PageId>& pages,
+                              SimTime arrival) {
+  VEC_CHECK_MSG(!pages.empty(), "empty resend request");
+  auto& memory = *params_.memory;
+  net::Message msg;
+  msg.type = net::MessageType::kPageBatch;
+  msg.round = round_;
+  msg.records.reserve(pages.size());
+  for (const vm::PageId page : pages) {
+    VEC_CHECK_MSG(page < memory.PageCount(), "resend request out of range");
+    net::PageRecord record;
+    record.page = page;
+    record.content_seed = memory.Seed(page);
+    record.is_resend = true;
+    record.has_digest = false;
+    record.is_zero = record.content_seed == vm::kZeroPageSeed;
+    record.has_payload = !record.is_zero;
+    msg.records.push_back(record);
+    ++stats_.fallback_pages;
+  }
+  // Live memory is authoritative: if the page was dirtied since its
+  // checksum-only classification, a later round (or the stop-and-copy)
+  // re-sends it anyway, and FIFO ordering means the newest content
+  // always lands last.
+  last_send_ =
+      std::max(last_send_, std::max(arrival, params_.simulator->Now()));
+  params_.channel->Send(std::move(msg), last_send_);
 }
 
 bool SourceActor::ClassifyFirstRoundPage(vm::PageId page,
@@ -270,7 +302,7 @@ void SourceActor::BeginRound(SimTime start, std::vector<vm::PageId> pages,
     tracer.Arg(tracer.Name("pages"), pending);
   }
   params_.simulator->ScheduleAt(std::max(start, params_.simulator->Now()),
-                                [this] { PumpBatches(); });
+                                Guarded([this] { PumpBatches(); }));
 }
 
 void SourceActor::PumpBatches() {
@@ -305,7 +337,7 @@ void SourceActor::PumpBatches() {
             ? params_.simulator->Now()
             : std::max(params_.simulator->Now(),
                        arrival - params_.channel->Latency());
-    params_.simulator->ScheduleAt(next, [this] { PumpBatches(); });
+    params_.simulator->ScheduleAt(next, Guarded([this] { PumpBatches(); }));
     return;
   }
   FinishRound();

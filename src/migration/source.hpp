@@ -75,6 +75,13 @@ class SourceActor {
     /// Session this actor belongs to; every delivered message must carry
     /// the same tag (cross-session routing check on shared links).
     std::uint64_t session_id = 0;
+
+    /// Lifetime token shared with the session: closures this actor
+    /// schedules on the simulator fire only while the token is alive and
+    /// true, so events queued for an aborted or destroyed session become
+    /// no-ops instead of calls into freed state. Null leaves scheduling
+    /// unguarded (standalone/test use).
+    std::shared_ptr<const bool> lifetime;
   };
 
   explicit SourceActor(Params params);
@@ -101,6 +108,24 @@ class SourceActor {
   [[nodiscard]] bool Started() const { return started_; }
 
  private:
+  /// Wraps a closure with the lifetime-token guard before it goes on the
+  /// simulator's event heap.
+  template <typename F>
+  [[nodiscard]] auto Guarded(F f) const {
+    return [guard = std::weak_ptr<const bool>(params_.lifetime),
+            guarded = params_.lifetime != nullptr, f = std::move(f)] {
+      if (guarded) {
+        const auto alive = guard.lock();
+        if (alive == nullptr || !*alive) return;
+      }
+      f();
+    };
+  }
+
+  /// Answers a kResendRequest: full-content records for every page whose
+  /// checksum-only record the destination could not satisfy locally.
+  void ServeResend(const std::vector<vm::PageId>& pages, SimTime arrival);
+
   /// Initializes a round's iteration state and schedules the first batch
   /// pump. For round 1, `pages` is empty (the cursor walks all of RAM);
   /// later rounds carry the dirty list.

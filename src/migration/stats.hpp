@@ -43,6 +43,17 @@ struct MigrationStats {
   std::uint64_t pages_matched_in_place = 0;   ///< local page already right
   std::uint64_t pages_from_checkpoint = 0;    ///< random checkpoint read
 
+  // Fault-recovery accounting (all zero in fault-free runs).
+  /// Checksum-only pages the destination could not satisfy locally
+  /// (checkpoint rot/truncation or a failed block read) and the source
+  /// re-sent with full content — the per-page graceful-degradation path.
+  std::uint64_t fallback_pages = 0;
+  /// Injected disk-error windows hit by this migration's reads.
+  std::uint64_t disk_read_errors = 0;
+  /// Prior aborted attempts of this migration (scheduler retries); the
+  /// stats describe the attempt that completed.
+  std::uint64_t retries = 0;
+
   Bytes source_hashed_bytes;
   Bytes dest_hashed_bytes;
 

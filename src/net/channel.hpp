@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <utility>
 
 #include "audit/audit.hpp"
@@ -34,6 +35,23 @@ class Channel {
         algorithm_(algorithm) {}
 
   void SetReceiver(Handler handler) { receiver_ = std::move(handler); }
+
+  /// Lifetime token guarding every closure this channel schedules on the
+  /// simulator. Deliveries fire only while the token is alive and true;
+  /// the owner (a migration session) resets or zeroes it on teardown so
+  /// in-flight events for a dead session become no-ops instead of calls
+  /// into freed actors. Without a token (the default) deliveries are
+  /// unguarded, as before.
+  void SetLifetime(std::shared_ptr<const bool> token) {
+    lifetime_ = std::move(token);
+  }
+
+  /// Handler invoked (instead of the receiver) when an injected link
+  /// outage cuts a message in flight; the argument is the time the loss
+  /// is noticed (the would-be arrival). Unset: cut messages vanish.
+  void SetFaultHandler(std::function<void(SimTime)> handler) {
+    on_fault_ = std::move(handler);
+  }
 
   /// Attaches an audit observer notified of every send; `channel_id`
   /// distinguishes this channel in the auditor's per-channel accounting.
@@ -65,7 +83,8 @@ class Channel {
     message.session = session_tag_;
     const SimTime start = std::max(earliest, simulator_.Now());
     const Bytes wire = message.WireSize(algorithm_);
-    const SimTime arrival = link_.Transmit(direction_, start, wire);
+    sim::Link::TransmitInfo info;
+    const SimTime arrival = link_.Transmit(direction_, start, wire, &info);
     payload_sent_ += wire;
     ++messages_sent_;
     if (auditor_ != nullptr) {
@@ -77,8 +96,30 @@ class Channel {
       tracer_->Counter(tracer_track_, tracer_counter_, start,
                        static_cast<double>(payload_sent_.count));
     }
+    if (info.cut) {
+      // The wire time was booked and charged, but the message is lost.
+      // Notify the fault handler at the would-be arrival (the earliest
+      // the endpoint could notice) rather than delivering.
+      ++messages_cut_;
+      simulator_.ScheduleAt(
+          arrival, [this, arrival, guard = std::weak_ptr<const bool>(lifetime_),
+                    guarded = lifetime_ != nullptr] {
+            if (guarded) {
+              const auto alive = guard.lock();
+              if (alive == nullptr || !*alive) return;
+            }
+            if (on_fault_ != nullptr) on_fault_(arrival);
+          });
+      return arrival;
+    }
     simulator_.ScheduleAt(
-        arrival, [this, msg = std::move(message), arrival]() mutable {
+        arrival, [this, msg = std::move(message), arrival,
+                  guard = std::weak_ptr<const bool>(lifetime_),
+                  guarded = lifetime_ != nullptr]() mutable {
+          if (guarded) {
+            const auto alive = guard.lock();
+            if (alive == nullptr || !*alive) return;
+          }
           receiver_(std::move(msg), arrival);
         });
     return arrival;
@@ -92,6 +133,7 @@ class Channel {
 
   [[nodiscard]] Bytes PayloadSent() const { return payload_sent_; }
   [[nodiscard]] std::uint64_t MessagesSent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t MessagesCut() const { return messages_cut_; }
   [[nodiscard]] DigestAlgorithm Algorithm() const { return algorithm_; }
 
  private:
@@ -100,6 +142,8 @@ class Channel {
   sim::Direction direction_;
   DigestAlgorithm algorithm_;
   Handler receiver_;
+  std::function<void(SimTime)> on_fault_;
+  std::shared_ptr<const bool> lifetime_;
   audit::AuditSink* auditor_ = nullptr;
   std::uint32_t audit_channel_id_ = 0;
   obs::TraceRecorder* tracer_ = nullptr;
@@ -108,6 +152,7 @@ class Channel {
   std::uint64_t session_tag_ = 0;
   Bytes payload_sent_;
   std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_cut_ = 0;
 };
 
 }  // namespace vecycle::net

@@ -18,6 +18,8 @@ const char* ToString(MessageType type) {
       return "done";
     case MessageType::kDoneAck:
       return "done-ack";
+    case MessageType::kResendRequest:
+      return "resend-request";
   }
   VEC_CHECK_MSG(false, "ToString: unenumerated message type");
 }
@@ -32,6 +34,7 @@ Bytes Message::WireSize(DigestAlgorithm algorithm) const {
     if (record.has_payload) total += record.payload_wire_bytes;
   }
   total += bulk_hashes.size() * digest_bytes;
+  total += resend_pages.size() * 8;  // page numbers
   return Bytes{total};
 }
 

@@ -27,6 +27,11 @@ enum class MessageType {
   kRoundAck,    ///< destination -> source: all round data applied
   kDone,        ///< source -> destination: migration complete (VM paused)
   kDoneAck,     ///< destination -> source: VM resumed at destination
+  /// destination -> source: pages whose checksum-only records could not
+  /// be satisfied locally (checkpoint rot or a failed block read); the
+  /// source answers with full-content records. The recovery half of the
+  /// fault-injection layer's graceful-degradation path.
+  kResendRequest,
 };
 
 const char* ToString(MessageType type);
@@ -51,6 +56,11 @@ struct PageRecord {
   /// compresses to a bare header — the reason §4.4's benchmark fills RAM
   /// with random data first.
   bool is_zero = false;
+  /// True when this full-content record answers a kResendRequest (a
+  /// checksum-only page the destination could not satisfy locally). The
+  /// flag travels in the header (no wire cost) so the destination can
+  /// retire the matching outstanding request.
+  bool is_resend = false;
   /// Content identity of the page (always set by the sender). The
   /// simulation transfers content by seed; byte payloads are reconstructed
   /// deterministically on the receiving side.
@@ -71,6 +81,7 @@ struct Message {
   std::uint64_t session = 0;
   std::vector<PageRecord> records;       // kPageBatch
   std::vector<Digest128> bulk_hashes;    // kBulkHashes
+  std::vector<vm::PageId> resend_pages;  // kResendRequest
 
   /// Serialized size on the wire under `algorithm` checksums.
   [[nodiscard]] Bytes WireSize(DigestAlgorithm algorithm) const;

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "fault/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace vecycle::sim {
@@ -53,20 +55,27 @@ class Disk {
  public:
   explicit Disk(DiskConfig config) : config_(config) { config_.Validate(); }
 
-  /// Books a sequential streaming read of `n` bytes.
-  SimTime ReadSequential(SimTime earliest, Bytes n) {
+  /// Books a sequential streaming read of `n` bytes. With a fault
+  /// injector attached, `error` (when non-null) receives the earliest
+  /// read-error window overlapping the booking — the disk time is still
+  /// charged, the data is not to be trusted.
+  SimTime ReadSequential(SimTime earliest, Bytes n,
+                         std::optional<fault::FaultWindow>* error = nullptr) {
     const auto booking =
         device_.Reserve(earliest, config_.sequential_read.TimeFor(n));
     read_bytes_ += n;
+    RecordReadFault(booking.start, booking.end, error);
     return booking.end;
   }
 
   /// Books a random read of `n` bytes (positioning cost + transfer).
-  SimTime ReadRandom(SimTime earliest, Bytes n) {
+  SimTime ReadRandom(SimTime earliest, Bytes n,
+                     std::optional<fault::FaultWindow>* error = nullptr) {
     const auto booking = device_.Reserve(
         earliest, config_.random_access + config_.sequential_read.TimeFor(n));
     read_bytes_ += n;
     random_reads_ += 1;
+    RecordReadFault(booking.start, booking.end, error);
     return booking.end;
   }
 
@@ -81,7 +90,15 @@ class Disk {
   [[nodiscard]] Bytes ReadBytes() const { return read_bytes_; }
   [[nodiscard]] Bytes WrittenBytes() const { return written_bytes_; }
   [[nodiscard]] std::uint64_t RandomReads() const { return random_reads_; }
+  [[nodiscard]] std::uint64_t ReadErrors() const { return read_errors_; }
   [[nodiscard]] const DiskConfig& Config() const { return config_; }
+
+  /// Attaches a fault injector consulted on every read; pass nullptr to
+  /// detach. The caller owns the injector.
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  [[nodiscard]] fault::FaultInjector* Injector() const { return injector_; }
 
   void Reset() {
     device_.Reset();
@@ -91,11 +108,21 @@ class Disk {
   }
 
  private:
+  void RecordReadFault(SimTime start, SimTime end,
+                       std::optional<fault::FaultWindow>* error) {
+    if (error == nullptr) return;
+    *error = injector_ != nullptr ? injector_->DiskReadError(start, end)
+                                  : std::nullopt;
+    if (error->has_value()) ++read_errors_;
+  }
+
   DiskConfig config_;
+  fault::FaultInjector* injector_ = nullptr;
   FifoResource device_;
   Bytes read_bytes_;
   Bytes written_bytes_;
   std::uint64_t random_reads_ = 0;
+  std::uint64_t read_errors_ = 0;
 };
 
 }  // namespace vecycle::sim

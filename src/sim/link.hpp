@@ -11,6 +11,7 @@
 
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "fault/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace vecycle::sim {
@@ -67,25 +68,60 @@ class Link {
  public:
   explicit Link(LinkConfig config) : config_(config) { config_.Validate(); }
 
+  /// What happened to one transmission, for callers (the migration
+  /// channel) that react to injected faults. `cut` means an outage window
+  /// overlapped the wire booking: the message is lost in flight.
+  struct TransmitInfo {
+    SimTime start = kSimEpoch;       ///< first byte on the wire
+    SimTime serialized = kSimEpoch;  ///< last byte on the wire
+    bool cut = false;
+  };
+
   /// Books the transmission of `payload` bytes in `dir`, starting no
   /// earlier than `earliest`. Returns the time at which the last byte
   /// arrives at the far end (serialization + propagation latency).
-  SimTime Transmit(Direction dir, SimTime earliest, Bytes payload) {
+  /// When a fault injector is attached, degradation windows stretch the
+  /// serialization and outage windows mark the transmission cut in
+  /// `info` (the wire time is still booked — the sender spent it).
+  SimTime Transmit(Direction dir, SimTime earliest, Bytes payload,
+                   TransmitInfo* info = nullptr) {
     // Ethernet/IP/TCP framing: ~1448 payload bytes per 1538 wire bytes.
     // This is what turns 1 Gbps into the ~112-118 MiB/s of goodput real
     // migrations see.
     const auto wire_bytes = static_cast<std::uint64_t>(
         static_cast<double>(payload.count) * kFramingOverhead);
-    const SimDuration serialize =
+    SimDuration serialize =
         config_.EffectiveBandwidth().TimeFor(Bytes{wire_bytes});
     auto& server = dir == Direction::kAtoB ? a_to_b_ : b_to_a_;
+    if (injector_ != nullptr) {
+      const double factor =
+          injector_->LinkDegradeFactor(std::max(earliest,
+                                                server.AvailableAt()));
+      if (factor < 1.0) {
+        serialize = SimDuration{static_cast<SimDuration::rep>(
+            static_cast<double>(serialize.count()) / factor)};
+      }
+    }
     const auto booking = server.Reserve(earliest, serialize);
     auto& stats = MutableStats(dir);
     stats.payload_bytes += payload;
     stats.wire_bytes += Bytes{wire_bytes};
     stats.transfers += 1;
+    if (info != nullptr) {
+      info->start = booking.start;
+      info->serialized = booking.end;
+      info->cut = injector_ != nullptr &&
+                  injector_->LinkCut(booking.start, booking.end);
+    }
     return booking.end + config_.latency;
   }
+
+  /// Attaches a fault injector consulted on every transmission; pass
+  /// nullptr to detach. The caller owns the injector.
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  [[nodiscard]] fault::FaultInjector* Injector() const { return injector_; }
 
   struct DirectionStats {
     Bytes payload_bytes;
@@ -120,6 +156,7 @@ class Link {
   static constexpr double kFramingOverhead = 1538.0 / 1448.0;
 
   LinkConfig config_;
+  fault::FaultInjector* injector_ = nullptr;
   FifoResource a_to_b_;
   FifoResource b_to_a_;
   DirectionStats stats_ab_;

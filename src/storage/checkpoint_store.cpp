@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace vecycle::storage {
 
@@ -54,9 +55,29 @@ SimTime CheckpointStore::Save(const VmId& vm, Checkpoint checkpoint,
   const bool fits = MakeRoom(vm, size);
   VEC_CHECK_MSG(fits, "retention policy cannot accommodate checkpoint");
   if (auditor_ != nullptr) {
+    // Verified at write time, before any at-rest damage below.
     auditor_->OnCheckpointVerified(checkpoint.IntegrityOk());
   }
-  checkpoints_[vm] = Entry{std::move(checkpoint), done};
+  // A checkpoint already damaged when handed to us (tests model latent
+  // disk errors with CorruptPageForTesting) counts as known at-rest
+  // damage, exactly like injector corruption below: Load reports it to
+  // the auditor as deliberate, and recovery is the destination's job.
+  bool rotten = !checkpoint.IntegrityOk();
+  if (injector_ != nullptr) {
+    const auto plan = injector_->DecideCorruption(vm, checkpoint.PageCount());
+    rotten = rotten || plan.Any(checkpoint.PageCount());
+    for (const auto& [page, bad_seed] : plan.rotted) {
+      checkpoint.CorruptPageForTesting(page, bad_seed);
+    }
+    // Truncation: the image tail never made it to disk; reads of those
+    // pages return garbage, which rot of every page past the cut models.
+    for (std::uint64_t page = plan.truncate_from;
+         page < checkpoint.PageCount(); ++page) {
+      checkpoint.CorruptPageForTesting(
+          page, SplitMix64(page ^ 0x7472756e63617465ull).Next() | 1ull);
+    }
+  }
+  checkpoints_[vm] = Entry{std::move(checkpoint), done, rotten};
   return done;
 }
 
@@ -71,21 +92,41 @@ CheckpointStore::LoadResult CheckpointStore::Load(const VmId& vm,
   VEC_CHECK_MSG(it != checkpoints_.end(), "no checkpoint for VM: " + vm);
   LoadResult result;
   result.checkpoint = &it->second.checkpoint;
-  result.ready_at =
-      disk_.ReadSequential(earliest, it->second.checkpoint.SizeOnDisk());
+  const Bytes size = it->second.checkpoint.SizeOnDisk();
+  std::optional<fault::FaultWindow> error;
+  SimTime at = earliest;
+  constexpr std::uint32_t kMaxScanAttempts = 8;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    result.ready_at = disk_.ReadSequential(at, size, &error);
+    if (!error.has_value()) break;
+    VEC_CHECK_MSG(attempt < kMaxScanAttempts,
+                  "checkpoint scan for " + vm +
+                      " kept failing under injected disk errors");
+    ++result.read_retries;
+    // Restart the whole scan once the error window has passed (and the
+    // disk is free again) — the dirty-skip protocol needs a clean image.
+    at = std::max(result.ready_at, error->end);
+  }
   it->second.last_used = std::max(it->second.last_used, result.ready_at);
   if (tracer_ != nullptr) {
     tracer_->Span(tracer_track_, tracer_->Name("load " + vm), earliest,
                   result.ready_at);
   }
   if (auditor_ != nullptr) {
-    auditor_->OnCheckpointVerified(it->second.checkpoint.IntegrityOk());
+    // Injected rot is deliberate; only un-injected damage is an audit
+    // failure (it would mean the simulator itself corrupted state).
+    auditor_->OnCheckpointVerified(it->second.checkpoint.IntegrityOk() ||
+                                   it->second.rotten);
   }
   return result;
 }
 
-SimTime CheckpointStore::ReadBlock(SimTime earliest) {
-  return disk_.ReadRandom(earliest, Bytes{kPageSize});
+SimTime CheckpointStore::ReadBlock(SimTime earliest, bool* read_error) {
+  std::optional<fault::FaultWindow> overlap;
+  const SimTime done = disk_.ReadRandom(
+      earliest, Bytes{kPageSize}, read_error != nullptr ? &overlap : nullptr);
+  if (read_error != nullptr) *read_error = overlap.has_value();
+  return done;
 }
 
 Bytes CheckpointStore::FootprintOnDisk() const {

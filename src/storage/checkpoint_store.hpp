@@ -16,6 +16,7 @@
 #include "audit/audit.hpp"
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "sim/disk.hpp"
 #include "storage/checkpoint.hpp"
@@ -71,15 +72,23 @@ class CheckpointStore {
   struct LoadResult {
     const Checkpoint* checkpoint = nullptr;
     SimTime ready_at = kSimEpoch;  ///< when the scan's last byte is read
+    /// Sequential scans hit by an injected disk-error window are retried
+    /// past the window (the whole scan is re-charged); this counts them.
+    std::uint32_t read_retries = 0;
   };
 
   /// Books the full sequential read of the checkpoint image starting at
   /// `earliest`. The caller separately charges checksum computation.
+  /// Under injected disk errors the scan retries until it lands clear of
+  /// every error window (bounded; throws CheckFailure on exhaustion).
   LoadResult Load(const VmId& vm, SimTime earliest);
 
   /// Books one random 4 KiB block read (Listing 1's lseek+read for a page
-  /// whose current content is elsewhere in the checkpoint).
-  SimTime ReadBlock(SimTime earliest);
+  /// whose current content is elsewhere in the checkpoint). When
+  /// `read_error` is non-null it reports whether an injected disk-error
+  /// window hit the read — the caller falls back to fetching the page
+  /// over the wire instead of trusting the block.
+  SimTime ReadBlock(SimTime earliest, bool* read_error = nullptr);
 
   void Drop(const VmId& vm) { checkpoints_.erase(vm); }
   [[nodiscard]] std::size_t Size() const { return checkpoints_.size(); }
@@ -104,6 +113,21 @@ class CheckpointStore {
   }
   [[nodiscard]] obs::TraceRecorder* Tracer() const { return tracer_; }
 
+  /// Attaches a fault injector: every Save then consults its corruption
+  /// plan and may rot/truncate the stored image (silently — detection is
+  /// the destination's job, via digest verification). Pass nullptr to
+  /// detach. The caller owns the injector.
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  [[nodiscard]] fault::FaultInjector* Injector() const { return injector_; }
+
+  /// True when the injector damaged the stored checkpoint for `vm`.
+  [[nodiscard]] bool WasCorrupted(const VmId& vm) const {
+    const auto it = checkpoints_.find(vm);
+    return it != checkpoints_.end() && it->second.rotten;
+  }
+
   [[nodiscard]] sim::Disk& Disk() { return disk_; }
 
  private:
@@ -115,10 +139,12 @@ class CheckpointStore {
   struct Entry {
     Checkpoint checkpoint;
     SimTime last_used = kSimEpoch;
+    bool rotten = false;  ///< damaged by the fault injector (deliberate)
   };
 
   sim::Disk& disk_;
   RetentionPolicy policy_;
+  fault::FaultInjector* injector_ = nullptr;
   audit::AuditSink* auditor_ = nullptr;
   obs::TraceRecorder* tracer_ = nullptr;
   obs::TrackId tracer_track_ = 0;

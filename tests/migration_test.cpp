@@ -641,11 +641,13 @@ TEST(Migration, ResizedVmIgnoresStaleCheckpoint) {
   EXPECT_FALSE(bed.dst_store.Has("vm"));
 }
 
-TEST(Migration, CorruptCheckpointIsDetectedAndDropped) {
+TEST(Migration, CorruptCheckpointDegradesPerPage) {
   // A latent disk error flips a page inside the stored checkpoint. The
-  // destination must refuse to seed guest RAM from it — silently using it
-  // would reconstruct wrong memory — and the migration degrades to a
-  // correct cold transfer.
+  // destination still seeds guest RAM from it — the checksum index is
+  // built over the content actually on disk, so the damaged page misses
+  // its lookup and only that page is re-fetched in full over the wire.
+  // The rest of the image keeps recycling (the fault layer's graceful
+  // degradation, instead of the whole migration going cold).
   TestBed bed;
   auto memory = RandomMemory(MiB(8), 50);
   auto checkpoint = storage::Checkpoint::CaptureFrom(memory);
@@ -661,8 +663,13 @@ TEST(Migration, CorruptCheckpointIsDetectedAndDropped) {
   auto outcome = RunMigration(std::move(run));
 
   EXPECT_TRUE(outcome.dest_memory->ContentEquals(memory));
-  EXPECT_EQ(outcome.stats.pages_sent_checksum, 0u);  // cold path
-  EXPECT_FALSE(bed.dst_store.Has("vm"));             // corrupt copy dropped
+  EXPECT_GT(outcome.stats.pages_sent_checksum, 0u);  // still recycling
+  EXPECT_TRUE(bed.dst_store.Has("vm"));              // checkpoint retained
+  // Every checksum-only record resolved exactly one way.
+  EXPECT_EQ(outcome.stats.pages_matched_in_place +
+                outcome.stats.pages_from_checkpoint +
+                outcome.stats.fallback_pages,
+            outcome.stats.pages_sent_checksum);
 }
 
 TEST(Migration, IntactCheckpointPassesIntegrityCheck) {

@@ -14,6 +14,7 @@
 #include "core/orchestrator.hpp"
 #include "core/scheduler.hpp"
 #include "core/vm_instance.hpp"
+#include "fault/fault.hpp"
 #include "vm/workload.hpp"
 
 namespace vecycle::core {
@@ -408,6 +409,58 @@ TEST(FleetAcceptance, EightConcurrentVmsAcrossThreeHostsUnderAudit) {
         << i;
   }
   EXPECT_EQ(scheduler.Completions().size(), 8u);
+}
+
+// --- Fault retries: failure requeues at the front; per-VM FIFO holds. -
+
+TEST(SchedulerFaults, FailedLegRetriesWithoutOvertakingItsSuccessor) {
+  TriangleWorld world;
+  fault::FaultConfig fault_config;
+  fault_config.enabled = true;
+  fault_config.seed = 13;
+  fault_config.link_outages_per_hour = 6.0;
+  fault_config.link_outage_mean = Seconds(2.0);
+  fault_config.horizon = Hours(4.0);
+  fault::FaultInjector injector(fault_config);
+  ASSERT_FALSE(injector.LinkOutages().empty());
+  const auto window = injector.LinkOutages().front();
+
+  SchedulerConfig config;
+  config.injector = &injector;
+  config.max_attempts = 10;
+  MigrationOrchestrator orchestrator(world.cluster, config);
+  auto traveller = MakeVm("vm-1", MiB(16), 5);
+  auto rival = MakeVm("vm-2", MiB(16), 6);
+  orchestrator.Deploy(*traveller, "A");
+  orchestrator.Deploy(*rival, "A");
+  // Park the fleet just before the first outage so the initial attempts
+  // stream into the window and get cut.
+  orchestrator.RunFor({traveller.get(), rival.get()},
+                      (window.start - kSimEpoch) - Milliseconds(1.0));
+
+  // Both legs of vm-1's journey up front, then a high-priority rival:
+  // the retry must neither let leg 2 overtake leg 1 nor starve behind
+  // the rival forever.
+  orchestrator.MigrateAsync(*traveller, "B", VeCycleConfig());
+  orchestrator.MigrateAsync(*traveller, "C", VeCycleConfig());
+  orchestrator.MigrateAsync(*rival, "C", VeCycleConfig(), /*priority=*/100);
+  EXPECT_EQ(orchestrator.Drain(), 3u);
+
+  auto& scheduler = orchestrator.Scheduler();
+  EXPECT_GE(scheduler.Retries(), 1u);
+  EXPECT_TRUE(scheduler.Aborts().empty());
+  EXPECT_EQ(traveller->CurrentHost(), "C");
+  EXPECT_EQ(rival->CurrentHost(), "C");
+  // vm-1's legs completed in submission order despite the retry loop.
+  std::vector<HostId> traveller_destinations;
+  for (const auto& completion : scheduler.Completions()) {
+    if (completion.vm == traveller.get()) {
+      traveller_destinations.push_back(completion.to);
+    }
+  }
+  ASSERT_EQ(traveller_destinations.size(), 2u);
+  EXPECT_EQ(traveller_destinations[0], "B");
+  EXPECT_EQ(traveller_destinations[1], "C");
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Keep the documentation honest against the tree.
+
+Cross-checks, in both directions where that makes sense:
+
+  1. Environment variables: every VECYCLE_* the code reads via getenv()
+     must be documented, and every VECYCLE_* the docs present must be
+     either a getenv()-read variable or a CMake cache option.
+  2. CMake options: every VECYCLE_* option/cache variable defined in
+     CMakeLists.txt must be documented.
+  3. tools/ scripts: every file in tools/ must be mentioned by the docs,
+     and every `tools/<name>` the docs mention must exist.
+  4. Relative markdown links must resolve to files in the repo.
+
+The doc set is README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md and
+docs/**.md. Run from anywhere; the repo root is located relative to
+this file. Exits non-zero with one line per violation (CI runs this in
+the static-analysis job next to lint.sh).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_FILES = [REPO / name for name in
+             ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")]
+DOC_FILES += sorted((REPO / "docs").glob("**/*.md"))
+
+CODE_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+VAR_RE = re.compile(r"VECYCLE_[A-Z][A-Z0-9_]*")
+GETENV_RE = re.compile(r'getenv\(\s*"(VECYCLE_[A-Z0-9_]+)"\s*\)')
+CMAKE_DEF_RE = re.compile(
+    r'(?:option|set)\s*\(\s*(VECYCLE_[A-Z0-9_]+)', re.IGNORECASE)
+# [text](target) — excluding images; target split from an optional title.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)[^)]*\)")
+TOOL_REF_RE = re.compile(r"tools/([A-Za-z0-9_.\-]+)")
+
+
+def iter_code_files():
+    for directory in CODE_DIRS:
+        root = REPO / directory
+        for suffix in (".cpp", ".hpp", ".py", ".sh"):
+            yield from root.glob(f"**/*{suffix}")
+
+
+def collect_code_env_vars():
+    found = set()
+    for path in iter_code_files():
+        found.update(GETENV_RE.findall(path.read_text(errors="replace")))
+    return found
+
+
+def collect_cmake_options():
+    found = set()
+    for path in [REPO / "CMakeLists.txt"] + sorted(REPO.glob("*/CMakeLists.txt")):
+        if not path.exists():
+            continue
+        for name in CMAKE_DEF_RE.findall(path.read_text(errors="replace")):
+            found.add(name)
+    return found
+
+
+def main():
+    errors = []
+
+    missing_docs = [p for p in DOC_FILES if not p.exists()]
+    for path in missing_docs:
+        errors.append(f"{path.relative_to(REPO)}: documented file set "
+                      "expects this file to exist")
+    docs = {p: p.read_text(errors="replace")
+            for p in DOC_FILES if p.exists()}
+
+    code_env = collect_code_env_vars()
+    cmake_opts = collect_cmake_options()
+    doc_vars = {}  # name -> first doc mentioning it
+    for path, text in docs.items():
+        for name in VAR_RE.findall(text):
+            doc_vars.setdefault(name, path)
+
+    # 1a. Every env var the code reads is documented.
+    for name in sorted(code_env - doc_vars.keys()):
+        errors.append(f"env var {name} is read in the code (getenv) but "
+                      "never documented")
+    # 1b/2b. Every VECYCLE_* the docs mention is real.
+    for name, path in sorted(doc_vars.items()):
+        if name not in code_env and name not in cmake_opts:
+            errors.append(
+                f"{path.relative_to(REPO)}: mentions {name}, which is "
+                "neither read via getenv() nor a CMake option")
+    # 2a. Every CMake option is documented.
+    for name in sorted(cmake_opts - doc_vars.keys()):
+        errors.append(f"CMake option {name} is defined but never documented")
+
+    # 3. tools/ scripts, both directions.
+    tool_files = {p.name for p in (REPO / "tools").iterdir() if p.is_file()}
+    doc_tool_refs = {}  # name -> first doc mentioning it
+    for path, text in docs.items():
+        for name in TOOL_REF_RE.findall(text):
+            doc_tool_refs.setdefault(name, path)
+    for name in sorted(tool_files - doc_tool_refs.keys()):
+        errors.append(f"tools/{name} exists but no document mentions it")
+    for name, path in sorted(doc_tool_refs.items()):
+        if name not in tool_files:
+            errors.append(f"{path.relative_to(REPO)}: references "
+                          f"tools/{name}, which does not exist")
+
+    # 4. Relative markdown links resolve.
+    for path, text in docs.items():
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO)}: broken relative "
+                              f"link -> {target}")
+
+    if errors:
+        for line in errors:
+            print(f"check_docs: {line}", file=sys.stderr)
+        print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({len(docs)} documents, "
+          f"{len(code_env)} env vars, {len(cmake_opts)} CMake options, "
+          f"{len(tool_files)} tools)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

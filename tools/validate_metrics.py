@@ -25,6 +25,7 @@ PRECOPY_COUNTERS = {
     "query_count", "pages_sent_full", "pages_sent_checksum",
     "pages_dup_ref", "pages_skipped_clean", "pages_resent_dirty",
     "pages_matched_in_place", "pages_from_checkpoint",
+    "fallback_pages", "disk_read_errors", "retries",
     "source_hashed_bytes", "dest_hashed_bytes", "payload_bytes_original",
     "payload_bytes_on_wire", "total_time_ns", "downtime_ns",
     "setup_time_ns", "round1_pages",
