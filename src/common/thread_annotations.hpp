@@ -1,0 +1,81 @@
+// Clang Thread Safety Analysis annotations.
+//
+// The simulator today is single-threaded by design, and the top roadmap
+// item — sharding the event loop into a conservative-PDES fleet — will
+// make the event queue, the scheduler's admission state and the per-host
+// checkpoint stores genuinely shared. These macros let that sharing
+// discipline be declared *now*, so `clang -Wthread-safety` (CI's
+// thread-safety job, or the `thread-safety` CMake preset) proves every
+// access to guarded state goes through the owning capability before any
+// real lock exists. Under GCC, and under Clang without the attributes,
+// everything here compiles away to nothing.
+//
+// Until the PDES PR swaps in real mutexes, the capability is NullMutex:
+// a zero-cost annotation-only lock. The locking *structure* written
+// against it (scoped guards, VEC_REQUIRES on helpers that assume the
+// lock) is exactly the structure the real mutex will inherit, so the
+// swap is a typedef, not a re-audit.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define VEC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef VEC_THREAD_ANNOTATION
+#define VEC_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define VEC_CAPABILITY(x) VEC_THREAD_ANNOTATION(capability(x))
+#define VEC_SCOPED_CAPABILITY VEC_THREAD_ANNOTATION(scoped_lockable)
+#define VEC_GUARDED_BY(x) VEC_THREAD_ANNOTATION(guarded_by(x))
+#define VEC_PT_GUARDED_BY(x) VEC_THREAD_ANNOTATION(pt_guarded_by(x))
+#define VEC_REQUIRES(...) \
+  VEC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define VEC_ACQUIRE(...) \
+  VEC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define VEC_RELEASE(...) \
+  VEC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define VEC_TRY_ACQUIRE(...) \
+  VEC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define VEC_EXCLUDES(...) VEC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define VEC_ASSERT_CAPABILITY(x) \
+  VEC_THREAD_ANNOTATION(assert_capability(x))
+#define VEC_RETURN_CAPABILITY(x) VEC_THREAD_ANNOTATION(lock_returned(x))
+#define VEC_NO_THREAD_SAFETY_ANALYSIS \
+  VEC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace vecycle::common {
+
+/// Annotation-only capability standing in for the mutex the PDES work
+/// will introduce. Lock/Unlock are empty inline calls (they vanish at
+/// -O1), so guarding hot simulator state with it costs nothing today
+/// while the static analysis already enforces the access discipline.
+class VEC_CAPABILITY("mutex") NullMutex {
+ public:
+  void Lock() VEC_ACQUIRE() {}
+  void Unlock() VEC_RELEASE() {}
+  void AssertHeld() const VEC_ASSERT_CAPABILITY(this) {}
+};
+
+/// RAII guard for NullMutex — the MutexLocker pattern from the clang
+/// docs. Every public method of an annotated class opens with one of
+/// these; private helpers take VEC_REQUIRES instead and rely on their
+/// callers' guard.
+class VEC_SCOPED_CAPABILITY NullLockGuard {
+ public:
+  explicit NullLockGuard(NullMutex& mu) VEC_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~NullLockGuard() VEC_RELEASE() { mu_.Unlock(); }
+
+  NullLockGuard(const NullLockGuard&) = delete;
+  NullLockGuard& operator=(const NullLockGuard&) = delete;
+
+ private:
+  NullMutex& mu_;
+};
+
+}  // namespace vecycle::common

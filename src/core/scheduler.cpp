@@ -7,9 +7,21 @@
 
 namespace vecycle::core {
 
+void SchedulerConfig::Validate() const {
+  // max_outgoing_per_host / max_incoming_per_host: every value is legal —
+  // zero means unlimited admission per the header contract.
+  // max_attempts: every value is legal — zero means retry forever, any
+  // other count is a plain retry budget.
+  VEC_CHECK_MSG(retry_backoff >= SimDuration::zero(),
+                "retry_backoff must be non-negative (retry wake-ups "
+                "cannot land in the simulated past)");
+}
+
 MigrationScheduler::MigrationScheduler(Cluster& cluster,
                                        SchedulerConfig config)
-    : cluster_(cluster), config_(config) {}
+    : cluster_(cluster), config_(config) {
+  config_.Validate();
+}
 
 MigrationScheduler::~MigrationScheduler() = default;
 
@@ -21,6 +33,7 @@ SessionId MigrationScheduler::Submit(VmInstance& vm, const HostId& to,
   (void)cluster_.GetHost(to);  // existence check, before queueing
   config.Validate();
 
+  common::NullLockGuard lock(mu_);
   Request request;
   request.id = next_id_++;
   request.vm = &vm;
@@ -35,6 +48,7 @@ SessionId MigrationScheduler::Submit(VmInstance& vm, const HostId& to,
 
 const MigrationScheduler::Completion* MigrationScheduler::FindCompletion(
     SessionId id) const {
+  common::NullLockGuard lock(mu_);
   for (const auto& completion : completions_) {
     if (completion.id == id) return &completion;
   }
@@ -161,7 +175,7 @@ MigrationScheduler::Request MigrationScheduler::ReleaseSlot(SessionId id) {
   VEC_CHECK_MSG(it != running_.end(), "outcome for unknown session");
   Running& running = it->second;
 
-  const auto release = [](std::unordered_map<HostId, std::size_t>& counts,
+  const auto release = [](std::map<HostId, std::size_t>& counts,
                           const HostId& host) {
     const auto entry = counts.find(host);
     VEC_CHECK_MSG(entry != counts.end() && entry->second > 0,
@@ -191,38 +205,54 @@ MigrationScheduler::Request MigrationScheduler::ReleaseSlot(SessionId id) {
 }
 
 void MigrationScheduler::OnSessionFinished(SessionId id, SimTime when) {
-  const auto it = running_.find(id);
-  VEC_CHECK_MSG(it != running_.end(), "completion for unknown session");
-  auto outcome = it->second.session->TakeOutcome();
-  const HostId from = it->second.from;
-  Request request = ReleaseSlot(id);
-  VmInstance& vm = *request.vm;
-
-  // Same bookkeeping, same order, as the synchronous orchestrator path.
-  // (The checkpoint write-back already happened inside the session.)
-  vm.RememberDeparture(from, vm.Memory().Generations());
-  vm.RememberPagesAt(from, std::move(outcome.incoming_digests));
-  vm.AdoptMemory(std::move(outcome.dest_memory));
-  vm.SetCurrentHost(request.to);
-
   Completion completion;
-  completion.id = request.id;
-  completion.vm = &vm;
-  completion.from = from;
-  completion.to = request.to;
-  completion.stats = outcome.stats;
-  completion.completed_at = outcome.completed_at;
+  CompletionCallback on_complete;
+  {
+    common::NullLockGuard lock(mu_);
+    const auto it = running_.find(id);
+    VEC_CHECK_MSG(it != running_.end(), "completion for unknown session");
+    auto outcome = it->second.session->TakeOutcome();
+    const HostId from = it->second.from;
+    Request request = ReleaseSlot(id);
+    VmInstance& vm = *request.vm;
 
-  completions_.push_back(std::move(completion));
-  if (request.on_complete) request.on_complete(completions_.back());
+    // Same bookkeeping, same order, as the synchronous orchestrator path.
+    // (The checkpoint write-back already happened inside the session.)
+    vm.RememberDeparture(from, vm.Memory().Generations());
+    vm.RememberPagesAt(from, std::move(outcome.incoming_digests));
+    vm.AdoptMemory(std::move(outcome.dest_memory));
+    vm.SetCurrentHost(request.to);
+
+    completion.id = request.id;
+    completion.vm = &vm;
+    completion.from = from;
+    completion.to = request.to;
+    completion.stats = outcome.stats;
+    completion.completed_at = outcome.completed_at;
+
+    completions_.push_back(completion);
+    on_complete = std::move(request.on_complete);
+  }
   (void)when;
+
+  // The caller's callback runs outside the scheduler capability: it may
+  // legitimately Submit() the VM's next leg, and that re-entry must not
+  // self-deadlock once the capability is a real lock.
+  if (on_complete) on_complete(completion);
 
   // Capacity just freed up — admit the next queued request(s) now, at
   // the completion's sim time, exactly when a real control plane would.
+  common::NullLockGuard lock(mu_);
+  AdmitEligible();
+}
+
+void MigrationScheduler::WakeAdmit() {
+  common::NullLockGuard lock(mu_);
   AdmitEligible();
 }
 
 void MigrationScheduler::OnSessionFailed(SessionId id, SimTime when) {
+  common::NullLockGuard lock(mu_);
   const HostId from = running_.count(id) != 0 ? running_.at(id).from
                                               : HostId{};
   Request request = ReleaseSlot(id);
@@ -258,32 +288,45 @@ void MigrationScheduler::OnSessionFailed(SessionId id, SimTime when) {
   queued_.insert(queued_.begin(), std::move(request));
   // Without a wake event the loop could go idle before the backoff
   // expires; AdmitEligible at the deadline restarts the session.
-  cluster_.Simulator().ScheduleAt(wake, [this] { AdmitEligible(); });
+  cluster_.Simulator().ScheduleAt(wake, [this] { WakeAdmit(); });
   AdmitEligible();
 }
 
 std::size_t MigrationScheduler::Drain() {
-  const std::size_t before = completions_.size();
-  AdmitEligible();
-  while (!running_.empty() || !queued_.empty()) {
-    if (running_.empty()) {
-      // Nothing running and requests still queued: only legitimate when
-      // some request is waiting out a retry backoff (its wake event is
-      // in the simulator, so Run() below makes progress).
-      const SimTime now = cluster_.Simulator().Now();
-      const bool backing_off =
-          std::any_of(queued_.begin(), queued_.end(),
-                      [&](const Request& r) { return r.not_before > now; });
-      VEC_CHECK_MSG(backing_off,
-                    "scheduler stuck: queued migrations can never be "
-                    "admitted (check caps and VM placement)");
+  std::size_t before = 0;
+  {
+    common::NullLockGuard lock(mu_);
+    before = completions_.size();
+    AdmitEligible();
+  }
+  while (true) {
+    {
+      common::NullLockGuard lock(mu_);
+      if (running_.empty() && queued_.empty()) break;
+      if (running_.empty()) {
+        // Nothing running and requests still queued: only legitimate when
+        // some request is waiting out a retry backoff (its wake event is
+        // in the simulator, so Run() below makes progress).
+        const SimTime now = cluster_.Simulator().Now();
+        const bool backing_off = std::any_of(
+            queued_.begin(), queued_.end(),
+            [&](const Request& r) { return r.not_before > now; });
+        VEC_CHECK_MSG(backing_off,
+                      "scheduler stuck: queued migrations can never be "
+                      "admitted (check caps and VM placement)");
+      }
     }
+    // The event loop runs outside the scheduler capability: session
+    // completion callbacks re-enter the scheduler (OnSessionFinished),
+    // and under a real lock that re-entry must find it free.
     cluster_.Simulator().Run();
+    common::NullLockGuard lock(mu_);
     retired_.clear();
     // The event loop only drains when every running session finished;
     // completions may have queued fresh submissions via callbacks.
     AdmitEligible();
   }
+  common::NullLockGuard lock(mu_);
   retired_.clear();
   return completions_.size() - before;
 }

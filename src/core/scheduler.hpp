@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "audit/audit.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "core/cluster.hpp"
 #include "core/vm_instance.hpp"
@@ -86,6 +87,14 @@ struct SchedulerConfig {
   /// default — an unhandled abort should be loud), or record it in
   /// Aborts() and keep draining the rest of the fleet.
   bool throw_on_abort = true;
+
+  /// Rejects configurations the scheduler cannot execute sensibly. The
+  /// admission caps (max_outgoing_per_host / max_incoming_per_host) and
+  /// the retry budget (max_attempts) accept every value — 0 means
+  /// unlimited for each of them — so only the backoff needs a bound:
+  /// a negative retry_backoff would schedule retry wake-ups into the
+  /// simulated past. Called by the MigrationScheduler constructor.
+  void Validate() const;
 };
 
 class MigrationScheduler {
@@ -124,11 +133,20 @@ class MigrationScheduler {
   /// remain that can never be admitted.
   std::size_t Drain();
 
-  [[nodiscard]] std::size_t QueuedCount() const { return queued_.size(); }
-  [[nodiscard]] std::size_t RunningCount() const { return running_.size(); }
+  [[nodiscard]] std::size_t QueuedCount() const {
+    common::NullLockGuard lock(mu_);
+    return queued_.size();
+  }
+  [[nodiscard]] std::size_t RunningCount() const {
+    common::NullLockGuard lock(mu_);
+    return running_.size();
+  }
 
-  /// All completions since construction, in completion order.
+  /// All completions since construction, in completion order. The
+  /// reference is stable for reads between Drain() calls; under PDES it
+  /// must be snapshotted while the scheduler is quiescent.
   [[nodiscard]] const std::vector<Completion>& Completions() const {
+    common::NullLockGuard lock(mu_);
     return completions_;
   }
   [[nodiscard]] const Completion* FindCompletion(SessionId id) const;
@@ -143,10 +161,16 @@ class MigrationScheduler {
     std::uint64_t attempts = 0;  ///< attempts consumed (== max_attempts)
     SimTime failed_at = kSimEpoch;
   };
-  [[nodiscard]] const std::vector<Abort>& Aborts() const { return aborts_; }
+  [[nodiscard]] const std::vector<Abort>& Aborts() const {
+    common::NullLockGuard lock(mu_);
+    return aborts_;
+  }
 
   /// Failed attempts that were requeued for another try.
-  [[nodiscard]] std::uint64_t Retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t Retries() const {
+    common::NullLockGuard lock(mu_);
+    return retries_;
+  }
 
   [[nodiscard]] const SchedulerConfig& Config() const { return config_; }
 
@@ -177,32 +201,48 @@ class MigrationScheduler {
     std::size_t sessions = 0;
   };
 
-  void AdmitEligible();
-  void StartSession(Request request);
+  void AdmitEligible() VEC_REQUIRES(mu_);
+  void StartSession(Request request) VEC_REQUIRES(mu_);
+  /// Re-entry point for the retry-backoff wake event: acquires the
+  /// scheduler capability, then admits (the simulator must never call
+  /// into a VEC_REQUIRES method directly).
+  void WakeAdmit();
   void OnSessionFinished(SessionId id, SimTime when);
   void OnSessionFailed(SessionId id, SimTime when);
   /// Tears down a running session's slot bookkeeping (host caps, gang
   /// refcount) and parks the session object; returns its Request.
-  Request ReleaseSlot(SessionId id);
+  Request ReleaseSlot(SessionId id) VEC_REQUIRES(mu_);
 
   Cluster& cluster_;
+  // vecycle-analyze: allow(concurrency-guarded-member) written once in the constructor, immutable afterwards
   SchedulerConfig config_;
-  SessionId next_id_ = 1;
 
-  std::vector<Request> queued_;  ///< submission (id) order
-  std::map<SessionId, Running> running_;
+  /// Scheduler capability: admission queue, running set, host caps, gang
+  /// refcounts and completion records form one consistency domain.
+  /// Today a zero-cost NullMutex; the PDES control plane replaces it
+  /// with a real lock and inherits the acquisition structure unchanged.
+  mutable common::NullMutex mu_;
+
+  SessionId next_id_ VEC_GUARDED_BY(mu_) = 1;
+
+  std::vector<Request> queued_ VEC_GUARDED_BY(mu_);  ///< submission order
+  std::map<SessionId, Running> running_ VEC_GUARDED_BY(mu_);
   /// Sessions finished but not yet destructible: OnSessionFinished runs
   /// inside the session's own actor callback, so destruction is deferred
   /// until the event loop returns control to Drain().
-  std::vector<std::unique_ptr<migration::MigrationSession>> retired_;
+  std::vector<std::unique_ptr<migration::MigrationSession>> retired_
+      VEC_GUARDED_BY(mu_);
 
-  std::unordered_map<HostId, std::size_t> outgoing_;
-  std::unordered_map<HostId, std::size_t> incoming_;
-  std::map<std::pair<HostId, HostId>, Gang> gangs_;
+  /// Host admission counters are keyed by HostId in sorted order: fleet
+  /// diagnostics iterate them, and iteration order must not depend on
+  /// the HostId hash (determinism; see docs/analysis-tooling.md).
+  std::map<HostId, std::size_t> outgoing_ VEC_GUARDED_BY(mu_);
+  std::map<HostId, std::size_t> incoming_ VEC_GUARDED_BY(mu_);
+  std::map<std::pair<HostId, HostId>, Gang> gangs_ VEC_GUARDED_BY(mu_);
 
-  std::vector<Completion> completions_;
-  std::vector<Abort> aborts_;
-  std::uint64_t retries_ = 0;
+  std::vector<Completion> completions_ VEC_GUARDED_BY(mu_);
+  std::vector<Abort> aborts_ VEC_GUARDED_BY(mu_);
+  std::uint64_t retries_ VEC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace vecycle::core

@@ -7,9 +7,9 @@
 // counters at departure (Miyakodori's dirty-tracking state, §4.3).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/host.hpp"
@@ -88,9 +88,12 @@ class VmInstance {
   std::unique_ptr<vm::GuestMemory> memory_;
   std::unique_ptr<vm::Workload> workload_;
   HostId current_host_;
-  std::unordered_map<HostId, std::shared_ptr<const DigestSet>> known_pages_;
-  std::unordered_map<HostId, std::vector<std::uint64_t>>
-      departure_generations_;
+  /// Keyed by sorted HostId, not hashed: a VM visits a handful of hosts
+  /// (the paper's whole premise), so ordered lookups cost nothing, and
+  /// any future iteration (fleet placement policies walking a VM's
+  /// checkpoint affinity) is deterministic by construction.
+  std::map<HostId, std::shared_ptr<const DigestSet>> known_pages_;
+  std::map<HostId, std::vector<std::uint64_t>> departure_generations_;
 };
 
 }  // namespace vecycle::core

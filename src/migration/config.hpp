@@ -37,6 +37,11 @@ struct CompressionConfig {
   double ratio_jitter = 0.25;
   ByteRate compress_rate = MiBPerSecond(250.0);
   ByteRate decompress_rate = MiBPerSecond(500.0);
+
+  /// Rejects ratios and rates no compressor can produce. Checked even
+  /// when `enabled` is false, so a latent bad config fails at Validate
+  /// time rather than on the day compression is switched on.
+  void Validate() const;
 };
 
 struct MigrationConfig {

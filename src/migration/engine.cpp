@@ -30,19 +30,26 @@ const char* ToString(SessionPhase phase) {
   VEC_CHECK_MSG(false, "unknown SessionPhase");
 }
 
+void CompressionConfig::Validate() const {
+  VEC_CHECK_MSG(mean_ratio > 0.0 && mean_ratio <= 1.0,
+                "compression mean_ratio must be in (0, 1]");
+  VEC_CHECK_MSG(ratio_jitter >= 0.0 && ratio_jitter <= 1.0,
+                "compression ratio_jitter must be in [0, 1]");
+  VEC_CHECK_MSG(compress_rate.bytes_per_second > 0.0,
+                "compression compress_rate must be positive");
+  VEC_CHECK_MSG(decompress_rate.bytes_per_second > 0.0,
+                "compression decompress_rate must be positive");
+}
+
 void MigrationConfig::Validate() const {
+  // strategy, algorithm and hash_exchange are closed enums whose every
+  // value is legal; audit and trace are boolean toggles.
+  // stop_copy_threshold_pages accepts every value: 0 simply defers the
+  // stop-and-copy decision to max_rounds.
   VEC_CHECK_MSG(batch_pages > 0, "batch_pages must be positive");
   VEC_CHECK_MSG(max_rounds >= 2, "need at least one copy + one stop round");
   VEC_CHECK_MSG(query_window > 0, "query_window must be positive");
-  VEC_CHECK_MSG(compression.mean_ratio > 0.0 && compression.mean_ratio <= 1.0,
-                "compression mean_ratio must be in (0, 1]");
-  VEC_CHECK_MSG(
-      compression.ratio_jitter >= 0.0 && compression.ratio_jitter <= 1.0,
-      "compression ratio_jitter must be in [0, 1]");
-  VEC_CHECK_MSG(compression.compress_rate.bytes_per_second > 0.0,
-                "compression compress_rate must be positive");
-  VEC_CHECK_MSG(compression.decompress_rate.bytes_per_second > 0.0,
-                "compression decompress_rate must be positive");
+  compression.Validate();
   faults.Validate();
 }
 

@@ -9,6 +9,8 @@
 namespace vecycle::migration {
 
 void PostCopyConfig::Validate() const {
+  // algorithm: every enumerator is a valid digest choice; the digest
+  // layer rejects unknown values itself.
   VEC_CHECK_MSG(guest_touch_rate_per_s >= 0.0,
                 "touch rate must be non-negative");
   VEC_CHECK_MSG(prefetch_batch > 0, "prefetch batch must be positive");

@@ -42,6 +42,8 @@ struct LinkConfig {
                   "link bandwidth must be positive");
     VEC_CHECK_MSG(latency >= SimDuration::zero(),
                   "link latency must be non-negative");
+    // tcp_window: every value is legal — Bytes is unsigned, and zero
+    // means "no window cap" by the EffectiveRate contract above.
   }
 
   /// Gigabit Ethernet LAN of the paper's testbed. 0.2 ms is a typical

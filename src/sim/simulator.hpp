@@ -17,6 +17,7 @@
 
 #include "audit/audit.hpp"
 #include "common/check.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "obs/trace.hpp"
 
@@ -25,20 +26,30 @@ namespace vecycle::sim {
 /// Deterministic event loop. Events fire in (time, insertion-sequence)
 /// order, so two events at the same timestamp run in the order they were
 /// scheduled — no implementation-defined tie-breaking.
+///
+/// Concurrency readiness: the event-loop state (heap, clock, sequence
+/// counters) is guarded by `mu_`, today a zero-cost NullMutex. Public
+/// methods acquire it for exactly the state they touch and release it
+/// before running user actions, so re-entrant Schedule() calls from
+/// inside an event remain legal when a real mutex replaces it.
 class Simulator {
  public:
   using Action = std::function<void()>;
 
-  [[nodiscard]] SimTime Now() const { return now_; }
+  [[nodiscard]] SimTime Now() const {
+    common::NullLockGuard lock(mu_);
+    return now_;
+  }
 
   /// Schedules `action` to run `delay` after the current simulated time.
   void Schedule(SimDuration delay, Action action) {
-    ScheduleAt(now_ + delay, std::move(action));
+    ScheduleAt(Now() + delay, std::move(action));
   }
 
   /// Schedules `action` at an absolute simulated time, which must not be in
   /// the simulated past.
   void ScheduleAt(SimTime when, Action action) {
+    common::NullLockGuard lock(mu_);
     VEC_CHECK_MSG(when >= now_, "cannot schedule into the simulated past");
     queue_.push_back(Event{when, next_seq_++, std::move(action)});
     SiftUp(queue_.size() - 1);
@@ -48,25 +59,34 @@ class Simulator {
   /// events, so bursty schedulers (a migration pumping thousands of
   /// batches) do not pay repeated heap-array reallocations.
   void Reserve(std::size_t additional) {
+    common::NullLockGuard lock(mu_);
     queue_.reserve(queue_.size() + additional);
   }
 
   /// Runs one event; returns false if the queue is empty.
   bool Step() {
-    if (queue_.empty()) return false;
-    // The hand-rolled heap pops by move: the action leaves the queue
-    // without the copy (or the shared_ptr indirection) std::priority_queue
-    // would force through its const top().
-    Event ev = PopEarliest();
-    now_ = ev.when;
-    ++executed_;
-    if (auditor_ != nullptr) auditor_->OnEventExecuted(ev.when, ev.seq);
-    if (tracer_ != nullptr && (executed_ & (kTraceSampleStride - 1)) == 0) {
-      // Sampled queue-depth timeline: one counter event per stride keeps
-      // the trace small while still showing event-loop pressure.
-      tracer_->Counter(tracer_track_, tracer_counter_, now_,
-                       static_cast<double>(queue_.size()));
+    Event ev;
+    {
+      common::NullLockGuard lock(mu_);
+      if (queue_.empty()) return false;
+      // The hand-rolled heap pops by move: the action leaves the queue
+      // without the copy (or the shared_ptr indirection)
+      // std::priority_queue would force through its const top().
+      ev = PopEarliest();
+      now_ = ev.when;
+      ++executed_;
+      if (auditor_ != nullptr) auditor_->OnEventExecuted(ev.when, ev.seq);
+      if (tracer_ != nullptr &&
+          (executed_ & (kTraceSampleStride - 1)) == 0) {
+        // Sampled queue-depth timeline: one counter event per stride
+        // keeps the trace small while still showing event-loop pressure.
+        tracer_->Counter(tracer_track_, tracer_counter_, now_,
+                         static_cast<double>(queue_.size()));
+      }
     }
+    // The action runs outside the event-loop capability: actions routinely
+    // schedule follow-up events, and that re-entry must not self-deadlock
+    // once the capability is a real lock.
     ev.action();
     return true;
   }
@@ -75,23 +95,33 @@ class Simulator {
   SimTime Run() {
     while (Step()) {
     }
-    return now_;
+    return Now();
   }
 
   /// Runs until the queue drains or the simulated clock passes `deadline`.
   SimTime RunUntil(SimTime deadline) {
-    while (!queue_.empty() && queue_.front().when <= deadline) {
+    while (HasEventNoLaterThan(deadline)) {
       Step();
     }
+    common::NullLockGuard lock(mu_);
     if (now_ < deadline) now_ = deadline;
     return now_;
   }
 
-  [[nodiscard]] std::size_t PendingEvents() const { return queue_.size(); }
+  [[nodiscard]] std::size_t PendingEvents() const {
+    common::NullLockGuard lock(mu_);
+    return queue_.size();
+  }
   /// Events actually executed so far (not merely scheduled).
-  [[nodiscard]] std::uint64_t ProcessedEvents() const { return executed_; }
+  [[nodiscard]] std::uint64_t ProcessedEvents() const {
+    common::NullLockGuard lock(mu_);
+    return executed_;
+  }
   /// Events ever scheduled, executed or still pending.
-  [[nodiscard]] std::uint64_t ScheduledEvents() const { return next_seq_; }
+  [[nodiscard]] std::uint64_t ScheduledEvents() const {
+    common::NullLockGuard lock(mu_);
+    return next_seq_;
+  }
 
   /// Attaches an audit observer notified of every executed event; pass
   /// nullptr to detach. The caller owns the sink and must detach it (or
@@ -113,8 +143,8 @@ class Simulator {
   /// Heap node. Holds the action inline (std::function moves are cheap and
   /// noexcept), so scheduling allocates nothing beyond the closure itself.
   struct Event {
-    SimTime when;
-    std::uint64_t seq;
+    SimTime when = kSimEpoch;
+    std::uint64_t seq = 0;
     Action action;
   };
 
@@ -123,10 +153,17 @@ class Simulator {
     return a.seq < b.seq;
   }
 
+  /// True when an event is pending at or before `deadline` (RunUntil's
+  /// loop condition, split out so the peek happens under the capability).
+  [[nodiscard]] bool HasEventNoLaterThan(SimTime deadline) const {
+    common::NullLockGuard lock(mu_);
+    return !queue_.empty() && queue_.front().when <= deadline;
+  }
+
   // Binary min-heap over queue_ ordered by (when, seq). Hand-rolled so the
   // root can be moved out on pop and sifts shift a hole instead of
   // swapping (one move per level, not three).
-  void SiftUp(std::size_t index) {
+  void SiftUp(std::size_t index) VEC_REQUIRES(mu_) {
     Event ev = std::move(queue_[index]);
     while (index > 0) {
       const std::size_t parent = (index - 1) / 2;
@@ -137,7 +174,7 @@ class Simulator {
     queue_[index] = std::move(ev);
   }
 
-  void SiftDown(std::size_t index) {
+  void SiftDown(std::size_t index) VEC_REQUIRES(mu_) {
     Event ev = std::move(queue_[index]);
     const std::size_t count = queue_.size();
     while (true) {
@@ -153,7 +190,7 @@ class Simulator {
     queue_[index] = std::move(ev);
   }
 
-  Event PopEarliest() {
+  Event PopEarliest() VEC_REQUIRES(mu_) {
     Event top = std::move(queue_.front());
     if (queue_.size() > 1) {
       queue_.front() = std::move(queue_.back());
@@ -167,14 +204,25 @@ class Simulator {
 
   static constexpr std::uint64_t kTraceSampleStride = 256;
 
-  SimTime now_ = kSimEpoch;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t executed_ = 0;
+  /// Event-loop capability: clock, sequence counters and the heap are one
+  /// consistency domain. Mutable so const accessors (Now, PendingEvents)
+  /// can acquire it.
+  mutable common::NullMutex mu_;
+
+  SimTime now_ VEC_GUARDED_BY(mu_) = kSimEpoch;
+  std::uint64_t next_seq_ VEC_GUARDED_BY(mu_) = 0;
+  std::uint64_t executed_ VEC_GUARDED_BY(mu_) = 0;
+  // Observer wiring happens during single-threaded setup, before any
+  // worker exists; the PDES design keeps it that way (attach, then run).
+  // vecycle-analyze: allow(concurrency-guarded-member) observers are attached before the loop runs and never swapped mid-run
   audit::AuditSink* auditor_ = nullptr;
+  // vecycle-analyze: allow(concurrency-guarded-member) observers are attached before the loop runs and never swapped mid-run
   obs::TraceRecorder* tracer_ = nullptr;
+  // vecycle-analyze: allow(concurrency-guarded-member) observers are attached before the loop runs and never swapped mid-run
   obs::TrackId tracer_track_ = 0;
+  // vecycle-analyze: allow(concurrency-guarded-member) observers are attached before the loop runs and never swapped mid-run
   obs::NameId tracer_counter_ = 0;
-  std::vector<Event> queue_;
+  std::vector<Event> queue_ VEC_GUARDED_BY(mu_);
 };
 
 /// A serialized device: at most one request in service at a time, FIFO.
@@ -191,6 +239,7 @@ class FifoResource {
   };
 
   Booking Reserve(SimTime earliest, SimDuration service) {
+    common::NullLockGuard lock(mu_);
     const SimTime start = std::max(earliest, available_at_);
     const SimTime end = start + service;
     available_at_ = end;
@@ -198,19 +247,29 @@ class FifoResource {
     return Booking{start, end};
   }
 
-  [[nodiscard]] SimTime AvailableAt() const { return available_at_; }
+  [[nodiscard]] SimTime AvailableAt() const {
+    common::NullLockGuard lock(mu_);
+    return available_at_;
+  }
 
   /// Total time this resource spent in service — utilization numerator.
-  [[nodiscard]] SimDuration BusyTime() const { return busy_; }
+  [[nodiscard]] SimDuration BusyTime() const {
+    common::NullLockGuard lock(mu_);
+    return busy_;
+  }
 
   void Reset() {
+    common::NullLockGuard lock(mu_);
     available_at_ = kSimEpoch;
     busy_ = SimDuration::zero();
   }
 
  private:
-  SimTime available_at_ = kSimEpoch;
-  SimDuration busy_ = SimDuration::zero();
+  /// A FIFO resource is exactly the kind of cross-shard contention point
+  /// PDES has to serialize; its booking cursor is one capability.
+  mutable common::NullMutex mu_;
+  SimTime available_at_ VEC_GUARDED_BY(mu_) = kSimEpoch;
+  SimDuration busy_ VEC_GUARDED_BY(mu_) = SimDuration::zero();
 };
 
 }  // namespace vecycle::sim

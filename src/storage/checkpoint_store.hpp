@@ -15,6 +15,7 @@
 
 #include "audit/audit.hpp"
 #include "common/check.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "fault/fault.hpp"
 #include "obs/trace.hpp"
@@ -62,6 +63,7 @@ class CheckpointStore {
   SimTime Save(const VmId& vm, Checkpoint checkpoint, SimTime earliest);
 
   [[nodiscard]] bool Has(const VmId& vm) const {
+    common::NullLockGuard lock(mu_);
     return checkpoints_.contains(vm);
   }
 
@@ -90,13 +92,22 @@ class CheckpointStore {
   /// over the wire instead of trusting the block.
   SimTime ReadBlock(SimTime earliest, bool* read_error = nullptr);
 
-  void Drop(const VmId& vm) { checkpoints_.erase(vm); }
-  [[nodiscard]] std::size_t Size() const { return checkpoints_.size(); }
+  void Drop(const VmId& vm) {
+    common::NullLockGuard lock(mu_);
+    checkpoints_.erase(vm);
+  }
+  [[nodiscard]] std::size_t Size() const {
+    common::NullLockGuard lock(mu_);
+    return checkpoints_.size();
+  }
 
   /// Disk footprint of all retained checkpoints.
   [[nodiscard]] Bytes FootprintOnDisk() const;
 
-  [[nodiscard]] std::uint64_t Evictions() const { return evictions_; }
+  [[nodiscard]] std::uint64_t Evictions() const {
+    common::NullLockGuard lock(mu_);
+    return evictions_;
+  }
   [[nodiscard]] const RetentionPolicy& Policy() const { return policy_; }
 
   /// Attaches an audit observer: every Save and Load then re-verifies the
@@ -124,6 +135,7 @@ class CheckpointStore {
 
   /// True when the injector damaged the stored checkpoint for `vm`.
   [[nodiscard]] bool WasCorrupted(const VmId& vm) const {
+    common::NullLockGuard lock(mu_);
     const auto it = checkpoints_.find(vm);
     return it != checkpoints_.end() && it->second.rotten;
   }
@@ -133,8 +145,14 @@ class CheckpointStore {
  private:
   /// Evicts LRU checkpoints (excluding `keep`) until the policy is
   /// satisfied with `incoming_size` more bytes and one more entry.
-  /// Returns false if that is impossible.
-  bool MakeRoom(const VmId& keep, Bytes incoming_size);
+  /// Returns false if that is impossible. Eviction order is a strict
+  /// (last_used, VmId) total order, so it cannot depend on the map's
+  /// hash iteration order.
+  bool MakeRoom(const VmId& keep, Bytes incoming_size) VEC_REQUIRES(mu_);
+
+  /// FootprintOnDisk for callers already holding the capability
+  /// (MakeRoom's quota test runs inside Save's critical section).
+  [[nodiscard]] Bytes FootprintLocked() const VEC_REQUIRES(mu_);
 
   struct Entry {
     Checkpoint checkpoint;
@@ -142,14 +160,24 @@ class CheckpointStore {
     bool rotten = false;  ///< damaged by the fault injector (deliberate)
   };
 
+  /// Store capability: the checkpoint map and its eviction counter are
+  /// one consistency domain. A host's store is shared by every session
+  /// migrating through that host, which under PDES means every shard.
+  mutable common::NullMutex mu_;
+
   sim::Disk& disk_;
+  // vecycle-analyze: allow(concurrency-guarded-member) written once in the constructor, immutable afterwards
   RetentionPolicy policy_;
+  // vecycle-analyze: allow(concurrency-guarded-member) observers are attached before the simulation runs and never swapped mid-run
   fault::FaultInjector* injector_ = nullptr;
+  // vecycle-analyze: allow(concurrency-guarded-member) observers are attached before the simulation runs and never swapped mid-run
   audit::AuditSink* auditor_ = nullptr;
+  // vecycle-analyze: allow(concurrency-guarded-member) observers are attached before the simulation runs and never swapped mid-run
   obs::TraceRecorder* tracer_ = nullptr;
+  // vecycle-analyze: allow(concurrency-guarded-member) observers are attached before the simulation runs and never swapped mid-run
   obs::TrackId tracer_track_ = 0;
-  std::unordered_map<VmId, Entry> checkpoints_;
-  std::uint64_t evictions_ = 0;
+  std::unordered_map<VmId, Entry> checkpoints_ VEC_GUARDED_BY(mu_);
+  std::uint64_t evictions_ VEC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace vecycle::storage

@@ -29,10 +29,17 @@ std::uint64_t FreshSeed(Xoshiro256& rng) {
 
 }  // namespace
 
+void IdleWorkload::Config::Validate() const {
+  VEC_CHECK_MSG(std::isfinite(write_rate_pages_per_s) &&
+                    write_rate_pages_per_s >= 0.0,
+                "idle write_rate_pages_per_s must be finite and >= 0");
+  VEC_CHECK_MSG(hot_region_pages > 0,
+                "idle hot_region_pages must be positive");
+}
+
 IdleWorkload::IdleWorkload(Config config)
     : config_(config), rng_(config.seed) {
-  VEC_CHECK(config_.write_rate_pages_per_s >= 0.0);
-  VEC_CHECK(config_.hot_region_pages > 0);
+  config_.Validate();
 }
 
 void IdleWorkload::Advance(GuestMemory& memory, SimDuration dt) {
@@ -58,14 +65,19 @@ void UniformRandomWorkload::Advance(GuestMemory& memory, SimDuration dt) {
   }
 }
 
+void HotspotWorkload::Config::Validate() const {
+  VEC_CHECK_MSG(std::isfinite(write_rate_pages_per_s) &&
+                    write_rate_pages_per_s >= 0.0,
+                "hotspot write_rate_pages_per_s must be finite and >= 0");
+  VEC_CHECK_MSG(hot_fraction > 0.0 && hot_fraction <= 1.0,
+                "hot_fraction must be in (0, 1]");
+  VEC_CHECK_MSG(hot_probability >= 0.0 && hot_probability <= 1.0,
+                "hot_probability must be in [0, 1]");
+}
+
 HotspotWorkload::HotspotWorkload(Config config)
     : config_(config), rng_(config.seed) {
-  VEC_CHECK(config_.write_rate_pages_per_s >= 0.0);
-  VEC_CHECK_MSG(config_.hot_fraction > 0.0 && config_.hot_fraction <= 1.0,
-                "hot_fraction must be in (0, 1]");
-  VEC_CHECK_MSG(
-      config_.hot_probability >= 0.0 && config_.hot_probability <= 1.0,
-      "hot_probability must be in [0, 1]");
+  config_.Validate();
 }
 
 void HotspotWorkload::Advance(GuestMemory& memory, SimDuration dt) {

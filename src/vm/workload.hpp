@@ -41,6 +41,11 @@ class IdleWorkload : public Workload {
     /// syslog, timers) — rewrites of the same region don't compound.
     std::uint64_t hot_region_pages = 2048;
     std::uint64_t seed = 1;
+
+    /// Rejects rates and regions no idle guest can have (negative or
+    /// non-finite write rate, an empty hot region). Any seed is legal.
+    /// Called by the IdleWorkload constructor.
+    void Validate() const;
   };
 
   explicit IdleWorkload(Config config);
@@ -75,6 +80,12 @@ class HotspotWorkload : public Workload {
     double hot_fraction = 0.1;    ///< fraction of RAM that is hot
     double hot_probability = 0.9; ///< probability a write lands in it
     std::uint64_t seed = 1;
+
+    /// Rejects skew parameters outside their domains: the write rate
+    /// must be finite and non-negative, hot_fraction in (0, 1] and
+    /// hot_probability in [0, 1]. Any seed is legal. Called by the
+    /// HotspotWorkload constructor.
+    void Validate() const;
   };
 
   explicit HotspotWorkload(Config config);

@@ -1,0 +1,44 @@
+// Known-bad fixture: every banned wall-clock / entropy construct, one per
+// line, so run_fixture_checks.py can assert determinism-wall-clock fires
+// at each site. Never compiled — analyzer input only.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+long UsesSystemClock() {
+  auto t = std::chrono::system_clock::now();  // EXPECT determinism-wall-clock
+  return t.time_since_epoch().count();
+}
+
+long UsesSteadyClock() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT determinism-wall-clock
+  return t.time_since_epoch().count();
+}
+
+long UsesHighResolutionClock() {
+  auto t = std::chrono::high_resolution_clock::now();  // EXPECT determinism-wall-clock
+  return t.time_since_epoch().count();
+}
+
+int UsesRand() {
+  return std::rand();  // EXPECT determinism-wall-clock
+}
+
+unsigned UsesRandomDevice() {
+  std::random_device rd;  // EXPECT determinism-wall-clock
+  return rd();
+}
+
+long UsesTime() {
+  return time(nullptr);  // EXPECT determinism-wall-clock
+}
+
+// The string below must NOT fire: literals are blanked before matching.
+const char* kDocString = "call std::rand() and time(NULL) at your peril";
+
+// Comments must NOT fire either: std::random_device, steady_clock.
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// Known-bad fixture for the config-hygiene rules. Never compiled.
+#pragma once
+#include <cstdint>
+
+namespace fixture {
+
+// No Validate() at all.
+struct OrphanConfig {  // EXPECT config-validate-required
+  double rate = 1.0;
+  std::uint64_t pages = 64;
+};
+
+// Validate() exists but forgets a field.
+struct ForgetfulConfig {
+  double checked_rate = 1.0;
+  std::uint64_t forgotten_pages = 64;  // EXPECT config-field-validated
+  bool flag = false;            // bools are exempt
+  std::uint64_t seed = 1;       // seeds are exempt
+  int* wiring = nullptr;        // pointers are exempt
+
+  void Validate() const {
+    if (checked_rate < 0.0) throw "bad rate";
+  }
+};
+
+// A field accounted for by a comment inside Validate() is fine.
+struct DocumentedConfig {
+  std::uint64_t retries = 3;
+
+  void Validate() const {
+    // retries: every value is legal; zero means fail fast.
+  }
+};
+
+// Nested Config resolved through its out-of-line Outer::Config::Validate
+// definition in good_config_impl.cpp.
+class Outer {
+ public:
+  struct Config {
+    double window = 0.5;
+    void Validate() const;
+  };
+};
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Known-bad fixture for suppression hygiene. Never compiled.
+#include <unordered_set>
+
+namespace fixture {
+
+std::unordered_set<int> hygiene_pages;
+
+int UnknownRule() {
+  int sum = 0;
+  // vecycle-analyze: allow(no-such-rule) this rule name does not exist
+  for (const auto& p : hygiene_pages) {  // EXPECT determinism-unordered-iteration
+    sum += p;
+  }
+  return sum;
+}
+
+int MissingReason() {
+  int sum = 0;
+  // vecycle-analyze: allow(determinism-unordered-iteration)
+  for (const auto& p : hygiene_pages) {
+    sum += p;
+  }
+  return sum;
+}
+
+// vecycle-analyze: allow(determinism-unordered-iteration) nothing on the next line iterates anything
+int UnusedSuppression() { return 0; }
+
+int Malformed() {
+  // vecycle-analyze: alow(determinism-unordered-iteration) typo in 'allow'
+  return 0;
+}
+
+}  // namespace fixture

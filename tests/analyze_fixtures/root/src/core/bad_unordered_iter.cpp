@@ -1,0 +1,54 @@
+// Known-bad fixture: hash-ordered iteration in a replay-sensitive
+// directory, both spellings (range-for and explicit .begin() walk), plus
+// cases that must NOT fire (ordered containers, point lookups, and a
+// properly suppressed loop). Never compiled — analyzer input only.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+std::unordered_map<int, std::string> page_table;
+std::unordered_set<int> dirty_pages;
+std::map<int, std::string> ordered_table;
+
+int RangeForOverUnorderedMap() {
+  int sum = 0;
+  for (const auto& [page, contents] : page_table) {  // EXPECT determinism-unordered-iteration
+    sum += page;
+  }
+  return sum;
+}
+
+int BeginWalkOverUnorderedSet() {
+  int sum = 0;
+  for (auto it = dirty_pages.begin(); it != dirty_pages.end(); ++it) {  // EXPECT determinism-unordered-iteration
+    sum += *it;
+  }
+  return sum;
+}
+
+int RangeForOverOrderedMapIsFine() {
+  int sum = 0;
+  for (const auto& [page, contents] : ordered_table) {
+    sum += page;
+  }
+  return sum;
+}
+
+bool PointLookupIsFine(int page) {
+  return page_table.find(page) != page_table.end() &&
+         dirty_pages.count(page) > 0;
+}
+
+int SuppressedCommutativeSum() {
+  int sum = 0;
+  // vecycle-analyze: allow(determinism-unordered-iteration) commutative integer sum; order cannot reach the result
+  for (const auto& page : dirty_pages) {
+    sum += page;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Out-of-line Validate() for the nested fixture config: proves the
+// analyzer resolves Outer::Config::Validate across files and searches its
+// body (including comments) for field mentions. Never compiled.
+#include "core/bad_config.hpp"
+
+namespace fixture {
+
+void Outer::Config::Validate() const {
+  if (window <= 0.0 || window > 1.0) throw "window must be in (0, 1]";
+}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// Known-bad fixture for the concurrency rules. Never compiled.
+//
+// `Simulator` is on the required-annotations list but carries no
+// VEC_GUARDED_BY members; `HalfGuarded` has one guarded member and one
+// bare one; `FullyGuarded` shows the accepted shapes (guarded, mutex,
+// const, reference, static, suppressed).
+#pragma once
+
+#define VEC_GUARDED_BY(x)  // fixture stand-in for thread_annotations.hpp
+
+namespace fixture {
+
+class NullMutex {};
+
+class Simulator {  // EXPECT concurrency-annotation-required
+ public:
+  long Now() const { return now_; }
+
+ private:
+  long now_ = 0;
+};
+
+class HalfGuarded {
+ private:
+  NullMutex mu_;
+  long guarded_ VEC_GUARDED_BY(mu_) = 0;
+  long bare_ = 0;  // EXPECT concurrency-guarded-member
+};
+
+class Observer;
+
+class FullyGuarded {
+ private:
+  NullMutex mu_;
+  long guarded_ VEC_GUARDED_BY(mu_) = 0;
+  const long limit_ = 10;
+  Observer& wiring_;
+  static constexpr long kStep = 1;
+  // vecycle-analyze: allow(concurrency-guarded-member) written once before the loop starts, read-only afterwards
+  Observer* observer_ = nullptr;
+};
+
+}  // namespace fixture

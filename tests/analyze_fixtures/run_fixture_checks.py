@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Regression harness for the vecycle-analyze rule set.
+
+Runs the analyzer over the known-good/known-bad corpus in root/ and
+asserts the finding set matches expectations EXACTLY:
+
+  * every `// EXPECT <rule>` marker in a fixture must produce a finding of
+    that rule on that line (rules fire where they should),
+  * the suppression-hygiene expectations listed below must appear
+    (malformed/unknown/missing-reason/unused suppressions are caught),
+  * nothing else may fire (the good shapes — ordered containers, point
+    lookups, suppressed loops, documented fields, exempt members — stay
+    clean).
+
+Any drift in either direction fails the test, so a rule that silently
+stops firing is as loud as one that starts over-reporting. Wired into
+ctest as `analyze_fixtures` (tests/CMakeLists.txt) and run in CI's
+static-analysis job.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+FIXTURE_ROOT = HERE / "root"
+ANALYZER = REPO / "tools" / "vecycle_analyze"
+
+EXPECT_RE = re.compile(r"//\s*EXPECT\s+([A-Za-z0-9_-]+)")
+
+# Hygiene findings land on the suppression comment itself, where an EXPECT
+# marker would corrupt the reason text; locate them by unique substring.
+HYGIENE_EXPECTATIONS = [
+    ("src/core/bad_suppression.cpp", "allow(no-such-rule)"),
+    ("src/core/bad_suppression.cpp",
+     "allow(determinism-unordered-iteration)\n"),  # reason-less (line end)
+    ("src/core/bad_suppression.cpp", "nothing on the next line iterates"),
+    ("src/core/bad_suppression.cpp", "alow("),
+]
+
+
+def collect_expected() -> set[tuple[str, int, str]]:
+    expected: set[tuple[str, int, str]] = set()
+    for path in sorted(FIXTURE_ROOT.rglob("*")):
+        if path.suffix not in (".cpp", ".hpp", ".h", ".cc"):
+            continue
+        rel = path.relative_to(FIXTURE_ROOT).as_posix()
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            m = EXPECT_RE.search(line)
+            if m:
+                expected.add((rel, lineno, m.group(1)))
+    for rel, needle in HYGIENE_EXPECTATIONS:
+        text = (FIXTURE_ROOT / rel).read_text()
+        if needle.endswith("\n"):
+            # Match a reason-less suppression: the allow() is the line end.
+            target = needle[:-1]
+            lines = [
+                i
+                for i, line in enumerate(text.splitlines(), 1)
+                if line.rstrip().endswith(target)
+            ]
+        else:
+            lines = [
+                i
+                for i, line in enumerate(text.splitlines(), 1)
+                if needle in line
+            ]
+        if len(lines) != 1:
+            print(
+                f"FIXTURE BUG: locator '{needle}' matches lines {lines} "
+                f"in {rel}; expected exactly one",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        expected.add((rel, lines[0], "suppression-hygiene"))
+    return expected
+
+
+def main() -> int:
+    expected = collect_expected()
+    if not expected:
+        print("FIXTURE BUG: no EXPECT markers found", file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_json = Path(tmp) / "findings.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(ANALYZER),
+                "--root",
+                str(FIXTURE_ROOT),
+                "--backend",
+                "lexical",
+                "--json",
+                str(out_json),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 1:
+            print(
+                f"FAIL: analyzer exited {proc.returncode} on a corpus full "
+                f"of violations (expected 1)\nstdout:\n{proc.stdout}\n"
+                f"stderr:\n{proc.stderr}",
+                file=sys.stderr,
+            )
+            return 1
+        report = json.loads(out_json.read_text())
+
+    actual = {
+        (f["path"], f["line"], f["rule"]) for f in report["findings"]
+    }
+
+    missing = expected - actual
+    unexpected = actual - expected
+    for path, line, rule in sorted(missing):
+        print(f"FAIL: rule '{rule}' did not fire at {path}:{line}")
+    for path, line, rule in sorted(unexpected):
+        print(f"FAIL: unexpected '{rule}' finding at {path}:{line}")
+    if missing or unexpected:
+        print(
+            f"\n{len(missing)} missing, {len(unexpected)} unexpected "
+            f"(of {len(expected)} expected findings)",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(
+        f"PASS: all {len(expected)} expected findings fired, nothing "
+        "else did, suppressions behaved"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

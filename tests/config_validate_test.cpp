@@ -14,10 +14,12 @@
 #include "migration/config.hpp"
 #include "migration/engine.hpp"
 #include "migration/postcopy.hpp"
+#include "core/scheduler.hpp"
 #include "sim/checksum_engine.hpp"
 #include "sim/disk.hpp"
 #include "sim/link.hpp"
 #include "storage/checkpoint_store.hpp"
+#include "vm/workload.hpp"
 
 namespace vecycle {
 namespace {
@@ -244,6 +246,74 @@ TEST(PostCopyConfigValidate, RejectsEachInvalidFieldDistinctly) {
       "switchover_state must be positive"));
   ExpectDistinct(messages);
   EXPECT_NO_THROW(PostCopyConfig{}.Validate());
+}
+
+TEST(SchedulerConfigValidate, RejectsNegativeBackoff) {
+  using core::SchedulerConfig;
+  RejectionMessage<SchedulerConfig>(
+      [](auto& c) { c.retry_backoff = Seconds(-1.0); },
+      "retry_backoff must be non-negative");
+  EXPECT_NO_THROW(SchedulerConfig{}.Validate());
+  // Documented-unconstrained fields really do accept every value.
+  SchedulerConfig zeros;
+  zeros.max_outgoing_per_host = 0;
+  zeros.max_incoming_per_host = 0;
+  zeros.max_attempts = 0;
+  EXPECT_NO_THROW(zeros.Validate());
+}
+
+TEST(CompressionConfigValidate, RejectsEachInvalidFieldDistinctly) {
+  using migration::CompressionConfig;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<CompressionConfig>(
+      [](auto& c) { c.mean_ratio = 0.0; }, "mean_ratio"));
+  messages.push_back(RejectionMessage<CompressionConfig>(
+      [](auto& c) { c.ratio_jitter = -0.1; }, "ratio_jitter"));
+  messages.push_back(RejectionMessage<CompressionConfig>(
+      [](auto& c) { c.compress_rate = MiBPerSecond(0.0); },
+      "compress_rate"));
+  messages.push_back(RejectionMessage<CompressionConfig>(
+      [](auto& c) { c.decompress_rate = MiBPerSecond(0.0); },
+      "decompress_rate"));
+  ExpectDistinct(messages);
+  EXPECT_NO_THROW(CompressionConfig{}.Validate());
+}
+
+TEST(CompressionConfigValidate, CheckedEvenWhenDisabled) {
+  // The header promises a latent bad config fails at Validate time, not
+  // on the day compression is switched on.
+  migration::CompressionConfig config;
+  config.enabled = false;
+  config.mean_ratio = 2.0;
+  EXPECT_THROW(config.Validate(), CheckFailure);
+}
+
+TEST(WorkloadConfigValidate, IdleRejectsImpossibleRatesAndRegions) {
+  using vm::IdleWorkload;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<IdleWorkload::Config>(
+      [](auto& c) { c.write_rate_pages_per_s = -1.0; },
+      "idle write_rate_pages_per_s"));
+  messages.push_back(RejectionMessage<IdleWorkload::Config>(
+      [](auto& c) { c.hot_region_pages = 0; }, "idle hot_region_pages"));
+  ExpectDistinct(messages);
+  EXPECT_NO_THROW(IdleWorkload::Config{}.Validate());
+  EXPECT_THROW(IdleWorkload({.hot_region_pages = 0}), CheckFailure);
+}
+
+TEST(WorkloadConfigValidate, HotspotRejectsOutOfDomainSkew) {
+  using vm::HotspotWorkload;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<HotspotWorkload::Config>(
+      [](auto& c) { c.write_rate_pages_per_s = -1.0; },
+      "hotspot write_rate_pages_per_s"));
+  messages.push_back(RejectionMessage<HotspotWorkload::Config>(
+      [](auto& c) { c.hot_fraction = 0.0; }, "hot_fraction"));
+  messages.push_back(RejectionMessage<HotspotWorkload::Config>(
+      [](auto& c) { c.hot_probability = 1.5; }, "hot_probability"));
+  ExpectDistinct(messages);
+  EXPECT_NO_THROW(HotspotWorkload::Config{}.Validate());
+  EXPECT_THROW(HotspotWorkload({.hot_fraction = -0.5}), CheckFailure);
 }
 
 // The diagnostics must stay distinct ACROSS config types too: a log line

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "audit/replay.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/cluster.hpp"
@@ -167,6 +168,48 @@ TEST(SerialEquivalence, BackToBackVmsMatchSynchronousEngine) {
               scheduled_stats[static_cast<std::size_t>(i)])
         << "vm " << i;
   }
+}
+
+// --- Determinism: per-host slot accounting is replay-ordered. ---
+
+/// An 8-VM fleet drained through tight per-host admission caps, as a
+/// ReplayCheck scenario. The slot accounting behind admission
+/// (outgoing_/incoming_) is deliberately an ordered std::map keyed by
+/// HostId: were it hash-ordered, admission sequence — and with it every
+/// completion time below — could silently depend on bucket layout. The
+/// fingerprint folds in each completion's id, timing and bytes, so any
+/// admission reordering between the two runs diverges loudly.
+std::uint64_t CappedFleetScenario(audit::SimAuditor& auditor) {
+  TriangleWorld world;
+  SchedulerConfig config;
+  config.max_outgoing_per_host = 1;  // tight caps force the admission
+  config.max_incoming_per_host = 1;  // loop through the per-host maps
+  config.auditor = &auditor;
+  MigrationScheduler scheduler(world.cluster, config);
+
+  std::vector<std::unique_ptr<VmInstance>> vms;
+  const char* placements[] = {"A", "A", "A", "B", "B", "B", "C", "C"};
+  const char* destinations[] = {"B", "B", "C", "C", "C", "A", "A", "B"};
+  for (int i = 0; i < 8; ++i) {
+    vms.push_back(MakeVm("vm-" + std::to_string(i), MiB(8), 200 + i));
+    vms.back()->SetCurrentHost(placements[i]);
+    scheduler.Submit(*vms.back(), destinations[i], FullConfig());
+  }
+  scheduler.Drain();
+
+  std::uint64_t fp = 0;
+  for (const auto& completion : scheduler.Completions()) {
+    fp = fp * 1099511628211ull ^ completion.id;
+    fp = fp * 1099511628211ull ^
+         static_cast<std::uint64_t>(completion.completed_at.count());
+    fp = fp * 1099511628211ull ^ completion.stats.tx_bytes.count;
+  }
+  return fp;
+}
+
+TEST(SchedulerDeterminism, CappedFleetReplaysBitForBit) {
+  EXPECT_NO_THROW(audit::ReplayCheck::Verify(
+      [](audit::SimAuditor& auditor) { return CappedFleetScenario(auditor); }));
 }
 
 // --- Overlap, contention, conservation. ---

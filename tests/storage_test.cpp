@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "audit/replay.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "storage/checkpoint.hpp"
@@ -273,6 +274,42 @@ TEST(Retention, OversizedCheckpointIsDiscarded) {
              Seconds(0));
   EXPECT_FALSE(store.Has("big"));
   EXPECT_EQ(store.Evictions(), 1u);
+}
+
+/// A store under a tight quota with interleaved saves and recency
+/// touches, as a ReplayCheck scenario. Victim selection iterates the
+/// hash-keyed checkpoint map; it must follow the documented strict
+/// (last_used, VmId) total order, never the hash table's bucket order.
+/// The fingerprint folds in the eviction count, the survivor set, and
+/// the final footprint, so a victim chosen differently in either run —
+/// or between this pinned expectation and a future refactor — diverges.
+std::uint64_t EvictionStormScenario(audit::SimAuditor& auditor) {
+  sim::Disk disk(sim::DiskConfig::Hdd());
+  RetentionPolicy policy;
+  policy.disk_quota = MiB(12);
+  CheckpointStore store(disk, policy);
+  store.SetAuditor(&auditor);
+  SimTime at = kSimEpoch;
+  for (int round = 0; round < 3; ++round) {
+    for (const char* vm : {"a", "b", "c", "d", "e"}) {
+      at = store.Save(vm, Checkpoint::CaptureFrom(MakeMemory(MiB(4))), at);
+      // Refresh an older entry's recency between saves so the LRU order
+      // keeps churning while evictions fire.
+      if (vm[0] != 'a' && store.Has("a")) {
+        at = store.Load("a", at).ready_at;
+      }
+    }
+  }
+  std::uint64_t fp = store.Evictions();
+  for (const char* vm : {"a", "b", "c", "d", "e"}) {
+    fp = fp * 1099511628211ull ^
+         (store.Has(vm) ? 0x9e3779b9ull : 0x7f4a7c15ull);
+  }
+  return fp * 1099511628211ull ^ store.FootprintOnDisk().count;
+}
+
+TEST(RetentionDeterminism, EvictionStormReplaysBitForBit) {
+  EXPECT_NO_THROW(audit::ReplayCheck::Verify(EvictionStormScenario));
 }
 
 TEST(Retention, UnlimitedByDefault) {

@@ -94,8 +94,12 @@ def main():
     for name in sorted(cmake_opts - doc_vars.keys()):
         errors.append(f"CMake option {name} is defined but never documented")
 
-    # 3. tools/ scripts, both directions.
+    # 3. tools/ scripts, both directions. A directory with a __main__.py
+    # is one tool (run as `python3 tools/<name>`); its internal modules
+    # are implementation detail and need no individual doc mentions.
     tool_files = {p.name for p in (REPO / "tools").iterdir() if p.is_file()}
+    tool_files |= {p.name for p in (REPO / "tools").iterdir()
+                   if p.is_dir() and (p / "__main__.py").is_file()}
     doc_tool_refs = {}  # name -> first doc mentioning it
     for path, text in docs.items():
         for name in TOOL_REF_RE.findall(text):

@@ -11,6 +11,10 @@
 #      clause failed, so a message is mandatory.
 #   5. Every public Validate() is exercised by a test that checks
 #      CheckFailure behaviour.
+#   6. tools/vecycle_analyze reports zero findings: determinism (no wall
+#      clocks, no hash-ordered iteration), config hygiene (Validate()
+#      coverage), concurrency readiness (thread-safety annotations). See
+#      docs/analysis-tooling.md.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -85,6 +89,13 @@ for type in ${validate_types}; do
     fail "no test exercises CheckFailure for ${type}::Validate() (rule 5)"
   fi
 done
+
+# --- Rule 6: the project-specific static analyzer is clean. -----------
+# Uses build/compile_commands.json when present, git ls-files otherwise,
+# so the rule works before the first configure.
+if ! python3 tools/vecycle_analyze; then
+  fail "vecycle-analyze findings (rule 6) — see docs/analysis-tooling.md"
+fi
 
 if [ "${failures}" -gt 0 ]; then
   echo "lint: ${failures} rule(s) failed" >&2

@@ -1,0 +1,40 @@
+"""vecycle-analyze: project-specific determinism & concurrency static analysis.
+
+VeCycle's value proposition rests on bit-exact checkpoint recycling: every
+simulation must replay identically, and the planned parallel-DES work will
+multiply the ways ordering bugs can creep in. ReplayCheck (src/audit) catches
+nondeterminism only *after* it ships; this tool proves three invariant
+families at lint time, before any code runs:
+
+  determinism   — replay-sensitive code must not read wall clocks or
+                  unseeded entropy, and must not iterate hash-ordered
+                  containers unless the loop is provably order-insensitive.
+  config        — every `*Config` struct declares `Validate()`, and every
+                  constrainable field is accounted for in its Validate body
+                  (checked, or documented there as unconstrained).
+  concurrency   — state that the PDES sharding will share (simulator event
+                  loop, scheduler admission state, checkpoint stores) must
+                  carry Clang Thread Safety annotations (VEC_GUARDED_BY et
+                  al. from src/common/thread_annotations.hpp).
+
+Findings are suppressed inline, one rule at a time, with a mandatory reason:
+
+    // vecycle-analyze: allow(<rule>) <reason>
+
+on the offending line or on its own line directly above. Suppressions
+without a reason, for unknown rules, or that no longer suppress anything
+are themselves findings (suppression hygiene).
+
+The analyzer is driven by the build's compile_commands.json when present
+(file discovery stays in lockstep with what actually compiles) and falls
+back to `git ls-files`. It prefers a libclang AST backend when the Python
+bindings are installed, and ships a self-contained lexical backend — used
+automatically otherwise — so the gate runs in environments without
+libclang (like CI runners before LLVM is installed, or this container).
+
+Run:  python3 tools/vecycle_analyze [--json out.json] [-p build]
+Docs: docs/analysis-tooling.md (rule catalog, suppression syntax, how to
+add a rule).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,152 @@
+"""CLI for vecycle-analyze.
+
+    python3 tools/vecycle_analyze [options]
+
+Exit status: 0 when the project is clean, 1 when there are findings,
+2 on usage errors. See docs/analysis-tooling.md for the rule catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    # Invoked as `python3 tools/vecycle_analyze`: the directory itself is on
+    # sys.path but the package is not importable. Fix up and re-import so
+    # relative imports inside the package work either way.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    __package__ = "vecycle_analyze"
+
+from vecycle_analyze import __version__, engine, clang_backend
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="vecycle-analyze",
+        description=(
+            "Determinism, config-hygiene and concurrency-readiness static "
+            "analysis for the VeCycle codebase."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root (default: parent of this tool's directory)",
+    )
+    parser.add_argument(
+        "-p",
+        "--build-dir",
+        type=Path,
+        default=None,
+        help=(
+            "build directory holding compile_commands.json; default: "
+            "<root>/build when it exists"
+        ),
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="R1,R2",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write findings as JSON (machine-readable, CI artifact)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "lexical"),
+        default="auto",
+        help=(
+            "'auto' refines findings through libclang when the bindings are "
+            "installed; 'lexical' forces the self-contained engine"
+        ),
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="restrict analysis to these repo-relative files",
+    )
+    args = parser.parse_args(argv)
+
+    root = args.root or Path(__file__).resolve().parent.parent.parent
+    build_dir = args.build_dir
+    if build_dir is None and (root / "build").is_dir():
+        build_dir = root / "build"
+
+    # Import rules for registration before answering --list-rules.
+    from vecycle_analyze import rules as _rules  # noqa: F401
+
+    catalog = engine.registered_rules()
+    catalog["suppression-hygiene"] = (
+        "Suppression comments must be well-formed, name a real rule, carry "
+        "a reason, and actually suppress something.",
+        None,
+    )
+    if args.list_rules:
+        for name in sorted(catalog):
+            print(f"{name}\n    {catalog[name][0]}")
+        return 0
+
+    only_rules = None
+    if args.rules:
+        only_rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = only_rules - set(catalog)
+        if unknown:
+            print(
+                f"vecycle-analyze: unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    rel_paths = list(args.files) if args.files else None
+    findings = engine.run(
+        root, build_dir=build_dir, only_rules=only_rules, rel_paths=rel_paths
+    )
+    backend = "lexical"
+    if args.backend == "auto" and clang_backend.probe():
+        findings = clang_backend.refine_findings(findings, root, build_dir)
+        backend = "libclang"
+
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+
+    summary = {
+        "version": __version__,
+        "backend": backend,
+        "root": str(root),
+        "rules": sorted(only_rules) if only_rules else sorted(catalog),
+        "finding_count": len(findings),
+        "findings": [f.to_json() for f in findings],
+    }
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(summary, indent=2) + "\n")
+
+    if findings:
+        print(
+            f"\nvecycle-analyze: {len(findings)} finding(s) "
+            f"[{backend} backend]. Fix, or suppress with\n"
+            "  // vecycle-analyze: allow(<rule>) <reason>\n"
+            "See docs/analysis-tooling.md.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"vecycle-analyze: clean [{backend} backend]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

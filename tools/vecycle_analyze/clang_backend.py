@@ -1,0 +1,141 @@
+"""Optional libclang AST backend.
+
+The lexical engine in engine.py/rules.py is self-contained and is what the
+CI gate runs; it is deliberately conservative (identifier-level container
+tracking, regex-level clock detection). When the Python clang bindings and
+a loadable libclang are present, this module upgrades precision for the
+determinism-unordered-iteration rule: each finding is re-checked against
+the AST, and findings whose iterated expression's canonical type is not an
+unordered associative container are dropped as lexical false positives.
+
+The backend is strictly subtractive — it can only remove findings, never
+add them — so environments with and without libclang agree on "clean"
+unless the lexical pass over-reported, which is exactly the case the AST
+pass exists to fix. `probe()` reports availability; everything degrades to
+a no-op when the bindings are missing (this container, fresh CI runners).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+try:  # pragma: no cover - exercised only where libclang is installed
+    from clang import cindex as _cindex
+
+    try:
+        _cindex.Index.create()
+        _AVAILABLE = True
+    except Exception:
+        _cindex = None
+        _AVAILABLE = False
+except ImportError:
+    _cindex = None
+    _AVAILABLE = False
+
+_UNORDERED_TYPES = (
+    "std::unordered_map",
+    "std::unordered_set",
+    "std::unordered_multimap",
+    "std::unordered_multiset",
+)
+
+
+def probe() -> bool:
+    """True when the libclang bindings import and a library loads."""
+    return _AVAILABLE
+
+
+def _compile_args(build_dir: Path | None, rel_path: str) -> list[str]:
+    if build_dir is None:
+        return ["-std=c++20"]
+    ccj = build_dir / "compile_commands.json"
+    if not ccj.is_file():
+        return ["-std=c++20"]
+    try:
+        for entry in json.loads(ccj.read_text()):
+            if entry.get("file", "").endswith(rel_path):
+                args = entry.get("arguments") or entry.get("command", "").split()
+                # Drop the compiler, the input file, and output options.
+                out, skip = [], False
+                for a in args[1:]:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in ("-o", "-c"):
+                        skip = a == "-o"
+                        continue
+                    if a.endswith(rel_path):
+                        continue
+                    out.append(a)
+                return out
+    except (json.JSONDecodeError, OSError):
+        pass
+    return ["-std=c++20"]
+
+
+def _iterated_unordered_lines(root: Path, rel_path: str,
+                              build_dir: Path | None) -> set[int] | None:
+    """Lines in `rel_path` where the AST shows iteration over an unordered
+    container; None when parsing failed (keep lexical findings then)."""
+    if not _AVAILABLE:
+        return None
+    index = _cindex.Index.create()
+    try:
+        tu = index.parse(
+            str(root / rel_path), args=_compile_args(build_dir, rel_path)
+        )
+    except Exception:
+        return None
+    lines: set[int] = set()
+
+    def canonical(node) -> str:
+        try:
+            return node.type.get_canonical().spelling
+        except Exception:
+            return ""
+
+    def visit(node):
+        kind = node.kind
+        if kind == _cindex.CursorKind.CXX_FOR_RANGE_STMT:
+            children = list(node.get_children())
+            if children:
+                spelled = canonical(children[-2] if len(children) > 1 else children[0])
+                if any(t in spelled for t in _UNORDERED_TYPES):
+                    lines.add(node.location.line)
+        elif kind == _cindex.CursorKind.CALL_EXPR and node.spelling in (
+            "begin", "cbegin"
+        ):
+            for child in node.get_children():
+                if any(t in canonical(child) for t in _UNORDERED_TYPES):
+                    lines.add(node.location.line)
+                    break
+        for child in node.get_children():
+            if child.location.file and child.location.file.name.endswith(
+                rel_path
+            ):
+                visit(child)
+
+    visit(tu.cursor)
+    return lines
+
+
+def refine_findings(findings, root: Path, build_dir: Path | None):
+    """Drops determinism-unordered-iteration findings the AST disproves.
+    Returns findings unchanged when libclang is unavailable."""
+    if not _AVAILABLE:
+        return findings
+    confirmed_cache: dict[str, set[int] | None] = {}
+    kept = []
+    for f in findings:
+        if f.rule != "determinism-unordered-iteration":
+            kept.append(f)
+            continue
+        if f.path not in confirmed_cache:
+            confirmed_cache[f.path] = _iterated_unordered_lines(
+                root, f.path, build_dir
+            )
+        lines = confirmed_cache[f.path]
+        if lines is None or f.line in lines:
+            kept.append(f)
+    return kept

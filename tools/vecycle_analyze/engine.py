@@ -1,0 +1,348 @@
+"""Core analysis engine: file loading, lexing, suppressions, rule driver.
+
+The engine owns everything rule-independent:
+
+  * translation-unit discovery (compile_commands.json, else git ls-files),
+  * a lexical pass that blanks comments and string/char literals while
+    preserving line structure, so rules can regex over *code* without
+    tripping on prose (`CodeView`),
+  * inline suppression parsing and bookkeeping (unused suppressions are
+    reported, reasons are mandatory),
+  * the rule registry and the run loop that feeds every file to every
+    rule and collects findings.
+
+Rules live in rules.py and see a `SourceFile` (raw + code views) plus an
+`AnalysisContext` with cross-file facts (e.g. which identifiers were
+declared with unordered containers anywhere in the project).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+import subprocess
+from pathlib import Path
+from typing import Callable, Iterable
+
+SUPPRESS_RE = re.compile(
+    r"//\s*vecycle-analyze:\s*allow\(\s*([A-Za-z0-9_-]*)\s*\)\s*(.*)$"
+)
+# Anything that *looks* like an attempt at a suppression comment, so typos
+# (`Allow`, missing parens, wrong tool name spelled close enough) surface as
+# hygiene findings instead of silently not suppressing.
+SUPPRESS_ATTEMPT_RE = re.compile(r"//\s*vecycle-analyze\b")
+
+
+@dataclasses.dataclass
+class Suppression:
+    """One `// vecycle-analyze: allow(<rule>) <reason>` comment."""
+
+    rule: str
+    reason: str
+    line: int  # 1-based line the comment sits on
+    applies_to: int  # 1-based line it suppresses (same line or next code line)
+    used: bool = False
+
+
+@dataclasses.dataclass
+class Finding:
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule)
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Returns `text` with comments and string/char literal *contents*
+    replaced by spaces. Newlines are preserved so line numbers line up
+    with the raw file. Handles //, /* */, "..." with escapes, '...' with
+    escapes, and R"delim(...)delim" raw strings.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c == "R" and nxt == '"' and (i == 0 or not text[i - 1].isalnum() and text[i - 1] != "_"):
+            m = re.match(r'R"([^()\\ \t\n]*)\(', text[i:])
+            if m:
+                closer = ")" + m.group(1) + '"'
+                j = text.find(closer, i + m.end())
+                j = n if j == -1 else j + len(closer)
+                out.append(
+                    "".join(ch if ch == "\n" else " " for ch in text[i:j])
+                )
+                i = j
+            else:
+                out.append(c)
+                i += 1
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            # Keep the quotes themselves so regexes can still see "a string
+            # was here"; blank the contents.
+            body = "".join(ch if ch == "\n" else " " for ch in text[i + 1 : j - 1])
+            out.append(quote + body + (quote if j <= n and j - 1 < n else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    """One C++ file with raw and comment/string-stripped views."""
+
+    def __init__(self, root: Path, rel_path: str, text: str):
+        self.root = root
+        self.path = rel_path  # repo-relative, forward slashes
+        self.raw = text
+        self.raw_lines = text.splitlines()
+        self.code = strip_comments_and_strings(text)
+        self.code_lines = self.code.splitlines()
+        self.suppressions: list[Suppression] = []
+        self.hygiene_findings: list[Finding] = []
+        self._parse_suppressions()
+
+    def _parse_suppressions(self) -> None:
+        for idx, line in enumerate(self.raw_lines):
+            lineno = idx + 1
+            if not SUPPRESS_ATTEMPT_RE.search(line):
+                continue
+            m = SUPPRESS_RE.search(line)
+            if not m:
+                self.hygiene_findings.append(
+                    Finding(
+                        rule="suppression-hygiene",
+                        path=self.path,
+                        line=lineno,
+                        message=(
+                            "malformed suppression comment; expected "
+                            "`// vecycle-analyze: allow(<rule>) <reason>`"
+                        ),
+                    )
+                )
+                continue
+            rule, reason = m.group(1), m.group(2).strip()
+            comment_start = line.find("//")
+            own_line = line[:comment_start].strip() == ""
+            applies_to = lineno
+            if own_line:
+                # Standalone comment suppresses the next non-blank,
+                # non-comment line.
+                applies_to = lineno  # fallback: self
+                for j in range(idx + 1, len(self.raw_lines)):
+                    nxt = self.raw_lines[j].strip()
+                    if not nxt or nxt.startswith("//"):
+                        continue
+                    applies_to = j + 1
+                    break
+            self.suppressions.append(
+                Suppression(rule=rule, reason=reason, line=lineno,
+                            applies_to=applies_to)
+            )
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Marks and reports whether `rule` is suppressed at `line`."""
+        hit = False
+        for s in self.suppressions:
+            if s.rule == rule and s.applies_to == line:
+                s.used = True
+                hit = True
+        return hit
+
+
+@dataclasses.dataclass
+class AnalysisContext:
+    """Cross-file facts shared by all rules plus the rule name registry."""
+
+    files: list[SourceFile]
+    rule_names: set[str]
+    # identifier -> set of container kinds ("unordered"/"ordered") it was
+    # declared with anywhere in the project, and one declaration site per
+    # identifier for diagnostics.
+    container_kinds: dict[str, set[str]] = dataclasses.field(
+        default_factory=dict
+    )
+    container_decl_site: dict[str, str] = dataclasses.field(
+        default_factory=dict
+    )
+
+
+Rule = Callable[[SourceFile, AnalysisContext], Iterable[Finding]]
+
+_RULES: dict[str, tuple[str, Rule]] = {}
+
+
+def rule(name: str, description: str):
+    """Decorator registering a rule under `name`."""
+
+    def deco(fn: Rule) -> Rule:
+        _RULES[name] = (description, fn)
+        return fn
+
+    return deco
+
+
+def registered_rules() -> dict[str, tuple[str, Rule]]:
+    return dict(_RULES)
+
+
+def discover_files(root: Path, build_dir: Path | None) -> list[str]:
+    """Returns repo-relative paths of C++ files to analyze.
+
+    Prefers compile_commands.json (the set of TUs the build actually
+    compiles) augmented with headers from git, falling back to git
+    ls-files, falling back to a filesystem walk.
+    """
+    exts = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h")
+    paths: set[str] = set()
+
+    if build_dir is not None:
+        ccj = build_dir / "compile_commands.json"
+        if ccj.is_file():
+            try:
+                for entry in json.loads(ccj.read_text()):
+                    p = Path(entry["file"])
+                    if not p.is_absolute():
+                        p = Path(entry.get("directory", ".")) / p
+                    try:
+                        rel = p.resolve().relative_to(root.resolve())
+                    except ValueError:
+                        continue  # generated/out-of-tree TU
+                    paths.add(rel.as_posix())
+            except (json.JSONDecodeError, KeyError, OSError):
+                pass
+
+    # Headers never appear in compile_commands; bring in the rest of the
+    # tracked tree (and everything when there was no compile db).
+    git_paths: set[str] = set()
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "--", "src", "tests", "examples", "bench"],
+            cwd=root, capture_output=True, text=True, check=True,
+        ).stdout
+        for line in out.splitlines():
+            if line.endswith(exts):
+                git_paths.add(line)
+    except (subprocess.CalledProcessError, OSError):
+        pass
+    if git_paths:
+        paths |= git_paths
+    else:
+        # Not a git checkout (or an untracked tree, e.g. the fixture corpus
+        # analyzed with --root): walk the filesystem instead.
+        for sub in ("src", "tests", "examples", "bench"):
+            base = root / sub
+            if not base.is_dir():
+                continue
+            for p in base.rglob("*"):
+                if p.suffix in exts and p.is_file():
+                    paths.add(p.relative_to(root).as_posix())
+
+    # The fixture corpus is deliberately full of violations; it is analyzed
+    # on its own (--root tests/analyze_fixtures/root), never as repo code.
+    return sorted(
+        p
+        for p in paths
+        if (root / p).is_file() and "analyze_fixtures" not in p
+    )
+
+
+def load_files(root: Path, rel_paths: list[str]) -> list[SourceFile]:
+    files = []
+    for rel in rel_paths:
+        try:
+            text = (root / rel).read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            continue
+        files.append(SourceFile(root, rel, text))
+    return files
+
+
+def run(
+    root: Path,
+    build_dir: Path | None = None,
+    only_rules: set[str] | None = None,
+    rel_paths: list[str] | None = None,
+) -> list[Finding]:
+    """Runs every registered rule over the project; returns sorted findings."""
+    # Import for the side effect of registering rules; deferred so that
+    # `engine` stays importable without the rule set (fixture tests build
+    # minimal engines).
+    from . import rules as _rules_module  # noqa: F401
+
+    all_rules = registered_rules()
+    active = {
+        name: fn
+        for name, (_, fn) in all_rules.items()
+        if only_rules is None or name in only_rules
+    }
+
+    if rel_paths is None:
+        rel_paths = discover_files(root, build_dir)
+    files = load_files(root, rel_paths)
+
+    ctx = AnalysisContext(files=files, rule_names=set(all_rules))
+    _rules_module.build_container_symbol_table(ctx)
+
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(f.hygiene_findings)
+        for name, fn in active.items():
+            for finding in fn(f, ctx):
+                if not f.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+
+    # Suppression hygiene: unknown rules, empty reasons, unused comments.
+    hygiene_on = only_rules is None or "suppression-hygiene" in only_rules
+    if hygiene_on:
+        for f in files:
+            for s in f.suppressions:
+                if s.rule not in ctx.rule_names:
+                    findings.append(Finding(
+                        rule="suppression-hygiene", path=f.path, line=s.line,
+                        message=f"suppression names unknown rule '{s.rule}'",
+                    ))
+                elif not s.reason:
+                    findings.append(Finding(
+                        rule="suppression-hygiene", path=f.path, line=s.line,
+                        message=(
+                            f"suppression for '{s.rule}' has no reason; "
+                            "every allow() must justify itself"
+                        ),
+                    ))
+                elif not s.used and only_rules is None:
+                    # Only meaningful when the full rule set ran; a partial
+                    # run legitimately leaves suppressions unexercised.
+                    findings.append(Finding(
+                        rule="suppression-hygiene", path=f.path, line=s.line,
+                        message=(
+                            f"unused suppression: no '{s.rule}' finding on "
+                            f"line {s.applies_to}; delete it or fix the "
+                            "comment placement"
+                        ),
+                    ))
+
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -1,0 +1,655 @@
+"""The vecycle-analyze rule set.
+
+Three families, mirroring the three ways the simulator can silently stop
+being a simulator:
+
+  determinism-*   replay-breaking constructs (wall clocks, unseeded
+                  entropy, hash-ordered iteration) in replay-sensitive
+                  code.
+  config-*        `*Config` structs without `Validate()`, and Validate
+                  bodies that forget fields (a field is "accounted for"
+                  when its name appears anywhere in the Validate
+                  definition — a check, or a comment explaining why no
+                  check is needed).
+  concurrency-*   PDES-shared state missing Clang Thread Safety
+                  annotations from src/common/thread_annotations.hpp.
+
+Every rule is a plain function registered with @rule; the engine feeds it
+one SourceFile at a time plus an AnalysisContext carrying cross-file facts
+(the container symbol table, the full file list for out-of-line Validate
+lookup). To add a rule, write such a function here, document it in
+docs/analysis-tooling.md, and add known-good/known-bad fixtures under
+tests/analyze_fixtures/.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import re
+from typing import Iterable, Iterator
+
+from .engine import AnalysisContext, Finding, SourceFile, rule
+
+# ---------------------------------------------------------------------------
+# Scopes. Paths are repo-relative with forward slashes.
+# ---------------------------------------------------------------------------
+
+# Wall-clock/entropy bans apply everywhere replay or CI stability cares:
+# the library, the examples, and the tests. bench/ is exempt — measuring
+# wall time is its job.
+WALL_CLOCK_SCOPE = ("src/", "examples/", "tests/")
+
+# Hash-ordered iteration is only a replay hazard where the iteration order
+# can feed back into simulated time or transferred bytes.
+UNORDERED_ITER_SCOPE = (
+    "src/migration/",
+    "src/core/",
+    "src/sim/",
+    "src/storage/",
+    "src/fault/",
+)
+
+CONFIG_SCOPE = ("src/",)
+CONCURRENCY_SCOPE = ("src/",)
+
+# Classes the PDES sharding will share across worker threads; these must
+# carry thread-safety annotations even before a real mutex exists
+# (NullMutex keeps the discipline checkable at zero runtime cost).
+REQUIRED_ANNOTATED_CLASSES = {
+    "Simulator",
+    "FifoResource",
+    "MigrationScheduler",
+    "CheckpointStore",
+}
+
+
+def _in_scope(path: str, scope: tuple[str, ...]) -> bool:
+    return any(path.startswith(prefix) for prefix in scope)
+
+
+# ---------------------------------------------------------------------------
+# Shared C++ micro-parsing helpers (offset-based, over SourceFile.code).
+# ---------------------------------------------------------------------------
+
+
+def _line_starts(text: str) -> list[int]:
+    starts = [0]
+    for i, ch in enumerate(text):
+        if ch == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def _line_of(starts: list[int], offset: int) -> int:
+    return bisect.bisect_right(starts, offset)
+
+
+def _match_angle_brackets(text: str, open_idx: int) -> int:
+    """Given text[open_idx] == '<', returns the index just past the matching
+    '>' (or len(text) if unbalanced). Treats '>>' as two closers."""
+    depth = 0
+    i = open_idx
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            return n  # not a template argument list after all
+        i += 1
+    return n
+
+
+def _match_braces(text: str, open_idx: int) -> int:
+    """Given text[open_idx] == '{', returns index just past matching '}'."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+@dataclasses.dataclass
+class Record:
+    """A struct/class definition found in a file."""
+
+    kind: str  # "struct" | "class"
+    name: str
+    qual_name: str  # Outer::Name for nested records
+    header_line: int  # 1-based line of the struct/class keyword
+    body_start: int  # offset just past '{'
+    body_end: int  # offset of matching '}'
+
+
+RECORD_RE = re.compile(
+    r"\b(struct|class)\s+"
+    r"(?:VEC_[A-Z_]+\s*(?:\([^)]*\)\s*)?)*"  # VEC_CAPABILITY("mutex") etc.
+    r"([A-Za-z_]\w*)\b"
+)
+
+
+def parse_records(sf: SourceFile) -> list[Record]:
+    """All struct/class definitions (not forward declarations) in the file,
+    with qualified names for one level of nesting."""
+    text = sf.code
+    starts = _line_starts(text)
+    records: list[Record] = []
+    for m in RECORD_RE.finditer(text):
+        # Skip elaborated type specifiers in declarators ("struct X x;") by
+        # requiring the next structural token to open a body, possibly past
+        # a base-clause (": public Base").
+        i = m.end()
+        n = len(text)
+        while i < n and text[i] not in "{;(":
+            if text[i] == "<":  # template args in a base clause
+                i = _match_angle_brackets(text, i)
+            else:
+                i += 1
+        if i >= n or text[i] != "{":
+            continue
+        body_start = i + 1
+        body_end = _match_braces(text, i) - 1
+        records.append(
+            Record(
+                kind=m.group(1),
+                name=m.group(2),
+                qual_name=m.group(2),
+                header_line=_line_of(starts, m.start()),
+                body_start=body_start,
+                body_end=body_end,
+            )
+        )
+    # Qualify nested records with their innermost enclosing record.
+    for r in records:
+        enclosing = None
+        for outer in records:
+            if outer is r:
+                continue
+            if outer.body_start <= r.body_start and r.body_end <= outer.body_end:
+                if enclosing is None or outer.body_start > enclosing.body_start:
+                    enclosing = outer
+        if enclosing is not None:
+            r.qual_name = f"{enclosing.name}::{r.name}"
+    return records
+
+
+VEC_ANNOTATION_RE = re.compile(r"VEC_[A-Z_]+(?:\s*\([^()]*\))?")
+ATTRIBUTE_RE = re.compile(r"\[\[[^\]]*\]\]")
+ACCESS_SPEC_RE = re.compile(r"\b(?:public|private|protected)\s*:(?!:)")
+FIELD_SKIP_RE = re.compile(
+    r"^\s*(?:using\b|typedef\b|friend\b|static_assert\b|template\b|#)"
+)
+RECORD_HEADER_RE = re.compile(r"^\s*(?:struct|class|enum|union)\b")
+
+
+@dataclasses.dataclass
+class FieldDecl:
+    name: str
+    decl: str  # declarator text, annotations stripped
+    chunk: str  # full statement text, annotations intact
+    line: int  # 1-based
+
+
+def iter_fields(sf: SourceFile, record: Record) -> Iterator[FieldDecl]:
+    """Yields the data members declared directly in `record`'s body,
+    skipping methods, nested record definitions, and using/typedef/friend
+    statements. Handles brace and equals initializers and multi-line
+    declarations."""
+    text = sf.code
+    starts = _line_starts(text)
+    i = record.body_start
+    stmt_chars: list[str] = []
+    stmt_start = i
+    while i < record.body_end:
+        c = text[i]
+        if c == "{":
+            pending = "".join(stmt_chars)
+            clean = ATTRIBUTE_RE.sub(" ", VEC_ANNOTATION_RE.sub(" ", pending))
+            clean = ACCESS_SPEC_RE.sub(" ", clean)
+            if "(" in clean or RECORD_HEADER_RE.match(clean.strip()):
+                # Method body or nested record definition: skip it whole and
+                # drop the pending statement (plus a trailing ';' for nested
+                # records).
+                i = _match_braces(text, i)
+                if i < record.body_end and text[i] == ";":
+                    i += 1
+                stmt_chars = []
+                stmt_start = i
+                continue
+            # Brace initializer on a field: swallow it, keep collecting
+            # until the terminating ';'.
+            i = _match_braces(text, i)
+            continue
+        if c == ";":
+            chunk = "".join(stmt_chars)
+            field = _parse_field(chunk, _line_of(starts, stmt_start))
+            if field is not None:
+                yield field
+            i += 1
+            stmt_chars = []
+            stmt_start = i
+            continue
+        if not stmt_chars and c in " \t\n":
+            stmt_start = i + 1
+        else:
+            stmt_chars.append(c)
+        i += 1
+
+
+def _parse_field(chunk: str, line: int) -> FieldDecl | None:
+    clean = ATTRIBUTE_RE.sub(" ", VEC_ANNOTATION_RE.sub(" ", chunk))
+    clean = ACCESS_SPEC_RE.sub(" ", clean).strip()
+    if not clean or FIELD_SKIP_RE.match(clean):
+        return None
+    if "(" in clean:  # method/constructor declaration
+        return None
+    decl = re.split(r"[={]", clean, 1)[0].strip()
+    m = re.search(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])*\s*$", decl)
+    if not m:
+        return None
+    name = m.group(1)
+    head = decl[: m.start()].strip()
+    if not head:  # lone identifier — not "type name"
+        return None
+    return FieldDecl(name=name, decl=decl, chunk=chunk, line=line)
+
+
+# ---------------------------------------------------------------------------
+# Container symbol table (cross-file), built once per run by the engine.
+# ---------------------------------------------------------------------------
+
+CONTAINER_DECL_RE = re.compile(
+    r"\bstd::(unordered_map|unordered_set|unordered_multimap|"
+    r"unordered_multiset|map|set|multimap|multiset)\s*<"
+)
+
+
+def build_container_symbol_table(ctx: AnalysisContext) -> None:
+    """Maps identifiers to the associative-container kind they were declared
+    with anywhere under src/: "unordered" or "ordered". Covers variables,
+    members, and functions returning container references, so iterating
+    `store.DedupCache()` is as visible as iterating `dedup_cache_`."""
+    for sf in ctx.files:
+        if not sf.path.startswith("src/"):
+            continue
+        text = sf.code
+        for m in CONTAINER_DECL_RE.finditer(text):
+            kind = "unordered" if m.group(1).startswith("unordered") else "ordered"
+            end = _match_angle_brackets(text, m.end() - 1)
+            tail = text[end : end + 200]
+            dm = re.match(r"\s*(?:const\s+)?[*&]*\s*([A-Za-z_]\w*)", tail)
+            if not dm:
+                continue
+            name = dm.group(1)
+            ctx.container_kinds.setdefault(name, set()).add(kind)
+            ctx.container_decl_site.setdefault(name, sf.path)
+
+
+def _is_unordered(ctx: AnalysisContext, name: str) -> bool:
+    # Only flag identifiers *exclusively* declared unordered; a name also
+    # declared with an ordered container somewhere is ambiguous and left to
+    # the libclang backend (or a rename).
+    return ctx.container_kinds.get(name) == {"unordered"}
+
+
+# ---------------------------------------------------------------------------
+# determinism-wall-clock
+# ---------------------------------------------------------------------------
+
+WALL_CLOCK_PATTERNS: list[tuple[re.Pattern, str]] = [
+    (
+        re.compile(
+            r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+        ),
+        "wall-clock reads diverge between replays; use sim::Simulator time "
+        "(SimTime) instead",
+    ),
+    (
+        re.compile(r"\bstd::rand\b|(?<![\w:])s?rand\s*\("),
+        "C rand()/srand() is process-global and unseeded per scenario; use "
+        "common::Xoshiro256 with an explicit seed",
+    ),
+    (
+        re.compile(r"\brandom_device\b"),
+        "std::random_device is nondeterministic entropy; thread an explicit "
+        "seed through the config instead",
+    ),
+    (
+        re.compile(r"(?<![\w.:>])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+        "time() reads the wall clock; replay-sensitive code must derive all "
+        "time from the simulator",
+    ),
+    (
+        re.compile(
+            r"\b(?:gettimeofday|clock_gettime|localtime|gmtime|mktime)\s*\("
+        ),
+        "OS clock calls diverge between replays; use simulated time",
+    ),
+    (
+        re.compile(r"(?<![\w.:>])clock\s*\(\s*\)"),
+        "clock() reads process CPU time; replay-sensitive code must derive "
+        "all time from the simulator",
+    ),
+]
+
+
+@rule(
+    "determinism-wall-clock",
+    "No wall clocks or unseeded entropy outside bench/: system_clock, "
+    "steady_clock, high_resolution_clock, time(), clock(), rand()/srand(), "
+    "std::random_device.",
+)
+def determinism_wall_clock(
+    sf: SourceFile, ctx: AnalysisContext
+) -> Iterable[Finding]:
+    if not _in_scope(sf.path, WALL_CLOCK_SCOPE):
+        return
+    for idx, line in enumerate(sf.code_lines):
+        for pat, why in WALL_CLOCK_PATTERNS:
+            m = pat.search(line)
+            if m:
+                yield Finding(
+                    rule="determinism-wall-clock",
+                    path=sf.path,
+                    line=idx + 1,
+                    message=f"'{m.group(0).strip()}': {why}",
+                )
+
+
+# ---------------------------------------------------------------------------
+# determinism-unordered-iteration
+# ---------------------------------------------------------------------------
+
+FOR_RE = re.compile(r"\bfor\s*\(")
+BEGIN_CALL_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:\.|->)\s*c?begin\s*\("
+)
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def _range_for_header(text: str, open_idx: int) -> str | None:
+    """Returns the range expression of a range-for whose '(' is at open_idx,
+    or None for a classic three-clause for."""
+    depth = 0
+    i = open_idx
+    n = len(text)
+    colon = -1
+    while i < n:
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        elif c == ";" and depth == 1:
+            return None  # classic for
+        elif c == ":" and depth == 1 and colon == -1:
+            if i + 1 < n and text[i + 1] == ":":
+                i += 2  # '::' qualifier
+                continue
+            if text[i - 1] == ":":
+                i += 1
+                continue
+            colon = i
+        i += 1
+    if colon == -1 or i >= n:
+        return None
+    return text[colon + 1 : i]
+
+
+@rule(
+    "determinism-unordered-iteration",
+    "No iteration over std::unordered_map/std::unordered_set in "
+    "src/{migration,core,sim,storage,fault}: hash order is not part of the "
+    "replay contract. Use std::map/std::set, sort first, or suppress with "
+    "a proof the loop is order-insensitive.",
+)
+def determinism_unordered_iteration(
+    sf: SourceFile, ctx: AnalysisContext
+) -> Iterable[Finding]:
+    if not _in_scope(sf.path, UNORDERED_ITER_SCOPE):
+        return
+    text = sf.code
+    starts = _line_starts(text)
+    for m in FOR_RE.finditer(text):
+        range_expr = _range_for_header(text, m.end() - 1)
+        if range_expr is None:
+            continue
+        for name in IDENT_RE.findall(range_expr):
+            if _is_unordered(ctx, name):
+                decl_site = ctx.container_decl_site.get(name, "?")
+                yield Finding(
+                    rule="determinism-unordered-iteration",
+                    path=sf.path,
+                    line=_line_of(starts, m.start()),
+                    message=(
+                        f"range-for over '{name}' (declared unordered in "
+                        f"{decl_site}): iteration order follows the hash "
+                        "table, not the replay contract"
+                    ),
+                )
+                break
+    for m in BEGIN_CALL_RE.finditer(text):
+        name = m.group(1)
+        if _is_unordered(ctx, name):
+            decl_site = ctx.container_decl_site.get(name, "?")
+            yield Finding(
+                rule="determinism-unordered-iteration",
+                path=sf.path,
+                line=_line_of(starts, m.start()),
+                message=(
+                    f"iterator walk over '{name}' (declared unordered in "
+                    f"{decl_site}): iteration order follows the hash table, "
+                    "not the replay contract"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# config-validate-required / config-field-validated
+# ---------------------------------------------------------------------------
+
+
+def _is_config_record(r: Record) -> bool:
+    return r.name.endswith("Config") or r.name == "Config"
+
+
+def _find_validate_body(
+    sf: SourceFile, record: Record, ctx: AnalysisContext
+) -> str | None:
+    """Returns the RAW text (comments included) of the record's Validate()
+    definition — inline in the body, or out-of-line in any project file —
+    or None if only a declaration exists."""
+    # Inline?
+    body = sf.code[record.body_start : record.body_end]
+    m = re.search(r"\bValidate\s*\(", body)
+    if m:
+        i = record.body_start + m.end()
+        while i < record.body_end and sf.code[i] not in ";{":
+            i += 1
+        if i < record.body_end and sf.code[i] == "{":
+            end = _match_braces(sf.code, i)
+            return sf.raw[i:end]
+    # Out-of-line: Outer::Name::Validate or Name::Validate.
+    pattern = re.compile(
+        r"\b" + re.escape(record.qual_name) + r"::Validate\s*\("
+    )
+    for other in ctx.files:
+        om = pattern.search(other.code)
+        if not om:
+            continue
+        i = om.end()
+        while i < len(other.code) and other.code[i] not in ";{":
+            i += 1
+        if i < len(other.code) and other.code[i] == "{":
+            end = _match_braces(other.code, i)
+            return other.raw[i:end]
+    return None
+
+
+def _config_field_exempt(f: FieldDecl) -> str | None:
+    """Returns the exemption reason for fields Validate need not mention."""
+    tokens = f.decl.split()
+    if "bool" in tokens:
+        return "bool flags have no invalid values"
+    if f.name == "seed" or f.name.endswith("_seed"):
+        return "any seed is legal by project convention"
+    if "*" in f.decl or "&" in f.decl:
+        return "pointer/reference wiring, not a value constraint"
+    return None
+
+
+@rule(
+    "config-validate-required",
+    "Every struct named *Config under src/ must declare `void Validate() "
+    "const` so misconfigurations fail loudly at construction, not as silent "
+    "nonsense results.",
+)
+def config_validate_required(
+    sf: SourceFile, ctx: AnalysisContext
+) -> Iterable[Finding]:
+    if not _in_scope(sf.path, CONFIG_SCOPE):
+        return
+    for record in parse_records(sf):
+        if not _is_config_record(record):
+            continue
+        body = sf.code[record.body_start : record.body_end]
+        if not re.search(r"\bValidate\s*\(", body):
+            yield Finding(
+                rule="config-validate-required",
+                path=sf.path,
+                line=record.header_line,
+                message=(
+                    f"{record.qual_name} declares no Validate(); every "
+                    "*Config struct must reject impossible values at "
+                    "construction"
+                ),
+            )
+
+
+@rule(
+    "config-field-validated",
+    "Every non-bool, non-seed, non-pointer field of a *Config struct must "
+    "be mentioned in its Validate() definition — with a check, or a comment "
+    "there explaining why every value is legal.",
+)
+def config_field_validated(
+    sf: SourceFile, ctx: AnalysisContext
+) -> Iterable[Finding]:
+    if not _in_scope(sf.path, CONFIG_SCOPE):
+        return
+    for record in parse_records(sf):
+        if not _is_config_record(record):
+            continue
+        validate_body = _find_validate_body(sf, record, ctx)
+        if validate_body is None:
+            continue  # config-validate-required already reports the gap
+        for f in iter_fields(sf, record):
+            if f.name == "Validate" or _config_field_exempt(f) is not None:
+                continue
+            if not re.search(r"\b" + re.escape(f.name) + r"\b", validate_body):
+                yield Finding(
+                    rule="config-field-validated",
+                    path=sf.path,
+                    line=f.line,
+                    message=(
+                        f"field '{f.name}' of {record.qual_name} is never "
+                        "mentioned in Validate(); check it, or document "
+                        "there why every value is legal"
+                    ),
+                )
+
+
+# ---------------------------------------------------------------------------
+# concurrency-annotation-required / concurrency-guarded-member
+# ---------------------------------------------------------------------------
+
+GUARD_ANNOTATION_RE = re.compile(r"\bVEC_(?:PT_)?GUARDED_BY\s*\(")
+
+
+def _member_exempt(f: FieldDecl) -> bool:
+    """True for members the guarded-member rule accepts without annotation:
+    the locks themselves, compile-time constants, and const/reference
+    members (immutable after construction)."""
+    if GUARD_ANNOTATION_RE.search(f.chunk):
+        return True
+    if "NullMutex" in f.decl or re.search(r"\bMutex\b|\bmutex\b", f.decl):
+        return True
+    tokens = f.decl.split()
+    if "static" in tokens or "constexpr" in tokens:
+        return True
+    if "const" in tokens and "*" not in f.decl:
+        return True
+    if "&" in f.decl:
+        return True
+    return False
+
+
+@rule(
+    "concurrency-annotation-required",
+    "Classes the PDES sharding will share (Simulator, FifoResource, "
+    "MigrationScheduler, CheckpointStore) must carry thread-safety "
+    "annotations: at least one VEC_GUARDED_BY member.",
+)
+def concurrency_annotation_required(
+    sf: SourceFile, ctx: AnalysisContext
+) -> Iterable[Finding]:
+    if not _in_scope(sf.path, CONCURRENCY_SCOPE):
+        return
+    for record in parse_records(sf):
+        if record.name not in REQUIRED_ANNOTATED_CLASSES:
+            continue
+        body = sf.code[record.body_start : record.body_end]
+        if not GUARD_ANNOTATION_RE.search(body):
+            yield Finding(
+                rule="concurrency-annotation-required",
+                path=sf.path,
+                line=record.header_line,
+                message=(
+                    f"{record.qual_name} is on the PDES shared-state list "
+                    "but has no VEC_GUARDED_BY members; annotate its "
+                    "mutable state (src/common/thread_annotations.hpp)"
+                ),
+            )
+
+
+@rule(
+    "concurrency-guarded-member",
+    "In a class with any VEC_GUARDED_BY member, every mutable data member "
+    "must be guarded too (or const/reference/a mutex, or suppressed with a "
+    "reason). Half-annotated classes are worse than unannotated ones: the "
+    "analysis silently skips the unguarded half.",
+)
+def concurrency_guarded_member(
+    sf: SourceFile, ctx: AnalysisContext
+) -> Iterable[Finding]:
+    if not _in_scope(sf.path, CONCURRENCY_SCOPE):
+        return
+    for record in parse_records(sf):
+        body = sf.code[record.body_start : record.body_end]
+        if not GUARD_ANNOTATION_RE.search(body):
+            continue
+        # Ignore annotations that belong to nested records, not this one.
+        for f in iter_fields(sf, record):
+            if _member_exempt(f):
+                continue
+            yield Finding(
+                rule="concurrency-guarded-member",
+                path=sf.path,
+                line=f.line,
+                message=(
+                    f"member '{f.name}' of {record.qual_name} is unguarded "
+                    "while siblings carry VEC_GUARDED_BY; guard it or "
+                    "suppress with the invariant that makes it safe"
+                ),
+            )
