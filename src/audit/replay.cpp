@@ -1,5 +1,7 @@
 #include "audit/replay.hpp"
 
+#include <string>
+
 #include "common/check.hpp"
 #include "common/rng.hpp"
 
@@ -27,6 +29,40 @@ void ReplayCheck::Verify(const Scenario& scenario) {
   VEC_CHECK_MSG(result.Deterministic(),
                 "audit: scenario diverged between identical runs — "
                 "simulation is not deterministic");
+}
+
+bool ReplayCheck::SweepResult::Deterministic() const {
+  for (const auto& [workers, fingerprint] : fingerprints) {
+    if (fingerprint != fingerprints.front().second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ReplayCheck::SweepResult ReplayCheck::CompareWorkers(
+    const ShardedScenario& scenario,
+    const std::vector<std::size_t>& worker_counts) {
+  VEC_CHECK_MSG(!worker_counts.empty(), "audit: empty worker sweep");
+  SweepResult result;
+  for (const std::size_t workers : worker_counts) {
+    VEC_CHECK_MSG(workers > 0, "audit: worker count must be positive");
+    result.fingerprints.emplace_back(workers, scenario(workers));
+  }
+  return result;
+}
+
+void ReplayCheck::VerifyWorkers(
+    const ShardedScenario& scenario,
+    const std::vector<std::size_t>& worker_counts) {
+  const SweepResult result = CompareWorkers(scenario, worker_counts);
+  for (const auto& [workers, fingerprint] : result.fingerprints) {
+    VEC_CHECK_MSG(fingerprint == result.fingerprints.front().second,
+                  "audit: sharded scenario diverged at " +
+                      std::to_string(workers) +
+                      " workers — PDES results depend on the worker "
+                      "count, which breaks the determinism contract");
+  }
 }
 
 }  // namespace vecycle::audit

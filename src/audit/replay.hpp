@@ -10,8 +10,11 @@
 // static state — shows up as a fingerprint mismatch.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "audit/audit.hpp"
 
@@ -41,6 +44,33 @@ class ReplayCheck {
   /// Compare(), but throws CheckFailure on divergence — the form tests
   /// and CI assertions use.
   static void Verify(const Scenario& scenario);
+
+  /// A sharded scenario builds its world from scratch (cluster,
+  /// ShardedSimulator, scheduler with per-shard auditors), runs it with
+  /// the given worker-pool size, and returns a fingerprint covering the
+  /// traces, metrics, and end state it cares about (typically the
+  /// scheduler's CombinedFingerprint folded with outcome stats).
+  using ShardedScenario = std::function<std::uint64_t(std::size_t workers)>;
+
+  struct SweepResult {
+    /// (worker count, fingerprint) per run, in the order executed.
+    std::vector<std::pair<std::size_t, std::uint64_t>> fingerprints;
+    [[nodiscard]] bool Deterministic() const;
+  };
+
+  /// Runs `scenario` once per worker count (default 1, 2, 4, 8) and
+  /// reports each fingerprint. The PDES determinism contract says the
+  /// worker-pool size may never change results, so all entries must
+  /// match.
+  static SweepResult CompareWorkers(
+      const ShardedScenario& scenario,
+      const std::vector<std::size_t>& worker_counts = {1, 2, 4, 8});
+
+  /// CompareWorkers(), but throws CheckFailure if any worker count
+  /// produced a different fingerprint than the first.
+  static void VerifyWorkers(
+      const ShardedScenario& scenario,
+      const std::vector<std::size_t>& worker_counts = {1, 2, 4, 8});
 };
 
 }  // namespace vecycle::audit

@@ -19,6 +19,8 @@
 // Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
 #pragma once
 
+#include <mutex>
+
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
 #define VEC_THREAD_ANNOTATION(x) __attribute__((x))
@@ -76,6 +78,33 @@ class VEC_SCOPED_CAPABILITY NullLockGuard {
 
  private:
   NullMutex& mu_;
+};
+
+/// A real lock with the same annotated interface as NullMutex. The PDES
+/// seams that became genuinely concurrent (cross-shard mailboxes, the
+/// worker-pool handshake) use this one; everything that stays
+/// single-threaded-by-construction (a shard's own event heap) keeps
+/// NullMutex, so the hot path pays nothing for the sharding.
+class VEC_CAPABILITY("mutex") Mutex {
+ public:
+  void Lock() VEC_ACQUIRE() { mu_.lock(); }
+  void Unlock() VEC_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard for Mutex, mirroring NullLockGuard.
+class VEC_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) VEC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~LockGuard() VEC_RELEASE() { mu_.Unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
 };
 
 }  // namespace vecycle::common

@@ -72,6 +72,24 @@ class Cluster {
     return out;
   }
 
+  /// Every link with its (lexicographically ordered) endpoints, in key
+  /// order — a stable enumeration for topology analysis such as the PDES
+  /// lookahead (minimum latency over links that cross shards).
+  struct LinkEntry {
+    HostId a;
+    HostId b;
+    const sim::Link* link = nullptr;
+  };
+
+  [[nodiscard]] std::vector<LinkEntry> Links() const {
+    std::vector<LinkEntry> out;
+    out.reserve(links_.size());
+    for (const auto& [key, link] : links_) {
+      out.push_back(LinkEntry{key.first, key.second, link.get()});
+    }
+    return out;
+  }
+
   /// The direct link between two hosts, in either endpoint order, or
   /// nullptr when they are not connected.
   [[nodiscard]] const sim::Link* LinkBetween(const HostId& a,

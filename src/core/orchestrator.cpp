@@ -12,8 +12,12 @@ void MigrationOrchestrator::Deploy(VmInstance& vm, const HostId& host) {
 
 void MigrationOrchestrator::RunFor(VmInstance& vm, SimDuration duration) {
   VEC_CHECK_MSG(!vm.CurrentHost().empty(), "VM is not deployed");
-  auto& simulator = cluster_.Simulator();
-  simulator.RunUntil(simulator.Now() + duration);
+  if (pdes_ != nullptr) {
+    pdes_->AdvanceAllTo(pdes_->MaxNow() + duration);
+  } else {
+    auto& simulator = cluster_.Simulator();
+    simulator.RunUntil(simulator.Now() + duration);
+  }
   if (vm.Workload() != nullptr) {
     vm.Workload()->Advance(vm.Memory(), duration);
   }
@@ -21,8 +25,14 @@ void MigrationOrchestrator::RunFor(VmInstance& vm, SimDuration duration) {
 
 void MigrationOrchestrator::RunFor(const std::vector<VmInstance*>& vms,
                                    SimDuration duration) {
-  auto& simulator = cluster_.Simulator();
-  simulator.RunUntil(simulator.Now() + duration);
+  if (pdes_ != nullptr) {
+    // Quiescent advance: every shard reaches the same deadline, so the
+    // fleet shares one clock again before the workloads churn.
+    pdes_->AdvanceAllTo(pdes_->MaxNow() + duration);
+  } else {
+    auto& simulator = cluster_.Simulator();
+    simulator.RunUntil(simulator.Now() + duration);
+  }
   for (VmInstance* vm : vms) {
     VEC_CHECK(vm != nullptr);
     VEC_CHECK_MSG(!vm->CurrentHost().empty(), "VM is not deployed");
@@ -43,6 +53,9 @@ SessionId MigrationOrchestrator::MigrateAsync(
 migration::MigrationStats MigrationOrchestrator::Migrate(
     VmInstance& vm, const HostId& to,
     const migration::MigrationConfig& config) {
+  VEC_CHECK_MSG(pdes_ == nullptr,
+                "synchronous Migrate is a single-simulator API; queue "
+                "with MigrateAsync and Drain in PDES mode");
   const HostId from = vm.CurrentHost();
   VEC_CHECK_MSG(!from.empty(), "VM is not deployed");
   VEC_CHECK_MSG(from != to, "VM is already on " + to);

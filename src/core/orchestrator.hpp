@@ -28,6 +28,17 @@ class MigrationOrchestrator {
                                  SchedulerConfig scheduler_config = {})
       : cluster_(cluster), scheduler_(cluster, scheduler_config) {}
 
+  /// PDES mode: the fleet runs sharded across `pdes` under `plan` (see
+  /// MigrationScheduler's sharded constructor for the contract). The
+  /// synchronous Migrate() is unavailable in this mode — queue with
+  /// MigrateAsync() and Drain().
+  MigrationOrchestrator(Cluster& cluster, sim::ShardedSimulator& pdes,
+                        sim::ShardPlan plan,
+                        SchedulerConfig scheduler_config = {})
+      : cluster_(cluster),
+        scheduler_(cluster, pdes, std::move(plan), scheduler_config),
+        pdes_(&pdes) {}
+
   /// Places `vm` on `host` (initial deployment, no traffic).
   void Deploy(VmInstance& vm, const HostId& host);
 
@@ -61,6 +72,7 @@ class MigrationOrchestrator {
  private:
   Cluster& cluster_;
   MigrationScheduler scheduler_;
+  sim::ShardedSimulator* pdes_ = nullptr;  ///< null in single-sim mode
 };
 
 }  // namespace vecycle::core

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace vecycle::core {
 
@@ -12,9 +13,29 @@ void SchedulerConfig::Validate() const {
   // zero means unlimited admission per the header contract.
   // max_attempts: every value is legal — zero means retry forever, any
   // other count is a plain retry budget.
+  // workers: every value is legal — zero reads VECYCLE_THREADS, and the
+  // sharded run loop clamps to the shard count.
   VEC_CHECK_MSG(retry_backoff >= SimDuration::zero(),
                 "retry_backoff must be non-negative (retry wake-ups "
                 "cannot land in the simulated past)");
+}
+
+SimTime RetryNotBefore(SimTime when, SimDuration backoff,
+                       std::uint64_t failures) {
+  VEC_CHECK_MSG(backoff >= SimDuration::zero() && failures > 0,
+                "RetryNotBefore needs a non-negative backoff and at "
+                "least one failure");
+  if (backoff <= SimDuration::zero()) return when;
+  const std::uint64_t shift = failures - 1;
+  const auto rep = static_cast<std::uint64_t>(backoff.count());
+  const auto limit =
+      static_cast<std::uint64_t>(SimDuration::max().count());
+  // rep * 2^shift > limit  ⟺  rep > limit >> shift; past 63 doublings
+  // the product exceeds any 64-bit rep regardless of the backoff.
+  if (shift >= 64 || rep > (limit >> shift)) return SimTime::max();
+  const SimDuration delay{static_cast<SimDuration::rep>(rep << shift)};
+  if (delay > SimTime::max() - when) return SimTime::max();
+  return when + delay;
 }
 
 MigrationScheduler::MigrationScheduler(Cluster& cluster,
@@ -23,7 +44,74 @@ MigrationScheduler::MigrationScheduler(Cluster& cluster,
   config_.Validate();
 }
 
-MigrationScheduler::~MigrationScheduler() = default;
+MigrationScheduler::MigrationScheduler(Cluster& cluster,
+                                       sim::ShardedSimulator& pdes,
+                                       sim::ShardPlan plan,
+                                       SchedulerConfig config)
+    : cluster_(cluster),
+      config_(config),
+      pdes_(&pdes),
+      plan_(std::move(plan)) {
+  config_.Validate();
+  plan_.Validate();
+  VEC_CHECK_MSG(plan_.ShardCount() == pdes.ShardCount(),
+                "shard plan and sharded simulator disagree on the shard "
+                "count");
+  for (const Host* host : cluster_.Hosts()) {
+    VEC_CHECK_MSG(plan_.Covers(host->Id()),
+                  "shard plan does not cover host: " + host->Id());
+  }
+  // Observers that one object would feed from several workers at once
+  // are rejected; per-shard auditors (below) replace the shared one, and
+  // shard-level trace/fault wiring happens outside the scheduler.
+  VEC_CHECK_MSG(config_.auditor == nullptr,
+                "PDES mode owns per-shard auditors; config.auditor must "
+                "be null");
+  VEC_CHECK_MSG(config_.tracer == nullptr,
+                "a shared tracer would race across workers; config.tracer "
+                "must be null in PDES mode");
+  VEC_CHECK_MSG(config_.injector == nullptr,
+                "a shared fault injector would race across workers; "
+                "attach per-shard injectors to intra-shard links instead");
+  workers_ = config_.workers == 0 ? sim::ThreadsFromEnv() : config_.workers;
+  const std::uint32_t shard_count = pdes.ShardCount();
+  shard_auditors_.reserve(shard_count);
+  outboxes_.reserve(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    shard_auditors_.push_back(std::make_unique<audit::SimAuditor>());
+    outboxes_.push_back(std::make_unique<sched_internal::ControlOutbox>());
+    VEC_CHECK_MSG(pdes.Shard(s).Auditor() == nullptr,
+                  "shard simulator already has an auditor attached");
+    pdes.Shard(s).SetAuditor(shard_auditors_.back().get());
+  }
+}
+
+MigrationScheduler::~MigrationScheduler() {
+  if (pdes_ != nullptr) {
+    for (std::uint32_t s = 0; s < pdes_->ShardCount(); ++s) {
+      pdes_->Shard(s).SetAuditor(nullptr);
+    }
+  }
+}
+
+std::uint64_t MigrationScheduler::CombinedFingerprint() const {
+  VEC_CHECK_MSG(pdes_ != nullptr,
+                "CombinedFingerprint is a PDES-mode API");
+  // Fold in fixed shard order: the result is well-defined whatever the
+  // worker count, because each shard's fingerprint is.
+  std::uint64_t combined = 0x76656379636c65ull;  // "vecycle"
+  for (const auto& auditor : shard_auditors_) {
+    combined = SplitMix64(combined ^ auditor->Fingerprint()).Next();
+  }
+  return combined;
+}
+
+const audit::SimAuditor& MigrationScheduler::ShardAuditor(
+    sim::ShardId shard) const {
+  VEC_CHECK_MSG(pdes_ != nullptr, "ShardAuditor is a PDES-mode API");
+  VEC_CHECK_MSG(shard < shard_auditors_.size(), "shard id out of range");
+  return *shard_auditors_[shard];
+}
 
 SessionId MigrationScheduler::Submit(VmInstance& vm, const HostId& to,
                                      const migration::MigrationConfig& config,
@@ -56,54 +144,78 @@ const MigrationScheduler::Completion* MigrationScheduler::FindCompletion(
 }
 
 void MigrationScheduler::AdmitEligible() {
-  while (true) {
-    // Pick the admissible request with the highest priority (ties: lowest
-    // id). A request is admissible when its VM is idle, it is the VM's
-    // oldest queued request (per-VM FIFO — later legs of one journey
-    // cannot overtake earlier ones, whatever their priority), and both
-    // endpoint hosts have capacity under the configured caps.
-    std::size_t best = queued_.size();
-    const SimTime now = cluster_.Simulator().Now();
-    std::unordered_set<const VmInstance*> seen;
-    for (std::size_t i = 0; i < queued_.size(); ++i) {
-      const Request& request = queued_[i];
-      const bool first_for_vm = seen.insert(request.vm).second;
-      if (!first_for_vm) continue;
-      // A request waiting out its retry backoff still claims its VM's
-      // FIFO slot (later legs must not overtake it); it just cannot be
-      // admitted until the backoff expires.
-      if (request.not_before > now) continue;
-      const bool vm_busy = std::any_of(
-          running_.begin(), running_.end(), [&](const auto& entry) {
-            return entry.second.request.vm == request.vm;
-          });
-      if (vm_busy) continue;
-      const HostId& from = request.vm->CurrentHost();
-      if (config_.max_outgoing_per_host != 0) {
-        const auto it = outgoing_.find(from);
-        if (it != outgoing_.end() &&
-            it->second >= config_.max_outgoing_per_host) {
-          continue;
-        }
-      }
-      if (config_.max_incoming_per_host != 0) {
-        const auto it = incoming_.find(request.to);
-        if (it != incoming_.end() &&
-            it->second >= config_.max_incoming_per_host) {
-          continue;
-        }
-      }
-      if (best == queued_.size() ||
-          request.priority > queued_[best].priority) {
-        best = i;
+  // Admit in priority order (ties: lowest queue position). A request is
+  // admissible when its VM is idle, it is the VM's oldest queued request
+  // (per-VM FIFO — later legs of one journey cannot overtake earlier
+  // ones, whatever their priority), and both endpoint hosts have
+  // capacity under the configured caps.
+  //
+  // One collection pass suffices: admission only consumes host slots and
+  // marks VMs busy, so nothing inadmissible now becomes admissible
+  // during the round. (A VM's next queued request surfaces when its
+  // first is admitted, but that VM is busy by then.) Greedy over the
+  // sorted candidates therefore reaches the same fixpoint the old
+  // rescan-after-every-admission loop did, without its
+  // admissions × queue-length × string-map-lookup blowup, which
+  // dominated wall time at datacenter scale.
+  const SimTime now = CurrentTime();
+  std::unordered_set<const VmInstance*> seen;
+  seen.reserve(queued_.size());
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < queued_.size(); ++i) {
+    const Request& request = queued_[i];
+    const bool first_for_vm = seen.insert(request.vm).second;
+    if (!first_for_vm) continue;
+    // A request waiting out its retry backoff still claims its VM's
+    // FIFO slot (later legs must not overtake it); it just cannot be
+    // admitted until the backoff expires.
+    if (request.not_before > now) continue;
+    if (busy_vms_.count(request.vm) != 0) continue;
+    candidates.push_back(i);
+  }
+  // stable_sort keeps equal priorities in ascending queue position.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return queued_[a].priority > queued_[b].priority;
+                   });
+
+  std::vector<bool> admitted(queued_.size(), false);
+  bool any = false;
+  for (const std::size_t i : candidates) {
+    const Request& request = queued_[i];
+    const HostId& from = request.vm->CurrentHost();
+    if (config_.max_outgoing_per_host != 0) {
+      const auto it = outgoing_.find(from);
+      if (it != outgoing_.end() &&
+          it->second >= config_.max_outgoing_per_host) {
+        continue;
       }
     }
-    if (best == queued_.size()) return;
-    Request request = std::move(queued_[best]);
-    queued_.erase(queued_.begin() +
-                  static_cast<std::ptrdiff_t>(best));
-    StartSession(std::move(request));
+    if (config_.max_incoming_per_host != 0) {
+      const auto it = incoming_.find(request.to);
+      if (it != incoming_.end() &&
+          it->second >= config_.max_incoming_per_host) {
+        continue;
+      }
+    }
+    admitted[i] = true;
+    any = true;
+    Request taken = std::move(queued_[i]);
+    StartSession(std::move(taken));
   }
+  if (!any) return;
+
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < queued_.size(); ++i) {
+    if (admitted[i]) continue;
+    if (write != i) queued_[write] = std::move(queued_[i]);
+    ++write;
+  }
+  queued_.resize(write);
+}
+
+SimTime MigrationScheduler::CurrentTime() const {
+  return pdes_ != nullptr ? control_now_ : cluster_.Simulator().Now();
 }
 
 void MigrationScheduler::StartSession(Request request) {
@@ -150,6 +262,9 @@ void MigrationScheduler::StartSession(Request request) {
   Running running;
   running.from = from;
   if (config_.gang_dedup) {
+    // The gang cache is sender-side state: every session of one gang has
+    // the same source host, hence the same shard, so in PDES mode the
+    // cache is only ever touched by that shard's worker.
     running.in_gang = true;
     running.gang_key = {from, request.to};
     Gang& gang = gangs_[running.gang_key];
@@ -157,13 +272,47 @@ void MigrationScheduler::StartSession(Request request) {
     run.shared_dedup_cache = &gang.cache;
   }
 
-  run.on_complete = [this, sid](SimTime when) {
-    OnSessionFinished(sid, when);
-  };
-  run.on_failed = [this, sid](SimTime when) { OnSessionFailed(sid, when); };
+  if (pdes_ != nullptr) {
+    const sim::ShardId src_shard = plan_.ShardOf(from);
+    const sim::ShardId dst_shard = plan_.ShardOf(request.to);
+    run.simulator = &pdes_->Shard(src_shard);
+    run.auditor = shard_auditors_[src_shard].get();
+    if (dst_shard != src_shard) {
+      run.dest_simulator = &pdes_->Shard(dst_shard);
+      run.forward_delivery = &pdes_->Route(src_shard, dst_shard);
+      run.backward_delivery = &pdes_->Route(dst_shard, src_shard);
+      run.dest_auditor = shard_auditors_[dst_shard].get();
+    }
+    // Admission happens at a barrier; the barrier time is ahead of every
+    // shard clock and is the instant both endpoints agree the session
+    // begins.
+    run.start_at = control_now_;
+    // Lifecycle callbacks fire on the source shard's worker mid-window;
+    // they only enqueue — the control plane processes at the barrier, in
+    // (when, id) order, regardless of which outbox carried what.
+    sched_internal::ControlOutbox* outbox = outboxes_[src_shard].get();
+    run.on_complete = [outbox, sid](SimTime when) {
+      common::LockGuard lock(outbox->mu);
+      outbox->events.push_back(
+          sched_internal::ControlEvent{when, sid, false});
+    };
+    run.on_failed = [outbox, sid](SimTime when) {
+      common::LockGuard lock(outbox->mu);
+      outbox->events.push_back(
+          sched_internal::ControlEvent{when, sid, true});
+    };
+  } else {
+    run.on_complete = [this, sid](SimTime when) {
+      OnSessionFinished(sid, when);
+    };
+    run.on_failed = [this, sid](SimTime when) {
+      OnSessionFailed(sid, when);
+    };
+  }
 
   ++outgoing_[from];
   ++incoming_[request.to];
+  busy_vms_.insert(request.vm);
   running.request = std::move(request);
   running.session =
       std::make_unique<migration::MigrationSession>(std::move(run));
@@ -196,6 +345,7 @@ MigrationScheduler::Request MigrationScheduler::ReleaseSlot(SessionId id) {
   }
 
   Request request = std::move(running.request);
+  busy_vms_.erase(request.vm);
   // Both completion and failure run inside the session's own actor
   // callbacks; the session object must outlive the call, so park it
   // instead of destroying it.
@@ -242,8 +392,11 @@ void MigrationScheduler::OnSessionFinished(SessionId id, SimTime when) {
 
   // Capacity just freed up — admit the next queued request(s) now, at
   // the completion's sim time, exactly when a real control plane would.
+  // In PDES mode every completion of a barrier admits at the same
+  // control_now_, so ControlStep runs one admission round for the whole
+  // batch instead of one quadratic scan per completion.
   common::NullLockGuard lock(mu_);
-  AdmitEligible();
+  if (pdes_ == nullptr) AdmitEligible();
 }
 
 void MigrationScheduler::WakeAdmit() {
@@ -268,18 +421,17 @@ void MigrationScheduler::OnSessionFailed(SessionId id, SimTime when) {
     }
     aborts_.push_back(Abort{request.id, request.vm, from, request.to,
                             request.attempts, when});
-    AdmitEligible();  // its host slots just freed up
+    // Its host slots just freed up (batched at the barrier in PDES mode).
+    if (pdes_ == nullptr) AdmitEligible();
     return;
   }
 
-  // Exponential backoff: retry_backoff * 2^(failures-1), shift-capped so
-  // a forever-retrying config cannot overflow the duration.
+  // Exponential backoff: retry_backoff * 2^(failures-1), saturating —
+  // a large configured backoff (or a long failure streak) clamps to the
+  // end of simulated time instead of overflowing into the past.
   ++retries_;
-  const auto shift =
-      std::min<std::uint64_t>(request.attempts - 1, 16);
   request.not_before =
-      when + config_.retry_backoff * static_cast<SimDuration::rep>(
-                                         std::uint64_t{1} << shift);
+      RetryNotBefore(when, config_.retry_backoff, request.attempts);
   const SimTime wake = request.not_before;
   // Front of the queue: this is, by construction, the VM's oldest
   // request, and per-VM FIFO must survive the round trip through
@@ -287,12 +439,17 @@ void MigrationScheduler::OnSessionFailed(SessionId id, SimTime when) {
   // also restores its original standing among equals.
   queued_.insert(queued_.begin(), std::move(request));
   // Without a wake event the loop could go idle before the backoff
-  // expires; AdmitEligible at the deadline restarts the session.
-  cluster_.Simulator().ScheduleAt(wake, [this] { WakeAdmit(); });
-  AdmitEligible();
+  // expires; AdmitEligible at the deadline restarts the session. In PDES
+  // mode ControlStep's return value carries the deadline instead — the
+  // barrier loop wakes the control plane there.
+  if (pdes_ == nullptr) {
+    cluster_.Simulator().ScheduleAt(wake, [this] { WakeAdmit(); });
+    AdmitEligible();
+  }
 }
 
 std::size_t MigrationScheduler::Drain() {
+  if (pdes_ != nullptr) return DrainSharded();
   std::size_t before = 0;
   {
     common::NullLockGuard lock(mu_);
@@ -329,6 +486,116 @@ std::size_t MigrationScheduler::Drain() {
   common::NullLockGuard lock(mu_);
   retired_.clear();
   return completions_.size() - before;
+}
+
+std::size_t MigrationScheduler::DrainSharded() {
+  std::size_t before = 0;
+  const SimDuration lookahead = ShardLookahead();
+  {
+    common::NullLockGuard lock(mu_);
+    before = completions_.size();
+    // Shard clocks may have advanced since the last drain (AdvanceAllTo
+    // between waves); admissions must not start sessions in their past.
+    control_now_ = std::max(control_now_, pdes_->MaxNow());
+  }
+  while (true) {
+    {
+      common::NullLockGuard lock(mu_);
+      AdmitEligible();
+      if (running_.empty() && queued_.empty()) break;
+      if (running_.empty()) {
+        const SimTime now = control_now_;
+        const bool backing_off = std::any_of(
+            queued_.begin(), queued_.end(),
+            [&](const Request& r) { return r.not_before > now; });
+        VEC_CHECK_MSG(backing_off,
+                      "scheduler stuck: queued migrations can never be "
+                      "admitted (check caps and VM placement)");
+        // A backoff saturated to the end of simulated time never
+        // expires; spinning the window loop on it would hang.
+        const bool reachable = std::any_of(
+            queued_.begin(), queued_.end(), [](const Request& r) {
+              return r.not_before < SimTime::max();
+            });
+        VEC_CHECK_MSG(reachable,
+                      "scheduler stuck: every queued migration's retry "
+                      "backoff saturated to the end of simulated time");
+      }
+    }
+    // The window loop runs outside the scheduler capability: ControlStep
+    // re-enters the scheduler at every barrier, and under a real lock
+    // that re-entry must find it free.
+    pdes_->Run(workers_, lookahead,
+               [this](SimTime now) { return ControlStep(now); });
+    common::NullLockGuard lock(mu_);
+    retired_.clear();
+    // Run() only returns when no shard has events and no retry deadline
+    // pends; a session still running at that point is wedged for good.
+    VEC_CHECK_MSG(running_.empty(),
+                  "scheduler stuck: sessions still running after every "
+                  "shard's event queue drained");
+  }
+  common::NullLockGuard lock(mu_);
+  retired_.clear();
+  return completions_.size() - before;
+}
+
+SimTime MigrationScheduler::ControlStep(SimTime now) {
+  // Collect the window's lifecycle notifications from every shard and
+  // process them in (when, id) order — session ids are unique, so the
+  // order is total and independent of worker interleaving.
+  std::vector<sched_internal::ControlEvent> events;
+  for (const auto& outbox : outboxes_) {
+    common::LockGuard lock(outbox->mu);
+    events.insert(events.end(), outbox->events.begin(),
+                  outbox->events.end());
+    outbox->events.clear();
+  }
+  std::sort(events.begin(), events.end(),
+            [](const sched_internal::ControlEvent& a,
+               const sched_internal::ControlEvent& b) {
+              if (a.when != b.when) return a.when < b.when;
+              return a.id < b.id;
+            });
+  {
+    common::NullLockGuard lock(mu_);
+    control_now_ = now;
+  }
+  for (const auto& event : events) {
+    if (event.failed) {
+      OnSessionFailed(event.id, event.when);
+    } else {
+      OnSessionFinished(event.id, event.when);
+    }
+  }
+  common::NullLockGuard lock(mu_);
+  // Finished sessions are destroyed at the barrier: no worker is running,
+  // and all their in-flight events are already executed or token-guarded.
+  retired_.clear();
+  AdmitEligible();
+  SimTime wake = sim::kNoPendingEvent;
+  for (const auto& request : queued_) {
+    if (request.not_before > now && request.not_before < wake) {
+      wake = request.not_before;
+    }
+  }
+  return wake;
+}
+
+SimDuration MigrationScheduler::ShardLookahead() const {
+  SimDuration lookahead = SimDuration::max();
+  for (const auto& entry : cluster_.Links()) {
+    if (plan_.ShardOf(entry.a) == plan_.ShardOf(entry.b)) continue;
+    lookahead = std::min(lookahead, entry.link->Config().latency);
+  }
+  if (lookahead == SimDuration::max()) {
+    // No link crosses shards: the shards can never interact, so any
+    // positive window works; a fat one keeps barrier counts low.
+    return Seconds(1.0);
+  }
+  VEC_CHECK_MSG(lookahead > SimDuration::zero(),
+                "PDES needs positive latency on every cross-shard link");
+  return lookahead;
 }
 
 }  // namespace vecycle::core

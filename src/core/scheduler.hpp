@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -35,10 +36,41 @@
 #include "migration/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/sharded.hpp"
 
 namespace vecycle::core {
 
 using SessionId = std::uint64_t;
+
+namespace sched_internal {
+
+/// One session-lifecycle notification (completed / failed) crossing from
+/// a shard worker to the barrier-time control plane.
+struct ControlEvent {
+  SimTime when = kSimEpoch;
+  SessionId id = 0;
+  bool failed = false;
+};
+
+/// Per-shard outbox for ControlEvents. The shard's worker appends from
+/// inside session callbacks mid-window; the coordinator drains at the
+/// barrier. Processing order is (when, id) after a global sort, so which
+/// outbox an event arrived through never matters.
+struct ControlOutbox {
+  common::Mutex mu;
+  std::vector<ControlEvent> events VEC_GUARDED_BY(mu);
+};
+
+}  // namespace sched_internal
+
+/// Saturating retry-backoff deadline: `backoff * 2^(failures-1)` after
+/// `when`, with both the doubling and the final sum clamped so a large
+/// configured backoff (or a long failure streak under max_attempts == 0)
+/// can never overflow SimDuration — an overflowed product would wrap
+/// negative and silently disable the backoff gate. Saturates to
+/// SimTime::max(), i.e. "never", at the extreme.
+[[nodiscard]] SimTime RetryNotBefore(SimTime when, SimDuration backoff,
+                                     std::uint64_t failures);
 
 /// Thrown by the scheduler when a migration exhausts its retry budget
 /// and `SchedulerConfig::throw_on_abort` is set. Distinct from engine
@@ -88,6 +120,11 @@ struct SchedulerConfig {
   /// Aborts() and keep draining the rest of the fleet.
   bool throw_on_abort = true;
 
+  /// Worker threads for the sharded (PDES) constructor; ignored by the
+  /// single-simulator constructor. 0 (the default) reads VECYCLE_THREADS.
+  /// The worker count never changes results — only wall-clock time.
+  std::size_t workers = 0;
+
   /// Rejects configurations the scheduler cannot execute sensibly. The
   /// admission caps (max_outgoing_per_host / max_incoming_per_host) and
   /// the retry budget (max_attempts) accept every value — 0 means
@@ -112,6 +149,18 @@ class MigrationScheduler {
   using CompletionCallback = std::function<void(const Completion&)>;
 
   explicit MigrationScheduler(Cluster& cluster, SchedulerConfig config = {});
+
+  /// PDES mode: drive the fleet across the shards of `pdes`, with hosts
+  /// partitioned by `plan` (which must cover every host of `cluster` and
+  /// agree with `pdes` on the shard count). The scheduler owns one
+  /// auditor per shard (attached to the shard simulators for the
+  /// scheduler's lifetime) and runs its control plane at barrier times,
+  /// so `config.auditor/tracer/injector` must be null — those would be
+  /// fed from several workers at once. `config.metrics` stays legal:
+  /// stats are recorded at barriers only.
+  MigrationScheduler(Cluster& cluster, sim::ShardedSimulator& pdes,
+                     sim::ShardPlan plan, SchedulerConfig config = {});
+
   ~MigrationScheduler();
 
   MigrationScheduler(const MigrationScheduler&) = delete;
@@ -174,6 +223,15 @@ class MigrationScheduler {
 
   [[nodiscard]] const SchedulerConfig& Config() const { return config_; }
 
+  /// PDES mode only: the per-shard audit fingerprints folded together in
+  /// shard order — the one number ReplayCheck compares across worker
+  /// counts. Read while quiescent (between Drain() calls).
+  [[nodiscard]] std::uint64_t CombinedFingerprint() const;
+
+  /// PDES mode only: the auditor observing shard `shard`.
+  [[nodiscard]] const audit::SimAuditor& ShardAuditor(
+      sim::ShardId shard) const;
+
  private:
   struct Request {
     SessionId id = 0;  ///< caller-facing id, stable across retries
@@ -213,9 +271,37 @@ class MigrationScheduler {
   /// refcount) and parks the session object; returns its Request.
   Request ReleaseSlot(SessionId id) VEC_REQUIRES(mu_);
 
+  /// "Now" for admission decisions: the barrier time in PDES mode (shard
+  /// clocks diverge inside windows; the barrier is the one shared
+  /// instant), the simulator clock otherwise.
+  [[nodiscard]] SimTime CurrentTime() const VEC_REQUIRES(mu_);
+  /// PDES Drain(): the barrier-window loop around ShardedSimulator::Run.
+  std::size_t DrainSharded();
+  /// Barrier hook for ShardedSimulator::Run — processes the window's
+  /// completions/failures in (when, id) order, admits, and returns the
+  /// earliest pending retry-backoff deadline (or kNoPendingEvent).
+  SimTime ControlStep(SimTime now);
+  /// Minimum latency over links whose endpoints sit on different shards
+  /// (Seconds(1.0) when no link crosses shards — the shards never talk).
+  [[nodiscard]] SimDuration ShardLookahead() const;
+
   Cluster& cluster_;
   // vecycle-analyze: allow(concurrency-guarded-member) written once in the constructor, immutable afterwards
   SchedulerConfig config_;
+
+  // --- PDES mode (all null/empty in single-simulator mode) ---
+  // vecycle-analyze: allow(concurrency-guarded-member) set once in the constructor, immutable afterwards
+  sim::ShardedSimulator* pdes_ = nullptr;
+  // vecycle-analyze: allow(concurrency-guarded-member) set once in the constructor, immutable afterwards
+  sim::ShardPlan plan_;
+  // vecycle-analyze: allow(concurrency-guarded-member) set once in the constructor, immutable afterwards
+  std::size_t workers_ = 1;
+  /// One auditor per shard: each is fed by exactly one worker during
+  /// windows and read by the coordinator only at barriers.
+  // vecycle-analyze: allow(concurrency-guarded-member) vector immutable after construction; each auditor is fed by exactly one worker
+  std::vector<std::unique_ptr<audit::SimAuditor>> shard_auditors_;
+  // vecycle-analyze: allow(concurrency-guarded-member) vector immutable after construction; per-entry mutexes guard the contents
+  std::vector<std::unique_ptr<sched_internal::ControlOutbox>> outboxes_;
 
   /// Scheduler capability: admission queue, running set, host caps, gang
   /// refcounts and completion records form one consistency domain.
@@ -227,6 +313,10 @@ class MigrationScheduler {
 
   std::vector<Request> queued_ VEC_GUARDED_BY(mu_);  ///< submission order
   std::map<SessionId, Running> running_ VEC_GUARDED_BY(mu_);
+  /// VMs with a session in flight — an index over running_ so the
+  /// admission scan probes VM-busy in O(1) instead of walking every
+  /// running session per queued candidate (quadratic at fleet scale).
+  std::unordered_set<const VmInstance*> busy_vms_ VEC_GUARDED_BY(mu_);
   /// Sessions finished but not yet destructible: OnSessionFinished runs
   /// inside the session's own actor callback, so destruction is deferred
   /// until the event loop returns control to Drain().
@@ -243,6 +333,10 @@ class MigrationScheduler {
   std::vector<Completion> completions_ VEC_GUARDED_BY(mu_);
   std::vector<Abort> aborts_ VEC_GUARDED_BY(mu_);
   std::uint64_t retries_ VEC_GUARDED_BY(mu_) = 0;
+
+  /// The barrier time the control plane is currently acting at (PDES
+  /// mode); admission reads it as "now" because shard clocks disagree.
+  SimTime control_now_ VEC_GUARDED_BY(mu_) = kSimEpoch;
 };
 
 }  // namespace vecycle::core

@@ -69,7 +69,19 @@ struct MigrationSession::Impl {
     run.config.Validate();
 
     auto& simulator = *run.simulator;
-    const SimTime t0 = simulator.Now();
+    // Cross-shard wiring: the destination actor and the backward channel
+    // live on the destination shard's simulator, so their events execute
+    // on that shard's worker. Everything below that touches "the other
+    // side" is either routed through a delivery executor or checked off.
+    sim::Simulator& dest_sim =
+        run.dest_simulator != nullptr ? *run.dest_simulator : simulator;
+    const bool cross_shard = &dest_sim != &simulator;
+    if (cross_shard) {
+      VEC_CHECK_MSG(run.forward_delivery != nullptr &&
+                        run.backward_delivery != nullptr,
+                    "cross-shard session needs both delivery routes");
+    }
+    const SimTime t0 = std::max(simulator.Now(), run.start_at);
     start_time = t0;
     const sim::Direction reverse = run.direction == sim::Direction::kAtoB
                                        ? sim::Direction::kBtoA
@@ -77,8 +89,10 @@ struct MigrationSession::Impl {
     forward = std::make_unique<net::Channel>(simulator, *run.link,
                                              run.direction,
                                              run.config.algorithm);
-    backward = std::make_unique<net::Channel>(simulator, *run.link, reverse,
+    backward = std::make_unique<net::Channel>(dest_sim, *run.link, reverse,
                                               run.config.algorithm);
+    forward->SetDeliveryExecutor(run.forward_delivery);
+    backward->SetDeliveryExecutor(run.backward_delivery);
     forward->SetSessionTag(run.session_id);
     backward->SetSessionTag(run.session_id);
 
@@ -108,6 +122,12 @@ struct MigrationSession::Impl {
           std::make_unique<fault::FaultInjector>(fault::FaultConfig::FromEnv());
       injector = owned_injector.get();
     }
+    // A fault abort zeroes the lifetime token from whichever shard notices
+    // the cut; with endpoints on two workers that write would race every
+    // in-flight guard check. Faults stay supported within a shard.
+    VEC_CHECK_MSG(!cross_shard || injector == nullptr,
+                  "fault injection is not supported for cross-shard "
+                  "sessions");
     if (injector != nullptr) {
       if (run.link->Injector() == nullptr) {
         run.link->SetFaultInjector(injector);
@@ -139,16 +159,30 @@ struct MigrationSession::Impl {
       owned_auditor = std::make_unique<audit::SimAuditor>();
       auditor = owned_auditor.get();
     }
+    dest_side_auditor =
+        run.dest_auditor != nullptr ? run.dest_auditor : auditor;
+    if (cross_shard && auditor != nullptr) {
+      // Each worker must report into its own shard's auditor; one sink
+      // fed from two threads would race (and scramble the fingerprint).
+      VEC_CHECK_MSG(run.auditor != nullptr && run.dest_auditor != nullptr &&
+                        run.auditor != run.dest_auditor,
+                    "cross-shard session needs distinct per-shard "
+                    "auditors");
+    }
     if (auditor != nullptr) {
       forward->SetAuditor(auditor, forward_channel_id);
-      backward->SetAuditor(auditor, backward_channel_id);
+      backward->SetAuditor(dest_side_auditor, backward_channel_id);
       if (simulator.Auditor() == nullptr) {
         simulator.SetAuditor(auditor);
         attached_simulator = true;
       }
+      if (cross_shard && dest_sim.Auditor() == nullptr) {
+        dest_sim.SetAuditor(dest_side_auditor);
+        attached_dest_simulator = true;
+      }
       if (run.destination.store != nullptr &&
           run.destination.store->Auditor() == nullptr) {
-        run.destination.store->SetAuditor(auditor);
+        run.destination.store->SetAuditor(dest_side_auditor);
         attached_store = true;
       }
     }
@@ -163,6 +197,12 @@ struct MigrationSession::Impl {
     } else if (run.config.trace || obs::EnvEnabled()) {
       tracer = &obs::GlobalTrace();
     }
+    // A session trace spans both endpoints, which here execute on two
+    // workers; one recorder fed from both would race. Shard-level tracing
+    // (per-shard recorders merged at the end) replaces it.
+    VEC_CHECK_MSG(!cross_shard || tracer == nullptr,
+                  "per-session tracing is not supported for cross-shard "
+                  "sessions");
     if (run.metrics != nullptr) {
       metrics = run.metrics;
     } else if (tracer != nullptr) {
@@ -204,7 +244,7 @@ struct MigrationSession::Impl {
     }
 
     DestinationActor::Params dest_params;
-    dest_params.simulator = &simulator;
+    dest_params.simulator = &dest_sim;
     dest_params.reply = backward.get();
     dest_params.cpu = run.destination.cpu;
     dest_params.store = run.destination.store;
@@ -263,6 +303,12 @@ struct MigrationSession::Impl {
     const bool use_query =
         wants_exchange &&
         run.config.hash_exchange == HashExchangeMode::kPerPageQuery;
+    // The query oracle consults the destination's index synchronously from
+    // the source's event — a zero-latency cross-shard read that would
+    // break both the lookahead contract and thread safety.
+    VEC_CHECK_MSG(!cross_shard || !use_query,
+                  "per-page hash queries are not supported for "
+                  "cross-shard sessions");
     const bool need_bulk = wants_exchange && !use_query;
 
     SourceActor::Params src_params;
@@ -346,6 +392,7 @@ struct MigrationSession::Impl {
     // channels they would call into are freed.
     if (alive != nullptr) *alive = false;
     if (attached_simulator) run.simulator->SetAuditor(nullptr);
+    if (attached_dest_simulator) run.dest_simulator->SetAuditor(nullptr);
     if (attached_store) run.destination.store->SetAuditor(nullptr);
     if (attached_simulator_tracer) run.simulator->SetTracer(nullptr);
     if (attached_source_cpu) run.source.cpu->SetTracer(nullptr);
@@ -406,6 +453,16 @@ struct MigrationSession::Impl {
   void MaybeFinish() {
     if (failed) return;
     if (!completed || !source_finished) return;
+    // Warm the arrived memory's digest cache here, on the session's own
+    // shard: Finalize() re-reads every page digest for the incoming-page
+    // tracking and runs on the coordinator at the barrier in fleet
+    // drains — without the warm-up that pass serially re-hashes the
+    // whole fleet's memory. Pure host-side computation: no simulated
+    // time, no audit events, so serial-mode output is unchanged.
+    auto& arrived = destination->Memory();
+    for (vm::PageId page = 0; page < arrived.PageCount(); ++page) {
+      (void)arrived.PageDigest(page);
+    }
     if (run.write_back_checkpoint && run.source.store != nullptr) {
       AdvanceTo(SessionPhase::kCheckpointWriteBack);
       run.source.store->Save(
@@ -450,7 +507,7 @@ struct MigrationSession::Impl {
                       auditor->ChannelBytes(forward_channel_id),
                   "audit: forward wire bytes != sum of message sizes");
     VEC_CHECK_MSG(backward->PayloadSent() ==
-                      auditor->ChannelBytes(backward_channel_id),
+                      dest_side_auditor->ChannelBytes(backward_channel_id),
                   "audit: backward wire bytes != sum of message sizes");
     // End-state integrity: the reconstructed memory digests equal to the
     // source at pause time.
@@ -563,7 +620,11 @@ struct MigrationSession::Impl {
   std::unique_ptr<SourceActor> source;
   std::unique_ptr<audit::SimAuditor> owned_auditor;
   audit::SimAuditor* auditor = nullptr;
+  /// Where the destination's worker reports: run.dest_auditor for a
+  /// cross-shard session, otherwise the session auditor itself.
+  audit::SimAuditor* dest_side_auditor = nullptr;
   bool attached_simulator = false;
+  bool attached_dest_simulator = false;
   bool attached_store = false;
 
   std::unique_ptr<fault::FaultInjector> owned_injector;

@@ -41,6 +41,28 @@ struct MigrationRun {
   /// Direction of page flow on the link (source -> destination).
   sim::Direction direction = sim::Direction::kAtoB;
 
+  /// Simulator of the destination endpoint when it lives on a different
+  /// PDES shard than the source; null (the default) means both endpoints
+  /// share `simulator` — the single-shard case, byte-identical to the
+  /// pre-PDES engine. Cross-shard sessions additionally require the two
+  /// delivery executors below and reject fault injection, per-page hash
+  /// queries and per-session tracing (those seams would touch two shards
+  /// inside one window).
+  sim::Simulator* dest_simulator = nullptr;
+
+  /// Where the forward channel (source -> destination) lands its delivery
+  /// closures: the sharded simulator's mailbox route into the destination
+  /// shard. Null schedules on `simulator` directly, as before.
+  sim::DeliveryExecutor* forward_delivery = nullptr;
+  /// Backward channel (destination -> source) route into the source shard.
+  sim::DeliveryExecutor* backward_delivery = nullptr;
+
+  /// Earliest simulated time the session may begin. The engine starts at
+  /// max(simulator->Now(), start_at); the sharded scheduler passes the
+  /// barrier time here, which is ahead of every shard clock, so both
+  /// endpoints agree on t0. kSimEpoch (the default) defers to Now().
+  SimTime start_at = kSimEpoch;
+
   /// Session identity under a scheduler. Distinguishes overlapping
   /// migrations everywhere they meet shared infrastructure: audit channel
   /// ids derive from it (2*id forward, 2*id+1 backward), wire messages are
@@ -101,6 +123,14 @@ struct MigrationRun {
   /// VECYCLE_AUDIT, the session creates a private one. The caller owns
   /// the auditor and must outlive the session.
   audit::SimAuditor* auditor = nullptr;
+
+  /// Destination-side auditor for cross-shard sessions: the backward
+  /// channel and the destination store report here, so every audit
+  /// observation lands in the auditor of the shard whose worker made it.
+  /// Null (single-shard) falls back to `auditor`. Cross-shard sessions
+  /// with auditing must supply both, distinct — one auditor fed from two
+  /// workers would race.
+  audit::SimAuditor* dest_auditor = nullptr;
 
   /// External trace recorder / metrics registry (tests, custom sinks).
   /// When null and tracing is requested via config.trace or VECYCLE_TRACE,

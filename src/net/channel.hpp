@@ -76,6 +76,16 @@ class Channel {
     if (tracer_ != nullptr) tracer_counter_ = tracer_->Name("wire_bytes");
   }
 
+  /// Routes delivery (and fault-notification) closures through `executor`
+  /// instead of scheduling them on the sending simulator — the seam the
+  /// sharded PDES uses to land a message on the *receiving* shard's event
+  /// queue. nullptr (the default) restores the single-simulator behaviour.
+  /// Wire-time booking is unaffected: the link's FIFO server lives with
+  /// the sender either way.
+  void SetDeliveryExecutor(sim::DeliveryExecutor* executor) {
+    delivery_ = executor;
+  }
+
   /// Sends `message`, booking wire time from `earliest` (never before the
   /// simulator's current time). Returns the delivery time.
   SimTime Send(Message message, SimTime earliest) {
@@ -101,27 +111,26 @@ class Channel {
       // Notify the fault handler at the would-be arrival (the earliest
       // the endpoint could notice) rather than delivering.
       ++messages_cut_;
-      simulator_.ScheduleAt(
-          arrival, [this, arrival, guard = std::weak_ptr<const bool>(lifetime_),
-                    guarded = lifetime_ != nullptr] {
-            if (guarded) {
-              const auto alive = guard.lock();
-              if (alive == nullptr || !*alive) return;
-            }
-            if (on_fault_ != nullptr) on_fault_(arrival);
-          });
+      DeliverAt(arrival,
+                [this, arrival, guard = std::weak_ptr<const bool>(lifetime_),
+                 guarded = lifetime_ != nullptr] {
+                  if (guarded) {
+                    const auto alive = guard.lock();
+                    if (alive == nullptr || !*alive) return;
+                  }
+                  if (on_fault_ != nullptr) on_fault_(arrival);
+                });
       return arrival;
     }
-    simulator_.ScheduleAt(
-        arrival, [this, msg = std::move(message), arrival,
-                  guard = std::weak_ptr<const bool>(lifetime_),
-                  guarded = lifetime_ != nullptr]() mutable {
-          if (guarded) {
-            const auto alive = guard.lock();
-            if (alive == nullptr || !*alive) return;
-          }
-          receiver_(std::move(msg), arrival);
-        });
+    DeliverAt(arrival, [this, msg = std::move(message), arrival,
+                        guard = std::weak_ptr<const bool>(lifetime_),
+                        guarded = lifetime_ != nullptr]() mutable {
+      if (guarded) {
+        const auto alive = guard.lock();
+        if (alive == nullptr || !*alive) return;
+      }
+      receiver_(std::move(msg), arrival);
+    });
     return arrival;
   }
 
@@ -137,11 +146,20 @@ class Channel {
   [[nodiscard]] DigestAlgorithm Algorithm() const { return algorithm_; }
 
  private:
+  void DeliverAt(SimTime when, std::function<void()> action) {
+    if (delivery_ != nullptr) {
+      delivery_->DeliverAt(when, std::move(action));
+    } else {
+      simulator_.ScheduleAt(when, std::move(action));
+    }
+  }
+
   sim::Simulator& simulator_;
   sim::Link& link_;
   sim::Direction direction_;
   DigestAlgorithm algorithm_;
   Handler receiver_;
+  sim::DeliveryExecutor* delivery_ = nullptr;
   std::function<void(SimTime)> on_fault_;
   std::shared_ptr<const bool> lifetime_;
   audit::AuditSink* auditor_ = nullptr;

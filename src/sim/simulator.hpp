@@ -23,6 +23,22 @@
 
 namespace vecycle::sim {
 
+/// Sentinel for "no pending event" returned by Simulator::NextEventTime
+/// (and by the sharded coordinator when every queue is empty): later than
+/// every representable simulated instant.
+inline constexpr SimTime kNoPendingEvent = SimTime::max();
+
+/// Where a closure should execute. Channels schedule deliveries through
+/// this seam so a message between shards lands on the *receiving* shard's
+/// event queue (via the sharded simulator's mailbox) instead of the
+/// sender's. The default (no executor) is a plain ScheduleAt on the
+/// sender's simulator — the single-shard behaviour.
+class DeliveryExecutor {
+ public:
+  virtual ~DeliveryExecutor() = default;
+  virtual void DeliverAt(SimTime when, std::function<void()> action) = 0;
+};
+
 /// Deterministic event loop. Events fire in (time, insertion-sequence)
 /// order, so two events at the same timestamp run in the order they were
 /// scheduled — no implementation-defined tie-breaking.
@@ -108,6 +124,30 @@ class Simulator {
     return now_;
   }
 
+  /// Runs every event strictly before `end`, leaving the clock at the
+  /// last executed event — it is NOT forced forward to `end`. This is the
+  /// conservative-PDES window primitive: a shard executes its share of
+  /// the window [T, T+lookahead), then the coordinator merges cross-shard
+  /// messages at the barrier. Leaving the clock untouched keeps a
+  /// one-shard run byte-identical to Run() (which never forces the clock
+  /// either). Returns the number of events executed.
+  std::size_t RunWindow(SimTime end) {
+    std::size_t executed = 0;
+    while (HasEventBefore(end)) {
+      Step();
+      ++executed;
+    }
+    return executed;
+  }
+
+  /// Timestamp of the earliest pending event, or kNoPendingEvent when the
+  /// queue is empty. The sharded coordinator uses this to pick the next
+  /// window's start across shards.
+  [[nodiscard]] SimTime NextEventTime() const {
+    common::NullLockGuard lock(mu_);
+    return queue_.empty() ? kNoPendingEvent : queue_.front().when;
+  }
+
   [[nodiscard]] std::size_t PendingEvents() const {
     common::NullLockGuard lock(mu_);
     return queue_.size();
@@ -158,6 +198,12 @@ class Simulator {
   [[nodiscard]] bool HasEventNoLaterThan(SimTime deadline) const {
     common::NullLockGuard lock(mu_);
     return !queue_.empty() && queue_.front().when <= deadline;
+  }
+
+  /// RunWindow's loop condition: an event strictly before `end` pends.
+  [[nodiscard]] bool HasEventBefore(SimTime end) const {
+    common::NullLockGuard lock(mu_);
+    return !queue_.empty() && queue_.front().when < end;
   }
 
   // Binary min-heap over queue_ ordered by (when, seq). Hand-rolled so the

@@ -711,5 +711,28 @@ TEST(MigrationConfig, RejectsDegenerateValues) {
   EXPECT_THROW(config.Validate(), CheckFailure);
 }
 
+// --- Degenerate-stats guards. ---
+
+TEST(MigrationStatsMath, InstantMigrationReportsZeroThroughputNotNan) {
+  // A migration where every page was skipped clean finishes in zero
+  // simulated time with zero eligible payload — both derived quantities
+  // must stay finite instead of dividing by zero.
+  MigrationStats stats;
+  EXPECT_EQ(stats.ThroughputBytesPerSecond(), 0.0);
+  EXPECT_EQ(stats.CompressionRatio(), 1.0);
+
+  // Bytes on the wire but no elapsed time still reports zero throughput.
+  stats.tx_bytes = MiB(16);
+  EXPECT_EQ(stats.ThroughputBytesPerSecond(), 0.0);
+
+  // The ordinary case divides as expected once both operands are real.
+  stats.total_time = Seconds(2.0);
+  EXPECT_DOUBLE_EQ(stats.ThroughputBytesPerSecond(),
+                   static_cast<double>(MiB(16).count) / 2.0);
+  stats.payload_bytes_original = MiB(8);
+  stats.payload_bytes_on_wire = MiB(2);
+  EXPECT_DOUBLE_EQ(stats.CompressionRatio(), 0.25);
+}
+
 }  // namespace
 }  // namespace vecycle::migration

@@ -4,11 +4,15 @@
 Validates the shape of a BENCH_perf.json emitted by bench/bench_perf
 (schema vecycle.bench_perf.v1) and, when --baseline is given, fails if
 any benchmark regressed by more than --max-regression in ns_per_op, or
-if a baseline benchmark is missing from the current report.
+if a benchmark is present in only one of the two reports. A rename or a
+dropped row must not silently pass the gate; a benchmark that is being
+added on purpose (it has no baseline yet) is declared with --allow-new
+so the comparison stays strict for everything else.
 
 Usage:
   bench_compare.py BENCH_perf.json                       # validate only
   bench_compare.py BENCH_perf.json --baseline BASE.json  # and compare
+  bench_compare.py CUR.json --baseline BASE.json --allow-new fleet_pdes_w8
 """
 
 import argparse
@@ -76,6 +80,14 @@ def main():
         help="maximum allowed ns_per_op regression vs the baseline "
         "(fraction; default 0.30 = 30%%)",
     )
+    parser.add_argument(
+        "--allow-new",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="benchmark expected in the current report but not the "
+        "baseline (repeatable); any other one-sided row fails",
+    )
     args = parser.parse_args()
 
     try:
@@ -110,12 +122,25 @@ def main():
         )
         if delta > args.max_regression:
             failed = True
+    allow_new = set(args.allow_new)
     for name in sorted(set(current) - set(baseline)):
-        print(f"new  {name}: {float(current[name]['ns_per_op']):.1f} ns/op")
+        cur_ns = float(current[name]["ns_per_op"])
+        if name in allow_new:
+            print(f"new  {name}: {cur_ns:.1f} ns/op (allowed)")
+        else:
+            print(
+                f"FAIL {name}: present in current, missing from baseline "
+                "(renamed benchmark? pass --allow-new if added on purpose)"
+            )
+            failed = True
+    for name in sorted(allow_new - set(current)):
+        print(f"FAIL {name}: listed in --allow-new but not in current")
+        failed = True
 
     if failed:
         print(
-            f"regression beyond {args.max_regression:.0%} detected",
+            f"benchmark mismatch or regression beyond "
+            f"{args.max_regression:.0%} detected",
             file=sys.stderr,
         )
         return 1
