@@ -1,0 +1,215 @@
+// Transfer-stack sweep (docs/migration.md "Transfer stack"): multifd
+// channel scaling on the WAN link, recycle-aware delta encoding on a
+// return leg, and auto-converge against a diverging writer. Unlike
+// bench_perf, every number here is *simulated* — deterministic and
+// machine-independent — so the checked-in baseline gates exactly: the
+// "ns_per_op" of each row is the simulated migration time (downtime for
+// the auto-converge rows), and any protocol change that slows a row
+// shows up as a regression, on every machine.
+//
+// The binary also re-checks the tentpole claims inline and exits nonzero
+// if they fail: 4 multifd channels must beat the single-stream TCP
+// window cap by >= 2x on the bandwidth-bound WAN pre-copy leg, and delta
+// encoding must put measurably fewer bytes on the wire.
+//
+// Usage: bench_transfer [--out BENCH_transfer.json]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "storage/checkpoint.hpp"
+#include "vm/workload.hpp"
+
+namespace {
+
+using namespace vecycle;
+
+struct Row {
+  std::string name;
+  double sim_ns = 0.0;          // simulated time (the gated quantity)
+  std::uint64_t tx_bytes = 0;   // forward wire bytes
+};
+
+constexpr Bytes kRam = MiB(64);
+
+migration::MigrationConfig BaseConfig() {
+  migration::MigrationConfig config;
+  config.strategy = migration::Strategy::kFull;
+  config.audit = true;  // byte-conservation audits armed throughout
+  return config;
+}
+
+/// Cold WAN pre-copy of a 64 MiB VM — bandwidth-bound (no checkpoint at
+/// the destination, nothing to elide), the leg where multifd pays.
+Row WanPrecopy(std::uint32_t channels) {
+  bench::TwoHostWorld world{sim::LinkConfig::Wan()};
+  auto vm = bench::MakeBestCaseVm(kRam, 0x7a1);
+  world.orchestrator.Deploy(vm, "A");
+  auto config = BaseConfig();
+  config.multifd.enabled = channels > 1;
+  config.multifd.channels = channels;
+  const auto stats = world.orchestrator.Migrate(vm, "B", config);
+  Row row;
+  row.name = "wan_precopy_ch" + std::to_string(channels);
+  row.sim_ns = static_cast<double>(stats.total_time.count());
+  row.tx_bytes = stats.tx_bytes.count;
+  return row;
+}
+
+/// Return leg against a recycled checkpoint with a rewritten working
+/// set: the delta rows ship sub-page encodings where the plain rows ship
+/// full pages.
+Row WanReturn(bool delta) {
+  bench::TwoHostWorld world{sim::LinkConfig::Wan()};
+  auto vm = bench::MakeBestCaseVm(kRam, 0x7a2);
+  world.orchestrator.Deploy(vm, "A");
+  world.orchestrator.Migrate(vm, "B", BaseConfig());
+  // A quarter of RAM is rewritten while the VM dwells at B.
+  auto& memory = vm.Memory();
+  for (vm::PageId p = 0; p < memory.PageCount() / 4; ++p) {
+    memory.WritePage(p * 4, 0xd1f7 + p);
+  }
+  auto config = BaseConfig();
+  config.strategy = migration::Strategy::kHashes;
+  config.delta.enabled = delta;
+  const auto stats = world.orchestrator.Migrate(vm, "A", config);
+  Row row;
+  row.name = delta ? "wan_return_delta" : "wan_return_full";
+  row.sim_ns = static_cast<double>(stats.total_time.count());
+  row.tx_bytes = stats.tx_bytes.count;
+  return row;
+}
+
+/// A writer that outruns the single-stream WAN: without auto-converge
+/// the migration runs to max_rounds and stops with the whole working set
+/// dirty; with it, the guest is throttled into convergence. The gated
+/// quantity is downtime.
+Row DivergingWriter(bool converge) {
+  // Driven directly (not through the orchestrator) so the live workload
+  // keeps dirtying pages between rounds.
+  sim::Simulator simulator;
+  sim::Link link{sim::LinkConfig::Wan()};
+  sim::ChecksumEngine src_cpu{sim::ChecksumEngineConfig{}};
+  sim::ChecksumEngine dst_cpu{sim::ChecksumEngineConfig{}};
+  sim::Disk src_disk{sim::DiskConfig::Hdd()};
+  sim::Disk dst_disk{sim::DiskConfig::Hdd()};
+  storage::CheckpointStore src_store{src_disk};
+  storage::CheckpointStore dst_store{dst_disk};
+
+  vm::GuestMemory memory{MiB(8), vm::ContentMode::kSeedOnly};
+  Xoshiro256 rng(0x7a3);
+  for (vm::PageId p = 0; p < memory.PageCount(); ++p) {
+    memory.WritePage(p, rng.Next() | (1ull << 62));
+  }
+  vm::UniformRandomWorkload writer(5000.0, 0x7a4);
+
+  auto config = BaseConfig();
+  config.auto_converge.enabled = converge;
+  config.stop_copy_threshold_pages = 64;
+  config.max_rounds = 40;
+
+  migration::MigrationRun run;
+  run.simulator = &simulator;
+  run.link = &link;
+  run.direction = sim::Direction::kAtoB;
+  run.source_memory = &memory;
+  run.workload = &writer;
+  run.source = {&src_cpu, &src_store};
+  run.destination = {&dst_cpu, &dst_store};
+  run.vm_id = "vm";
+  run.config = config;
+  const auto stats = migration::RunMigration(std::move(run)).stats;
+  Row row;
+  row.name = converge ? "wan_converge_on" : "wan_converge_off";
+  row.sim_ns = static_cast<double>(stats.downtime.count());
+  row.tx_bytes = stats.tx_bytes.count;
+  return row;
+}
+
+void WriteJson(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n  \"schema\": \"vecycle.bench_perf.v1\",\n");
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"iters\": 1, "
+                 "\"ns_per_op\": %.1f, \"ops_per_sec\": %.6f, "
+                 "\"tx_bytes\": %llu}%s\n",
+                 r.name.c_str(), r.sim_ns, 1e9 / r.sim_ns,
+                 static_cast<unsigned long long>(r.tx_bytes),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+void Print(const Row& row) {
+  std::printf("%-20s %10.3f s simulated  %12llu wire bytes\n",
+              row.name.c_str(), row.sim_ns / 1e9,
+              static_cast<unsigned long long>(row.tx_bytes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::PrintHeader(
+      "bench_transfer: multifd / delta / auto-converge WAN sweep");
+
+  std::vector<Row> rows;
+  for (const std::uint32_t channels : {1u, 2u, 4u, 8u}) {
+    rows.push_back(WanPrecopy(channels));
+    Print(rows.back());
+  }
+  rows.push_back(WanReturn(/*delta=*/false));
+  Print(rows.back());
+  rows.push_back(WanReturn(/*delta=*/true));
+  Print(rows.back());
+  rows.push_back(DivergingWriter(/*converge=*/false));
+  Print(rows.back());
+  rows.push_back(DivergingWriter(/*converge=*/true));
+  Print(rows.back());
+
+  // Inline claims check — the tentpole numbers, re-verified every run.
+  const double speedup = rows[0].sim_ns / rows[2].sim_ns;  // ch1 / ch4
+  std::printf("\nmultifd 4-channel speedup: %.2fx\n", speedup);
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: multifd speedup %.2fx < 2x\n", speedup);
+    return 1;
+  }
+  const auto& full = rows[4];
+  const auto& delta = rows[5];
+  std::printf("delta wire bytes: %llu -> %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(full.tx_bytes),
+              static_cast<unsigned long long>(delta.tx_bytes),
+              100.0 * static_cast<double>(delta.tx_bytes) /
+                  static_cast<double>(full.tx_bytes));
+  if (delta.tx_bytes >= full.tx_bytes) {
+    std::fprintf(stderr, "FAIL: delta encoding did not cut wire bytes\n");
+    return 1;
+  }
+  if (rows[7].sim_ns >= rows[6].sim_ns) {
+    std::fprintf(stderr, "FAIL: auto-converge did not cut downtime\n");
+    return 1;
+  }
+
+  if (!out_path.empty()) WriteJson(out_path, rows);
+  return 0;
+}

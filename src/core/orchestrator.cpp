@@ -76,6 +76,7 @@ migration::MigrationStats MigrationOrchestrator::Migrate(
   run.config = config;
   run.source_knowledge_set = vm.KnownPageSetAt(to);
   run.departure_generations = vm.GenerationsAtDeparture(to);
+  run.departure_seeds = vm.SeedsAtDeparture(to);
   // Checkpoint write-back happens inside the session (booked at the
   // destination completion time, not counted in migration time — §4.4)
   // so a session-private fault injector can still rot the saved image.
@@ -85,6 +86,7 @@ migration::MigrationStats MigrationOrchestrator::Migrate(
 
   // The VM remembers what it left behind at the source.
   vm.RememberDeparture(from, vm.Memory().Generations());
+  vm.RememberDepartureSeeds(from, vm.Memory().Seeds());
   vm.RememberPagesAt(from, std::move(outcome.incoming_digests));
 
   // And moves.

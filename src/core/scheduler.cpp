@@ -253,6 +253,7 @@ void MigrationScheduler::StartSession(Request request) {
   run.source_knowledge_set = request.vm->KnownPageSetAt(request.to);
   run.departure_generations =
       request.vm->GenerationsAtDeparture(request.to);
+  run.departure_seeds = request.vm->SeedsAtDeparture(request.to);
   run.auditor = config_.auditor;
   run.tracer = config_.tracer;
   run.metrics = config_.metrics;
@@ -369,6 +370,7 @@ void MigrationScheduler::OnSessionFinished(SessionId id, SimTime when) {
     // Same bookkeeping, same order, as the synchronous orchestrator path.
     // (The checkpoint write-back already happened inside the session.)
     vm.RememberDeparture(from, vm.Memory().Generations());
+    vm.RememberDepartureSeeds(from, vm.Memory().Seeds());
     vm.RememberPagesAt(from, std::move(outcome.incoming_digests));
     vm.AdoptMemory(std::move(outcome.dest_memory));
     vm.SetCurrentHost(request.to);

@@ -79,6 +79,21 @@ class VmInstance {
     departure_generations_[host] = std::move(generations);
   }
 
+  /// Content seeds at the moment the VM last departed `host` — what the
+  /// checkpoint left there holds, and hence the round-1 delta-encoding
+  /// baseline of a return migration (DeltaConfig). Empty if never
+  /// recorded.
+  [[nodiscard]] std::vector<std::uint64_t> SeedsAtDeparture(
+      const HostId& host) const {
+    const auto it = departure_seeds_.find(host);
+    return it == departure_seeds_.end() ? std::vector<std::uint64_t>{}
+                                        : it->second;
+  }
+  void RememberDepartureSeeds(const HostId& host,
+                              std::vector<std::uint64_t> seeds) {
+    departure_seeds_[host] = std::move(seeds);
+  }
+
   [[nodiscard]] std::size_t VisitedHostCount() const {
     return known_pages_.size();
   }
@@ -94,6 +109,7 @@ class VmInstance {
   /// checkpoint affinity) is deterministic by construction.
   std::map<HostId, std::shared_ptr<const DigestSet>> known_pages_;
   std::map<HostId, std::vector<std::uint64_t>> departure_generations_;
+  std::map<HostId, std::vector<std::uint64_t>> departure_seeds_;
 };
 
 }  // namespace vecycle::core

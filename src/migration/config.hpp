@@ -44,6 +44,91 @@ struct CompressionConfig {
   void Validate() const;
 };
 
+/// Multi-channel parallel transfer (QEMU's multifd capability). The
+/// session opens `channels` forward TCP streams and stripes page records
+/// across them by page index (page % channels), so one migration can
+/// exceed the per-stream TCP window cap and saturate a fat link. Round
+/// boundaries are synchronized with one marker per channel (QEMU's
+/// MULTIFD_FLUSH); the destination acks only after every channel's
+/// marker has arrived. Inactive (single channel, byte-identical to the
+/// pre-multifd engine) unless enabled with channels > 1.
+struct MultifdConfig {
+  bool enabled = false;
+  /// Parallel source -> destination streams. 1 behaves exactly like the
+  /// single-channel engine; QEMU's default when the capability is on is
+  /// 2, typical deployments use 4-16.
+  std::uint32_t channels = 4;
+
+  /// Streams actually used: 1 unless enabled.
+  [[nodiscard]] std::uint32_t ActiveChannels() const {
+    return enabled ? channels : 1;
+  }
+
+  /// Rejects channel counts the audit channel-id scheme cannot represent
+  /// (see kMaxChannels). Checked even when `enabled` is false.
+  void Validate() const;
+
+  /// Channel-id namespace width: with multifd active, audit channel ids
+  /// are session_id * 2 * kMaxChannels + stream index, so ids of distinct
+  /// sessions never collide as long as channels <= kMaxChannels.
+  static constexpr std::uint32_t kMaxChannels = 16;
+};
+
+/// XBZRLE-style delta encoding against the recycled checkpoint baseline
+/// (the VeCycle-native composition of QEMU's xbzrle capability). The
+/// source keeps a cache of the content it believes the destination holds
+/// per page — pre-seeded from the departure-time seeds of the recycled
+/// checkpoint, updated on every send — and ships a run-length delta
+/// instead of the full page when the encoded size stays under
+/// `max_ratio`. The destination verifies the baseline before applying;
+/// a rotten baseline (checkpoint rot/truncation per vecycle::fault)
+/// degrades per page to the full-content resend path.
+struct DeltaConfig {
+  bool enabled = false;
+  /// Mean encoded-size / page-size across dirty pages. Real XBZRLE on
+  /// guest working sets typically encodes a dirtied page into a small
+  /// fraction of 4 KiB (most writes touch a few cachelines).
+  double mean_ratio = 0.25;
+  /// Per-page spread around the mean (content-dependent), clamped to
+  /// [0.02, 1.0].
+  double ratio_jitter = 0.2;
+  /// Deltas larger than this fraction of a page fall back to a full-page
+  /// send (QEMU's xbzrle overflow path).
+  double max_ratio = 0.75;
+  ByteRate encode_rate = MiBPerSecond(400.0);
+  ByteRate decode_rate = MiBPerSecond(800.0);
+
+  /// Rejects ratios and rates no delta codec can produce. Checked even
+  /// when `enabled` is false, like CompressionConfig.
+  void Validate() const;
+};
+
+/// Auto-converge (QEMU's auto-converge capability): when the guest
+/// dirties memory faster than pre-copy drains it, progressively throttle
+/// the guest's write rate so the dirty set shrinks and the migration
+/// completes with bounded downtime instead of spinning until max_rounds.
+struct AutoConvergeConfig {
+  bool enabled = false;
+  /// First throttle step: guest write rate is cut to (1 - 0.2) = 80% of
+  /// nominal. QEMU's x-cpu-throttle-initial default is 20%.
+  double initial_throttle = 0.2;
+  /// Added on each further diverging round (QEMU's
+  /// x-cpu-throttle-increment default is 10%).
+  double throttle_increment = 0.1;
+  /// Hard ceiling; QEMU caps at 99% — the guest never fully stops
+  /// before the stop-and-copy round.
+  double max_throttle = 0.99;
+  /// A round diverges when bytes dirtied during it exceed this fraction
+  /// of the bytes transferred (QEMU's throttle trigger threshold, 50%).
+  double divergence_ratio = 0.5;
+  /// Consecutive diverging rounds before the first throttle step.
+  std::uint32_t trigger_rounds = 2;
+
+  /// Rejects throttle fractions outside [0, 1) and degenerate triggers.
+  /// Checked even when `enabled` is false.
+  void Validate() const;
+};
+
 struct MigrationConfig {
   Strategy strategy = Strategy::kHashes;
   DigestAlgorithm algorithm = DigestAlgorithm::kMd5;
@@ -54,6 +139,12 @@ struct MigrationConfig {
   std::uint32_t query_window = 1;
 
   CompressionConfig compression;
+
+  /// Transfer-stack capabilities (QEMU parity; docs/migration.md
+  /// "Transfer stack").
+  MultifdConfig multifd;
+  DeltaConfig delta;
+  AutoConvergeConfig auto_converge;
 
   /// Pages per wire message. Real implementations buffer the RAM stream;
   /// 256 pages (1 MiB) per send matches QEMU's buffered chunking order of

@@ -12,6 +12,8 @@ DestinationActor::DestinationActor(Params params)
   VEC_CHECK(params_.reply != nullptr);
   VEC_CHECK(params_.cpu != nullptr);
   VEC_CHECK(params_.page_count > 0);
+  VEC_CHECK_MSG(params_.forward_channels >= 1,
+                "destination needs at least one forward channel");
   memory_ = std::make_unique<vm::GuestMemory>(
       Pages(params_.page_count), params_.mode, params_.config.algorithm);
 }
@@ -82,22 +84,33 @@ void DestinationActor::OnMessage(net::Message&& message, SimTime arrival) {
       }
       break;
     case net::MessageType::kRoundEnd: {
+      // One marker per forward channel (multifd); the round is over only
+      // when the last channel's marker lands — its data is then fully
+      // applied, because each channel delivers in FIFO order.
+      ++round_end_seen_;
+      round_end_latest_ = std::max(round_end_latest_, arrival);
+      if (round_end_seen_ < params_.forward_channels) break;
+      round_end_seen_ = 0;
       net::Message ack;
       ack.type = net::MessageType::kRoundAck;
       ack.round = message.round;
-      params_.reply->Send(std::move(ack), std::max(arrival, work_done_));
+      params_.reply->Send(std::move(ack),
+                          std::max(round_end_latest_, work_done_));
+      round_end_latest_ = kSimEpoch;
       break;
     }
     case net::MessageType::kDone: {
       VEC_CHECK_MSG(!completed_ && !done_pending_, "duplicate done message");
+      ++done_seen_;
+      done_arrival_ = std::max(done_arrival_, arrival);
+      if (done_seen_ < params_.forward_channels) break;
       if (outstanding_resends_ > 0 || !resend_pending_.empty()) {
         // Fallback pages are still in flight (FIFO puts their full
         // content behind this done): resume only once they land.
         done_pending_ = true;
-        done_arrival_ = arrival;
         break;
       }
-      Complete(arrival);
+      Complete(done_arrival_);
       break;
     }
     case net::MessageType::kBulkHashes:
@@ -117,17 +130,24 @@ void DestinationActor::Complete(SimTime at) {
   if (on_complete) on_complete(resume);
 }
 
-void DestinationActor::RequestResend(vm::PageId page) {
+void DestinationActor::RequestResend(vm::PageId page, bool from_delta) {
   resend_pending_.push_back(page);
-  ++fallback_requested_;
+  if (from_delta) {
+    ++delta_fallback_requested_;
+  } else {
+    ++fallback_requested_;
+  }
 }
 
 void DestinationActor::ApplyBatch(const net::Message& message,
                                   SimTime arrival) {
   VEC_CHECK_MSG(!completed_, "page batch after done");
   std::uint64_t decompress_bytes = 0;
+  std::uint64_t delta_decode_bytes = 0;
   for (const auto& record : message.records) {
-    if (record.has_payload && record.payload_wire_bytes < kPageSize) {
+    if (record.is_delta) {
+      delta_decode_bytes += kPageSize;  // patch the baseline page
+    } else if (record.has_payload && record.payload_wire_bytes < kPageSize) {
       decompress_bytes += kPageSize;  // inflate back to the full page
     }
     ApplyRecord(record, arrival);
@@ -136,6 +156,12 @@ void DestinationActor::ApplyBatch(const net::Message& message,
     const SimTime done = params_.cpu->Work(
         std::max(arrival, work_done_), Bytes{decompress_bytes},
         params_.config.compression.decompress_rate);
+    work_done_ = std::max(work_done_, done);
+  }
+  if (delta_decode_bytes > 0) {
+    const SimTime done = params_.cpu->Work(
+        std::max(arrival, work_done_), Bytes{delta_decode_bytes},
+        params_.config.delta.decode_rate);
     work_done_ = std::max(work_done_, done);
   }
   if (!resend_pending_.empty()) {
@@ -160,6 +186,20 @@ void DestinationActor::ApplyRecord(const net::PageRecord& record,
     VEC_CHECK_MSG(outstanding_resends_ > 0,
                   "resend record without an outstanding request");
     --outstanding_resends_;
+    memory_->WritePage(record.page, record.content_seed);
+    return;
+  }
+
+  if (record.is_delta) {
+    // XBZRLE-style delta: only applicable against the exact content the
+    // source encoded it from. When the recycled checkpoint rotted, the
+    // restored page differs from the source's departure-time view — the
+    // baseline check fails and the page degrades to the resend path
+    // instead of silently patching the wrong bytes.
+    if (memory_->Seed(record.page) != record.baseline_seed) {
+      RequestResend(record.page, /*from_delta=*/true);
+      return;
+    }
     memory_->WritePage(record.page, record.content_seed);
     return;
   }

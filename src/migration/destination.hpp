@@ -39,6 +39,10 @@ class DestinationActor {
     /// Session this actor belongs to; every delivered message must carry
     /// the same tag (cross-session routing check on shared links).
     std::uint64_t session_id = 0;
+    /// Forward channels the source stripes over (multifd). Round-end and
+    /// done markers arrive once per channel; the destination acts only
+    /// after all of them have landed (QEMU's MULTIFD_FLUSH semantics).
+    std::uint32_t forward_channels = 1;
   };
 
   explicit DestinationActor(Params params);
@@ -82,10 +86,21 @@ class DestinationActor {
   [[nodiscard]] std::uint64_t PagesFromCheckpoint() const {
     return pages_from_checkpoint_;
   }
-  /// Checksum-only pages this actor could not satisfy locally (damaged
-  /// checkpoint or failed block read) and requested back in full.
+  /// Pages this actor could not satisfy locally and requested back in
+  /// full: checksum-only records (damaged checkpoint or failed block
+  /// read) plus delta records whose baseline did not match.
   [[nodiscard]] std::uint64_t PagesFallback() const {
+    return fallback_requested_ + delta_fallback_requested_;
+  }
+  /// The checksum-only share of PagesFallback() — the term of the
+  /// checksum-record conservation equation.
+  [[nodiscard]] std::uint64_t PagesChecksumFallback() const {
     return fallback_requested_;
+  }
+  /// The delta share of PagesFallback(): delta records rejected because
+  /// local content did not equal the encoded baseline (checkpoint rot).
+  [[nodiscard]] std::uint64_t PagesDeltaFallback() const {
+    return delta_fallback_requested_;
   }
   /// Injected disk-error windows hit by this migration's reads (setup
   /// scan retries + failed random block reads).
@@ -97,8 +112,10 @@ class DestinationActor {
  private:
   void ApplyBatch(const net::Message& message, SimTime arrival);
   void ApplyRecord(const net::PageRecord& record, SimTime arrival);
-  /// Queues `page` for a kResendRequest (flushed at batch end).
-  void RequestResend(vm::PageId page);
+  /// Queues `page` for a kResendRequest (flushed at batch end);
+  /// `from_delta` separates the delta-baseline rejections from the
+  /// checksum-record fallbacks in the conservation accounting.
+  void RequestResend(vm::PageId page, bool from_delta = false);
   /// Resumes the VM: send the done-ack and fire on_complete.
   void Complete(SimTime at);
 
@@ -116,9 +133,16 @@ class DestinationActor {
   std::uint64_t pages_matched_in_place_ = 0;
   std::uint64_t pages_from_checkpoint_ = 0;
   std::uint64_t fallback_requested_ = 0;
+  std::uint64_t delta_fallback_requested_ = 0;
   std::uint64_t disk_read_errors_ = 0;
   Bytes hashed_bytes_;
   bool completed_ = false;
+
+  /// Multifd round synchronization: markers seen for the round (or done
+  /// phase) in progress, and the latest marker arrival.
+  std::uint32_t round_end_seen_ = 0;
+  std::uint32_t done_seen_ = 0;
+  SimTime round_end_latest_ = kSimEpoch;
 
   /// Per-page graceful degradation: pages whose checksum-only record
   /// could not be satisfied, batched into one kResendRequest per applied

@@ -1,6 +1,7 @@
 #include "migration/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "common/check.hpp"
@@ -41,6 +42,44 @@ void CompressionConfig::Validate() const {
                 "compression decompress_rate must be positive");
 }
 
+void MultifdConfig::Validate() const {
+  // enabled is a boolean toggle.
+  VEC_CHECK_MSG(channels >= 1 && channels <= kMaxChannels,
+                "multifd channels must be in [1, 16]");
+}
+
+void DeltaConfig::Validate() const {
+  // enabled is a boolean toggle.
+  VEC_CHECK_MSG(mean_ratio > 0.0 && mean_ratio <= 1.0,
+                "delta mean_ratio must be in (0, 1]");
+  VEC_CHECK_MSG(ratio_jitter >= 0.0 && ratio_jitter <= 1.0,
+                "delta ratio_jitter must be in [0, 1]");
+  VEC_CHECK_MSG(max_ratio > 0.0 && max_ratio <= 1.0,
+                "delta max_ratio must be in (0, 1]");
+  VEC_CHECK_MSG(encode_rate.bytes_per_second > 0.0,
+                "delta encode_rate must be positive");
+  VEC_CHECK_MSG(decode_rate.bytes_per_second > 0.0,
+                "delta decode_rate must be positive");
+}
+
+void AutoConvergeConfig::Validate() const {
+  // enabled is a boolean toggle.
+  VEC_CHECK_MSG(initial_throttle >= 0.0 && initial_throttle < 1.0,
+                "auto-converge initial_throttle must be in [0, 1)");
+  VEC_CHECK_MSG(throttle_increment > 0.0 && throttle_increment < 1.0,
+                "auto-converge throttle_increment must be in (0, 1)");
+  VEC_CHECK_MSG(max_throttle > 0.0 && max_throttle < 1.0,
+                "auto-converge max_throttle must be in (0, 1)");
+  VEC_CHECK_MSG(max_throttle >= initial_throttle,
+                "auto-converge max_throttle must be >= initial_throttle");
+  VEC_CHECK_MSG(divergence_ratio > 0.0 &&
+                    std::isfinite(divergence_ratio),
+                "auto-converge divergence_ratio must be positive and "
+                "finite");
+  VEC_CHECK_MSG(trigger_rounds >= 1,
+                "auto-converge trigger_rounds must be positive");
+}
+
 void MigrationConfig::Validate() const {
   // strategy, algorithm and hash_exchange are closed enums whose every
   // value is legal; audit and trace are boolean toggles.
@@ -50,6 +89,9 @@ void MigrationConfig::Validate() const {
   VEC_CHECK_MSG(max_rounds >= 2, "need at least one copy + one stop round");
   VEC_CHECK_MSG(query_window > 0, "query_window must be positive");
   compression.Validate();
+  multifd.Validate();
+  delta.Validate();
+  auto_converge.Validate();
   faults.Validate();
 }
 
@@ -57,10 +99,28 @@ void MigrationConfig::Validate() const {
 /// completion latch. Kept behind a pimpl so MigrationSession's header
 /// stays light.
 struct MigrationSession::Impl {
+  /// Audit channel-id scheme (see MigrationRun::session_id): the compact
+  /// 2*id / 2*id+1 pair when multifd is inactive — unchanged from the
+  /// pre-multifd engine — and a block of 2*kMaxChannels ids per session
+  /// when several forward streams need distinct per-channel accounts.
+  static std::uint32_t ForwardChannelBase(const MigrationRun& run) {
+    if (run.config.multifd.ActiveChannels() > 1) {
+      return static_cast<std::uint32_t>(run.session_id * 2 *
+                                        MultifdConfig::kMaxChannels);
+    }
+    return static_cast<std::uint32_t>(2 * run.session_id);
+  }
+  static std::uint32_t BackwardChannelIdFor(const MigrationRun& run) {
+    if (run.config.multifd.ActiveChannels() > 1) {
+      return ForwardChannelBase(run) + 2 * MultifdConfig::kMaxChannels - 1;
+    }
+    return static_cast<std::uint32_t>(2 * run.session_id) + 1;
+  }
+
   explicit Impl(MigrationRun run_in)
       : run(std::move(run_in)),
-        forward_channel_id(static_cast<std::uint32_t>(2 * run.session_id)),
-        backward_channel_id(forward_channel_id + 1) {
+        forward_channel_id(ForwardChannelBase(run)),
+        backward_channel_id(BackwardChannelIdFor(run)) {
     VEC_CHECK(run.simulator != nullptr);
     VEC_CHECK(run.link != nullptr);
     VEC_CHECK(run.source_memory != nullptr);
@@ -86,14 +146,23 @@ struct MigrationSession::Impl {
     const sim::Direction reverse = run.direction == sim::Direction::kAtoB
                                        ? sim::Direction::kBtoA
                                        : sim::Direction::kAtoB;
-    forward = std::make_unique<net::Channel>(simulator, *run.link,
-                                             run.direction,
-                                             run.config.algorithm);
+    const std::uint32_t nchan = run.config.multifd.ActiveChannels();
+    forwards.reserve(nchan);
+    for (std::uint32_t k = 0; k < nchan; ++k) {
+      auto channel = std::make_unique<net::Channel>(
+          simulator, *run.link, run.direction, run.config.algorithm);
+      channel->SetDeliveryExecutor(run.forward_delivery);
+      channel->SetSessionTag(run.session_id);
+      // Each multifd stream is its own TCP connection: serialization at
+      // the link's line rate, injection paced by the per-stream window.
+      // Single-channel sessions keep the classic Transmit path,
+      // byte-identical to the pre-multifd engine.
+      if (nchan > 1) channel->SetWindowPaced(true);
+      forwards.push_back(std::move(channel));
+    }
     backward = std::make_unique<net::Channel>(dest_sim, *run.link, reverse,
                                               run.config.algorithm);
-    forward->SetDeliveryExecutor(run.forward_delivery);
     backward->SetDeliveryExecutor(run.backward_delivery);
-    forward->SetSessionTag(run.session_id);
     backward->SetSessionTag(run.session_id);
 
     // Lifetime token: every closure the session's channels and source
@@ -102,9 +171,11 @@ struct MigrationSession::Impl {
     // session fire as no-ops instead of calling into freed actors — the
     // simulator may safely outlive any of its sessions.
     alive = std::make_shared<bool>(true);
-    forward->SetLifetime(alive);
+    for (auto& channel : forwards) {
+      channel->SetLifetime(alive);
+      channel->SetFaultHandler([this](SimTime t) { OnFault(t); });
+    }
     backward->SetLifetime(alive);
-    forward->SetFaultHandler([this](SimTime t) { OnFault(t); });
     backward->SetFaultHandler([this](SimTime t) { OnFault(t); });
 
     // Fault layer, same resolution and attach rules as the audit layer:
@@ -170,7 +241,9 @@ struct MigrationSession::Impl {
                     "auditors");
     }
     if (auditor != nullptr) {
-      forward->SetAuditor(auditor, forward_channel_id);
+      for (std::uint32_t k = 0; k < nchan; ++k) {
+        forwards[k]->SetAuditor(auditor, forward_channel_id + k);
+      }
       backward->SetAuditor(dest_side_auditor, backward_channel_id);
       if (simulator.Auditor() == nullptr) {
         simulator.SetAuditor(auditor);
@@ -219,7 +292,19 @@ struct MigrationSession::Impl {
       const auto process = tracer->NewProcess(label);
       session_track = tracer->Track(process, "session");
       const auto source_track = tracer->Track(process, "source rounds");
-      forward->SetTracer(tracer, tracer->Track(process, "link to dest"));
+      if (nchan == 1) {
+        forwards[0]->SetTracer(tracer,
+                               tracer->Track(process, "link to dest"));
+      } else {
+        // Per-channel byte timelines: each stream gets its own track and
+        // a "ch<k>" label so the counters stay separate series instead of
+        // aggregating into one misleading wire_bytes line.
+        for (std::uint32_t k = 0; k < nchan; ++k) {
+          const std::string ch = "ch" + std::to_string(k);
+          forwards[k]->SetTracer(
+              tracer, tracer->Track(process, "link to dest " + ch), ch);
+        }
+      }
       backward->SetTracer(tracer, tracer->Track(process, "link to source"));
       if (run.source.cpu->Tracer() == nullptr) {
         run.source.cpu->SetTracer(tracer, tracer->Track(process, "cpu source"));
@@ -253,6 +338,7 @@ struct MigrationSession::Impl {
     dest_params.page_count = run.source_memory->PageCount();
     dest_params.mode = run.source_memory->Mode();
     dest_params.session_id = run.session_id;
+    dest_params.forward_channels = nchan;
     destination = std::make_unique<DestinationActor>(std::move(dest_params));
 
     // Event-heap capacity hint: round 1 pumps ~page_count/batch_pages
@@ -293,6 +379,14 @@ struct MigrationSession::Impl {
       run.source_knowledge.clear();
       run.source_knowledge_set.reset();
     }
+    if (!dest_has_checkpoint || !run.config.delta.enabled ||
+        run.departure_seeds.size() != run.source_memory->PageCount()) {
+      // Round-1 delta baselines exist only when the destination restores
+      // this VM's checkpoint into guest RAM (rot is fine — the
+      // destination verifies each baseline before patching); cold
+      // destinations and resized VMs degrade to full sends.
+      run.departure_seeds.clear();
+    }
 
     // Hash-exchange planning (§3.2): needed only when the source lacks
     // knowledge of the destination's page set and the strategy consumes
@@ -313,7 +407,10 @@ struct MigrationSession::Impl {
 
     SourceActor::Params src_params;
     src_params.simulator = &simulator;
-    src_params.channel = forward.get();
+    src_params.channels.reserve(forwards.size());
+    for (auto& channel : forwards) {
+      src_params.channels.push_back(channel.get());
+    }
     src_params.cpu = run.source.cpu;
     src_params.memory = run.source_memory;
     src_params.workload = run.workload;
@@ -322,6 +419,7 @@ struct MigrationSession::Impl {
     src_params.dest_digest_set = std::move(run.source_knowledge_set);
     src_params.departure_generations =
         std::move(run.departure_generations);
+    src_params.departure_seeds = std::move(run.departure_seeds);
     src_params.shared_dedup_cache = run.shared_dedup_cache;
     src_params.session_id = run.session_id;
     src_params.tracer = tracer;
@@ -349,9 +447,11 @@ struct MigrationSession::Impl {
     }
     source = std::make_unique<SourceActor>(std::move(src_params));
 
-    forward->SetReceiver([this](net::Message&& m, SimTime t) {
-      destination->OnMessage(std::move(m), t);
-    });
+    for (auto& channel : forwards) {
+      channel->SetReceiver([this](net::Message&& m, SimTime t) {
+        destination->OnMessage(std::move(m), t);
+      });
+    }
     backward->SetReceiver([this](net::Message&& m, SimTime t) {
       source->OnMessage(std::move(m), t);
     });
@@ -440,6 +540,9 @@ struct MigrationSession::Impl {
     failed = true;
     failed_at = at;
     *alive = false;
+    // Undo any auto-converge throttling: the VM keeps running (at full
+    // speed) at the source while the scheduler decides on a retry.
+    if (run.workload != nullptr) run.workload->SetThrottle(1.0);
     AdvanceTo(SessionPhase::kFailed);
     if (tracer != nullptr) {
       tracer->Instant(session_track, tracer->Name("aborted: link cut"), at);
@@ -453,6 +556,9 @@ struct MigrationSession::Impl {
   void MaybeFinish() {
     if (failed) return;
     if (!completed || !source_finished) return;
+    // Auto-converge ends with the migration: the guest runs unthrottled
+    // at the destination.
+    if (run.workload != nullptr) run.workload->SetThrottle(1.0);
     // Warm the arrived memory's digest cache here, on the session's own
     // shard: Finalize() re-reads every page digest for the incoming-page
     // tracking and runs on the coordinator at the barrier in fleet
@@ -489,23 +595,37 @@ struct MigrationSession::Impl {
                   "count)");
     // Every checksum-only record was satisfied at the destination either
     // by the locally initialized page, by a checkpoint read, or by the
-    // per-page fallback (full content re-sent over the wire).
+    // per-page fallback (full content re-sent over the wire). Delta
+    // fallbacks are a separate account — they never start as checksum
+    // records.
     VEC_CHECK_MSG(stats.pages_matched_in_place + stats.pages_from_checkpoint +
-                          stats.fallback_pages ==
+                          destination->PagesChecksumFallback() ==
                       stats.pages_sent_checksum,
                   "audit: checksum-record conservation violated (matched "
                   "in place + restored from checkpoint + fallback != "
                   "checksum records sent)");
     // Both endpoints agree on the fallback set: pages the destination
-    // requested equal pages the source re-sent.
+    // requested (checksum misses + rejected deltas) equal pages the
+    // source re-sent.
     VEC_CHECK_MSG(stats.fallback_pages == destination->PagesFallback(),
                   "audit: fallback pages served by source != fallback "
                   "pages requested by destination");
-    // Wire conservation: bytes the channels booked on the link equal the
-    // sum of the serialized message sizes the auditor observed.
-    VEC_CHECK_MSG(forward->PayloadSent() ==
-                      auditor->ChannelBytes(forward_channel_id),
-                  "audit: forward wire bytes != sum of message sizes");
+    // Wire conservation, per channel: bytes each forward stream booked on
+    // the link equal the sum of the serialized message sizes the auditor
+    // observed under that stream's channel id — and the per-channel
+    // accounts sum to the session total.
+    Bytes forward_total;
+    for (std::size_t k = 0; k < forwards.size(); ++k) {
+      VEC_CHECK_MSG(
+          forwards[k]->PayloadSent() ==
+              auditor->ChannelBytes(forward_channel_id +
+                                    static_cast<std::uint32_t>(k)),
+          "audit: forward wire bytes != sum of message sizes");
+      forward_total += forwards[k]->PayloadSent();
+    }
+    VEC_CHECK_MSG(forward_total == stats.tx_bytes,
+                  "audit: per-channel byte accounts do not sum to "
+                  "tx_bytes");
     VEC_CHECK_MSG(backward->PayloadSent() ==
                       dest_side_auditor->ChannelBytes(backward_channel_id),
                   "audit: backward wire bytes != sum of message sizes");
@@ -529,6 +649,9 @@ struct MigrationSession::Impl {
     auditor->OnScalar("fallback_pages", stats.fallback_pages);
     auditor->OnScalar("disk_read_errors", stats.disk_read_errors);
     auditor->OnScalar("retries", stats.retries);
+    auditor->OnScalar("multifd_channels", stats.multifd_channels);
+    auditor->OnScalar("delta_pages", stats.pages_sent_delta);
+    auditor->OnScalar("throttle_rounds", stats.throttle_rounds);
   }
 
   MigrationOutcome Finalize() {
@@ -552,11 +675,18 @@ struct MigrationSession::Impl {
     outcome.stats.setup_time = destination->SetupTime();
     outcome.stats.total_time = completed_at - source->RoundOneStart();
     outcome.stats.downtime = completed_at - source->PauseTime();
-    outcome.stats.tx_bytes = forward->PayloadSent();
+    outcome.stats.tx_bytes = Bytes{};
+    outcome.stats.tx_bytes_per_channel.clear();
+    outcome.stats.tx_bytes_per_channel.reserve(forwards.size());
+    for (const auto& channel : forwards) {
+      outcome.stats.tx_bytes_per_channel.push_back(channel->PayloadSent());
+      outcome.stats.tx_bytes += channel->PayloadSent();
+    }
     outcome.stats.pages_matched_in_place =
         destination->PagesMatchedInPlace();
     outcome.stats.pages_from_checkpoint =
         destination->PagesFromCheckpoint();
+    outcome.stats.pages_delta_fallback = destination->PagesDeltaFallback();
     outcome.stats.dest_hashed_bytes = destination->HashedBytes();
     outcome.stats.disk_read_errors = destination->DiskReadErrors();
     outcome.stats.retries = run.attempt;
@@ -611,10 +741,11 @@ struct MigrationSession::Impl {
   MigrationRun run;
   /// Audit channel ids derive from the session id so that sessions sharing
   /// one auditor keep separate per-channel byte accounts (0/1 for the
-  /// anonymous single-session default).
+  /// anonymous single-session default; forward stream k of a multifd
+  /// session is forward_channel_id + k).
   const std::uint32_t forward_channel_id;
   const std::uint32_t backward_channel_id;
-  std::unique_ptr<net::Channel> forward;
+  std::vector<std::unique_ptr<net::Channel>> forwards;
   std::unique_ptr<net::Channel> backward;
   std::unique_ptr<DestinationActor> destination;
   std::unique_ptr<SourceActor> source;

@@ -65,10 +65,13 @@ struct MigrationRun {
 
   /// Session identity under a scheduler. Distinguishes overlapping
   /// migrations everywhere they meet shared infrastructure: audit channel
-  /// ids derive from it (2*id forward, 2*id+1 backward), wire messages are
-  /// stamped with it, and trace/metrics labels carry a "#id" suffix when
-  /// it is nonzero. 0 is the anonymous single-session default, which keeps
-  /// the pre-session channel ids 0/1.
+  /// ids derive from it (2*id forward, 2*id+1 backward when multifd is
+  /// inactive; with multifd, forward stream k is
+  /// id * 2 * MultifdConfig::kMaxChannels + k and the backward channel
+  /// takes the last slot of that block), wire messages are stamped with
+  /// it, and trace/metrics labels carry a "#id" suffix when it is
+  /// nonzero. 0 is the anonymous single-session default, which keeps the
+  /// pre-session channel ids 0/1.
   std::uint64_t session_id = 0;
 
   /// When true, the session itself performs the paper's §4.4 post-copy
@@ -110,6 +113,13 @@ struct MigrationRun {
   /// Generation counters at the moment the VM last left the destination
   /// (Miyakodori); empty means no dirty-tracking state.
   std::vector<std::uint64_t> departure_generations;
+
+  /// Per-page content seeds at the moment the VM last left the
+  /// destination — what its recycled checkpoint holds, the round-1
+  /// baseline for delta encoding (DeltaConfig). The engine forwards this
+  /// to the source only when the destination actually restores a
+  /// geometry-matching checkpoint; empty disables round-1 deltas.
+  std::vector<std::uint64_t> departure_seeds;
 
   /// Gang migration (VMFlock [4]): concurrent MigrationSessions from one
   /// host to one destination may share a sender-side dedup cache so

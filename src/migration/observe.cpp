@@ -1,5 +1,7 @@
 #include "migration/observe.hpp"
 
+#include <string>
+
 namespace vecycle::migration {
 
 namespace {
@@ -38,6 +40,16 @@ obs::MetricsRecord& RecordMigrationStats(obs::MetricsRegistry& registry,
   record.Counter("payload_bytes_original",
                  stats.payload_bytes_original.count);
   record.Counter("payload_bytes_on_wire", stats.payload_bytes_on_wire.count);
+  record.Counter("multifd_channels", stats.multifd_channels);
+  for (std::size_t k = 0; k < stats.tx_bytes_per_channel.size(); ++k) {
+    record.Counter("tx_bytes_ch" + std::to_string(k),
+                   stats.tx_bytes_per_channel[k].count);
+  }
+  record.Counter("pages_sent_delta", stats.pages_sent_delta);
+  record.Counter("delta_bytes_original", stats.delta_bytes_original.count);
+  record.Counter("delta_bytes_on_wire", stats.delta_bytes_on_wire.count);
+  record.Counter("pages_delta_fallback", stats.pages_delta_fallback);
+  record.Counter("throttle_rounds", stats.throttle_rounds);
   record.Counter("total_time_ns", Ns(stats.total_time));
   record.Counter("downtime_ns", Ns(stats.downtime));
   record.Counter("setup_time_ns", Ns(stats.setup_time));
@@ -48,6 +60,7 @@ obs::MetricsRecord& RecordMigrationStats(obs::MetricsRegistry& registry,
   record.Gauge("throughput_mib_per_s",
                stats.ThroughputBytesPerSecond() / kMiB);
   record.Gauge("compression_ratio", stats.CompressionRatio());
+  record.Gauge("max_throttle", stats.max_throttle);
   return record;
 }
 

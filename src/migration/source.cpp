@@ -9,14 +9,32 @@ namespace vecycle::migration {
 
 SourceActor::SourceActor(Params params) : params_(std::move(params)) {
   VEC_CHECK(params_.simulator != nullptr);
-  VEC_CHECK(params_.channel != nullptr);
+  VEC_CHECK_MSG(!params_.channels.empty(), "source needs a forward channel");
+  for (auto* channel : params_.channels) VEC_CHECK(channel != nullptr);
   VEC_CHECK(params_.cpu != nullptr);
   VEC_CHECK(params_.memory != nullptr);
   params_.config.Validate();
+  VEC_CHECK_MSG(params_.channels.size() ==
+                    params_.config.multifd.ActiveChannels(),
+                "channel count does not match the multifd config");
+  stats_.multifd_channels =
+      static_cast<std::uint32_t>(params_.channels.size());
   if (!params_.departure_generations.empty()) {
     VEC_CHECK_MSG(
         params_.departure_generations.size() == params_.memory->PageCount(),
         "departure generation vector does not match memory geometry");
+  }
+  if (params_.config.delta.enabled) {
+    if (!params_.departure_seeds.empty()) {
+      VEC_CHECK_MSG(
+          params_.departure_seeds.size() == params_.memory->PageCount(),
+          "departure seed vector does not match memory geometry");
+      dest_view_ = params_.departure_seeds;
+      dest_view_known_.assign(dest_view_.size(), 1);
+    } else {
+      dest_view_.assign(params_.memory->PageCount(), 0);
+      dest_view_known_.assign(params_.memory->PageCount(), 0);
+    }
   }
   if (params_.dest_digest_set != nullptr) {
     shared_dest_digests_ = std::move(params_.dest_digest_set);
@@ -80,10 +98,11 @@ void SourceActor::ServeResend(const std::vector<vm::PageId>& pages,
                               SimTime arrival) {
   VEC_CHECK_MSG(!pages.empty(), "empty resend request");
   auto& memory = *params_.memory;
-  net::Message msg;
-  msg.type = net::MessageType::kPageBatch;
-  msg.round = round_;
-  msg.records.reserve(pages.size());
+  const std::size_t nchan = params_.channels.size();
+  // Resends ride the channel their page stripes to: per-channel FIFO
+  // ordering then guarantees the full content lands after the record the
+  // destination could not satisfy, just like the single-stream engine.
+  std::vector<net::Message> per_channel(nchan);
   for (const vm::PageId page : pages) {
     VEC_CHECK_MSG(page < memory.PageCount(), "resend request out of range");
     net::PageRecord record;
@@ -93,7 +112,8 @@ void SourceActor::ServeResend(const std::vector<vm::PageId>& pages,
     record.has_digest = false;
     record.is_zero = record.content_seed == vm::kZeroPageSeed;
     record.has_payload = !record.is_zero;
-    msg.records.push_back(record);
+    per_channel[page % nchan].records.push_back(record);
+    NoteDestContent(page, record.content_seed);
     ++stats_.fallback_pages;
   }
   // Live memory is authoritative: if the page was dirtied since its
@@ -102,7 +122,12 @@ void SourceActor::ServeResend(const std::vector<vm::PageId>& pages,
   // always lands last.
   last_send_ =
       std::max(last_send_, std::max(arrival, params_.simulator->Now()));
-  params_.channel->Send(std::move(msg), last_send_);
+  for (std::size_t k = 0; k < nchan; ++k) {
+    if (per_channel[k].records.empty()) continue;
+    per_channel[k].type = net::MessageType::kPageBatch;
+    per_channel[k].round = round_;
+    params_.channels[k]->Send(std::move(per_channel[k]), last_send_);
+  }
 }
 
 bool SourceActor::ClassifyFirstRoundPage(vm::PageId page,
@@ -117,6 +142,9 @@ bool SourceActor::ClassifyFirstRoundPage(vm::PageId page,
   if (UsesDirtyTracking(strategy) && !params_.departure_generations.empty() &&
       memory.Generation(page) == params_.departure_generations[page]) {
     ++stats_.pages_skipped_clean;
+    // The destination restores this page from its pristine checkpoint,
+    // whose content the unchanged generation proves equals the live seed.
+    NoteDestContent(page, memory.Seed(page));
     return false;
   }
 
@@ -130,6 +158,7 @@ bool SourceActor::ClassifyFirstRoundPage(vm::PageId page,
     record.has_payload = false;
     record.has_digest = false;
     ++stats_.pages_sent_full;  // counted as a (trivially small) content send
+    NoteDestContent(page, record.content_seed);
     return true;
   }
 
@@ -168,6 +197,7 @@ bool SourceActor::ClassifyFirstRoundPage(vm::PageId page,
       record.has_payload = false;
       record.has_digest = true;
       ++stats_.pages_sent_checksum;
+      NoteDestContent(page, record.content_seed);
       return true;
     }
   }
@@ -187,20 +217,32 @@ bool SourceActor::ClassifyFirstRoundPage(vm::PageId page,
       record.has_payload = false;
       record.has_digest = false;
       ++stats_.pages_dup_ref;
+      NoteDestContent(page, record.content_seed);
       return true;
     }
+  }
+
+  if (TryDelta(record)) {
+    record.has_digest = UsesContentHashes(strategy);
+    ++stats_.pages_sent_full;  // delta is still a content send
+    NoteDestContent(page, record.content_seed);
+    return true;
   }
 
   record.has_payload = true;
   record.has_digest = UsesContentHashes(strategy);
   MaybeCompress(record);
   ++stats_.pages_sent_full;
+  NoteDestContent(page, record.content_seed);
   return true;
 }
 
 void SourceActor::MaybeCompress(net::PageRecord& record) {
   const auto& compression = params_.config.compression;
-  if (!compression.enabled || !record.has_payload) return;
+  // Delta payloads are already the output of a codec; compressing them
+  // again would double-count (QEMU's xbzrle and compress capabilities are
+  // likewise applied per page, not stacked).
+  if (!compression.enabled || !record.has_payload || record.is_delta) return;
   // Per-page compressibility derived deterministically from the content
   // identity: some pages squeeze well, some barely at all.
   const double unit =
@@ -227,6 +269,7 @@ net::PageRecord SourceActor::FullRecord(vm::PageId page) {
   record.has_digest = false;
   if (record.content_seed == vm::kZeroPageSeed) {
     record.is_zero = true;
+    NoteDestContent(page, record.content_seed);
     return record;
   }
   if (UsesDedup(params_.config.strategy)) {
@@ -236,12 +279,74 @@ net::PageRecord SourceActor::FullRecord(vm::PageId page) {
         cache.try_emplace(record.content_seed, cache.size()).second;
     if (!inserted) {
       record.is_dup_ref = true;
+      NoteDestContent(page, record.content_seed);
       return record;
     }
   }
+  if (TryDelta(record)) {
+    NoteDestContent(page, record.content_seed);
+    return record;
+  }
   record.has_payload = true;
   MaybeCompress(record);
+  NoteDestContent(page, record.content_seed);
   return record;
+}
+
+bool SourceActor::TryDelta(net::PageRecord& record) {
+  const auto& delta = params_.config.delta;
+  if (!delta.enabled) return false;
+  if (dest_view_known_[record.page] == 0) return false;
+  const std::uint64_t baseline = dest_view_[record.page];
+  // Deltas against the zero page are the page itself (nothing to reuse);
+  // the full-page path handles that case better.
+  if (baseline == vm::kZeroPageSeed) return false;
+  double ratio;
+  if (baseline == record.content_seed) {
+    // Unchanged content: the delta degenerates to a header-sized "no
+    // change" token (possible under the kFull/kQemu strategies, which
+    // have no checksum path to elide such pages).
+    ratio = 16.0 / static_cast<double>(kPageSize);
+  } else {
+    // Per-page encodability derived deterministically from the two
+    // contents, same idiom as MaybeCompress.
+    const double unit =
+        static_cast<double>(
+            SplitMix64((baseline * 0x9e3779b97f4a7c15ull) ^
+                       record.content_seed ^ 0xde17ac0deull)
+                .Next() >>
+            11) *
+        0x1.0p-53;
+    ratio = std::clamp(
+        delta.mean_ratio + (unit * 2.0 - 1.0) * delta.ratio_jitter, 0.02,
+        1.0);
+  }
+  // Oversized deltas fall back to the full page (QEMU's xbzrle overflow).
+  if (ratio > delta.max_ratio) return false;
+  record.is_delta = true;
+  record.has_payload = true;
+  record.baseline_seed = baseline;
+  record.payload_wire_bytes = static_cast<std::uint32_t>(
+      std::max(16.0, ratio * static_cast<double>(kPageSize)));
+  delta_bytes_pending_ += kPageSize;
+  ++stats_.pages_sent_delta;
+  stats_.delta_bytes_original += Bytes{kPageSize};
+  stats_.delta_bytes_on_wire += Bytes{record.payload_wire_bytes};
+  return true;
+}
+
+void SourceActor::NoteDestContent(vm::PageId page, std::uint64_t seed) {
+  if (!params_.config.delta.enabled) return;
+  dest_view_[page] = seed;
+  dest_view_known_[page] = 1;
+}
+
+Bytes SourceActor::TotalPayloadSent() const {
+  Bytes total;
+  for (const auto* channel : params_.channels) {
+    total += channel->PayloadSent();
+  }
+  return total;
 }
 
 SimTime SourceActor::FlushBatch(std::vector<net::PageRecord>& records,
@@ -266,23 +371,52 @@ SimTime SourceActor::FlushBatch(std::vector<net::PageRecord>& records,
                                  params_.config.compression.compress_rate));
     compress_bytes_pending_ = 0;
   }
+  if (delta_bytes_pending_ > 0) {
+    ready = std::max(ready,
+                     params_.cpu->Work(last_send_, Bytes{delta_bytes_pending_},
+                                       params_.config.delta.encode_rate));
+    delta_bytes_pending_ = 0;
+  }
   // In per-page-query mode a batch may not leave before the destination
   // has answered for every page it contains.
   ready = std::max(ready, query_ready_pending_);
-  net::Message msg;
-  msg.type = net::MessageType::kPageBatch;
-  msg.round = round;
-  msg.records = std::move(records);
-  records.clear();
   last_send_ = std::max(last_send_,
                         std::max(ready, params_.simulator->Now()));
-  return params_.channel->Send(std::move(msg), last_send_);
+  const std::size_t nchan = params_.channels.size();
+  if (nchan == 1) {
+    net::Message msg;
+    msg.type = net::MessageType::kPageBatch;
+    msg.round = round;
+    msg.records = std::move(records);
+    records.clear();
+    return params_.channels[0]->Send(std::move(msg), last_send_);
+  }
+  // Multifd: stripe the batch across the streams by page index. Each
+  // stream is its own TCP connection with its own window pacing, so the
+  // aggregate can exceed the single-stream window cap.
+  std::vector<std::vector<net::PageRecord>> parts(nchan);
+  for (const auto& record : records) {
+    parts[record.page % nchan].push_back(record);
+  }
+  records.clear();
+  SimTime last_arrival = kSimEpoch;
+  for (std::size_t k = 0; k < nchan; ++k) {
+    if (parts[k].empty()) continue;
+    net::Message msg;
+    msg.type = net::MessageType::kPageBatch;
+    msg.round = round;
+    msg.records = std::move(parts[k]);
+    last_arrival = std::max(
+        last_arrival, params_.channels[k]->Send(std::move(msg), last_send_));
+  }
+  return last_arrival;
 }
 
 void SourceActor::BeginRound(SimTime start, std::vector<vm::PageId> pages,
                              bool final_round) {
   ++round_;
   round_start_ = start;
+  round_tx_mark_ = TotalPayloadSent();
   last_send_ = std::max(last_send_, start);
   round_snapshot_ = vm::DirtySnapshot(*params_.memory);
   round_pages_ = std::move(pages);
@@ -330,13 +464,24 @@ void SourceActor::PumpBatches() {
   const SimTime arrival = FlushBatch(batch, hash_bytes, round_);
 
   if (cursor_ < limit) {
-    // Yield the link until this batch's last byte is serialized; other
-    // traffic (e.g. a concurrent migration) can slot in between.
-    const SimTime next =
-        arrival == kSimEpoch
-            ? params_.simulator->Now()
-            : std::max(params_.simulator->Now(),
-                       arrival - params_.channel->Latency());
+    SimTime next = params_.simulator->Now();
+    if (arrival != kSimEpoch) {
+      if (params_.channels.size() == 1) {
+        // Yield the link until this batch's last byte is serialized;
+        // other traffic (e.g. a concurrent migration) can slot in
+        // between.
+        next = std::max(next, arrival - params_.channels[0]->Latency());
+      } else {
+        // Multifd: the streams pace themselves (window cap); produce the
+        // next batch when the least-loaded stream may inject again, so
+        // the pump neither runs ahead of the wire nor starves it.
+        SimTime min_slot = params_.channels[0]->NextStreamSlot();
+        for (const auto* channel : params_.channels) {
+          min_slot = std::min(min_slot, channel->NextStreamSlot());
+        }
+        next = std::max(next, min_slot);
+      }
+    }
     params_.simulator->ScheduleAt(next, Guarded([this] { PumpBatches(); }));
     return;
   }
@@ -344,11 +489,16 @@ void SourceActor::PumpBatches() {
 }
 
 void SourceActor::FinishRound() {
-  net::Message end;
-  end.round = round_;
-  end.type = round_is_final_ ? net::MessageType::kDone
-                             : net::MessageType::kRoundEnd;
-  params_.channel->Send(std::move(end), last_send_);
+  // One marker per channel (QEMU's MULTIFD_FLUSH): per-channel FIFO
+  // ordering puts each marker behind that channel's data, and the
+  // destination acts only once every channel's marker has arrived.
+  for (auto* channel : params_.channels) {
+    net::Message end;
+    end.round = round_;
+    end.type = round_is_final_ ? net::MessageType::kDone
+                               : net::MessageType::kRoundEnd;
+    channel->Send(std::move(end), last_send_);
+  }
   if (round_is_final_) final_sent_ = true;
 }
 
@@ -366,6 +516,44 @@ void SourceActor::OnRoundAck(SimTime arrival) {
   const bool out_of_rounds = round_ + 1 >= params_.config.max_rounds;
   const bool small_enough =
       dirty.size() <= params_.config.stop_copy_threshold_pages;
+
+  // Auto-converge (QEMU's capability of the same name): when the guest
+  // dirties faster than the wire drains, progressively force-idle its
+  // vCPUs so the dirty set shrinks and pre-copy terminates. The throttle
+  // persists until the migration ends (the engine restores full speed).
+  const auto& converge = params_.config.auto_converge;
+  if (converge.enabled && params_.workload != nullptr && !small_enough &&
+      !out_of_rounds) {
+    const Bytes sent = TotalPayloadSent() - round_tx_mark_;
+    const double dirtied_bytes =
+        static_cast<double>(dirty.size()) * static_cast<double>(kPageSize);
+    const bool diverging =
+        sent.count > 0 &&
+        dirtied_bytes >
+            converge.divergence_ratio * static_cast<double>(sent.count);
+    if (diverging) {
+      ++diverge_streak_;
+      if (diverge_streak_ >= converge.trigger_rounds) {
+        const std::uint32_t steps = diverge_streak_ - converge.trigger_rounds;
+        throttle_ = std::min(
+            converge.max_throttle,
+            converge.initial_throttle +
+                static_cast<double>(steps) * converge.throttle_increment);
+      }
+    } else {
+      diverge_streak_ = 0;
+    }
+    if (throttle_ > 0.0) {
+      params_.workload->SetThrottle(1.0 - throttle_);
+      ++stats_.throttle_rounds;
+      stats_.max_throttle = std::max(stats_.max_throttle, throttle_);
+      if (params_.tracer != nullptr) {
+        params_.tracer->Counter(params_.trace_track,
+                                params_.tracer->Name("cpu_throttle"), arrival,
+                                throttle_);
+      }
+    }
+  }
 
   if (params_.tracer != nullptr) {
     auto& tracer = *params_.tracer;

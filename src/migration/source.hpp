@@ -33,7 +33,10 @@ class SourceActor {
  public:
   struct Params {
     sim::Simulator* simulator = nullptr;
-    net::Channel* channel = nullptr;  ///< source -> destination
+    /// Forward (source -> destination) channels. One entry is the classic
+    /// single-stream engine; several entries are multifd streams, and page
+    /// records stripe across them by page index (page % channels.size()).
+    std::vector<net::Channel*> channels;
     sim::ChecksumEngine* cpu = nullptr;
     vm::GuestMemory* memory = nullptr;  ///< the live VM
     vm::Workload* workload = nullptr;   ///< nullable: frozen guest
@@ -50,6 +53,16 @@ class SourceActor {
     /// Per-page generation counters at the moment the VM last left the
     /// destination host (Miyakodori state); empty disables dirty skips.
     std::vector<std::uint64_t> departure_generations;
+
+    /// Per-page content seeds at the moment the VM last left the
+    /// destination host — what the destination's recycled checkpoint
+    /// holds, and hence the round-1 baseline for XBZRLE-style delta
+    /// encoding (DeltaConfig). Empty disables round-1 deltas; later
+    /// rounds still delta against content this migration already sent.
+    /// The engine clears this unless the destination actually restored a
+    /// geometry-matching checkpoint (rot is fine: a rotten page fails the
+    /// destination's baseline check and degrades per page).
+    std::vector<std::uint64_t> departure_seeds;
 
     /// Per-page query oracle (HashExchangeMode::kPerPageQuery): answers
     /// whether the destination's checkpoint holds `digest`, and the wire
@@ -153,10 +166,26 @@ class SourceActor {
   /// sets the payload's wire size and accrues the compression CPU cost.
   void MaybeCompress(net::PageRecord& record);
 
-  /// Sends the accumulated records; returns the batch's arrival time at
-  /// the destination (kSimEpoch when there was nothing to send).
+  /// Attempts to turn `record` (page + content_seed already set) into an
+  /// XBZRLE-style delta against the content the destination is believed
+  /// to hold. Returns false — leaving the record untouched — when delta
+  /// encoding is off, the baseline is unknown (or the zero page), or the
+  /// encoded size would exceed DeltaConfig::max_ratio.
+  bool TryDelta(net::PageRecord& record);
+
+  /// Records that, once everything queued so far lands, the destination
+  /// holds `seed` for `page` — the source-side view delta encoding works
+  /// from. No-op unless delta encoding is enabled.
+  void NoteDestContent(vm::PageId page, std::uint64_t seed);
+
+  /// Sends the accumulated records; returns the last arrival time at the
+  /// destination (kSimEpoch when there was nothing to send). With several
+  /// channels the records stripe by page index (page % channel count).
   SimTime FlushBatch(std::vector<net::PageRecord>& records,
                      std::uint64_t hash_bytes, std::uint32_t round);
+
+  /// Sum of payload bytes booked across every forward channel.
+  [[nodiscard]] Bytes TotalPayloadSent() const;
 
   [[nodiscard]] bool DestHas(const Digest128& digest) const;
 
@@ -191,6 +220,21 @@ class SourceActor {
 
   /// Original bytes awaiting the compression CPU charge at the next flush.
   std::uint64_t compress_bytes_pending_ = 0;
+
+  /// Original bytes awaiting the delta-encode CPU charge at the next flush.
+  std::uint64_t delta_bytes_pending_ = 0;
+
+  /// Delta-encoding view of the destination: the content seed the
+  /// destination holds per page once in-flight sends land. Pre-seeded
+  /// from departure_seeds (the recycled checkpoint), updated on every
+  /// record that establishes content. Empty when delta encoding is off.
+  std::vector<std::uint64_t> dest_view_;
+  std::vector<std::uint8_t> dest_view_known_;
+
+  // Auto-converge state (AutoConvergeConfig).
+  Bytes round_tx_mark_;               ///< TotalPayloadSent() at round start
+  std::uint32_t diverge_streak_ = 0;  ///< consecutive diverging rounds
+  double throttle_ = 0.0;             ///< current guest throttle fraction
 
   // Round iteration state, consumed batch-by-batch by PumpBatches().
   std::vector<vm::PageId> round_pages_;  ///< empty in round 1 (walk RAM)

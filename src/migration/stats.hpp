@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/units.hpp"
 
@@ -61,6 +62,29 @@ struct MigrationStats {
   /// payloads (equal when compression is disabled — both stay zero).
   Bytes payload_bytes_original;
   Bytes payload_bytes_on_wire;
+
+  // Transfer-stack accounting (docs/migration.md "Transfer stack").
+  /// Forward channels the session used (1 unless multifd was enabled).
+  std::uint32_t multifd_channels = 1;
+  /// Per-channel source -> destination payload; sums to tx_bytes. One
+  /// entry per forward channel, indexed by stream.
+  std::vector<Bytes> tx_bytes_per_channel;
+  /// Pages shipped as XBZRLE-style deltas against the destination's
+  /// baseline (DeltaConfig), and their original vs encoded sizes. Delta
+  /// pages are a subset of pages_sent_full / pages_resent_dirty (they are
+  /// still content sends), so the round-1 conservation invariant holds
+  /// unchanged.
+  std::uint64_t pages_sent_delta = 0;
+  Bytes delta_bytes_original;
+  Bytes delta_bytes_on_wire;
+  /// Delta records the destination rejected because its local content did
+  /// not match the encoded baseline (rotten recycled checkpoint); each
+  /// fell back to a full-content resend and is included in fallback_pages.
+  std::uint64_t pages_delta_fallback = 0;
+  /// Auto-converge: rounds during which the guest was throttled, and the
+  /// strongest throttle applied (0 = never throttled).
+  std::uint64_t throttle_rounds = 0;
+  double max_throttle = 0.0;
 
   /// Field-wise equality — the caching-invariance tests assert that two
   /// runs of the same scenario report identical simulated quantities.

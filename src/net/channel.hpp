@@ -5,8 +5,11 @@
 // latency.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <utility>
 
 #include "audit/audit.hpp"
@@ -68,13 +71,45 @@ class Channel {
   void SetSessionTag(std::uint64_t session) { session_tag_ = session; }
   [[nodiscard]] std::uint64_t SessionTag() const { return session_tag_; }
 
-  /// Attaches a trace recorder that receives a cumulative wire-byte counter
-  /// on `track` at each send's start time; nullptr detaches.
-  void SetTracer(obs::TraceRecorder* tracer, obs::TrackId track = 0) {
+  /// Attaches a trace recorder that receives a cumulative wire-byte
+  /// counter and an in-flight queue-depth counter on `track`; nullptr
+  /// detaches. `label` distinguishes this channel's series when several
+  /// channels of one session share a process (multifd): non-empty, the
+  /// counters are named "wire_bytes[label]" / "queue_depth[label]" so the
+  /// per-channel timelines stay separate instead of aggregating into one
+  /// misleading series. Empty keeps the historical bare names.
+  void SetTracer(obs::TraceRecorder* tracer, obs::TrackId track = 0,
+                 std::string_view label = {}) {
     tracer_ = tracer;
     tracer_track_ = track;
-    if (tracer_ != nullptr) tracer_counter_ = tracer_->Name("wire_bytes");
+    if (tracer_ != nullptr) {
+      std::string wire_name = "wire_bytes";
+      std::string depth_name = "queue_depth";
+      if (!label.empty()) {
+        wire_name += "[";
+        wire_name += label;
+        wire_name += "]";
+        depth_name += "[";
+        depth_name += label;
+        depth_name += "]";
+      }
+      tracer_counter_ = tracer_->Name(wire_name);
+      tracer_depth_counter_ = tracer_->Name(depth_name);
+    }
   }
+
+  /// Switches this channel to the multifd stream path: sends serialize at
+  /// the link's line rate, and the channel paces its own injections at
+  /// the per-stream window rate (sim::Link::StreamPace) — one TCP stream
+  /// among many sharing the wire. Off (the default), sends go through
+  /// Link::Transmit, byte-identical to the pre-multifd engine.
+  void SetWindowPaced(bool paced) { window_paced_ = paced; }
+  [[nodiscard]] bool WindowPaced() const { return window_paced_; }
+
+  /// Earliest time this stream may inject its next message under the
+  /// window pacing above (kSimEpoch before the first send). The multifd
+  /// source pump paces batch production off the least-loaded stream.
+  [[nodiscard]] SimTime NextStreamSlot() const { return stream_next_; }
 
   /// Routes delivery (and fault-notification) closures through `executor`
   /// instead of scheduling them on the sending simulator — the seam the
@@ -91,10 +126,19 @@ class Channel {
   SimTime Send(Message message, SimTime earliest) {
     VEC_CHECK_MSG(receiver_ != nullptr, "channel has no receiver");
     message.session = session_tag_;
-    const SimTime start = std::max(earliest, simulator_.Now());
+    SimTime start = std::max(earliest, simulator_.Now());
     const Bytes wire = message.WireSize(algorithm_);
     sim::Link::TransmitInfo info;
-    const SimTime arrival = link_.Transmit(direction_, start, wire, &info);
+    SimTime arrival;
+    if (window_paced_) {
+      // One TCP stream of a multifd session: the wire serializes at line
+      // rate, the stream injects no faster than its window allows.
+      start = std::max(start, stream_next_);
+      arrival = link_.TransmitLineRate(direction_, start, wire, &info);
+      stream_next_ = info.start + link_.StreamPace(wire);
+    } else {
+      arrival = link_.Transmit(direction_, start, wire, &info);
+    }
     payload_sent_ += wire;
     ++messages_sent_;
     if (auditor_ != nullptr) {
@@ -105,6 +149,9 @@ class Channel {
     if (tracer_ != nullptr) {
       tracer_->Counter(tracer_track_, tracer_counter_, start,
                        static_cast<double>(payload_sent_.count));
+      ++in_flight_;
+      tracer_->Counter(tracer_track_, tracer_depth_counter_, start,
+                       static_cast<double>(in_flight_));
     }
     if (info.cut) {
       // The wire time was booked and charged, but the message is lost.
@@ -118,6 +165,7 @@ class Channel {
                     const auto alive = guard.lock();
                     if (alive == nullptr || !*alive) return;
                   }
+                  RecordDelivered(arrival);
                   if (on_fault_ != nullptr) on_fault_(arrival);
                 });
       return arrival;
@@ -129,6 +177,7 @@ class Channel {
         const auto alive = guard.lock();
         if (alive == nullptr || !*alive) return;
       }
+      RecordDelivered(arrival);
       receiver_(std::move(msg), arrival);
     });
     return arrival;
@@ -146,6 +195,17 @@ class Channel {
   [[nodiscard]] DigestAlgorithm Algorithm() const { return algorithm_; }
 
  private:
+  /// Queue-depth bookkeeping at delivery (or cut-notification) time. Only
+  /// meaningful when a tracer is attached — and tracers are rejected for
+  /// cross-shard sessions, so the decrement always runs on the sending
+  /// simulator's thread, racelessly.
+  void RecordDelivered(SimTime arrival) {
+    if (tracer_ == nullptr) return;
+    if (in_flight_ > 0) --in_flight_;
+    tracer_->Counter(tracer_track_, tracer_depth_counter_, arrival,
+                     static_cast<double>(in_flight_));
+  }
+
   void DeliverAt(SimTime when, std::function<void()> action) {
     if (delivery_ != nullptr) {
       delivery_->DeliverAt(when, std::move(action));
@@ -167,7 +227,11 @@ class Channel {
   obs::TraceRecorder* tracer_ = nullptr;
   obs::TrackId tracer_track_ = 0;
   obs::NameId tracer_counter_ = 0;
+  obs::NameId tracer_depth_counter_ = 0;
   std::uint64_t session_tag_ = 0;
+  bool window_paced_ = false;
+  SimTime stream_next_ = kSimEpoch;
+  std::uint64_t in_flight_ = 0;
   Bytes payload_sent_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_cut_ = 0;

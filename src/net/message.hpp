@@ -23,9 +23,14 @@ namespace vecycle::net {
 enum class MessageType {
   kPageBatch,   ///< page records (full pages and/or checksum-only)
   kBulkHashes,  ///< destination -> source: checksums of available pages
-  kRoundEnd,    ///< source -> destination: round boundary marker
+  /// source -> destination: round boundary marker. With multifd active
+  /// the source sends one marker per channel (QEMU's MULTIFD_FLUSH); the
+  /// destination acks only after all of them have arrived.
+  kRoundEnd,
   kRoundAck,    ///< destination -> source: all round data applied
-  kDone,        ///< source -> destination: migration complete (VM paused)
+  /// source -> destination: migration complete (VM paused). One marker
+  /// per multifd channel, like kRoundEnd.
+  kDone,
   kDoneAck,     ///< destination -> source: VM resumed at destination
   /// destination -> source: pages whose checksum-only records could not
   /// be satisfied locally (checkpoint rot or a failed block read); the
@@ -61,10 +66,21 @@ struct PageRecord {
   /// flag travels in the header (no wire cost) so the destination can
   /// retire the matching outstanding request.
   bool is_resend = false;
+  /// True when the payload is an XBZRLE-style delta against the content
+  /// the destination already holds for this page (recycled-checkpoint
+  /// baseline in round 1, the previously sent content afterwards). The
+  /// destination must verify its current content equals `baseline_seed`
+  /// before applying; a mismatch (rotten baseline) degrades to the
+  /// kResendRequest full-content path.
+  bool is_delta = false;
   /// Content identity of the page (always set by the sender). The
   /// simulation transfers content by seed; byte payloads are reconstructed
   /// deterministically on the receiving side.
   std::uint64_t content_seed = 0;
+  /// Baseline the delta was encoded against (is_delta only). Travels in
+  /// the record header like content_seed — the sim's transfer-by-seed
+  /// shortcut, no wire cost beyond the encoded payload itself.
+  std::uint64_t baseline_seed = 0;
   /// Bytes the payload occupies on the wire: kPageSize uncompressed, less
   /// when wire compression is active. Ignored unless has_payload.
   std::uint32_t payload_wire_bytes = static_cast<std::uint32_t>(kPageSize);

@@ -87,13 +87,42 @@ class Link {
   /// `info` (the wire time is still booked — the sender spent it).
   SimTime Transmit(Direction dir, SimTime earliest, Bytes payload,
                    TransmitInfo* info = nullptr) {
+    return TransmitAt(dir, earliest, payload, config_.EffectiveBandwidth(),
+                      info);
+  }
+
+  /// Multifd stream path: serialization happens at the link's *line*
+  /// rate, not the window-capped per-stream rate. Each multifd channel is
+  /// its own TCP stream; the per-stream window cap limits how fast one
+  /// stream may inject (the caller — net::Channel — spaces successive
+  /// sends by StreamPace()), while the shared wire serializes all streams
+  /// at line rate. N streams therefore aggregate to
+  /// min(line rate, N * window rate), which is exactly why real multifd
+  /// speeds up window-bound WAN migrations. Single-channel sessions keep
+  /// using Transmit() — byte-identical to the pre-multifd engine.
+  SimTime TransmitLineRate(Direction dir, SimTime earliest, Bytes payload,
+                           TransmitInfo* info = nullptr) {
+    return TransmitAt(dir, earliest, payload, config_.bandwidth, info);
+  }
+
+  /// Time one TCP stream needs between successive injections of
+  /// `payload` (framed) to honor the flow-window cap. Pairs with
+  /// TransmitLineRate above.
+  [[nodiscard]] SimDuration StreamPace(Bytes payload) const {
+    const auto wire_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(payload.count) * kFramingOverhead);
+    return config_.EffectiveBandwidth().TimeFor(Bytes{wire_bytes});
+  }
+
+ private:
+  SimTime TransmitAt(Direction dir, SimTime earliest, Bytes payload,
+                     ByteRate rate, TransmitInfo* info) {
     // Ethernet/IP/TCP framing: ~1448 payload bytes per 1538 wire bytes.
     // This is what turns 1 Gbps into the ~112-118 MiB/s of goodput real
     // migrations see.
     const auto wire_bytes = static_cast<std::uint64_t>(
         static_cast<double>(payload.count) * kFramingOverhead);
-    SimDuration serialize =
-        config_.EffectiveBandwidth().TimeFor(Bytes{wire_bytes});
+    SimDuration serialize = rate.TimeFor(Bytes{wire_bytes});
     auto& server = dir == Direction::kAtoB ? a_to_b_ : b_to_a_;
     if (injector_ != nullptr) {
       const double factor =
@@ -118,6 +147,7 @@ class Link {
     return booking.end + config_.latency;
   }
 
+ public:
   /// Attaches a fault injector consulted on every transmission; pass
   /// nullptr to detach. The caller owns the injector.
   void SetFaultInjector(fault::FaultInjector* injector) {

@@ -55,6 +55,13 @@ class GuestMemory {
 
   [[nodiscard]] std::uint64_t Seed(PageId page) const;
 
+  /// Every page's content seed, by page index — the whole-memory
+  /// counterpart of Seed(). Callers snapshot this at departure time as
+  /// the delta-encoding baseline of a future return migration.
+  [[nodiscard]] const std::vector<std::uint64_t>& Seeds() const {
+    return seeds_;
+  }
+
   /// Overwrites `page` with new content. Bumps the generation counter even
   /// if the seed is unchanged (a store is a store — this is what makes
   /// dirty tracking overestimate, §4.3).

@@ -44,7 +44,7 @@ IdleWorkload::IdleWorkload(Config config)
 
 void IdleWorkload::Advance(GuestMemory& memory, SimDuration dt) {
   const std::uint64_t writes =
-      OpsFor(config_.write_rate_pages_per_s, dt, carry_);
+      OpsFor(Throttled(config_.write_rate_pages_per_s), dt, carry_);
   const std::uint64_t region =
       std::min(config_.hot_region_pages, memory.PageCount());
   for (std::uint64_t i = 0; i < writes; ++i) {
@@ -59,7 +59,7 @@ UniformRandomWorkload::UniformRandomWorkload(double write_rate_pages_per_s,
 }
 
 void UniformRandomWorkload::Advance(GuestMemory& memory, SimDuration dt) {
-  const std::uint64_t writes = OpsFor(rate_, dt, carry_);
+  const std::uint64_t writes = OpsFor(Throttled(rate_), dt, carry_);
   for (std::uint64_t i = 0; i < writes; ++i) {
     memory.WritePage(rng_.NextBelow(memory.PageCount()), FreshSeed(rng_));
   }
@@ -82,7 +82,7 @@ HotspotWorkload::HotspotWorkload(Config config)
 
 void HotspotWorkload::Advance(GuestMemory& memory, SimDuration dt) {
   const std::uint64_t writes =
-      OpsFor(config_.write_rate_pages_per_s, dt, carry_);
+      OpsFor(Throttled(config_.write_rate_pages_per_s), dt, carry_);
   const auto n = memory.PageCount();
   const auto hot_pages = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(config_.hot_fraction *
@@ -140,7 +140,7 @@ PageRemapWorkload::PageRemapWorkload(double swaps_per_s, std::uint64_t seed)
 }
 
 void PageRemapWorkload::Advance(GuestMemory& memory, SimDuration dt) {
-  const std::uint64_t swaps = OpsFor(rate_, dt, carry_);
+  const std::uint64_t swaps = OpsFor(Throttled(rate_), dt, carry_);
   const auto n = memory.PageCount();
   for (std::uint64_t i = 0; i < swaps; ++i) {
     const PageId a = rng_.NextBelow(n);
@@ -159,6 +159,11 @@ void CompositeWorkload::Add(std::unique_ptr<Workload> workload) {
 
 void CompositeWorkload::Advance(GuestMemory& memory, SimDuration dt) {
   for (auto& part : parts_) part->Advance(memory, dt);
+}
+
+void CompositeWorkload::SetThrottle(double keep) {
+  Workload::SetThrottle(keep);
+  for (auto& part : parts_) part->SetThrottle(keep);
 }
 
 }  // namespace vecycle::vm

@@ -26,6 +26,23 @@ class Workload {
 
   /// Applies `dt` worth of guest activity to `memory`.
   virtual void Advance(GuestMemory& memory, SimDuration dt) = 0;
+
+  /// Auto-converge hook (QEMU's cpu-throttle): scales the workload's
+  /// write rate to `keep` (in [0, 1]) of nominal, modeling the guest's
+  /// vCPUs being force-idled so pre-copy can catch up. 1.0 restores full
+  /// speed. Composite workloads propagate to every part.
+  virtual void SetThrottle(double keep) { throttle_keep_ = keep; }
+  [[nodiscard]] double ThrottleKeep() const { return throttle_keep_; }
+
+ protected:
+  /// Rate after the auto-converge throttle; concrete Advance bodies route
+  /// their nominal rates through this.
+  [[nodiscard]] double Throttled(double rate_per_s) const {
+    return rate_per_s * throttle_keep_;
+  }
+
+ private:
+  double throttle_keep_ = 1.0;
 };
 
 /// An idle guest: background daemons touch a small fixed working set plus a
@@ -149,6 +166,7 @@ class CompositeWorkload : public Workload {
  public:
   void Add(std::unique_ptr<Workload> workload);
   void Advance(GuestMemory& memory, SimDuration dt) override;
+  void SetThrottle(double keep) override;
 
  private:
   std::vector<std::unique_ptr<Workload>> parts_;

@@ -288,6 +288,128 @@ TEST(CompressionConfigValidate, CheckedEvenWhenDisabled) {
   EXPECT_THROW(config.Validate(), CheckFailure);
 }
 
+TEST(MultifdConfigValidate, RejectsOutOfRangeChannelCounts) {
+  using migration::MultifdConfig;
+  // Both ends of the range trip the same bounds check (one knob, one
+  // diagnostic), so no distinctness to assert here.
+  RejectionMessage<MultifdConfig>(
+      [](auto& c) { c.channels = 0; }, "multifd channels must be in [1, 16]");
+  RejectionMessage<MultifdConfig>(
+      [](auto& c) { c.channels = MultifdConfig::kMaxChannels + 1; },
+      "multifd channels");
+  EXPECT_NO_THROW(MultifdConfig{}.Validate());
+
+  // Boundary values the audit channel-id scheme can still represent.
+  MultifdConfig full;
+  full.enabled = true;
+  full.channels = MultifdConfig::kMaxChannels;
+  EXPECT_NO_THROW(full.Validate());
+  MultifdConfig one;
+  one.enabled = true;
+  one.channels = 1;
+  EXPECT_NO_THROW(one.Validate());
+  EXPECT_EQ(one.ActiveChannels(), 1u);
+  EXPECT_EQ(MultifdConfig{}.ActiveChannels(), 1u);
+}
+
+TEST(MultifdConfigValidate, CheckedEvenWhenDisabled) {
+  migration::MultifdConfig config;
+  config.enabled = false;
+  config.channels = 0;
+  EXPECT_THROW(config.Validate(), CheckFailure);
+}
+
+TEST(DeltaConfigValidate, RejectsEachInvalidFieldDistinctly) {
+  using migration::DeltaConfig;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<DeltaConfig>(
+      [](auto& c) { c.mean_ratio = 0.0; },
+      "delta mean_ratio must be in (0, 1]"));
+  messages.push_back(RejectionMessage<DeltaConfig>(
+      [](auto& c) { c.ratio_jitter = -0.1; },
+      "delta ratio_jitter must be in [0, 1]"));
+  messages.push_back(RejectionMessage<DeltaConfig>(
+      [](auto& c) { c.max_ratio = 1.5; },
+      "delta max_ratio must be in (0, 1]"));
+  messages.push_back(RejectionMessage<DeltaConfig>(
+      [](auto& c) { c.encode_rate = MiBPerSecond(0.0); },
+      "delta encode_rate must be positive"));
+  messages.push_back(RejectionMessage<DeltaConfig>(
+      [](auto& c) { c.decode_rate = MiBPerSecond(0.0); },
+      "delta decode_rate must be positive"));
+  ExpectDistinct(messages);
+  EXPECT_NO_THROW(DeltaConfig{}.Validate());
+
+  DeltaConfig boundary;
+  boundary.mean_ratio = 1.0;
+  boundary.ratio_jitter = 0.0;
+  boundary.max_ratio = 1.0;
+  EXPECT_NO_THROW(boundary.Validate());
+}
+
+TEST(DeltaConfigValidate, CheckedEvenWhenDisabled) {
+  migration::DeltaConfig config;
+  config.enabled = false;
+  config.max_ratio = -1.0;
+  EXPECT_THROW(config.Validate(), CheckFailure);
+}
+
+TEST(AutoConvergeConfigValidate, RejectsEachInvalidFieldDistinctly) {
+  using migration::AutoConvergeConfig;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<AutoConvergeConfig>(
+      [](auto& c) { c.initial_throttle = 1.0; },
+      "auto-converge initial_throttle must be in [0, 1)"));
+  messages.push_back(RejectionMessage<AutoConvergeConfig>(
+      [](auto& c) { c.throttle_increment = 0.0; },
+      "auto-converge throttle_increment must be in (0, 1)"));
+  messages.push_back(RejectionMessage<AutoConvergeConfig>(
+      [](auto& c) { c.max_throttle = 0.0; },
+      "auto-converge max_throttle must be in (0, 1)"));
+  messages.push_back(RejectionMessage<AutoConvergeConfig>(
+      [](auto& c) {
+        c.initial_throttle = 0.5;
+        c.max_throttle = 0.3;
+      },
+      "auto-converge max_throttle must be >= initial_throttle"));
+  messages.push_back(RejectionMessage<AutoConvergeConfig>(
+      [](auto& c) { c.divergence_ratio = 0.0; },
+      "auto-converge divergence_ratio must be positive"));
+  messages.push_back(RejectionMessage<AutoConvergeConfig>(
+      [](auto& c) { c.trigger_rounds = 0; },
+      "auto-converge trigger_rounds must be positive"));
+  ExpectDistinct(messages);
+  EXPECT_NO_THROW(AutoConvergeConfig{}.Validate());
+
+  // Boundary: the guest may start unthrottled (0) and the first step may
+  // also be the ceiling.
+  AutoConvergeConfig boundary;
+  boundary.initial_throttle = 0.0;
+  boundary.max_throttle = 0.99;
+  EXPECT_NO_THROW(boundary.Validate());
+}
+
+TEST(AutoConvergeConfigValidate, CheckedEvenWhenDisabled) {
+  migration::AutoConvergeConfig config;
+  config.enabled = false;
+  config.trigger_rounds = 0;
+  EXPECT_THROW(config.Validate(), CheckFailure);
+}
+
+TEST(MigrationConfigValidate, ChecksTransferStackSubConfigs) {
+  // MigrationConfig::Validate must reach all three transfer-stack
+  // sub-configs, not just its own scalar fields.
+  migration::MigrationConfig bad_multifd;
+  bad_multifd.multifd.channels = 0;
+  EXPECT_THROW(bad_multifd.Validate(), CheckFailure);
+  migration::MigrationConfig bad_delta;
+  bad_delta.delta.mean_ratio = -1.0;
+  EXPECT_THROW(bad_delta.Validate(), CheckFailure);
+  migration::MigrationConfig bad_converge;
+  bad_converge.auto_converge.max_throttle = 1.0;
+  EXPECT_THROW(bad_converge.Validate(), CheckFailure);
+}
+
 TEST(WorkloadConfigValidate, IdleRejectsImpossibleRatesAndRegions) {
   using vm::IdleWorkload;
   std::vector<std::string> messages;
@@ -334,6 +456,13 @@ TEST(AllValidates, MessagesAreGloballyDistinct) {
       RejectionMessage<core::HostConfig>([](auto&) {}, "host id"),
       RejectionMessage<storage::RetentionPolicy>(
           [](auto& c) { c.disk_quota = Bytes{1}; }, "disk_quota"),
+      RejectionMessage<migration::MultifdConfig>(
+          [](auto& c) { c.channels = 0; }, "multifd channels"),
+      RejectionMessage<migration::DeltaConfig>(
+          [](auto& c) { c.mean_ratio = 0.0; }, "delta mean_ratio"),
+      RejectionMessage<migration::AutoConvergeConfig>(
+          [](auto& c) { c.trigger_rounds = 0; },
+          "auto-converge trigger_rounds"),
   };
   ExpectDistinct(messages);
 }

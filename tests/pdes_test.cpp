@@ -281,6 +281,70 @@ TEST(PdesDeterminism, IntraShardFaultSweepReplaysAcrossWorkerCounts) {
   EXPECT_TRUE(sweep.Deterministic());
 }
 
+TEST(PdesDeterminism, MultifdSessionsReplayUnderChannelFaults) {
+  // The transfer stack under the worker sweep: four forward streams per
+  // session on a flaky intra-shard link, so outages cut individual
+  // multifd channel messages mid-round. Striping, per-channel round
+  // markers, retries and the auto-converge throttle state must all
+  // replay bit-for-bit at any worker count.
+  const auto scenario = [](std::size_t workers) -> std::uint64_t {
+    fault::FaultConfig fault_config;
+    fault_config.enabled = true;
+    fault_config.seed = 29;
+    fault_config.link_outages_per_hour = 6.0;
+    fault_config.link_outage_mean = Seconds(2.0);
+    fault_config.horizon = Hours(4.0);
+
+    sim::ShardedSimulator pdes(2);
+    core::Cluster cluster(pdes.Shard(0));
+    sim::ShardPlan plan;
+    std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+    for (std::uint32_t site = 0; site < 2; ++site) {
+      cluster.AddHost({HostName(site, 0), sim::DiskConfig::Ssd(), {}, {}});
+      cluster.AddHost({HostName(site, 1), sim::DiskConfig::Ssd(), {}, {}});
+      plan.Assign(HostName(site, 0), site);
+      plan.Assign(HostName(site, 1), site);
+      sim::Link& link = cluster.Connect(HostName(site, 0), HostName(site, 1),
+                                        sim::LinkConfig::Lan());
+      injectors.push_back(
+          std::make_unique<fault::FaultInjector>(fault_config));
+      link.SetFaultInjector(injectors.back().get());
+    }
+    const auto window = injectors.front()->LinkOutages().front();
+
+    SchedulerConfig sconfig;
+    sconfig.workers = workers;
+    sconfig.max_attempts = 10;
+    MigrationScheduler scheduler(cluster, pdes, plan, sconfig);
+    pdes.AdvanceAllTo(window.start - Milliseconds(1.0));
+
+    migration::MigrationConfig config;
+    config.strategy = migration::Strategy::kFull;
+    config.multifd.enabled = true;
+    config.multifd.channels = 4;
+    config.auto_converge.enabled = true;
+    std::vector<std::unique_ptr<VmInstance>> fleet;
+    for (std::uint32_t site = 0; site < 2; ++site) {
+      for (std::uint64_t v = 0; v < 2; ++v) {
+        fleet.push_back(std::make_unique<VmInstance>(
+            "vm-" + std::to_string(site * 2 + v), MiB(4),
+            vm::ContentMode::kSeedOnly));
+        Xoshiro256 rng(0xfd017u + site * 2 + v);
+        vm::MemoryProfile{}.Apply(fleet.back()->Memory(), rng);
+        fleet.back()->SetCurrentHost(HostName(site, 0));
+        scheduler.Submit(*fleet.back(), HostName(site, 1), config);
+      }
+    }
+    const std::size_t completed = scheduler.Drain();
+    VEC_CHECK_MSG(completed == fleet.size(),
+                  "multifd fault sweep: not every VM migrated");
+    std::uint64_t folded =
+        SplitMix64(scheduler.CombinedFingerprint() ^ completed).Next();
+    return SplitMix64(folded ^ scheduler.Retries()).Next();
+  };
+  audit::ReplayCheck::VerifyWorkers(scenario, {1, 2, 4});
+}
+
 // --- Saturating retry backoff ------------------------------------------
 
 TEST(SchedulerBackoff, RetryNotBeforeDoublesThenSaturates) {

@@ -476,6 +476,144 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // =====================================================================
+// Transfer-stack conservation: multifd per-channel accounts and delta
+// byte/page counters must reconcile against the link's own byte totals,
+// for every (channels, delta) combination — forward wire bytes are the
+// sum over channels, delta pages stay a subset of content sends, and
+// the decoded memory digests equal to the source either way.
+// =====================================================================
+
+struct TransferStackCase {
+  std::uint32_t channels;
+  bool delta;
+  bool compression;
+};
+
+class TransferStackConservation
+    : public ::testing::TestWithParam<TransferStackCase> {};
+
+TEST_P(TransferStackConservation, ChannelAndDeltaAccountingReconcile) {
+  const auto param = GetParam();
+
+  sim::Simulator simulator;
+  sim::Link link(sim::LinkConfig::Lan());
+  sim::ChecksumEngine src_cpu{sim::ChecksumEngineConfig{}};
+  sim::ChecksumEngine dst_cpu{sim::ChecksumEngineConfig{}};
+  sim::Disk dst_disk{sim::DiskConfig::Hdd()};
+  storage::CheckpointStore dst_store{dst_disk};
+
+  vm::GuestMemory memory(MiB(16), vm::ContentMode::kSeedOnly);
+  Xoshiro256 rng(0x7f5);
+  vm::MemoryProfile{}.Apply(memory, rng);
+
+  // Return-migration setup: recycled checkpoint + departure seeds, then
+  // churn, so delta encoding has a baseline and later rounds resend.
+  const auto departure_seeds = memory.Seeds();
+  const auto departure_generations = memory.Generations();
+  dst_store.Save("vm", storage::Checkpoint::CaptureFrom(memory), kSimEpoch);
+  vm::UniformRandomWorkload churn(400.0, 0x5ef);
+  churn.Advance(memory, Seconds(30.0));
+
+  migration::MigrationRun run;
+  run.simulator = &simulator;
+  run.link = &link;
+  run.direction = sim::Direction::kAtoB;
+  run.source_memory = &memory;
+  run.workload = &churn;
+  run.source = {&src_cpu, nullptr};
+  run.destination = {&dst_cpu, &dst_store};
+  run.vm_id = "vm";
+  run.config.strategy = migration::Strategy::kHashes;
+  run.config.audit = true;  // per-channel byte-conservation audits armed
+  run.config.multifd.enabled = param.channels > 1;
+  run.config.multifd.channels = param.channels;
+  run.config.delta.enabled = param.delta;
+  run.config.compression.enabled = param.compression;
+  run.config.stop_copy_threshold_pages = 64;
+  run.departure_generations = departure_generations;
+  run.departure_seeds = departure_seeds;
+  const double delta_max_ratio = run.config.delta.max_ratio;
+
+  const auto outcome = migration::RunMigration(std::move(run));
+  const auto& stats = outcome.stats;
+  const auto& fwd = link.Stats(sim::Direction::kAtoB);
+  const auto& bwd = link.Stats(sim::Direction::kBtoA);
+
+  // The decoded destination image digests equal to the source.
+  EXPECT_TRUE(outcome.dest_memory->ContentEquals(memory));
+
+  // Multifd accounting: the per-channel byte accounts are complete and
+  // sum to tx_bytes, which is everything the forward wire carried (no
+  // knowledge was given, so the bulk exchange ran backward).
+  EXPECT_EQ(stats.multifd_channels, param.channels);
+  ASSERT_EQ(stats.tx_bytes_per_channel.size(), param.channels);
+  Bytes per_channel_sum;
+  for (const auto bytes : stats.tx_bytes_per_channel) {
+    per_channel_sum += bytes;
+  }
+  EXPECT_EQ(per_channel_sum, stats.tx_bytes);
+  EXPECT_EQ(fwd.payload_bytes.count, stats.tx_bytes.count);
+  // Backward: bulk exchange + one ack per round (+ nothing else in a
+  // fault-free run — no resend requests).
+  EXPECT_EQ(bwd.payload_bytes.count,
+            stats.bulk_exchange_bytes.count +
+                stats.rounds * net::kControlFrameBytes);
+
+  // Round-1 classification is a partition of guest RAM, with delta pages
+  // as a subset of the content sends (not a fifth class).
+  EXPECT_EQ(stats.Round1Pages(), memory.PageCount());
+  EXPECT_LE(stats.pages_sent_delta,
+            stats.pages_sent_full + stats.pages_resent_dirty);
+
+  // Delta accounting: encoded never exceeds original, fraction per page
+  // never exceeds max_ratio (plus the 16-byte token floor), all zero
+  // when the capability is off.
+  EXPECT_LE(stats.delta_bytes_on_wire.count,
+            stats.delta_bytes_original.count);
+  if (param.delta) {
+    EXPECT_GT(stats.pages_sent_delta, 0u);
+    EXPECT_EQ(stats.delta_bytes_original.count,
+              stats.pages_sent_delta * kPageSize);
+    EXPECT_LE(stats.delta_bytes_on_wire.count,
+              static_cast<std::uint64_t>(
+                  static_cast<double>(stats.delta_bytes_original.count) *
+                  delta_max_ratio) +
+                  16 * stats.pages_sent_delta);
+  } else {
+    EXPECT_EQ(stats.pages_sent_delta, 0u);
+    EXPECT_EQ(stats.delta_bytes_original.count, 0u);
+    EXPECT_EQ(stats.delta_bytes_on_wire.count, 0u);
+  }
+  // Pristine checkpoint: the per-page degradation path stayed quiet.
+  EXPECT_EQ(stats.pages_delta_fallback, 0u);
+}
+
+std::vector<TransferStackCase> TransferStackCases() {
+  std::vector<TransferStackCase> cases;
+  for (const std::uint32_t channels : {1u, 2u, 4u, 8u}) {
+    for (const bool delta : {false, true}) {
+      for (const bool compression : {false, true}) {
+        // Delta and compression are mutually exclusive per record; the
+        // combined case proves they partition rather than double-book.
+        cases.push_back(TransferStackCase{channels, delta, compression});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChannelsDeltaCompression, TransferStackConservation,
+    ::testing::ValuesIn(TransferStackCases()),
+    [](const ::testing::TestParamInfo<TransferStackCase>& info) {
+      const auto& c = info.param;
+      std::string name = "ch" + std::to_string(c.channels);
+      name += c.delta ? "_delta" : "_plain";
+      name += c.compression ? "_zlib" : "_raw";
+      return name;
+    });
+
+// =====================================================================
 // Caching invariance: digest memoization is a wall-clock optimization
 // only. Simulated CPU time is charged by the ChecksumEngine regardless
 // of whether the real MD5 ran, so every MigrationStats field must be

@@ -28,11 +28,13 @@ PRECOPY_COUNTERS = {
     "fallback_pages", "disk_read_errors", "retries",
     "source_hashed_bytes", "dest_hashed_bytes", "payload_bytes_original",
     "payload_bytes_on_wire", "total_time_ns", "downtime_ns",
-    "setup_time_ns", "round1_pages",
+    "setup_time_ns", "round1_pages", "multifd_channels",
+    "pages_sent_delta", "delta_bytes_original", "delta_bytes_on_wire",
+    "pages_delta_fallback", "throttle_rounds",
 }
 PRECOPY_GAUGES = {
     "total_time_s", "downtime_s", "setup_time_s", "throughput_mib_per_s",
-    "compression_ratio",
+    "compression_ratio", "max_throttle",
 }
 POSTCOPY_COUNTERS = {
     "remote_faults", "pages_prefetched", "pages_from_checkpoint",
@@ -95,6 +97,23 @@ def validate_metrics(path):
             require(not missing,
                     f"{where}: missing {record['kind']} fields: "
                     f"{sorted(missing)}")
+
+        # Multifd sessions emit one tx_bytes_ch<k> counter per forward
+        # channel; the per-channel bytes must conserve: their sum equals
+        # tx_bytes, with no stray channels beyond multifd_channels.
+        if record["kind"] == "precopy":
+            channels = counters.get("multifd_channels", 1)
+            per_channel = {name: value for name, value in counters.items()
+                           if name.startswith("tx_bytes_ch")}
+            if channels > 1 or per_channel:
+                expected = {f"tx_bytes_ch{k}" for k in range(channels)}
+                require(set(per_channel) == expected,
+                        f"{where}: per-channel counters {sorted(per_channel)}"
+                        f" do not match multifd_channels={channels}")
+                total = sum(per_channel.values())
+                require(total == counters.get("tx_bytes"),
+                        f"{where}: sum of per-channel tx bytes {total} != "
+                        f"tx_bytes {counters.get('tx_bytes')}")
 
         # Scheduler sessions tag their label with "#<session_id>"; the
         # suffix must agree with the session_id counter.
