@@ -20,8 +20,8 @@ migration::MigrationStats Run(sim::LinkConfig link, DigestAlgorithm algorithm,
   sim::Simulator simulator;
   core::Cluster cluster(simulator);
   core::MigrationOrchestrator orchestrator(cluster);
-  cluster.AddHost({"A", sim::DiskConfig::Hdd(), cpu, {}});
-  cluster.AddHost({"B", sim::DiskConfig::Hdd(), cpu, {}});
+  cluster.AddHost({"A", sim::DiskConfig::Hdd(), cpu, {}, {}});
+  cluster.AddHost({"B", sim::DiskConfig::Hdd(), cpu, {}, {}});
   cluster.Connect("A", "B", link);
 
   auto vm = bench::MakeBestCaseVm(GiB(2), 0x5eed);

@@ -63,13 +63,13 @@ core::ConsolidationManager::Stats RunWeek(migration::Strategy strategy) {
   sim::Simulator simulator;
   core::Cluster cluster(simulator);
   core::MigrationOrchestrator orchestrator(cluster);
-  cluster.AddHost({"consol", sim::DiskConfig::Hdd(), {}, {}});
+  cluster.AddHost({"consol", sim::DiskConfig::Hdd(), {}, {}, {}});
 
   constexpr std::size_t kVms = 8;
   std::vector<std::unique_ptr<core::VmInstance>> vms;
   for (std::size_t i = 0; i < kVms; ++i) {
     const std::string worker = "worker-" + std::to_string(i);
-    cluster.AddHost({worker, sim::DiskConfig::Hdd(), {}, {}});
+    cluster.AddHost({worker, sim::DiskConfig::Hdd(), {}, {}, {}});
     cluster.Connect(worker, "consol", sim::LinkConfig::Lan());
     auto vm = std::make_unique<core::VmInstance>(
         "vm-" + std::to_string(i), MiB(512), vm::ContentMode::kSeedOnly);

@@ -214,9 +214,9 @@ Result BenchFleetSweep() {
   return Measure("fleet_sweep", kFleet, 0, 3, [&] {
     sim::Simulator simulator;
     core::Cluster cluster(simulator);
-    cluster.AddHost({"a", sim::DiskConfig::Ssd(), {}, {}});
-    cluster.AddHost({"b", sim::DiskConfig::Ssd(), {}, {}});
-    cluster.AddHost({"c", sim::DiskConfig::Ssd(), {}, {}});
+    cluster.AddHost({"a", sim::DiskConfig::Ssd(), {}, {}, {}});
+    cluster.AddHost({"b", sim::DiskConfig::Ssd(), {}, {}, {}});
+    cluster.AddHost({"c", sim::DiskConfig::Ssd(), {}, {}, {}});
     cluster.Connect("a", "b", sim::LinkConfig::Lan());
     cluster.Connect("b", "c", sim::LinkConfig::Lan());
     cluster.Connect("a", "c", sim::LinkConfig::Lan());

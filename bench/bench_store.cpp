@@ -1,0 +1,279 @@
+// Checkpoint-store sweep (docs/storage.md "Chunked backend"): the Fig. 4
+// VDI consolidation scenario driven straight against CheckpointStore,
+// flat backend vs content-addressed chunked backend. Eight desktops
+// cloned from one golden image checkpoint into a consolidation server's
+// store, then a simulated work week of daily dirty-and-resave cycles, a
+// tier-served reload, and an explicit GC sweep after half the fleet is
+// decommissioned. Like bench_transfer, every number is *simulated* —
+// deterministic and machine-independent — so the checked-in baseline
+// gates exactly: "ns_per_op" is the simulated disk time of each phase.
+//
+// The binary re-checks the tentpole claims inline and exits nonzero if
+// they fail: the chunked steady-state footprint must undercut flat by
+// >= 2x (golden pages stored once instead of eight times), and the
+// week's incremental re-saves must write < 50% of the full-image bytes
+// the flat store pays every evening.
+//
+// The GC row (store_gc_sweep) is deliberately absent from the checked-in
+// baseline; CI admits it through bench_compare's --allow-new gate.
+//
+// Usage: bench_store [--out BENCH_store.json]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "storage/checkpoint.hpp"
+#include "storage/checkpoint_store.hpp"
+
+namespace {
+
+using namespace vecycle;
+
+struct Row {
+  std::string name;
+  double sim_ns = 0.0;         // simulated disk time (the gated quantity)
+  std::uint64_t tx_bytes = 0;  // disk bytes written (footprint for reload)
+};
+
+constexpr Bytes kDesktopRam = MiB(32);
+constexpr int kDesktops = 8;
+constexpr int kDays = 5;
+// Fraction of each desktop's pages rewritten per day before the evening
+// checkpoint — the user's working set on top of the shared golden image.
+constexpr double kDailyDirty = 0.05;
+
+/// Clones of one golden image: the first three quarters of every
+/// desktop's pages carry identical content (OS + applications, laid out
+/// alike by the provisioning clone), the rest is per-desktop user data.
+vm::GuestMemory MakeDesktop(int desktop) {
+  vm::GuestMemory memory{kDesktopRam, vm::ContentMode::kSeedOnly};
+  const vm::PageId golden_pages = memory.PageCount() * 3 / 4;
+  Xoshiro256 golden_rng(0x901d);  // same stream for every desktop
+  for (vm::PageId p = 0; p < golden_pages; ++p) {
+    memory.WritePage(p, golden_rng.Next() | (1ull << 62));
+  }
+  Xoshiro256 user_rng(0xd0c + static_cast<std::uint64_t>(desktop));
+  for (vm::PageId p = golden_pages; p < memory.PageCount(); ++p) {
+    memory.WritePage(p, user_rng.Next() | (1ull << 62));
+  }
+  return memory;
+}
+
+std::string DesktopId(int desktop) {
+  return "desktop-" + std::to_string(desktop);
+}
+
+/// A day of desktop use: rewrites land mostly in the user-data region
+/// (documents, caches), with a 5% trickle anywhere — golden pages hit by
+/// it diverge, and their chunks stop deduplicating against the siblings.
+void DirtyDay(vm::GuestMemory& memory, int desktop, int day) {
+  Xoshiro256 rng(0xda1ull * static_cast<std::uint64_t>(day + 1) +
+                 static_cast<std::uint64_t>(desktop));
+  const vm::PageId golden_pages = memory.PageCount() * 3 / 4;
+  const auto writes = static_cast<std::uint64_t>(
+      kDailyDirty * static_cast<double>(memory.PageCount()));
+  for (std::uint64_t i = 0; i < writes; ++i) {
+    const bool anywhere = rng.NextBelow(20) == 0;
+    const auto p = static_cast<vm::PageId>(
+        anywhere ? rng.NextBelow(memory.PageCount())
+                 : golden_pages +
+                       rng.NextBelow(memory.PageCount() - golden_pages));
+    memory.WritePage(p, rng.Next() | (1ull << 62));
+  }
+}
+
+struct BackendResult {
+  std::vector<Row> rows;
+  Bytes footprint{0};          // steady state, after the week
+  std::uint64_t chunks_written = 0;
+  std::uint64_t chunks_deduped = 0;
+  std::uint64_t ssd_hits = 0;
+  std::uint64_t ssd_misses = 0;
+  double gc_pause_ns = 0.0;
+  std::uint64_t gc_freed = 0;
+};
+
+/// Runs the full VDI week against one store backend. The chunked store
+/// uses 16 KiB chunks (4 pages — golden runs dedup across clones, the
+/// index stays 4x smaller than page-granular) over a 64 MiB SSD tier on
+/// the HDD; flat is the paper's prototype, one image per desktop.
+BackendResult RunBackend(bool chunked) {
+  const std::string prefix = chunked ? "chunked" : "flat";
+  sim::Disk disk{sim::DiskConfig::Hdd()};
+  storage::StoreConfig config;
+  if (chunked) {
+    config.chunking = true;
+    config.chunk_pages = 4;
+    config.tier.ssd_capacity = MiB(64);
+  }
+  storage::CheckpointStore store{disk, storage::RetentionPolicy{}, config};
+
+  std::vector<vm::GuestMemory> fleet;
+  fleet.reserve(kDesktops);
+  for (int d = 0; d < kDesktops; ++d) fleet.push_back(MakeDesktop(d));
+
+  BackendResult result;
+  SimTime t = kSimEpoch;
+
+  // Evening zero: the whole fleet checkpoints into the store cold.
+  for (int d = 0; d < kDesktops; ++d) {
+    t = store.Save(DesktopId(d), storage::Checkpoint::CaptureFrom(fleet[d]),
+                   t);
+  }
+  result.rows.push_back({prefix + "_fleet_save",
+                         static_cast<double>((t - kSimEpoch).count()),
+                         disk.WrittenBytes().count});
+
+  // The work week: dirty each desktop, re-checkpoint every evening.
+  const SimTime week_start = t;
+  const Bytes written_before_week = disk.WrittenBytes();
+  for (int day = 1; day <= kDays; ++day) {
+    for (int d = 0; d < kDesktops; ++d) {
+      DirtyDay(fleet[d], d, day);
+      t = store.Save(DesktopId(d), storage::Checkpoint::CaptureFrom(fleet[d]),
+                     t);
+    }
+    // Nightly GC: each re-save unpinned the previous day's superseded
+    // chunks; the sweep keeps the steady-state footprint honest (no-op
+    // for the flat store).
+    t = store.CollectGarbage(t);
+  }
+  result.rows.push_back(
+      {prefix + "_week_resaves",
+       static_cast<double>((t - week_start).count()),
+       (disk.WrittenBytes() - written_before_week).count});
+
+  result.footprint = store.FootprintOnDisk();
+
+  // Monday morning: every desktop's checkpoint is read back (the §3.3
+  // initialization scan). The chunked store serves SSD-resident chunks
+  // from the tier in parallel with the HDD remainder.
+  const SimTime reload_start = t;
+  for (int d = 0; d < kDesktops; ++d) {
+    t = store.Load(DesktopId(d), t).ready_at;
+  }
+  result.rows.push_back({prefix + "_reload",
+                         static_cast<double>((t - reload_start).count()),
+                         result.footprint.count});
+
+  result.chunks_written = store.ChunksWritten();
+  result.chunks_deduped = store.ChunksDeduped();
+  result.ssd_hits = store.SsdHits();
+  result.ssd_misses = store.SsdMisses();
+
+  if (chunked) {
+    // Half the fleet is decommissioned; the sweep frees every chunk only
+    // they referenced and charges the metadata writes — the GC pause.
+    const Bytes before = store.FootprintOnDisk();
+    const std::uint64_t freed_before = store.GcFreedChunks();
+    for (int d = 0; d < kDesktops / 2; ++d) store.Drop(DesktopId(d));
+    const SimTime gc_done = store.CollectGarbage(t);
+    result.gc_pause_ns = static_cast<double>((gc_done - t).count());
+    result.gc_freed = store.GcFreedChunks() - freed_before;
+    result.rows.push_back({"store_gc_sweep", result.gc_pause_ns,
+                           (before - store.FootprintOnDisk()).count});
+  }
+  return result;
+}
+
+void WriteJson(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n  \"schema\": \"vecycle.bench_perf.v1\",\n");
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"iters\": 1, "
+                 "\"ns_per_op\": %.1f, \"ops_per_sec\": %.6f, "
+                 "\"tx_bytes\": %llu}%s\n",
+                 r.name.c_str(), r.sim_ns, 1e9 / r.sim_ns,
+                 static_cast<unsigned long long>(r.tx_bytes),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+void Print(const Row& row) {
+  std::printf("%-24s %10.3f s simulated  %12llu disk bytes\n",
+              row.name.c_str(), row.sim_ns / 1e9,
+              static_cast<unsigned long long>(row.tx_bytes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::PrintHeader(
+      "bench_store: VDI fleet, flat vs content-addressed chunked store");
+
+  const auto flat = RunBackend(/*chunked=*/false);
+  for (const auto& row : flat.rows) Print(row);
+  const auto chunked = RunBackend(/*chunked=*/true);
+  for (const auto& row : chunked.rows) Print(row);
+
+  const double per_vm_mib =
+      static_cast<double>(chunked.footprint.count) / (1 << 20) / kDesktops;
+  const double dedup_ratio =
+      static_cast<double>(chunked.chunks_deduped) /
+      static_cast<double>(chunked.chunks_written + chunked.chunks_deduped);
+  const double hit_rate =
+      static_cast<double>(chunked.ssd_hits) /
+      static_cast<double>(chunked.ssd_hits + chunked.ssd_misses);
+  std::printf("\nsteady-state footprint per VM: %.1f MiB (flat: %.1f MiB)\n",
+              per_vm_mib,
+              static_cast<double>(flat.footprint.count) / (1 << 20) /
+                  kDesktops);
+  std::printf("dedup ratio: %.1f%% of pinned chunks shared\n",
+              100.0 * dedup_ratio);
+  std::printf("GC pause: %.3f ms for %llu freed chunks\n",
+              chunked.gc_pause_ns / 1e6,
+              static_cast<unsigned long long>(chunked.gc_freed));
+  std::printf("SSD hit rate: %.1f%%\n", 100.0 * hit_rate);
+
+  // Inline claims check — the tentpole numbers, re-verified every run.
+  const double shrink = static_cast<double>(flat.footprint.count) /
+                        static_cast<double>(chunked.footprint.count);
+  std::printf("footprint shrink vs flat: %.2fx\n", shrink);
+  if (shrink < 2.0) {
+    std::fprintf(stderr, "FAIL: chunked footprint shrink %.2fx < 2x\n",
+                 shrink);
+    return 1;
+  }
+  const auto full_bytes = flat.rows[1].tx_bytes;  // flat week = full images
+  const auto incr_bytes = chunked.rows[1].tx_bytes;
+  std::printf("weekly re-save bytes: %llu -> %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(full_bytes),
+              static_cast<unsigned long long>(incr_bytes),
+              100.0 * static_cast<double>(incr_bytes) /
+                  static_cast<double>(full_bytes));
+  if (incr_bytes * 2 >= full_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: incremental re-saves wrote %.1f%% of full-image "
+                 "bytes (need < 50%%)\n",
+                 100.0 * static_cast<double>(incr_bytes) /
+                     static_cast<double>(full_bytes));
+    return 1;
+  }
+
+  std::vector<Row> rows = flat.rows;
+  rows.insert(rows.end(), chunked.rows.begin(), chunked.rows.end());
+  if (!out_path.empty()) WriteJson(out_path, rows);
+  return 0;
+}

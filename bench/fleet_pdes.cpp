@@ -73,7 +73,7 @@ std::uint64_t RunFleet(std::size_t workers) {
                                   Bytes{0}};
   for (std::uint32_t site = 0; site < kSites; ++site) {
     for (std::uint32_t host = 0; host < kHostsPerSite; ++host) {
-      cluster.AddHost({HostName(site, host), sim::DiskConfig::Ssd(), {}, {}});
+      cluster.AddHost({HostName(site, host), sim::DiskConfig::Ssd(), {}, {}, {}});
       plan.Assign(HostName(site, host), site);
     }
     // Partner hosts pairwise inside the site (h0-h1, h2-h3, ...).

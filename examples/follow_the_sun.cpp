@@ -35,9 +35,9 @@ int main() {
 
   sim::Simulator simulator;
   core::Cluster cluster(simulator);
-  cluster.AddHost({"frankfurt", sim::DiskConfig::Ssd(), {}, {}});
-  cluster.AddHost({"new-york", sim::DiskConfig::Ssd(), {}, {}});
-  cluster.AddHost({"tokyo", sim::DiskConfig::Ssd(), {}, {}});
+  cluster.AddHost({"frankfurt", sim::DiskConfig::Ssd(), {}, {}, {}});
+  cluster.AddHost({"new-york", sim::DiskConfig::Ssd(), {}, {}, {}});
+  cluster.AddHost({"tokyo", sim::DiskConfig::Ssd(), {}, {}, {}});
   // Intercontinental links: CloudNet-like WAN characteristics.
   cluster.Connect("frankfurt", "new-york", sim::LinkConfig::Wan());
   cluster.Connect("new-york", "tokyo", sim::LinkConfig::Wan());

@@ -23,8 +23,8 @@ int main() {
   //    spinning disk for checkpoints and one core of MD5 at 350 MiB/s.
   sim::Simulator simulator;
   core::Cluster cluster(simulator);
-  cluster.AddHost({"alpha", sim::DiskConfig::Hdd(), {}, {}});
-  cluster.AddHost({"beta", sim::DiskConfig::Hdd(), {}, {}});
+  cluster.AddHost({"alpha", sim::DiskConfig::Hdd(), {}, {}, {}});
+  cluster.AddHost({"beta", sim::DiskConfig::Hdd(), {}, {}, {}});
   cluster.Connect("alpha", "beta", sim::LinkConfig::Lan());
   core::MigrationOrchestrator orchestrator(cluster);
 

@@ -27,8 +27,8 @@ migration::MigrationStats Measure(migration::Strategy strategy,
                                   double dwell_minutes) {
   sim::Simulator simulator;
   core::Cluster cluster(simulator);
-  cluster.AddHost({"A", sim::DiskConfig::Ssd(), {}, {}});
-  cluster.AddHost({"B", sim::DiskConfig::Ssd(), {}, {}});
+  cluster.AddHost({"A", sim::DiskConfig::Ssd(), {}, {}, {}});
+  cluster.AddHost({"B", sim::DiskConfig::Ssd(), {}, {}, {}});
   cluster.Connect("A", "B", sim::LinkConfig::Lan());
   core::MigrationOrchestrator orchestrator(cluster);
 

@@ -24,7 +24,9 @@
 #include "core/orchestrator.hpp"
 #include "core/scheduler.hpp"
 #include "core/vm_instance.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "vm/workload.hpp"
 
 namespace {
@@ -108,13 +110,69 @@ WaveResult MigrateWave(core::MigrationOrchestrator& orchestrator,
   return result;
 }
 
-double RunWeek(migration::Strategy strategy, bool print) {
+/// Per-host store metrics, written only when tracing is on (the
+/// bench-smoke CI job validates them; plain runs emit no files). One
+/// "store" record per host, the counters mirroring CheckpointStore's.
+void EmitStoreMetrics(const core::Cluster& cluster) {
+  for (const auto* host : cluster.Hosts()) {
+    const auto& store = host->Store();
+    auto& record =
+        obs::GlobalMetrics().NewRecord("store/" + host->Id(), "store");
+    record.Counter("checkpoints_held", store.Size());
+    record.Counter("footprint_bytes", store.FootprintOnDisk().count);
+    record.Counter("evictions", store.Evictions());
+    record.Counter("chunks_written", store.ChunksWritten());
+    record.Counter("chunks_deduped", store.ChunksDeduped());
+    record.Counter("chunks_gc_freed", store.GcFreedChunks());
+    record.Counter("chunks_resident", store.ResidentChunks());
+    record.Counter("chunk_refs", store.TotalChunkRefs());
+    record.Counter("ssd_hits", store.SsdHits());
+    record.Counter("ssd_misses", store.SsdMisses());
+    record.Counter("ssd_promotions", store.SsdPromotions());
+    const double pins = static_cast<double>(store.ChunksWritten() +
+                                            store.ChunksDeduped());
+    const double lookups =
+        static_cast<double>(store.SsdHits() + store.SsdMisses());
+    record.Gauge("dedup_ratio",
+                 pins > 0.0 ? static_cast<double>(store.ChunksDeduped()) /
+                                  pins
+                            : 0.0);
+    record.Gauge("ssd_hit_rate",
+                 lookups > 0.0 ? static_cast<double>(store.SsdHits()) /
+                                     lookups
+                               : 0.0);
+    record.Gauge("footprint_mib",
+                 static_cast<double>(store.FootprintOnDisk().count) /
+                     (1 << 20));
+  }
+}
+
+double RunWeek(migration::Strategy strategy, bool print, bool chunked) {
   sim::Simulator simulator;
   core::Cluster cluster(simulator);
   for (const char* pool : kPools) {
-    cluster.AddHost({pool, sim::DiskConfig::Hdd(), {}, {}});
+    core::HostConfig host{pool, sim::DiskConfig::Hdd(), {}, {}, {}};
+    if (chunked) {
+      // Page-granular dedup (golden and user pages interleave, so larger
+      // chunks would straddle both) with an SSD cache over the pool HDD.
+      // The quota arms the watermark GC: each re-save supersedes chunks,
+      // and the sweep reclaims them once the footprint crosses the high
+      // watermark — without it superseded chunks pile up all week.
+      host.store.chunking = true;
+      host.store.chunk_pages = 1;
+      host.store.tier.ssd_capacity = MiB(128);
+      host.retention.disk_quota = MiB(1024);
+    }
+    cluster.AddHost(host);
   }
-  cluster.AddHost({"server", sim::DiskConfig::Ssd(), {}, {}});
+  core::HostConfig server{"server", sim::DiskConfig::Ssd(), {}, {}, {}};
+  if (chunked) {
+    // The server disk is already an SSD; chunk dedup without a tier.
+    server.store.chunking = true;
+    server.store.chunk_pages = 1;
+    server.retention.disk_quota = MiB(2560);
+  }
+  cluster.AddHost(server);
   for (const char* pool : kPools) {
     cluster.Connect(pool, "server", sim::LinkConfig::Lan());
   }
@@ -174,12 +232,30 @@ double RunWeek(migration::Strategy strategy, bool print) {
     std::printf("%s\n", table.Render().c_str());
     // Where the checkpoints ended up, via the cluster's const iteration.
     for (const auto* host : cluster.Hosts()) {
-      std::printf("  %-8s holds %zu checkpoint(s), %s on disk\n",
-                  host->Id().c_str(), host->Store().Size(),
-                  FormatBytes(host->Store().FootprintOnDisk()).c_str());
+      const auto& store = host->Store();
+      std::printf("  %-8s holds %zu checkpoint(s), %s on disk",
+                  host->Id().c_str(), store.Size(),
+                  FormatBytes(store.FootprintOnDisk()).c_str());
+      if (chunked) {
+        const auto pins = store.ChunksWritten() + store.ChunksDeduped();
+        const auto lookups = store.SsdHits() + store.SsdMisses();
+        std::printf(" | %.0f%% chunks deduped, %llu GC-freed",
+                    pins > 0 ? 100.0 * static_cast<double>(
+                                           store.ChunksDeduped()) /
+                                   static_cast<double>(pins)
+                             : 0.0,
+                    static_cast<unsigned long long>(store.GcFreedChunks()));
+        if (lookups > 0) {
+          std::printf(", %.0f%% SSD hits",
+                      100.0 * static_cast<double>(store.SsdHits()) /
+                          static_cast<double>(lookups));
+        }
+      }
+      std::printf("\n");
     }
     std::printf("\n");
   }
+  if (chunked && obs::EnvEnabled()) EmitStoreMetrics(cluster);
   return total_tx_gib;
 }
 
@@ -193,12 +269,15 @@ int main() {
       kDesktops, kPoolCount, kDesktops);
 
   std::printf("--- Baseline (full pre-copy, no checkpoint reuse) ---\n");
-  const double baseline = RunWeek(migration::Strategy::kFull, true);
+  const double baseline =
+      RunWeek(migration::Strategy::kFull, true, /*chunked=*/false);
 
   std::printf("--- VeCycle + gang dedup (checkpoints recycled, clones\n");
-  std::printf("    leaving one pool share a sender-side cache) ---\n");
+  std::printf("    leaving one pool share a sender-side cache, hosts on\n");
+  std::printf("    the chunked content-addressed store) ---\n");
   const double vecycle =
-      RunWeek(migration::Strategy::kHashesPlusDedup, true);
+      RunWeek(migration::Strategy::kHashesPlusDedup, true,
+              /*chunked=*/true);
 
   std::printf(
       "weekly migration traffic: baseline %.1f GiB, VeCycle %.1f GiB "

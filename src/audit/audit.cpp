@@ -13,6 +13,7 @@ void AuditSink::OnEventExecuted(SimTime, std::uint64_t) {}
 void AuditSink::OnMessageSent(std::uint32_t, std::uint32_t, std::uint64_t,
                               SimTime, SimTime) {}
 void AuditSink::OnCheckpointVerified(bool) {}
+void AuditSink::OnCheckpointDropped(bool) {}
 void AuditSink::OnScalar(std::string_view, std::uint64_t) {}
 
 void SimAuditor::Mix(std::uint64_t value) {
@@ -54,6 +55,12 @@ void SimAuditor::OnCheckpointVerified(bool integrity_ok) {
                 "store/load");
   ++report_.checkpoint_verifications;
   Mix(report_.checkpoint_verifications);
+}
+
+void SimAuditor::OnCheckpointDropped(bool evicted) {
+  ++report_.checkpoint_drops;
+  Mix(report_.checkpoint_drops);
+  Mix(evicted ? 2 : 1);
 }
 
 void SimAuditor::OnScalar(std::string_view label, std::uint64_t value) {

@@ -46,6 +46,12 @@ class AuditSink {
   /// A checkpoint store verified an image digest after a save or load.
   virtual void OnCheckpointVerified(bool integrity_ok);
 
+  /// A checkpoint store removed an entry: `evicted` distinguishes policy
+  /// removals (retention eviction, oversize discard) from explicit
+  /// Drop() calls. Folding both into the audit stream means replay
+  /// fingerprints account for every entry that leaves a store.
+  virtual void OnCheckpointDropped(bool evicted);
+
   /// A labelled scalar (final statistics, digests) folded into the audit
   /// stream so ReplayCheck compares outcomes, not just event shapes.
   virtual void OnScalar(std::string_view label, std::uint64_t value);
@@ -57,6 +63,7 @@ struct AuditReport {
   std::uint64_t messages_sent = 0;
   Bytes wire_bytes;  ///< across all channels
   std::uint64_t checkpoint_verifications = 0;
+  std::uint64_t checkpoint_drops = 0;  ///< explicit drops + evictions
   std::uint64_t scalars_recorded = 0;
 };
 
@@ -73,6 +80,7 @@ class SimAuditor final : public AuditSink {
                      std::uint64_t wire_bytes, SimTime depart,
                      SimTime arrival) override;
   void OnCheckpointVerified(bool integrity_ok) override;
+  void OnCheckpointDropped(bool evicted) override;
   void OnScalar(std::string_view label, std::uint64_t value) override;
 
   [[nodiscard]] const AuditReport& Report() const { return report_; }

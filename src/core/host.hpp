@@ -22,15 +22,20 @@ struct HostConfig {
   /// Checkpoint retention bounds; unlimited by default (§1: "local
   /// storage is cheap and abundant").
   storage::RetentionPolicy retention;
+  /// Checkpoint store backend: flat per-VM images by default, or the
+  /// content-addressed chunk store (dedup + incremental saves + SSD
+  /// tier) when `store.chunking` is set.
+  storage::StoreConfig store;
 
   /// Fails fast on configs that cannot name a host or retain a single
-  /// checkpoint. The disk and CPU rate configs also self-validate here,
-  /// so a bad fleet config surfaces before any device is built.
+  /// checkpoint. The disk, CPU rate and store configs also self-validate
+  /// here, so a bad fleet config surfaces before any device is built.
   void Validate() const {
     VEC_CHECK_MSG(!id.empty(), "host id must be non-empty");
     disk.Validate();
     cpu.Validate();
     retention.Validate();
+    store.Validate();
   }
 };
 
@@ -40,7 +45,7 @@ class Host {
       : config_((config.Validate(), std::move(config))),
         disk_(config_.disk),
         cpu_(config_.cpu),
-        store_(disk_, config_.retention) {}
+        store_(disk_, config_.retention, config_.store) {}
 
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;

@@ -75,8 +75,11 @@ migration::MigrationStats MigrationOrchestrator::Migrate(
   run.vm_id = vm.Id();
   run.config = config;
   run.source_knowledge_set = vm.KnownPageSetAt(to);
-  run.departure_generations = vm.GenerationsAtDeparture(to);
-  run.departure_seeds = vm.SeedsAtDeparture(to);
+  // Dirty-tracking generations and the delta baseline resolve through the
+  // destination's checkpoint store — the system of record for what the VM
+  // left there (empty when the checkpoint was evicted or never written).
+  run.departure_generations = dest_host.Store().DepartureGenerations(vm.Id());
+  run.departure_seeds = dest_host.Store().BaselineSeeds(vm.Id());
   // Checkpoint write-back happens inside the session (booked at the
   // destination completion time, not counted in migration time — §4.4)
   // so a session-private fault injector can still rot the saved image.
@@ -84,9 +87,8 @@ migration::MigrationStats MigrationOrchestrator::Migrate(
 
   auto outcome = migration::RunMigration(std::move(run));
 
-  // The VM remembers what it left behind at the source.
-  vm.RememberDeparture(from, vm.Memory().Generations());
-  vm.RememberDepartureSeeds(from, vm.Memory().Seeds());
+  // The VM remembers the digest set it left behind at the source; the
+  // source's checkpoint store holds the seeds and generations.
   vm.RememberPagesAt(from, std::move(outcome.incoming_digests));
 
   // And moves.

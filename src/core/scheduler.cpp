@@ -251,9 +251,14 @@ void MigrationScheduler::StartSession(Request request) {
   run.vm_id = request.vm->Id();
   run.config = request.config;
   run.source_knowledge_set = request.vm->KnownPageSetAt(request.to);
+  // Dirty-tracking generations and the delta baseline resolve through the
+  // destination's checkpoint store (empty when the checkpoint was evicted
+  // or never written). In PDES mode the destination store belongs to the
+  // destination shard, but admission happens at a barrier — no worker is
+  // running — so the read is race-free.
   run.departure_generations =
-      request.vm->GenerationsAtDeparture(request.to);
-  run.departure_seeds = request.vm->SeedsAtDeparture(request.to);
+      dest_host.Store().DepartureGenerations(request.vm->Id());
+  run.departure_seeds = dest_host.Store().BaselineSeeds(request.vm->Id());
   run.auditor = config_.auditor;
   run.tracer = config_.tracer;
   run.metrics = config_.metrics;
@@ -368,9 +373,9 @@ void MigrationScheduler::OnSessionFinished(SessionId id, SimTime when) {
     VmInstance& vm = *request.vm;
 
     // Same bookkeeping, same order, as the synchronous orchestrator path.
-    // (The checkpoint write-back already happened inside the session.)
-    vm.RememberDeparture(from, vm.Memory().Generations());
-    vm.RememberDepartureSeeds(from, vm.Memory().Seeds());
+    // (The checkpoint write-back already happened inside the session; the
+    // source store now holds the seeds and generations a return
+    // migration will resolve.)
     vm.RememberPagesAt(from, std::move(outcome.incoming_digests));
     vm.AdoptMemory(std::move(outcome.dest_memory));
     vm.SetCurrentHost(request.to);

@@ -3,8 +3,10 @@
 // Beyond guest memory and its workload, the VM carries what its hypervisor
 // learned at each previously visited host: the checksum set of the
 // checkpoint it left behind (§3.2's incoming-page tracking, consumed on a
-// return migration to skip the bulk hash exchange) and the generation
-// counters at departure (Miyakodori's dirty-tracking state, §4.3).
+// return migration to skip the bulk hash exchange). Departure-time
+// generation counters and delta baselines are *not* carried on the VM —
+// they resolve through the destination host's CheckpointStore, the system
+// of record for what the VM actually left there.
 #pragma once
 
 #include <map>
@@ -66,34 +68,6 @@ class VmInstance {
         std::make_shared<const DigestSet>(std::move(digests));
   }
 
-  /// Generation counters at the moment the VM last departed `host`.
-  [[nodiscard]] std::vector<std::uint64_t> GenerationsAtDeparture(
-      const HostId& host) const {
-    const auto it = departure_generations_.find(host);
-    return it == departure_generations_.end()
-               ? std::vector<std::uint64_t>{}
-               : it->second;
-  }
-  void RememberDeparture(const HostId& host,
-                         std::vector<std::uint64_t> generations) {
-    departure_generations_[host] = std::move(generations);
-  }
-
-  /// Content seeds at the moment the VM last departed `host` — what the
-  /// checkpoint left there holds, and hence the round-1 delta-encoding
-  /// baseline of a return migration (DeltaConfig). Empty if never
-  /// recorded.
-  [[nodiscard]] std::vector<std::uint64_t> SeedsAtDeparture(
-      const HostId& host) const {
-    const auto it = departure_seeds_.find(host);
-    return it == departure_seeds_.end() ? std::vector<std::uint64_t>{}
-                                        : it->second;
-  }
-  void RememberDepartureSeeds(const HostId& host,
-                              std::vector<std::uint64_t> seeds) {
-    departure_seeds_[host] = std::move(seeds);
-  }
-
   [[nodiscard]] std::size_t VisitedHostCount() const {
     return known_pages_.size();
   }
@@ -108,8 +82,6 @@ class VmInstance {
   /// any future iteration (fleet placement policies walking a VM's
   /// checkpoint affinity) is deterministic by construction.
   std::map<HostId, std::shared_ptr<const DigestSet>> known_pages_;
-  std::map<HostId, std::vector<std::uint64_t>> departure_generations_;
-  std::map<HostId, std::vector<std::uint64_t>> departure_seeds_;
 };
 
 }  // namespace vecycle::core

@@ -235,8 +235,12 @@ void DestinationActor::ApplyRecord(const net::PageRecord& record,
   }
   VEC_CHECK(checkpoint_ != nullptr);
   bool read_error = false;
-  const SimTime read =
-      params_.store->ReadBlock(std::max(arrival, work_done_), &read_error);
+  // Chunk-aware read: in chunked mode the block routes through the SSD
+  // tier for the chunk holding this checkpoint offset (hit, or a
+  // backing-disk miss that promotes the chunk); flat mode books the
+  // classic random 4 KiB read.
+  const SimTime read = params_.store->ReadBlock(
+      params_.vm_id, *offset, std::max(arrival, work_done_), &read_error);
   work_done_ = std::max(work_done_, read);
   if (read_error) {
     // The block read hit an injected disk-error window; the disk time is

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "storage/chunk_store.hpp"
 
 namespace vecycle::migration {
 
@@ -210,8 +211,15 @@ bool SourceActor::ClassifyFirstRoundPage(vm::PageId page,
   if (UsesDedup(strategy)) {
     fnv_bytes_pending_ += kPageSize;
     auto& cache = DedupCache();
+    // Keyed by the chunk store's content identity (single-page chunk
+    // digest), so gang caches and the destination's dedup store agree on
+    // what "same content" means. A key collision merely turns a record
+    // into a dup_ref, which still carries the real content seed.
     const bool inserted =
-        cache.try_emplace(record.content_seed, cache.size()).second;
+        cache
+            .try_emplace(storage::ChunkContentKey(record.content_seed),
+                         cache.size())
+            .second;
     if (!inserted) {
       record.is_dup_ref = true;
       record.has_payload = false;
@@ -275,8 +283,12 @@ net::PageRecord SourceActor::FullRecord(vm::PageId page) {
   if (UsesDedup(params_.config.strategy)) {
     fnv_bytes_pending_ += kPageSize;
     auto& cache = DedupCache();
+    // Same chunk-digest content key as the round-1 probe above.
     const bool inserted =
-        cache.try_emplace(record.content_seed, cache.size()).second;
+        cache
+            .try_emplace(storage::ChunkContentKey(record.content_seed),
+                         cache.size())
+            .second;
     if (!inserted) {
       record.is_dup_ref = true;
       NoteDestContent(page, record.content_seed);

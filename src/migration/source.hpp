@@ -204,7 +204,8 @@ class SourceActor {
   /// the bulk exchange). Unused when the caller provided a prebuilt set.
   DigestSet owned_dest_digests_;
   std::shared_ptr<const DigestSet> shared_dest_digests_;
-  /// Sender-side dedup cache: content seed -> cache slot of the first
+  /// Sender-side dedup cache: chunk content key (single-page chunk
+  /// digest, storage::ChunkContentKey) -> cache slot of the first
   /// transmission this migration.
   std::unordered_map<std::uint64_t, std::uint64_t> dedup_cache_;
 

@@ -1,0 +1,194 @@
+// Tiered disk: an SSD chunk cache layered over a backing HDD.
+//
+// The chunk store's working set is skewed — golden-image chunks shared by
+// every co-located desktop are read on every restore, while cold user
+// chunks sit untouched for days. The tier models the §4.4 placement
+// question at chunk granularity: chunk writes go through to the backing
+// device (write-through, so the durable footprint always lives on the
+// backing disk) and are cached on the SSD; random chunk reads served from
+// the SSD pay SSD latency, misses pay the backing device and promote the
+// chunk. Eviction is LRU in deterministic (last_used, digest) order, so
+// identical schedules produce identical hit sequences across replay runs.
+//
+// The SSD device is owned by the tier and is a pure cache: a read served
+// from it never consults the fault injector — bit-rot and truncation are
+// properties of the durable image on the backing disk, which keeps fault
+// semantics identical whether a tier is configured or not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "digest/digest.hpp"
+#include "sim/disk.hpp"
+
+namespace vecycle::sim {
+
+struct TieredDiskConfig {
+  /// SSD chunk-cache capacity. Zero disables the tier entirely: all
+  /// traffic goes straight to the backing device.
+  Bytes ssd_capacity{0};
+
+  /// Device model for the cache tier.
+  DiskConfig ssd = DiskConfig::Ssd();
+
+  void Validate() const {
+    // Any ssd_capacity is structurally valid here (zero = tier off); the
+    // cross-check that a non-zero cache holds at least one chunk needs
+    // the chunk size and lives in storage::StoreConfig::Validate.
+    ssd.Validate();
+  }
+};
+
+/// SSD cache over a backing `Disk`. The backing disk is borrowed (it is
+/// the host's durable device, shared with flat-image traffic); the SSD
+/// device is owned, created from the config's device model.
+class TieredDisk {
+ public:
+  TieredDisk(Disk& backing, TieredDiskConfig config)
+      : config_(config), backing_(backing), ssd_(config.ssd) {
+    config_.Validate();
+  }
+
+  [[nodiscard]] bool Enabled() const { return config_.ssd_capacity.count > 0; }
+
+  /// Write-through chunk write: the backing device's sequential write
+  /// gates the returned completion time; when the tier is enabled the
+  /// chunk also becomes resident (evicting LRU chunks to fit) and the
+  /// SSD copy is booked asynchronously — it never delays the caller.
+  SimTime WriteChunk(const Digest128& digest, Bytes n, SimTime earliest) {
+    const SimTime done = backing_.WriteSequential(earliest, n);
+    if (Enabled()) MakeResident(digest, n, done);
+    return done;
+  }
+
+  /// Random chunk read. Resident chunks are served by the SSD and report
+  /// no fault window; misses are served by the backing device (which does
+  /// consult its fault injector) and promote the chunk on completion.
+  SimTime ReadChunkRandom(const Digest128& digest, Bytes n, SimTime earliest,
+                          std::optional<fault::FaultWindow>* error = nullptr) {
+    if (NoteAccess(digest, earliest)) {
+      if (error != nullptr) *error = std::nullopt;
+      return ssd_.ReadRandom(earliest, n);
+    }
+    const SimTime done = backing_.ReadRandom(earliest, n, error);
+    if (Enabled()) {
+      MakeResident(digest, n, done);
+      ++promotions_;
+    }
+    return done;
+  }
+
+  /// Marks an access for hit/miss accounting and LRU recency without
+  /// booking device time; returns whether the chunk is resident. Used by
+  /// sequential restores, which batch the device traffic via ReadSplit.
+  bool NoteAccess(const Digest128& digest, SimTime now) {
+    if (!Enabled()) return false;
+    const auto it = resident_.find(digest);
+    if (it == resident_.end()) {
+      ++ssd_misses_;
+      return false;
+    }
+    Touch(it, now);
+    ++ssd_hits_;
+    return true;
+  }
+
+  /// Books one sequential read per device — `ssd_bytes` from the cache,
+  /// `backing_bytes` from the durable disk — overlapped; the returned time
+  /// is the later of the two. Only the backing read can report a fault
+  /// window: the SSD serves cached copies of already-verified chunks.
+  SimTime ReadSplit(SimTime earliest, Bytes ssd_bytes, Bytes backing_bytes,
+                    std::optional<fault::FaultWindow>* error = nullptr) {
+    SimTime done = earliest;
+    if (backing_bytes.count > 0) {
+      done = std::max(done, backing_.ReadSequential(earliest, backing_bytes,
+                                                    error));
+    } else if (error != nullptr) {
+      *error = std::nullopt;
+    }
+    if (ssd_bytes.count > 0) {
+      done = std::max(done, ssd_.ReadSequential(earliest, ssd_bytes));
+    }
+    return done;
+  }
+
+  /// Drops a chunk from the cache (no device time: the copy is simply
+  /// forgotten). Called when the store's GC frees the chunk.
+  void Drop(const Digest128& digest) {
+    const auto it = resident_.find(digest);
+    if (it == resident_.end()) return;
+    resident_bytes_ -= it->second.bytes;
+    lru_.erase({it->second.last_used, digest});
+    resident_.erase(it);
+  }
+
+  [[nodiscard]] std::uint64_t SsdHits() const { return ssd_hits_; }
+  [[nodiscard]] std::uint64_t SsdMisses() const { return ssd_misses_; }
+  [[nodiscard]] std::uint64_t Promotions() const { return promotions_; }
+  [[nodiscard]] std::uint64_t Evictions() const { return evictions_; }
+  [[nodiscard]] Bytes ResidentBytes() const { return resident_bytes_; }
+  [[nodiscard]] Disk& Backing() { return backing_; }
+  [[nodiscard]] const TieredDiskConfig& Config() const { return config_; }
+
+ private:
+  struct Resident {
+    SimTime last_used = kSimEpoch;
+    Bytes bytes;
+  };
+
+  /// Bumps a resident chunk's recency, keeping the LRU index in sync.
+  void Touch(std::map<Digest128, Resident>::iterator it, SimTime now) {
+    if (now <= it->second.last_used) return;
+    lru_.erase({it->second.last_used, it->first});
+    it->second.last_used = now;
+    lru_.emplace(now, it->first);
+  }
+
+  void MakeResident(const Digest128& digest, Bytes n, SimTime now) {
+    if (n > config_.ssd_capacity) return;  // would never fit
+    const auto it = resident_.find(digest);
+    if (it != resident_.end()) {
+      Touch(it, now);
+      return;
+    }
+    EvictToFit(n);
+    resident_.emplace(digest, Resident{now, n});
+    lru_.emplace(now, digest);
+    resident_bytes_ += n;
+    ssd_.WriteSequential(now, n);  // booked, not gating
+  }
+
+  void EvictToFit(Bytes incoming) {
+    while (resident_bytes_ + incoming > config_.ssd_capacity) {
+      // Victim: least recently used, digest as the deterministic
+      // tie-break — exactly the LRU index's ordering, so eviction is a
+      // replay-stable O(log n) pop instead of a full-cache scan.
+      const auto victim = lru_.begin();
+      const auto it = resident_.find(victim->second);
+      resident_bytes_ -= it->second.bytes;
+      resident_.erase(it);
+      lru_.erase(victim);
+      ++evictions_;
+    }
+  }
+
+  TieredDiskConfig config_;
+  Disk& backing_;
+  Disk ssd_;
+  std::map<Digest128, Resident> resident_;
+  /// Eviction order: (last_used, digest), the cheapest chunk first.
+  std::set<std::pair<SimTime, Digest128>> lru_;
+  Bytes resident_bytes_;
+  std::uint64_t ssd_hits_ = 0;
+  std::uint64_t ssd_misses_ = 0;
+  std::uint64_t promotions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace vecycle::sim

@@ -3,15 +3,31 @@
 // "We propose that each migration source locally stores a checkpoint of
 // the outgoing VM" (§1). The store maps VM identifiers to their most
 // recent checkpoint on this host's local disk and owns the disk-time
-// accounting: Save charges a sequential write of the full image, Load a
-// sequential scan (the §3.3 initialization read). Only the most recent
-// checkpoint per VM is retained, as in the paper's prototype.
+// accounting. Two backends share one interface:
+//
+//  * Flat (default, the paper's prototype): Save charges a sequential
+//    write of the full image, Load a sequential scan (the §3.3
+//    initialization read); retention evicts whole LRU images.
+//  * Chunked (StoreConfig::chunking): checkpoints become manifests over a
+//    content-addressed refcounted ChunkStore. Save is incremental — only
+//    chunks absent from the store are charged to disk, so successive legs
+//    of one VM and golden-image twins of co-located VMs share storage —
+//    and retention becomes garbage collection: dropping a manifest unpins
+//    its chunks, and a deterministic sweep frees unreferenced chunks,
+//    never a referenced one. An optional SSD tier (TieredDisk) caches hot
+//    chunks so Load/ReadBlock latencies reflect where chunks live.
+//
+// Either way the store is the system of record for what a departing VM
+// left behind: delta-encoding baselines and dirty-tracking generations
+// for a return migration resolve through BaselineSeeds() and
+// DepartureGenerations() rather than through state carried on the VM.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "audit/audit.hpp"
 #include "common/check.hpp"
@@ -20,7 +36,9 @@
 #include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "sim/disk.hpp"
+#include "sim/tiered_disk.hpp"
 #include "storage/checkpoint.hpp"
+#include "storage/chunk_store.hpp"
 
 namespace vecycle::storage {
 
@@ -51,11 +69,17 @@ struct RetentionPolicy {
 
 class CheckpointStore {
  public:
-  explicit CheckpointStore(sim::Disk& disk, RetentionPolicy policy = {})
-      : disk_(disk), policy_(policy) {}
+  explicit CheckpointStore(sim::Disk& disk, RetentionPolicy policy = {},
+                           StoreConfig config = {})
+      : disk_(disk),
+        policy_(policy),
+        config_((config.Validate(), config)),
+        tier_(disk, config.tier) {}
 
   /// Persists `checkpoint` for `vm`, replacing any previous one. Books the
   /// image write on the disk starting at `earliest`; returns completion.
+  /// Flat mode charges the full image; chunked mode charges only chunks
+  /// absent from the store (the incremental write) plus manifest metadata.
   /// Evicts least-recently-used checkpoints of other VMs as needed to
   /// satisfy the retention policy; a checkpoint that cannot fit even
   /// alone is not stored (the disk write is still charged — the paper's
@@ -81,8 +105,11 @@ class CheckpointStore {
 
   /// Books the full sequential read of the checkpoint image starting at
   /// `earliest`. The caller separately charges checksum computation.
-  /// Under injected disk errors the scan retries until it lands clear of
-  /// every error window (bounded; throws CheckFailure on exhaustion).
+  /// Chunked mode splits the scan by tier residency: SSD-resident chunk
+  /// bytes stream from the cache in parallel with the backing-disk
+  /// remainder. Under injected disk errors the scan retries until it
+  /// lands clear of every error window (bounded; throws CheckFailure on
+  /// exhaustion).
   LoadResult Load(const VmId& vm, SimTime earliest);
 
   /// Books one random 4 KiB block read (Listing 1's lseek+read for a page
@@ -92,27 +119,97 @@ class CheckpointStore {
   /// over the wire instead of trusting the block.
   SimTime ReadBlock(SimTime earliest, bool* read_error = nullptr);
 
-  void Drop(const VmId& vm) {
-    common::NullLockGuard lock(mu_);
-    checkpoints_.erase(vm);
-  }
+  /// Chunk-aware block read: in chunked mode the read routes through the
+  /// tier for the chunk holding `page` (SSD hit, or backing-disk miss
+  /// that promotes the chunk); flat mode behaves exactly like the
+  /// overload above. `page` indexes into `vm`'s stored checkpoint.
+  SimTime ReadBlock(const VmId& vm, std::uint64_t page, SimTime earliest,
+                    bool* read_error = nullptr);
+
+  /// Removes `vm`'s checkpoint. Routes through the same observer path as
+  /// eviction: the tracer sees a drop instant and the auditor an
+  /// OnCheckpointDropped event, so replay fingerprints account for
+  /// explicit drops exactly like policy evictions.
+  void Drop(const VmId& vm);
+
   [[nodiscard]] std::size_t Size() const {
     common::NullLockGuard lock(mu_);
     return checkpoints_.size();
   }
 
-  /// Disk footprint of all retained checkpoints.
+  /// Disk footprint of all retained checkpoints: image bytes in flat
+  /// mode, resident chunk bytes (shared chunks counted once) in chunked
+  /// mode.
   [[nodiscard]] Bytes FootprintOnDisk() const;
+
+  /// Pristine per-page content seeds of `vm`'s stored checkpoint — what a
+  /// return migration delta-encodes against (DeltaConfig round-1
+  /// baseline). Resolved through the manifest in chunked mode; reflects
+  /// the image as written, before any injected at-rest rot (a rotten
+  /// serving copy fails the destination's baseline cross-check per page,
+  /// which is the detection path — the source plans against what it
+  /// wrote). Empty when no checkpoint is held.
+  [[nodiscard]] std::vector<std::uint64_t> BaselineSeeds(
+      const VmId& vm) const;
+
+  /// Generation counters captured with `vm`'s stored checkpoint
+  /// (Miyakodori dirty-tracking state; rot never touches generations).
+  /// Empty when no checkpoint is held.
+  [[nodiscard]] std::vector<std::uint64_t> DepartureGenerations(
+      const VmId& vm) const;
+
+  /// Explicit garbage collection (chunked mode): frees every unreferenced
+  /// chunk, charges the metadata writes, and emits a GC trace span.
+  /// Returns when the sweep's disk work completes (`earliest` when there
+  /// was nothing to free or chunking is off).
+  SimTime CollectGarbage(SimTime earliest);
 
   [[nodiscard]] std::uint64_t Evictions() const {
     common::NullLockGuard lock(mu_);
     return evictions_;
   }
   [[nodiscard]] const RetentionPolicy& Policy() const { return policy_; }
+  [[nodiscard]] const StoreConfig& Config() const { return config_; }
+  [[nodiscard]] bool Chunking() const { return config_.chunking; }
+
+  // Chunk-store and tier counters (all zero in flat mode).
+  [[nodiscard]] std::uint64_t ChunksWritten() const {
+    common::NullLockGuard lock(mu_);
+    return chunks_.ChunksWritten();
+  }
+  [[nodiscard]] std::uint64_t ChunksDeduped() const {
+    common::NullLockGuard lock(mu_);
+    return chunks_.ChunksDeduped();
+  }
+  [[nodiscard]] std::uint64_t GcFreedChunks() const {
+    common::NullLockGuard lock(mu_);
+    return chunks_.GcFreed();
+  }
+  [[nodiscard]] std::uint64_t ResidentChunks() const {
+    common::NullLockGuard lock(mu_);
+    return chunks_.ResidentChunks();
+  }
+  [[nodiscard]] std::uint64_t TotalChunkRefs() const {
+    common::NullLockGuard lock(mu_);
+    return chunks_.TotalRefcount();
+  }
+  [[nodiscard]] std::uint64_t SsdHits() const {
+    common::NullLockGuard lock(mu_);
+    return tier_.SsdHits();
+  }
+  [[nodiscard]] std::uint64_t SsdMisses() const {
+    common::NullLockGuard lock(mu_);
+    return tier_.SsdMisses();
+  }
+  [[nodiscard]] std::uint64_t SsdPromotions() const {
+    common::NullLockGuard lock(mu_);
+    return tier_.Promotions();
+  }
 
   /// Attaches an audit observer: every Save and Load then re-verifies the
   /// image digest and reports the result (end-state integrity of the
-  /// checkpoint path). Pass nullptr to detach.
+  /// checkpoint path), and every removal reports a drop event. Pass
+  /// nullptr to detach.
   void SetAuditor(audit::AuditSink* auditor) { auditor_ = auditor; }
   [[nodiscard]] audit::AuditSink* Auditor() const { return auditor_; }
 
@@ -143,22 +240,54 @@ class CheckpointStore {
   [[nodiscard]] sim::Disk& Disk() { return disk_; }
 
  private:
+  struct Entry {
+    Checkpoint checkpoint;  ///< serving copy (post-rot when injected)
+    Manifest manifest;      ///< empty in flat mode
+    /// Pristine seeds as written, before injector rot — the baseline a
+    /// return migration resolves. Flat mode only; chunked mode
+    /// reconstructs them from the manifest (chunks hold pristine
+    /// content; rot applies to the serving copy).
+    std::vector<std::uint64_t> baseline_seeds;
+    SimTime last_used = kSimEpoch;
+    bool rotten = false;  ///< damaged by the fault injector (deliberate)
+  };
+
+  /// Why an entry leaves the map; replacement is silent (the paper's
+  /// store always overwrote in place), everything else notifies.
+  enum class Removal { kReplace, kDrop, kEvict, kDiscard };
+
   /// Evicts LRU checkpoints (excluding `keep`) until the policy is
   /// satisfied with `incoming_size` more bytes and one more entry.
   /// Returns false if that is impossible. Eviction order is a strict
   /// (last_used, VmId) total order, so it cannot depend on the map's
-  /// hash iteration order.
+  /// hash iteration order. In chunked mode unreferenced chunks are swept
+  /// before any manifest is evicted, and each eviction is followed by a
+  /// sweep — an image only counts against the quota through the chunks
+  /// it references.
   bool MakeRoom(const VmId& keep, Bytes incoming_size) VEC_REQUIRES(mu_);
+
+  /// Shared exit path for every entry removal: unpins the manifest
+  /// (chunked mode) and — except for in-place replacement — emits the
+  /// drop observers (trace instant + audit event).
+  void RemoveEntry(std::unordered_map<VmId, Entry>::iterator it,
+                   Removal removal) VEC_REQUIRES(mu_);
+
+  /// Sweeps unreferenced chunks down to `target` footprint, dropping
+  /// tier residency for each freed chunk; accumulates freed digests into
+  /// `pending_gc_` for the disk charge at the end of the operation.
+  void SweepChunks(Bytes target) VEC_REQUIRES(mu_);
+
+  /// Charges the accumulated sweep's metadata writes and emits the GC
+  /// span; returns the completion time (`earliest` when nothing freed).
+  SimTime ChargeGc(SimTime earliest) VEC_REQUIRES(mu_);
 
   /// FootprintOnDisk for callers already holding the capability
   /// (MakeRoom's quota test runs inside Save's critical section).
   [[nodiscard]] Bytes FootprintLocked() const VEC_REQUIRES(mu_);
 
-  struct Entry {
-    Checkpoint checkpoint;
-    SimTime last_used = kSimEpoch;
-    bool rotten = false;  ///< damaged by the fault injector (deliberate)
-  };
+  /// Conservation invariant, asserted after every mutation: the sum of
+  /// chunk refcounts equals the total chunk count of live manifests.
+  void CheckRefConservation() const VEC_REQUIRES(mu_);
 
   /// Store capability: the checkpoint map and its eviction counter are
   /// one consistency domain. A host's store is shared by every session
@@ -168,6 +297,8 @@ class CheckpointStore {
   sim::Disk& disk_;
   // vecycle-analyze: allow(concurrency-guarded-member) written once in the constructor, immutable afterwards
   RetentionPolicy policy_;
+  // vecycle-analyze: allow(concurrency-guarded-member) written once in the constructor, immutable afterwards
+  StoreConfig config_;
   // vecycle-analyze: allow(concurrency-guarded-member) observers are attached before the simulation runs and never swapped mid-run
   fault::FaultInjector* injector_ = nullptr;
   // vecycle-analyze: allow(concurrency-guarded-member) observers are attached before the simulation runs and never swapped mid-run
@@ -176,7 +307,14 @@ class CheckpointStore {
   obs::TraceRecorder* tracer_ = nullptr;
   // vecycle-analyze: allow(concurrency-guarded-member) observers are attached before the simulation runs and never swapped mid-run
   obs::TrackId tracer_track_ = 0;
+  sim::TieredDisk tier_ VEC_GUARDED_BY(mu_);
+  ChunkStore chunks_ VEC_GUARDED_BY(mu_);
   std::unordered_map<VmId, Entry> checkpoints_ VEC_GUARDED_BY(mu_);
+  /// Total chunk count across live manifests (conservation counterpart
+  /// of ChunkStore::TotalRefcount()).
+  std::uint64_t manifest_refs_ VEC_GUARDED_BY(mu_) = 0;
+  /// Freed chunk digests awaiting their GC disk charge this operation.
+  std::vector<Digest128> pending_gc_ VEC_GUARDED_BY(mu_);
   std::uint64_t evictions_ VEC_GUARDED_BY(mu_) = 0;
 };
 

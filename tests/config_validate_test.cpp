@@ -186,6 +186,72 @@ TEST(RetentionPolicyValidate, RejectsQuotaSmallerThanOneImage) {
   EXPECT_NO_THROW(small.Validate(MiB(1)));
 }
 
+TEST(StoreConfigValidate, RejectsEachInvalidFieldDistinctly) {
+  using storage::StoreConfig;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<StoreConfig>(
+      [](auto& c) { c.chunk_pages = 0; },
+      "store chunk_pages must be a nonzero power of two"));
+  messages.push_back(RejectionMessage<StoreConfig>(
+      [](auto& c) { c.tier.ssd_capacity = Bytes{kPageSize - 1}; },
+      "store tier ssd_capacity smaller than one chunk"));
+  messages.push_back(RejectionMessage<StoreConfig>(
+      [](auto& c) { c.gc_low_watermark = 0.0; },
+      "store gc_low_watermark must be positive"));
+  messages.push_back(RejectionMessage<StoreConfig>(
+      [](auto& c) { c.gc_low_watermark = 0.95; },
+      "store gc watermarks must be ordered (low <= high)"));
+  messages.push_back(RejectionMessage<StoreConfig>(
+      [](auto& c) { c.gc_high_watermark = 1.5; },
+      "store gc_high_watermark must not exceed 1.0"));
+  ExpectDistinct(messages);
+
+  // Non-power-of-two trips the same diagnostic as zero (one knob).
+  RejectionMessage<StoreConfig>([](auto& c) { c.chunk_pages = 3; },
+                                "nonzero power of two");
+
+  // Boundaries the checks must accept: an SSD cache of exactly one chunk,
+  // degenerate equal watermarks, and a high watermark at the quota.
+  StoreConfig ok;
+  ok.chunking = true;
+  ok.chunk_pages = 8;
+  ok.tier.ssd_capacity = Pages(8);
+  ok.gc_low_watermark = ok.gc_high_watermark = 1.0;
+  EXPECT_NO_THROW(ok.Validate());
+  EXPECT_NO_THROW(StoreConfig{}.Validate());
+}
+
+TEST(StoreConfigValidate, CheckedEvenWhenChunkingDisabled) {
+  // Same contract as the transfer-stack configs: a latent bad chunk size
+  // fails at Validate time, not on the day chunking is switched on.
+  storage::StoreConfig config;
+  config.chunking = false;
+  config.chunk_pages = 5;
+  EXPECT_THROW(config.Validate(), CheckFailure);
+}
+
+TEST(TieredDiskConfigValidate, ReachesSsdDeviceModel) {
+  using sim::TieredDiskConfig;
+  // The tier's own fields are unconstrained (0 = disabled), but the SSD
+  // device model must be structurally valid even while the tier is off.
+  RejectionMessage<TieredDiskConfig>(
+      [](auto& c) { c.ssd.sequential_read = MiBPerSecond(0.0); },
+      "disk sequential_read rate must be positive");
+  EXPECT_NO_THROW(TieredDiskConfig{}.Validate());
+  TieredDiskConfig enabled;
+  enabled.ssd_capacity = MiB(64);
+  EXPECT_NO_THROW(enabled.Validate());
+}
+
+TEST(StoreConfigValidate, ConstructorRefusesInvalidConfig) {
+  sim::Disk disk{sim::DiskConfig::Hdd()};
+  storage::StoreConfig bad;
+  bad.chunk_pages = 6;
+  EXPECT_THROW(
+      (storage::CheckpointStore{disk, storage::RetentionPolicy{}, bad}),
+      CheckFailure);
+}
+
 TEST(HostConfigValidate, RejectsEachInvalidFieldDistinctly) {
   using core::HostConfig;
   std::vector<std::string> messages;
@@ -210,6 +276,12 @@ TEST(HostConfigValidate, RejectsEachInvalidFieldDistinctly) {
         c.cpu.md5_rate = MiBPerSecond(0.0);
       },
       "checksum md5_rate must be positive"));
+  messages.push_back(RejectionMessage<HostConfig>(
+      [](auto& c) {
+        c.id = "h";
+        c.store.chunk_pages = 7;
+      },
+      "store chunk_pages must be a nonzero power of two"));
   ExpectDistinct(messages);
 
   HostConfig ok;
@@ -456,6 +528,8 @@ TEST(AllValidates, MessagesAreGloballyDistinct) {
       RejectionMessage<core::HostConfig>([](auto&) {}, "host id"),
       RejectionMessage<storage::RetentionPolicy>(
           [](auto& c) { c.disk_quota = Bytes{1}; }, "disk_quota"),
+      RejectionMessage<storage::StoreConfig>(
+          [](auto& c) { c.gc_low_watermark = -1.0; }, "gc_low_watermark"),
       RejectionMessage<migration::MultifdConfig>(
           [](auto& c) { c.channels = 0; }, "multifd channels"),
       RejectionMessage<migration::DeltaConfig>(

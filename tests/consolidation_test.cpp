@@ -45,9 +45,9 @@ struct ConsolidationWorld {
   MigrationOrchestrator orchestrator{cluster};
 
   ConsolidationWorld() {
-    cluster.AddHost({"worker-1", sim::DiskConfig::Hdd(), {}, {}});
-    cluster.AddHost({"worker-2", sim::DiskConfig::Hdd(), {}, {}});
-    cluster.AddHost({"consol", sim::DiskConfig::Hdd(), {}, {}});
+    cluster.AddHost({"worker-1", sim::DiskConfig::Hdd(), {}, {}, {}});
+    cluster.AddHost({"worker-2", sim::DiskConfig::Hdd(), {}, {}, {}});
+    cluster.AddHost({"consol", sim::DiskConfig::Hdd(), {}, {}, {}});
     cluster.Connect("worker-1", "consol", sim::LinkConfig::Lan());
     cluster.Connect("worker-2", "consol", sim::LinkConfig::Lan());
   }

@@ -22,8 +22,8 @@ struct World {
   MigrationOrchestrator orchestrator{cluster};
 
   World() {
-    cluster.AddHost({"A", sim::DiskConfig::Hdd(), {}, {}});
-    cluster.AddHost({"B", sim::DiskConfig::Hdd(), {}, {}});
+    cluster.AddHost({"A", sim::DiskConfig::Hdd(), {}, {}, {}});
+    cluster.AddHost({"B", sim::DiskConfig::Hdd(), {}, {}, {}});
     cluster.Connect("A", "B", sim::LinkConfig::Lan());
   }
 };
@@ -46,14 +46,14 @@ migration::MigrationConfig VeCycleConfig() {
 TEST(Cluster, RejectsDuplicateHosts) {
   sim::Simulator simulator;
   Cluster cluster(simulator);
-  cluster.AddHost({"A", {}, {}, {}});
-  EXPECT_THROW(cluster.AddHost({"A", {}, {}, {}}), CheckFailure);
+  cluster.AddHost({"A", {}, {}, {}, {}});
+  EXPECT_THROW(cluster.AddHost({"A", {}, {}, {}, {}}), CheckFailure);
 }
 
 TEST(Cluster, RejectsSelfLink) {
   sim::Simulator simulator;
   Cluster cluster(simulator);
-  cluster.AddHost({"A", {}, {}, {}});
+  cluster.AddHost({"A", {}, {}, {}, {}});
   EXPECT_THROW(cluster.Connect("A", "A", sim::LinkConfig::Lan()),
                CheckFailure);
 }
@@ -70,8 +70,8 @@ TEST(Cluster, PathIsDirectionAware) {
 TEST(Cluster, MissingLinkThrows) {
   sim::Simulator simulator;
   Cluster cluster(simulator);
-  cluster.AddHost({"A", {}, {}, {}});
-  cluster.AddHost({"B", {}, {}, {}});
+  cluster.AddHost({"A", {}, {}, {}, {}});
+  cluster.AddHost({"B", {}, {}, {}, {}});
   EXPECT_THROW((void)cluster.PathBetween("A", "B"), CheckFailure);
 }
 
@@ -126,9 +126,13 @@ TEST(Orchestrator, MigrationMovesVmAndLeavesCheckpoint) {
   // The source kept a checkpoint of the departed VM.
   EXPECT_TRUE(world.cluster.GetHost("A").Store().Has("vm-1"));
   EXPECT_FALSE(world.cluster.GetHost("B").Store().Has("vm-1"));
-  // The VM remembers what it left behind.
+  // The VM remembers what it left behind; the source store is the system
+  // of record for the departure-time generations and delta baseline.
   EXPECT_FALSE(vm.KnownPagesAt("A").empty());
-  EXPECT_EQ(vm.GenerationsAtDeparture("A"), before);
+  EXPECT_EQ(world.cluster.GetHost("A").Store().DepartureGenerations("vm-1"),
+            before);
+  EXPECT_EQ(world.cluster.GetHost("A").Store().BaselineSeeds("vm-1"),
+            world.cluster.GetHost("A").Store().Peek("vm-1")->Seeds());
   EXPECT_EQ(vm.VisitedHostCount(), 1u);
 }
 
@@ -194,9 +198,9 @@ TEST(Orchestrator, ThreeHostCircuitUsesBulkExchangeOnNewPaths) {
   sim::Simulator simulator;
   Cluster cluster(simulator);
   MigrationOrchestrator orchestrator(cluster);
-  cluster.AddHost({"A", {}, {}, {}});
-  cluster.AddHost({"B", {}, {}, {}});
-  cluster.AddHost({"C", {}, {}, {}});
+  cluster.AddHost({"A", {}, {}, {}, {}});
+  cluster.AddHost({"B", {}, {}, {}, {}});
+  cluster.AddHost({"C", {}, {}, {}, {}});
   cluster.Connect("A", "B", sim::LinkConfig::Lan());
   cluster.Connect("B", "C", sim::LinkConfig::Lan());
   cluster.Connect("A", "C", sim::LinkConfig::Lan());
@@ -238,10 +242,10 @@ TEST(Orchestrator, ReturnAfterCheckpointEvictionDegradesGracefully) {
   sim::Simulator simulator;
   Cluster cluster(simulator);
   MigrationOrchestrator orchestrator(cluster);
-  core::HostConfig a{"A", sim::DiskConfig::Hdd(), {}, {}};
+  core::HostConfig a{"A", sim::DiskConfig::Hdd(), {}, {}, {}};
   a.retention.max_checkpoints = 1;
   cluster.AddHost(a);
-  cluster.AddHost({"B", sim::DiskConfig::Hdd(), {}, {}});
+  cluster.AddHost({"B", sim::DiskConfig::Hdd(), {}, {}, {}});
   cluster.Connect("A", "B", sim::LinkConfig::Lan());
 
   // Distinct ids matter for the store.
@@ -270,9 +274,9 @@ TEST(Orchestrator, WanMigrationIsSlowerThanLan) {
   sim::Simulator simulator;
   Cluster cluster(simulator);
   MigrationOrchestrator orchestrator(cluster);
-  cluster.AddHost({"A", {}, {}, {}});
-  cluster.AddHost({"B", {}, {}, {}});
-  cluster.AddHost({"C", {}, {}, {}});
+  cluster.AddHost({"A", {}, {}, {}, {}});
+  cluster.AddHost({"B", {}, {}, {}, {}});
+  cluster.AddHost({"C", {}, {}, {}, {}});
   cluster.Connect("A", "B", sim::LinkConfig::Lan());
   cluster.Connect("A", "C", sim::LinkConfig::Wan());
 

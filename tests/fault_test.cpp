@@ -88,8 +88,8 @@ struct PairWorld {
   core::Cluster cluster{simulator};
 
   PairWorld() {
-    cluster.AddHost({"A", sim::DiskConfig::Hdd(), {}, {}});
-    cluster.AddHost({"B", sim::DiskConfig::Hdd(), {}, {}});
+    cluster.AddHost({"A", sim::DiskConfig::Hdd(), {}, {}, {}});
+    cluster.AddHost({"B", sim::DiskConfig::Hdd(), {}, {}, {}});
     cluster.Connect("A", "B", sim::LinkConfig::Lan());
   }
 };

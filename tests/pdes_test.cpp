@@ -144,7 +144,7 @@ std::uint64_t RunMiniFleet(std::size_t workers, std::uint32_t sites,
                                   Bytes{0}};
   for (std::uint32_t site = 0; site < sites; ++site) {
     for (std::uint32_t host = 0; host < hosts_per_site; ++host) {
-      cluster.AddHost({HostName(site, host), sim::DiskConfig::Ssd(), {}, {}});
+      cluster.AddHost({HostName(site, host), sim::DiskConfig::Ssd(), {}, {}, {}});
       plan.Assign(HostName(site, host), site);
     }
     for (std::uint32_t host = 0; host + 1 < hosts_per_site; host += 2) {
@@ -235,8 +235,8 @@ TEST(PdesDeterminism, IntraShardFaultSweepReplaysAcrossWorkerCounts) {
     sim::ShardPlan plan;
     std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
     for (std::uint32_t site = 0; site < 2; ++site) {
-      cluster.AddHost({HostName(site, 0), sim::DiskConfig::Ssd(), {}, {}});
-      cluster.AddHost({HostName(site, 1), sim::DiskConfig::Ssd(), {}, {}});
+      cluster.AddHost({HostName(site, 0), sim::DiskConfig::Ssd(), {}, {}, {}});
+      cluster.AddHost({HostName(site, 1), sim::DiskConfig::Ssd(), {}, {}, {}});
       plan.Assign(HostName(site, 0), site);
       plan.Assign(HostName(site, 1), site);
       sim::Link& link = cluster.Connect(HostName(site, 0), HostName(site, 1),
@@ -300,8 +300,8 @@ TEST(PdesDeterminism, MultifdSessionsReplayUnderChannelFaults) {
     sim::ShardPlan plan;
     std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
     for (std::uint32_t site = 0; site < 2; ++site) {
-      cluster.AddHost({HostName(site, 0), sim::DiskConfig::Ssd(), {}, {}});
-      cluster.AddHost({HostName(site, 1), sim::DiskConfig::Ssd(), {}, {}});
+      cluster.AddHost({HostName(site, 0), sim::DiskConfig::Ssd(), {}, {}, {}});
+      cluster.AddHost({HostName(site, 1), sim::DiskConfig::Ssd(), {}, {}, {}});
       plan.Assign(HostName(site, 0), site);
       plan.Assign(HostName(site, 1), site);
       sim::Link& link = cluster.Connect(HostName(site, 0), HostName(site, 1),

@@ -47,8 +47,8 @@ struct PairWorld {
   Cluster cluster{simulator};
 
   PairWorld() {
-    cluster.AddHost({"A", sim::DiskConfig::Hdd(), {}, {}});
-    cluster.AddHost({"B", sim::DiskConfig::Hdd(), {}, {}});
+    cluster.AddHost({"A", sim::DiskConfig::Hdd(), {}, {}, {}});
+    cluster.AddHost({"B", sim::DiskConfig::Hdd(), {}, {}, {}});
     cluster.Connect("A", "B", sim::LinkConfig::Lan());
   }
 };
@@ -60,7 +60,7 @@ struct TriangleWorld {
 
   TriangleWorld() {
     for (const char* id : {"A", "B", "C"}) {
-      cluster.AddHost({id, sim::DiskConfig::Hdd(), {}, {}});
+      cluster.AddHost({id, sim::DiskConfig::Hdd(), {}, {}, {}});
     }
     cluster.Connect("A", "B", sim::LinkConfig::Lan());
     cluster.Connect("B", "C", sim::LinkConfig::Lan());

@@ -7,7 +7,10 @@ Usage:
 Checks that METRICS_JSON follows the vecycle.metrics.v1 schema and that
 every "precopy" record carries the full MigrationStats field set (and
 every "postcopy" record the full PostCopyStats set), so a stats field
-added without extending migration/observe.cpp fails CI here.
+added without extending migration/observe.cpp fails CI here. "store"
+records (per-host CheckpointStore counters, emitted by the VDI example
+when tracing is on) must carry the full chunk-store counter set plus
+the derived dedup/tier-hit ratios.
 
 With --trace, also checks the Chrome-trace file: it must parse, use only
 the phases the recorder emits, and contain a "round 1" span for every
@@ -42,6 +45,13 @@ POSTCOPY_COUNTERS = {
     "time_to_residency_ns", "total_stall_ns",
 }
 POSTCOPY_GAUGES = {"downtime_s", "time_to_residency_s", "total_stall_s"}
+STORE_COUNTERS = {
+    "checkpoints_held", "footprint_bytes", "evictions",
+    "chunks_written", "chunks_deduped", "chunks_gc_freed",
+    "chunks_resident", "chunk_refs",
+    "ssd_hits", "ssd_misses", "ssd_promotions",
+}
+STORE_GAUGES = {"dedup_ratio", "ssd_hit_rate", "footprint_mib"}
 
 TRACE_PHASES = {"M", "X", "i", "C"}
 
@@ -90,6 +100,7 @@ def validate_metrics(path):
         wanted = {
             "precopy": (PRECOPY_COUNTERS, PRECOPY_GAUGES),
             "postcopy": (POSTCOPY_COUNTERS, POSTCOPY_GAUGES),
+            "store": (STORE_COUNTERS, STORE_GAUGES),
         }.get(record["kind"])
         if wanted is not None:
             missing = ((wanted[0] - counters.keys())
@@ -114,6 +125,16 @@ def validate_metrics(path):
                 require(total == counters.get("tx_bytes"),
                         f"{where}: sum of per-channel tx bytes {total} != "
                         f"tx_bytes {counters.get('tx_bytes')}")
+
+        # Store records derive two ratios; both must be fractions, and a
+        # deduplicated chunk implies the original was written first.
+        if record["kind"] == "store":
+            for name in ("dedup_ratio", "ssd_hit_rate"):
+                require(0.0 <= gauges[name] <= 1.0,
+                        f"{where}: gauge {name} must be in [0, 1]")
+            require(counters["chunks_deduped"] == 0
+                    or counters["chunks_written"] > 0,
+                    f"{where}: deduped chunks without any written chunk")
 
         # Scheduler sessions tag their label with "#<session_id>"; the
         # suffix must agree with the session_id counter.
@@ -179,7 +200,8 @@ def main():
         kinds = [record["kind"] for record in doc["records"]]
         print(f"OK {args.metrics}: {len(kinds)} records "
               f"({kinds.count('precopy')} precopy, "
-              f"{kinds.count('postcopy')} postcopy)")
+              f"{kinds.count('postcopy')} postcopy, "
+              f"{kinds.count('store')} store)")
         if args.trace:
             events, migrations = validate_trace(args.trace)
             print(f"OK {args.trace}: {events} events, "
