@@ -2,15 +2,26 @@
 //
 // Four service VMs follow business hours around the globe: Frankfurt ->
 // New York -> Tokyo -> Frankfurt, one hop every 8 hours, over emulated
-// wide-area links. The whole fleet hops at once through the
-// MigrationScheduler: the per-host outgoing cap of 2 admits two WAN
-// transfers at a time, and the tier-0 service is submitted at higher
-// priority so it always crosses first. Because every VM revisits the
-// same three sites daily, each site quickly holds recent checkpoints and
-// WAN migrations shrink from gigabytes to megabytes. Demonstrates the
-// §3.2 bulk hash exchange too: the first revisit of a site after a
-// multi-hop loop is a non-ping-pong pattern — yet each VM's own
-// incoming-migration tracking makes even that a fast path.
+// wide-area links. Each region is a two-host pool, and *which* host a
+// service lands on is chosen by the placement policy layer: the
+// orchestrator's MigrateAuto consults a CheckpointAffinityPolicy that
+// scores every candidate by the content overlap between the service's
+// live memory and the checkpoint the host already holds. Because every
+// VM revisits the same three regions daily, affinity sends each service
+// back to the host it warmed 24 hours earlier and WAN migrations shrink
+// from gigabytes to megabytes.
+//
+// The baseline it must beat is the classic checkpoint-blind alternative:
+// a hardcoded rebalance schedule that alternates services across each
+// region's host pair on every visit. That placement looks harmless —
+// the load is perfectly even — but it lands almost every migration on
+// the host holding the *other* services' checkpoints, and the run pays
+// near-full WAN cost every hop. The example asserts the affinity tour
+// moves fewer wire bytes than the hardcoded one.
+//
+// The scheduler flavor of the original example is kept: the per-host
+// outgoing cap of 2 admits two WAN transfers at a time and the tier-0
+// service is submitted at higher priority so it always crosses first.
 //
 // Run:   ./build/examples/follow_the_sun
 #include <algorithm>
@@ -27,97 +38,163 @@
 #include "core/scheduler.hpp"
 #include "core/vm_instance.hpp"
 #include "obs/report.hpp"
+#include "policy/policies.hpp"
+#include "policy/runner.hpp"
 #include "vm/workload.hpp"
 
-int main() {
-  const vecycle::obs::ScopedReporter reporter("follow_the_sun");
-  using namespace vecycle;
+namespace {
 
+using namespace vecycle;
+
+constexpr int kServices = 4;
+constexpr int kHostsPerRegion = 2;
+const std::vector<std::string> kRegions = {"frankfurt", "new-york",
+                                           "tokyo"};
+
+std::vector<core::HostId> RegionHosts(const std::string& region) {
+  std::vector<core::HostId> hosts;
+  for (int h = 1; h <= kHostsPerRegion; ++h) {
+    hosts.push_back(region + "-" + std::to_string(h));
+  }
+  return hosts;
+}
+
+struct TourResult {
+  Bytes traffic;
+  int warm_legs = 0;
+};
+
+/// One three-day world tour, built from scratch. With `use_policy` the
+/// destination host inside each region is chosen by checkpoint
+/// affinity; otherwise a hardcoded alternating rebalance assigns it.
+TourResult RunTour(bool use_policy, bool print) {
   sim::Simulator simulator;
   core::Cluster cluster(simulator);
-  cluster.AddHost({"frankfurt", sim::DiskConfig::Ssd(), {}, {}, {}});
-  cluster.AddHost({"new-york", sim::DiskConfig::Ssd(), {}, {}, {}});
-  cluster.AddHost({"tokyo", sim::DiskConfig::Ssd(), {}, {}, {}});
-  // Intercontinental links: CloudNet-like WAN characteristics.
-  cluster.Connect("frankfurt", "new-york", sim::LinkConfig::Wan());
-  cluster.Connect("new-york", "tokyo", sim::LinkConfig::Wan());
-  cluster.Connect("tokyo", "frankfurt", sim::LinkConfig::Wan());
+  for (const auto& region : kRegions) {
+    for (const auto& host : RegionHosts(region)) {
+      cluster.AddHost({host, sim::DiskConfig::Ssd(), {}, {}, {}});
+    }
+  }
+  // Intercontinental links along the ring, every host pair across each
+  // adjacent region boundary: CloudNet-like WAN characteristics.
+  for (std::size_t r = 0; r < kRegions.size(); ++r) {
+    const auto from = RegionHosts(kRegions[r]);
+    const auto to = RegionHosts(kRegions[(r + 1) % kRegions.size()]);
+    for (const auto& a : from) {
+      for (const auto& b : to) {
+        cluster.Connect(a, b, sim::LinkConfig::Wan());
+      }
+    }
+  }
 
-  // At most two concurrent WAN transfers per site; service-0 is tier-0
+  // At most two concurrent WAN transfers per host; service-0 is tier-0
   // and gets admitted ahead of the rest at every hop.
   core::SchedulerConfig scheduler_config;
   scheduler_config.max_outgoing_per_host = 2;
   core::MigrationOrchestrator orchestrator(cluster, scheduler_config);
 
-  constexpr int kServices = 4;
   std::vector<std::unique_ptr<core::VmInstance>> services;
   std::vector<core::VmInstance*> fleet;
   for (int i = 0; i < kServices; ++i) {
     services.push_back(std::make_unique<core::VmInstance>(
-        "service-" + std::to_string(i), MiB(512),
+        "service-" + std::to_string(i), MiB(256),
         vm::ContentMode::kSeedOnly));
     Xoshiro256 rng(2026 + static_cast<std::uint64_t>(i));
     vm::MemoryProfile{}.Apply(services.back()->Memory(), rng);
     // Services with bounded working sets: busy while "their" region has
     // daytime, which is always (they follow the sun), so steady hotspot
-    // writers (rate scaled to the 512 MiB RAM size).
+    // writers.
     services.back()->SetWorkload(std::make_unique<vm::HotspotWorkload>(
         vm::HotspotWorkload::Config{30.0, 0.04, 0.97,
                                     5 + static_cast<std::uint64_t>(i)}));
-    orchestrator.Deploy(*services.back(), "frankfurt");
+    orchestrator.Deploy(*services.back(),
+                        RegionHosts("frankfurt")[i % kHostsPerRegion]);
     fleet.push_back(services.back().get());
   }
 
   migration::MigrationConfig config;
   config.strategy = migration::Strategy::kHashes;
 
-  const std::vector<std::string> route = {"new-york", "tokyo", "frankfurt"};
-  analysis::Table table({"Hop", "To", "Slowest", "Traffic", "Ckpt at dest",
-                         "Bulk exchange", "Tier-0 first"});
+  policy::CheckpointAffinityPolicy policy;
+  const std::vector<std::string> route = {"new-york", "tokyo",
+                                          "frankfurt"};
+  analysis::Table table({"Hop", "Region", "Slowest", "Traffic", "Warm",
+                         "Tier-0 first"});
+  TourResult result;
   int hop = 0;
-  std::string site_before = "frankfurt";
   for (int day = 0; day < 3; ++day) {
-    for (const auto& site : route) {
-      // The route must ride an actual provisioned link.
-      VEC_CHECK_MSG(cluster.LinkBetween(site_before, site) != nullptr,
-                    "follow-the-sun route visits unconnected sites");
+    for (const auto& region : route) {
       orchestrator.RunFor(fleet, Hours(8));
-      int checkpoints_at_dest = 0;
-      for (const auto* vm : fleet) {
-        checkpoints_at_dest +=
-            cluster.GetHost(site).Store().Has(vm->Id()) ? 1 : 0;
-      }
+      const auto candidates = RegionHosts(region);
       const std::size_t first_completion =
           orchestrator.Scheduler().Completions().size();
+      int warm = 0;
       for (int i = 0; i < kServices; ++i) {
-        orchestrator.MigrateAsync(*fleet[i], site, config,
-                                  /*priority=*/i == 0 ? 10 : 0);
+        if (use_policy) {
+          const policy::Decision decision = orchestrator.MigrateAuto(
+              *fleet[i], policy, config, candidates, &fleet,
+              /*priority=*/i == 0 ? 10 : 0);
+          warm += decision.warm ? 1 : 0;
+        } else {
+          // The checkpoint-blind baseline: alternate every service
+          // across the region's host pair on each visit.
+          orchestrator.MigrateAsync(*fleet[i],
+                                    candidates[(i + hop) % kHostsPerRegion],
+                                    config,
+                                    /*priority=*/i == 0 ? 10 : 0);
+        }
       }
       orchestrator.Drain();
       const auto& completions = orchestrator.Scheduler().Completions();
       Bytes traffic;
-      Bytes bulk_exchange;
       SimDuration slowest = SimDuration::zero();
       for (std::size_t i = first_completion; i < completions.size(); ++i) {
         traffic += completions[i].stats.tx_bytes;
-        bulk_exchange += completions[i].stats.bulk_exchange_bytes;
         slowest = std::max(slowest, completions[i].stats.total_time);
       }
+      result.traffic += traffic;
+      result.warm_legs += warm;
       const bool tier0_first =
           completions[first_completion].vm == fleet[0];
-      table.AddRow({std::to_string(++hop), site, FormatDuration(slowest),
-                    FormatBytes(traffic),
-                    std::to_string(checkpoints_at_dest) + "/" +
-                        std::to_string(kServices),
-                    FormatBytes(bulk_exchange), tier0_first ? "yes" : "no"});
-      site_before = site;
+      if (print) {
+        table.AddRow({std::to_string(hop + 1), region,
+                      FormatDuration(slowest), FormatBytes(traffic),
+                      std::to_string(warm) + "/" +
+                          std::to_string(kServices),
+                      tier0_first ? "yes" : "no"});
+      }
+      ++hop;
     }
   }
-  std::printf("%s\n", table.Render().c_str());
+  if (print) std::printf("%s\n", table.Render().c_str());
+  if (use_policy) {
+    policy::EmitPolicyMetrics("policy/follow_the_sun", policy);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const vecycle::obs::ScopedReporter reporter("follow_the_sun");
+  std::printf(
+      "Three-day world tour, %d services, %zu regions x %d hosts.\n\n"
+      "--- Checkpoint-affinity placement (MigrateAuto) ---\n",
+      kServices, kRegions.size(), kHostsPerRegion);
+  const TourResult affinity = RunTour(/*use_policy=*/true, /*print=*/true);
+
+  const TourResult hardcoded =
+      RunTour(/*use_policy=*/false, /*print=*/false);
   std::printf(
       "Day 1 hops pay full WAN cost (no checkpoints exist); from day 2 on\n"
-      "every site holds 24-hour-old checkpoints and traffic collapses to\n"
-      "the working-set deltas. The per-site outgoing cap keeps two WAN\n"
-      "transfers in flight and the tier-0 service always crosses first.\n");
+      "affinity returns every service to the host it warmed 24 hours\n"
+      "earlier and traffic collapses to the working-set deltas.\n\n"
+      "tour WAN traffic: affinity %s (%d warm legs), hardcoded "
+      "rebalance %s (%d warm legs)\n",
+      FormatBytes(affinity.traffic).c_str(), affinity.warm_legs,
+      FormatBytes(hardcoded.traffic).c_str(), hardcoded.warm_legs);
+  VEC_CHECK_MSG(affinity.traffic.count < hardcoded.traffic.count,
+                "checkpoint-affinity placement must beat the hardcoded "
+                "rebalance on wire bytes");
   return 0;
 }

@@ -11,6 +11,16 @@
 // back out. A full week of that schedule runs for a checkpoint-less
 // baseline versus VeCycle with gang dedup.
 //
+// The VeCycle run routes both waves through the placement policy layer:
+// MigrateAuto consults a CheckpointAffinityPolicy, which sends each
+// desktop back to the pool holding its freshest checkpoint every morning
+// (and scores the forced evening hop to the server, warm from day two
+// on). A third, quiet run keeps the same transfer strategy but replaces
+// the morning placement with a checkpoint-blind rebalance that rotates
+// desktops across the pools — the kind of "spread the load" schedule a
+// VDI broker applies when it ignores checkpoint state. The example
+// asserts affinity placement beats that rebalance on weekly wire bytes.
+//
 // Run:   ./build/examples/vdi_consolidation
 // Env:   VECYCLE_AUDIT=1 runs every session under the audit layer.
 #include <cstdio>
@@ -19,6 +29,7 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/cluster.hpp"
 #include "core/orchestrator.hpp"
@@ -27,6 +38,8 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "policy/policies.hpp"
+#include "policy/runner.hpp"
 #include "vm/workload.hpp"
 
 namespace {
@@ -79,11 +92,35 @@ std::unique_ptr<core::VmInstance> MakeDesktop(int index) {
   return vm;
 }
 
+/// How the morning fan-out picks each desktop's pool.
+enum class Placement {
+  kHomes,      // the fixed home pool a desktop was deployed on
+  kRebalance,  // checkpoint-blind rotation across the pools, one step/day
+  kAffinity,   // MigrateAuto + CheckpointAffinityPolicy picks the pool
+};
+
 struct WaveResult {
   Bytes traffic;
   SimDuration slowest = SimDuration::zero();
   std::uint64_t reused_pages = 0;
+  int warm = 0;
 };
+
+WaveResult CollectWave(core::MigrationOrchestrator& orchestrator,
+                       std::size_t first) {
+  orchestrator.Drain();
+  WaveResult result;
+  const auto& completions = orchestrator.Scheduler().Completions();
+  for (std::size_t i = first; i < completions.size(); ++i) {
+    const auto& stats = completions[i].stats;
+    result.traffic += stats.tx_bytes;
+    result.slowest = std::max(result.slowest, stats.total_time);
+    result.reused_pages += stats.pages_sent_checksum +
+                           stats.pages_skipped_clean +
+                           stats.pages_dup_ref;
+  }
+  return result;
+}
 
 /// Migrates the whole fleet to per-VM destinations in one scheduler
 /// drain and aggregates the wave's cost.
@@ -96,17 +133,26 @@ WaveResult MigrateWave(core::MigrationOrchestrator& orchestrator,
   for (std::size_t i = 0; i < fleet.size(); ++i) {
     orchestrator.MigrateAsync(*fleet[i], destinations[i], config);
   }
-  orchestrator.Drain();
-  WaveResult result;
-  const auto& completions = orchestrator.Scheduler().Completions();
-  for (std::size_t i = first; i < completions.size(); ++i) {
-    const auto& stats = completions[i].stats;
-    result.traffic += stats.tx_bytes;
-    result.slowest = std::max(result.slowest, stats.total_time);
-    result.reused_pages += stats.pages_sent_checksum +
-                           stats.pages_skipped_clean +
-                           stats.pages_dup_ref;
+  return CollectWave(orchestrator, first);
+}
+
+/// The policy-driven variant: every leg's destination comes out of the
+/// placement policy, queried against the shared candidate list.
+WaveResult MigrateWaveAuto(core::MigrationOrchestrator& orchestrator,
+                           const std::vector<core::VmInstance*>& fleet,
+                           policy::PlacementPolicy& policy,
+                           const std::vector<core::HostId>& candidates,
+                           const migration::MigrationConfig& config) {
+  const std::size_t first =
+      orchestrator.Scheduler().Completions().size();
+  int warm = 0;
+  for (auto* vm : fleet) {
+    const policy::Decision decision =
+        orchestrator.MigrateAuto(*vm, policy, config, candidates, &fleet);
+    warm += decision.warm ? 1 : 0;
   }
+  WaveResult result = CollectWave(orchestrator, first);
+  result.warm = warm;
   return result;
 }
 
@@ -147,7 +193,8 @@ void EmitStoreMetrics(const core::Cluster& cluster) {
   }
 }
 
-double RunWeek(migration::Strategy strategy, bool print, bool chunked) {
+double RunWeek(migration::Strategy strategy, bool print, bool chunked,
+               Placement placement) {
   sim::Simulator simulator;
   core::Cluster cluster(simulator);
   for (const char* pool : kPools) {
@@ -199,20 +246,28 @@ double RunWeek(migration::Strategy strategy, bool print, bool chunked) {
     fleet.push_back(desktops.back().get());
   }
   const std::vector<std::string> server_wave(kDesktops, "server");
+  const std::vector<core::HostId> server_only = {"server"};
+  std::vector<core::HostId> all_pools(kPools, kPools + kPoolCount);
 
   migration::MigrationConfig config;
   config.strategy = strategy;
+  policy::CheckpointAffinityPolicy policy;
 
   analysis::Table table(
       {"Day", "Direction", "Traffic", "Slowest", "Reused pages"});
   double total_tx_gib = 0.0;
+  int warm_legs = 0;
   for (int day = 0; day < 5; ++day) {
     // 5 pm: the office empties; all desktops consolidate onto the server.
     for (auto* office : offices) office->SetDaytime(true);
     orchestrator.RunFor(fleet, Hours(8));
     const auto evening =
-        MigrateWave(orchestrator, fleet, server_wave, config);
+        placement == Placement::kAffinity
+            ? MigrateWaveAuto(orchestrator, fleet, policy, server_only,
+                              config)
+            : MigrateWave(orchestrator, fleet, server_wave, config);
     total_tx_gib += ToGiB(evening.traffic);
+    warm_legs += evening.warm;
     table.AddRow({"day " + std::to_string(day + 1), "pools -> srv",
                   FormatBytes(evening.traffic),
                   FormatDuration(evening.slowest),
@@ -221,8 +276,24 @@ double RunWeek(migration::Strategy strategy, bool print, bool chunked) {
     // 9 am next morning: everyone is back; desktops fan out again.
     for (auto* office : offices) office->SetDaytime(false);
     orchestrator.RunFor(fleet, Hours(16));
-    const auto morning = MigrateWave(orchestrator, fleet, homes, config);
+    WaveResult morning;
+    if (placement == Placement::kAffinity) {
+      morning =
+          MigrateWaveAuto(orchestrator, fleet, policy, all_pools, config);
+    } else if (placement == Placement::kRebalance) {
+      // A broker that ignores checkpoints and rotates desktops across
+      // the pools to even out the load — two of three mornings land a
+      // desktop on a pool holding somebody else's checkpoint.
+      std::vector<std::string> rotated;
+      for (int i = 0; i < kDesktops; ++i) {
+        rotated.emplace_back(kPools[(i + day) % kPoolCount]);
+      }
+      morning = MigrateWave(orchestrator, fleet, rotated, config);
+    } else {
+      morning = MigrateWave(orchestrator, fleet, homes, config);
+    }
     total_tx_gib += ToGiB(morning.traffic);
+    warm_legs += morning.warm;
     table.AddRow({"day " + std::to_string(day + 2), "srv -> pools",
                   FormatBytes(morning.traffic),
                   FormatDuration(morning.slowest),
@@ -230,6 +301,10 @@ double RunWeek(migration::Strategy strategy, bool print, bool chunked) {
   }
   if (print) {
     std::printf("%s\n", table.Render().c_str());
+    if (placement == Placement::kAffinity) {
+      std::printf("  policy placed %d of %d legs on a warm host\n",
+                  warm_legs, 10 * kDesktops);
+    }
     // Where the checkpoints ended up, via the cluster's const iteration.
     for (const auto* host : cluster.Hosts()) {
       const auto& store = host->Store();
@@ -256,6 +331,9 @@ double RunWeek(migration::Strategy strategy, bool print, bool chunked) {
     std::printf("\n");
   }
   if (chunked && obs::EnvEnabled()) EmitStoreMetrics(cluster);
+  if (placement == Placement::kAffinity) {
+    policy::EmitPolicyMetrics("policy/vdi_week", policy);
+  }
   return total_tx_gib;
 }
 
@@ -269,19 +347,30 @@ int main() {
       kDesktops, kPoolCount, kDesktops);
 
   std::printf("--- Baseline (full pre-copy, no checkpoint reuse) ---\n");
-  const double baseline =
-      RunWeek(migration::Strategy::kFull, true, /*chunked=*/false);
+  const double baseline = RunWeek(migration::Strategy::kFull, true,
+                                  /*chunked=*/false, Placement::kHomes);
 
   std::printf("--- VeCycle + gang dedup (checkpoints recycled, clones\n");
   std::printf("    leaving one pool share a sender-side cache, hosts on\n");
-  std::printf("    the chunked content-addressed store) ---\n");
+  std::printf("    the chunked content-addressed store, mornings placed\n");
+  std::printf("    by checkpoint affinity) ---\n");
   const double vecycle =
       RunWeek(migration::Strategy::kHashesPlusDedup, true,
-              /*chunked=*/true);
+              /*chunked=*/true, Placement::kAffinity);
+
+  // Same transfer strategy, checkpoint-blind placement: isolates what
+  // the affinity policy alone is worth.
+  const double rebalance =
+      RunWeek(migration::Strategy::kHashesPlusDedup, false,
+              /*chunked=*/true, Placement::kRebalance);
 
   std::printf(
       "weekly migration traffic: baseline %.1f GiB, VeCycle %.1f GiB "
-      "(%.0f%% saved)\n",
-      baseline, vecycle, 100.0 * (1.0 - vecycle / baseline));
+      "(%.0f%% saved)\n"
+      "same strategy under a checkpoint-blind rebalance: %.1f GiB\n",
+      baseline, vecycle, 100.0 * (1.0 - vecycle / baseline), rebalance);
+  VEC_CHECK_MSG(vecycle < rebalance,
+                "affinity placement must beat the checkpoint-blind "
+                "rebalance on wire bytes");
   return 0;
 }

@@ -19,8 +19,18 @@
 #include "core/scheduler.hpp"
 #include "core/vm_instance.hpp"
 #include "migration/engine.hpp"
+#include "policy/placement.hpp"
 
 namespace vecycle::core {
+
+/// One leg of a policy wave (RunPolicy): which VM must move and which
+/// destinations it may choose among. Empty candidates mean "every host
+/// directly linked to the VM's current host".
+struct PolicyLeg {
+  VmInstance* vm = nullptr;
+  std::vector<HostId> candidates;
+  int priority = 0;
+};
 
 class MigrationOrchestrator {
  public:
@@ -62,6 +72,40 @@ class MigrationOrchestrator {
       VmInstance& vm, const HostId& to,
       const migration::MigrationConfig& config, int priority = 0,
       MigrationScheduler::CompletionCallback on_complete = nullptr);
+
+  /// Consults `policy` for one leg and queues the chosen migration on
+  /// the scheduler (run it with Drain()). Candidates are sorted, deduped
+  /// and stripped of the VM's current host before the policy sees them;
+  /// empty `candidates` resolve to every host directly linked to the
+  /// VM's current host. The returned Decision reports the policy's
+  /// deferral recommendation, but this call always submits immediately —
+  /// callers that honor timing use RunPolicy.
+  policy::Decision MigrateAuto(
+      VmInstance& vm, policy::PlacementPolicy& policy,
+      const migration::MigrationConfig& config,
+      std::vector<HostId> candidates = {},
+      const std::vector<VmInstance*>* fleet = nullptr, int priority = 0,
+      MigrationScheduler::CompletionCallback on_complete = nullptr);
+
+  /// Runs one wave of policy-driven legs to completion. Every decision
+  /// is taken up front at the wave's quiescent start (in leg order, so
+  /// results never depend on container iteration); legs are then grouped
+  /// by the policy's deferral, and each group is submitted and drained
+  /// after the fleet has run in place up to its deferral instant —
+  /// decisions and submissions only ever happen while the fleet is
+  /// quiescent, which is what keeps PDES replays byte-identical. A VM
+  /// may appear in at most one leg per wave. A positive `observe_step`
+  /// advances deferral waits in chunks of that size and feeds the fleet
+  /// to policy.Observe() after each chunk, so dirty-rate sampling keeps
+  /// the same cadence inside a wave as between waves (a detector fed one
+  /// hours-long smeared interval mislearns the phase edges its next
+  /// deferral depends on); zero advances each wait in one step with no
+  /// observations. Returns the decisions in leg order.
+  std::vector<policy::Decision> RunPolicy(
+      const std::vector<VmInstance*>& fleet,
+      const std::vector<PolicyLeg>& legs, policy::PlacementPolicy& policy,
+      const migration::MigrationConfig& config,
+      SimDuration observe_step = SimDuration::zero());
 
   /// Runs every queued migration to completion; returns how many
   /// finished. See MigrationScheduler::Drain.

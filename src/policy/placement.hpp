@@ -1,0 +1,167 @@
+// Placement policy interface (vecycle::policy).
+//
+// The scheduler executes migrations; this layer *chooses* them. A
+// PlacementPolicy answers one question — "where should this VM go, and
+// how long is it worth waiting before it leaves?" — from deterministic
+// inputs only: the cluster topology in AddHost order, the candidate list
+// in lexicographic order, the checkpoint stores' overlap metadata, and
+// the policy's own accumulated observations. The orchestrator consults
+// it through MigrateAuto (one leg, submit now) and RunPolicy (a wave of
+// legs with deferral honored); see docs/policy.md for the contract.
+//
+// Determinism rules (PDES safety):
+//  * Decide() runs only while the fleet is quiescent — between Drain()
+//    calls, which under PDES means at barrier instants where every shard
+//    shares one clock. Policies never see mid-window state.
+//  * Everything a decision reads must be ordered: candidates arrive
+//    sorted, Cluster::Hosts() iterates in AddHost order, and per-VM
+//    state inside policies lives in ordered containers. A policy obeying
+//    those rules replays byte-identically across PDES worker counts.
+//
+// The interface lives header-only in src/policy so vecycle_core can
+// consult policies without linking the policy library; the concrete
+// policies (policies.hpp) and the scenario machinery link vecycle_core.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "core/cluster.hpp"
+#include "core/vm_instance.hpp"
+
+namespace vecycle::policy {
+
+/// Knobs shared by the shipped policies (affinity scoring weights and
+/// the cycle-aware deferral bounds).
+struct PolicyConfig {
+  /// Weight of the checkpoint-overlap fraction in a candidate's score.
+  double affinity_weight = 1.0;
+  /// Penalty per VM already placed on a candidate host — the tiebreaker
+  /// that keeps the affinity policy from piling every warm VM onto one
+  /// box when overlaps are equal.
+  double load_weight = 0.01;
+  /// Overlap fractions below this are treated as cold (no useful
+  /// checkpoint); the affinity policy then falls back to least-loaded.
+  double min_affinity = 0.01;
+  /// Longest the cycle-aware policy may defer one leg.
+  SimDuration max_defer = Hours(3.0);
+  /// Deferrals are rounded up to multiples of this, so a wave's deferred
+  /// legs bucket into few quiescent submission instants instead of one
+  /// per VM.
+  SimDuration defer_step = Minutes(30.0);
+
+  /// Rejects weights and deferral bounds outside their domains: the
+  /// scoring weights (affinity_weight, load_weight) must be finite and
+  /// non-negative, min_affinity must be a fraction in [0, 1], max_defer
+  /// non-negative and defer_step positive (the deferral quantum divides
+  /// waits; zero would loop). Called by the policy constructors.
+  void Validate() const {
+    VEC_CHECK_MSG(std::isfinite(affinity_weight) && affinity_weight >= 0.0,
+                  "policy affinity_weight must be finite and >= 0");
+    VEC_CHECK_MSG(std::isfinite(load_weight) && load_weight >= 0.0,
+                  "policy load_weight must be finite and >= 0");
+    VEC_CHECK_MSG(min_affinity >= 0.0 && min_affinity <= 1.0,
+                  "policy min_affinity must be in [0, 1]");
+    VEC_CHECK_MSG(max_defer >= SimDuration::zero(),
+                  "policy max_defer must be non-negative");
+    VEC_CHECK_MSG(defer_step > SimDuration::zero(),
+                  "policy defer_step must be positive");
+  }
+};
+
+/// Everything a policy may read when deciding one leg. Pointers refer to
+/// caller-owned state and are valid only for the duration of Decide().
+struct PlacementQuery {
+  const core::Cluster* cluster = nullptr;
+  const core::VmInstance* vm = nullptr;
+  /// Legal destinations, sorted lexicographically, never containing the
+  /// VM's current host. Non-empty.
+  std::vector<core::HostId> candidates;
+  /// Optional fleet view (for load counting); may be null.
+  const std::vector<core::VmInstance*>* fleet = nullptr;
+  /// The quiescent instant the decision is taken at.
+  SimTime now = kSimEpoch;
+};
+
+/// Per-candidate diagnostics, in candidate (lexicographic) order.
+struct CandidateScore {
+  core::HostId host;
+  double affinity = 0.0;  ///< checkpoint overlap fraction at this host
+  double score = 0.0;
+  std::uint64_t load = 0;  ///< VMs currently placed there (0 w/o fleet)
+};
+
+/// A policy's answer for one leg.
+struct Decision {
+  core::HostId to;
+  /// Recommended wait before submitting (cycle-aware timing). Zero for
+  /// "go now". MigrateAuto reports it but submits immediately;
+  /// RunPolicy honors it by advancing the fleet.
+  SimDuration defer = SimDuration::zero();
+  double affinity = 0.0;  ///< chosen candidate's overlap fraction
+  double score = 0.0;
+  /// True when a warm checkpoint drove the choice (affinity at or above
+  /// PolicyConfig::min_affinity), false for cold/baseline placements.
+  bool warm = false;
+  std::vector<CandidateScore> scored;  ///< all candidates, for diagnostics
+};
+
+/// Aggregate decision counters, accumulated by every policy; the "policy"
+/// metrics record (obs) and the bench summaries read them.
+struct DecisionStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t deferred = 0;        ///< decisions with defer > 0
+  std::uint64_t affinity_hits = 0;   ///< warm placements
+  std::uint64_t cold_placements = 0;
+  double affinity_sum = 0.0;
+  double score_sum = 0.0;
+  SimDuration max_defer = SimDuration::zero();
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view Name() const = 0;
+
+  /// Chooses a destination (and optional deferral) for `query.vm` among
+  /// `query.candidates`. Called only while the fleet is quiescent; must
+  /// be deterministic in the query plus the policy's own prior calls.
+  [[nodiscard]] virtual Decision Decide(const PlacementQuery& query) = 0;
+
+  /// Observation hook: the runner calls this for every VM after each
+  /// quiescent fleet advance, so stateful policies (cycle-aware) can
+  /// sample dirty rates. The default ignores it.
+  virtual void Observe(const core::VmInstance& vm, SimTime now) {
+    (void)vm;
+    (void)now;
+  }
+
+  [[nodiscard]] const DecisionStats& Stats() const { return stats_; }
+
+ protected:
+  /// Concrete policies funnel every returned Decision through this so
+  /// Stats() stays consistent across implementations.
+  Decision Record(Decision decision) {
+    ++stats_.decisions;
+    if (decision.defer > SimDuration::zero()) ++stats_.deferred;
+    if (decision.warm) {
+      ++stats_.affinity_hits;
+    } else {
+      ++stats_.cold_placements;
+    }
+    stats_.affinity_sum += decision.affinity;
+    stats_.score_sum += decision.score;
+    stats_.max_defer = std::max(stats_.max_defer, decision.defer);
+    return decision;
+  }
+
+ private:
+  DecisionStats stats_;
+};
+
+}  // namespace vecycle::policy

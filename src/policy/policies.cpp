@@ -1,0 +1,175 @@
+#include "policy/policies.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vecycle::policy {
+namespace {
+
+/// Shared query sanity checks: candidates sorted, non-empty, and never
+/// the VM's current host (the orchestrator guarantees all three; a
+/// hand-built query that violates them would silently skew scoring).
+void CheckQuery(const PlacementQuery& query) {
+  VEC_CHECK_MSG(query.cluster != nullptr && query.vm != nullptr,
+                "placement query needs a cluster and a VM");
+  VEC_CHECK_MSG(!query.candidates.empty(),
+                "placement query has no candidate destinations");
+  VEC_CHECK_MSG(
+      std::is_sorted(query.candidates.begin(), query.candidates.end()),
+      "placement query candidates must be sorted");
+  for (const core::HostId& host : query.candidates) {
+    VEC_CHECK_MSG(host != query.vm->CurrentHost(),
+                  "placement candidates include the VM's current host");
+  }
+}
+
+/// VMs of the fleet currently placed on `host` (0 without a fleet view).
+std::uint64_t LoadOn(const PlacementQuery& query, const core::HostId& host) {
+  if (query.fleet == nullptr) return 0;
+  std::uint64_t load = 0;
+  for (const core::VmInstance* vm : *query.fleet) {
+    if (vm != nullptr && vm->CurrentHost() == host) ++load;
+  }
+  return load;
+}
+
+/// Candidate diagnostics common to the scoring policies: per-candidate
+/// load and checkpoint overlap fraction, in candidate order.
+std::vector<CandidateScore> ScoreCandidates(const PlacementQuery& query,
+                                            const PolicyConfig& config) {
+  std::vector<CandidateScore> scored;
+  scored.reserve(query.candidates.size());
+  const auto& seeds = query.vm->Memory().Seeds();
+  for (const core::HostId& host : query.candidates) {
+    CandidateScore entry;
+    entry.host = host;
+    entry.load = LoadOn(query, host);
+    entry.affinity = query.cluster->GetHost(host)
+                         .Store()
+                         .ContentOverlap(query.vm->Id(), seeds)
+                         .Fraction();
+    entry.score = config.affinity_weight * entry.affinity -
+                  config.load_weight * static_cast<double>(entry.load);
+    scored.push_back(std::move(entry));
+  }
+  return scored;
+}
+
+/// Least-loaded choice over `scored` (ties toward the smaller host id,
+/// which is the candidate order).
+std::size_t LeastLoadedIndex(const std::vector<CandidateScore>& scored) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < scored.size(); ++i) {
+    if (scored[i].load < scored[best].load) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+Decision RoundRobinPolicy::Decide(const PlacementQuery& query) {
+  CheckQuery(query);
+  Decision decision;
+  decision.to = query.candidates[cursor_ % query.candidates.size()];
+  ++cursor_;
+  return Record(std::move(decision));
+}
+
+Decision LeastLoadedPolicy::Decide(const PlacementQuery& query) {
+  CheckQuery(query);
+  // Zero weights: pure load counting, no checkpoint consultation.
+  PolicyConfig no_weights;
+  no_weights.affinity_weight = 0.0;
+  no_weights.load_weight = 0.0;
+  Decision decision;
+  decision.scored = ScoreCandidates(query, no_weights);
+  decision.to = decision.scored[LeastLoadedIndex(decision.scored)].host;
+  return Record(std::move(decision));
+}
+
+Decision CheckpointAffinityPolicy::Decide(const PlacementQuery& query) {
+  CheckQuery(query);
+  Decision decision;
+  decision.scored = ScoreCandidates(query, config_);
+  // Best warm candidate by score; candidate order breaks ties.
+  std::size_t best = decision.scored.size();
+  for (std::size_t i = 0; i < decision.scored.size(); ++i) {
+    const CandidateScore& entry = decision.scored[i];
+    if (entry.affinity < config_.min_affinity) continue;
+    if (best == decision.scored.size() ||
+        entry.score > decision.scored[best].score) {
+      best = i;
+    }
+  }
+  if (best != decision.scored.size()) {
+    decision.warm = true;
+  } else {
+    // Every candidate is cold: place for load, not for checkpoints.
+    best = LeastLoadedIndex(decision.scored);
+  }
+  decision.to = decision.scored[best].host;
+  decision.affinity = decision.scored[best].affinity;
+  decision.score = decision.scored[best].score;
+  return Record(std::move(decision));
+}
+
+CycleAwarePolicy::CycleAwarePolicy(std::unique_ptr<PlacementPolicy> inner,
+                                   PolicyConfig config,
+                                   vm::CycleDetector::Config detector_config)
+    : inner_(std::move(inner)),
+      config_((config.Validate(), config)),
+      detector_config_((detector_config.Validate(), detector_config)) {
+  VEC_CHECK_MSG(inner_ != nullptr,
+                "cycle-aware policy needs an inner policy");
+  name_ = "cycle_aware+" + std::string(inner_->Name());
+}
+
+void CycleAwarePolicy::Observe(const core::VmInstance& vm, SimTime now) {
+  inner_->Observe(vm, now);
+  auto [it, inserted] =
+      detectors_.try_emplace(vm.Id(), detector_config_);
+  Tracked& tracked = it->second;
+  if (!inserted && tracked.host != vm.CurrentHost()) {
+    // The VM migrated since the last observation: its memory — and write
+    // counter — was replaced at the destination, so the spanning
+    // interval carries no rate. Reconstruction usually *raises* the
+    // counter (every received page is a write), which is why this is
+    // keyed on the host change, not on the counter going backwards.
+    tracked.detector.Reanchor(now, vm.Memory().TotalWrites());
+  } else {
+    tracked.detector.AddSample(now, vm.Memory().TotalWrites());
+  }
+  tracked.host = vm.CurrentHost();
+}
+
+const vm::CycleDetector* CycleAwarePolicy::DetectorFor(
+    const std::string& vm_id) const {
+  const auto it = detectors_.find(vm_id);
+  return it == detectors_.end() ? nullptr : &it->second.detector;
+}
+
+Decision CycleAwarePolicy::Decide(const PlacementQuery& query) {
+  CheckQuery(query);
+  Decision decision = inner_->Decide(query);
+  const auto it = detectors_.find(query.vm->Id());
+  if (it != detectors_.end()) {
+    const SimDuration wait = it->second.detector.TimeToLowChurn(query.now);
+    if (wait > SimDuration::zero()) {
+      // Round up to the deferral quantum so a wave's deferred legs land
+      // on few shared submission instants, add one more quantum of
+      // margin, then clamp to the bound. The margin is insurance
+      // against the prediction undershooting by up to a sampling
+      // interval: landing early means migrating into the tail of the
+      // busy phase (the full-churn downtime deferral exists to avoid),
+      // while landing late just waits a few more minutes of a
+      // many-hour quiet window.
+      const auto step = config_.defer_step.count();
+      const auto quantized =
+          SimDuration{((wait.count() + step - 1) / step + 1) * step};
+      decision.defer = std::min(quantized, config_.max_defer);
+    }
+  }
+  return Record(std::move(decision));
+}
+
+}  // namespace vecycle::policy

@@ -1,0 +1,121 @@
+// The shipped placement policies.
+//
+//  * RoundRobinPolicy   — rotates through the candidate list; the
+//                         checkpoint-blind baseline every comparison is
+//                         anchored to.
+//  * LeastLoadedPolicy  — classic load balancing: fewest VMs wins.
+//  * CheckpointAffinityPolicy — the VeCycle policy: prefer the candidate
+//                         whose CheckpointStore already holds the
+//                         warmest checkpoint for this VM, scored by
+//                         content overlap between the VM's live pages
+//                         and the stored baseline seeds (PR 8's
+//                         departure seeds, resolved through PR 9's
+//                         chunk manifests on chunked hosts).
+//  * CycleAwarePolicy   — decorator adding *when* to any inner policy's
+//                         *where*: per-VM CycleDetectors (vecycle::vm)
+//                         watch dirty rates, and a leg decided during a
+//                         busy phase is deferred to the predicted start
+//                         of the VM's low-churn window.
+//
+// Scoring and tie-breaking are total orders over (score, host id), so
+// every policy is deterministic given its query sequence.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "policy/placement.hpp"
+#include "vm/cycle_detector.hpp"
+
+namespace vecycle::policy {
+
+/// Rotates through candidates in lexicographic order with one global
+/// cursor, like a DNS round-robin: blind to checkpoints and load alike.
+class RoundRobinPolicy : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::string_view Name() const override {
+    return "round_robin";
+  }
+  [[nodiscard]] Decision Decide(const PlacementQuery& query) override;
+
+ private:
+  std::uint64_t cursor_ = 0;
+};
+
+/// Picks the candidate hosting the fewest fleet VMs; ties break toward
+/// the lexicographically smaller host id. Without a fleet view in the
+/// query every load is zero and the first candidate wins.
+class LeastLoadedPolicy : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::string_view Name() const override {
+    return "least_loaded";
+  }
+  [[nodiscard]] Decision Decide(const PlacementQuery& query) override;
+};
+
+/// Scores every candidate by
+///     affinity_weight * overlap_fraction - load_weight * load
+/// where overlap_fraction is CheckpointStore::ContentOverlap between the
+/// VM's live seeds and the candidate's stored checkpoint. Candidates at
+/// or above min_affinity are "warm"; the best warm candidate wins (ties
+/// toward the smaller host id). With no warm candidate the choice falls
+/// back to least-loaded and the decision is recorded as a cold
+/// placement.
+class CheckpointAffinityPolicy : public PlacementPolicy {
+ public:
+  explicit CheckpointAffinityPolicy(PolicyConfig config = {})
+      : config_((config.Validate(), config)) {}
+
+  [[nodiscard]] std::string_view Name() const override {
+    return "checkpoint_affinity";
+  }
+  [[nodiscard]] Decision Decide(const PlacementQuery& query) override;
+
+  [[nodiscard]] const PolicyConfig& GetConfig() const { return config_; }
+
+ private:
+  PolicyConfig config_;
+};
+
+/// Wraps an inner policy's destination choice with cycle-aware timing:
+/// Observe() feeds one CycleDetector per VM, and Decide() defers a leg
+/// decided mid-busy-phase by the detector's TimeToLowChurn prediction,
+/// rounded up to PolicyConfig::defer_step and clamped to max_defer. VMs
+/// already in (or predicted never to leave) a low-churn window keep the
+/// inner policy's defer of zero.
+class CycleAwarePolicy : public PlacementPolicy {
+ public:
+  CycleAwarePolicy(std::unique_ptr<PlacementPolicy> inner,
+                   PolicyConfig config = {},
+                   vm::CycleDetector::Config detector_config = {});
+
+  [[nodiscard]] std::string_view Name() const override { return name_; }
+  [[nodiscard]] Decision Decide(const PlacementQuery& query) override;
+  void Observe(const core::VmInstance& vm, SimTime now) override;
+
+  /// The detector watching `vm_id`, or null before its first Observe.
+  [[nodiscard]] const vm::CycleDetector* DetectorFor(
+      const std::string& vm_id) const;
+
+ private:
+  /// A detector plus the host it was last observed on: when the host
+  /// changes the VM migrated, its GuestMemory (and write counter) was
+  /// replaced, and the detector is re-anchored instead of fed a sample
+  /// whose interval spans two different counters.
+  struct Tracked {
+    explicit Tracked(vm::CycleDetector::Config config)
+        : detector(config) {}
+    vm::CycleDetector detector;
+    std::string host;
+  };
+
+  std::unique_ptr<PlacementPolicy> inner_;
+  PolicyConfig config_;
+  vm::CycleDetector::Config detector_config_;
+  std::string name_;
+  /// Ordered by VM id so any iteration is deterministic by construction.
+  std::map<std::string, Tracked> detectors_;
+};
+
+}  // namespace vecycle::policy

@@ -1,0 +1,320 @@
+#include "policy/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "core/orchestrator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "policy/policies.hpp"
+#include "sim/sharded.hpp"
+#include "vm/workload.hpp"
+
+namespace vecycle::policy {
+namespace {
+
+/// The scenario's world: simulator(s), topology and fleet, built from
+/// scratch per run so repeated runs (and worker-count sweeps) start from
+/// identical state.
+struct World {
+  std::unique_ptr<sim::Simulator> simulator;        ///< single mode
+  std::unique_ptr<sim::ShardedSimulator> pdes;      ///< sharded mode
+  std::unique_ptr<core::Cluster> cluster;
+  std::unique_ptr<core::MigrationOrchestrator> orchestrator;
+  std::vector<std::unique_ptr<core::VmInstance>> vms;
+  std::vector<core::VmInstance*> fleet;
+};
+
+std::unique_ptr<vm::Workload> MakeWorkload(const ScenarioConfig& config,
+                                           std::uint32_t vm_index,
+                                           std::uint64_t seed) {
+  const std::uint64_t pages =
+      std::max<std::uint64_t>(1, config.vm_ram.count / kPageSize);
+  if (config.kind == ScenarioKind::kFollowTheSun) {
+    // Steady load, writes confined to the front quarter of RAM (see the
+    // periodic comment below for why leakage must be exactly zero).
+    vm::HotspotWorkload::Config hotspot;
+    hotspot.write_rate_pages_per_s = config.busy_rate_pages_per_s;
+    hotspot.hot_fraction = 0.25;
+    hotspot.hot_probability = 1.0;
+    hotspot.seed = seed;
+    return std::make_unique<vm::HotspotWorkload>(hotspot);
+  }
+  // Cyclic kinds: 10 busy hours then 14 quiet ones, cycle starts
+  // staggered across the fleet so every wave catches a mix of phases —
+  // that mix is what the cycle-aware policy's deferral acts on. Both
+  // phases confine their writes to the front quarter of RAM (the idle
+  // region nests inside the busy one): the back three quarters keep
+  // their checkpoint-era content, which is the overlap the affinity
+  // policy detects. hot_probability stays at exactly 1 — even a few
+  // percent of uniform leakage rewrites every page within a simulated
+  // day and erases the warm signal.
+  vm::PeriodicWorkload::Config periodic;
+  periodic.period = Hours(24.0);
+  periodic.busy_fraction = 10.0 / 24.0;
+  // The quarter-hour skew keeps every VM's phase edges off the whole-day
+  // wave instants: without it, the VM at offset zero flips quiet-to-busy
+  // at the exact moment a day-boundary wave decides its leg, and the
+  // "currently quiet" reading turns into a full-churn migration.
+  periodic.phase_offset = Hours(
+      0.25 + 24.0 * static_cast<double>(vm_index) /
+                 static_cast<double>(config.vms));
+  periodic.busy.write_rate_pages_per_s = config.busy_rate_pages_per_s;
+  periodic.busy.hot_fraction = 0.25;
+  periodic.busy.hot_probability = 1.0;
+  periodic.busy.seed = seed;
+  periodic.quiet.write_rate_pages_per_s = 0.5;
+  periodic.quiet.hot_region_pages =
+      std::max<std::uint64_t>(1, std::min<std::uint64_t>(64, pages / 4));
+  periodic.quiet.seed = seed + 1;
+  return std::make_unique<vm::PeriodicWorkload>(periodic);
+}
+
+/// Builds the world. `workers` == 0 means single-simulator mode;
+/// otherwise the topology shards one site per PDES shard.
+World BuildWorld(const Scenario& scenario, std::size_t workers) {
+  const ScenarioConfig& config = scenario.config;
+  World world;
+  sim::ShardPlan plan;
+  if (workers == 0) {
+    world.simulator = std::make_unique<sim::Simulator>();
+    world.cluster = std::make_unique<core::Cluster>(*world.simulator);
+  } else {
+    world.pdes = std::make_unique<sim::ShardedSimulator>(config.sites);
+    world.cluster =
+        std::make_unique<core::Cluster>(world.pdes->Shard(0));
+  }
+
+  const std::uint32_t hosts = scenario.HostCount();
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    const std::string name = scenario.HostNameAt(h);
+    world.cluster->AddHost(
+        {name, sim::DiskConfig::Ssd(), {}, {}, {}});
+    plan.Assign(name, scenario.SiteOf(h));
+  }
+  // Full mesh: LAN inside a site, a constrained 50 Mbit/s metro link
+  // between sites. The narrow inter-site pipe is what makes placement
+  // matter: a busy-phase stop-copy pays ~0.7 ms per page on it, so
+  // downtime separates busy from quiet legs, and a warm transfer's
+  // byte savings dominate total wire cost. The 5 ms inter-site latency
+  // is the PDES lookahead window.
+  const sim::LinkConfig intersite{MegabitsPerSecond(50.0),
+                                  Milliseconds(5.0), Bytes{0}};
+  for (std::uint32_t a = 0; a < hosts; ++a) {
+    for (std::uint32_t b = a + 1; b < hosts; ++b) {
+      world.cluster->Connect(
+          scenario.HostNameAt(a), scenario.HostNameAt(b),
+          scenario.SiteOf(a) == scenario.SiteOf(b)
+              ? sim::LinkConfig::Lan()
+              : intersite);
+    }
+  }
+
+  if (workers == 0) {
+    world.orchestrator =
+        std::make_unique<core::MigrationOrchestrator>(*world.cluster);
+  } else {
+    core::SchedulerConfig scheduler_config;
+    scheduler_config.workers = workers;
+    world.orchestrator = std::make_unique<core::MigrationOrchestrator>(
+        *world.cluster, *world.pdes, std::move(plan), scheduler_config);
+  }
+
+  SplitMix64 seeder(config.seed ^ 0x9c0ffee123456789ull);
+  world.vms.reserve(config.vms);
+  for (std::uint32_t v = 0; v < config.vms; ++v) {
+    auto vm = std::make_unique<core::VmInstance>(
+        Scenario::VmName(v), config.vm_ram, vm::ContentMode::kSeedOnly);
+    Xoshiro256 rng(seeder.Next());
+    vm::MemoryProfile{}.Apply(vm->Memory(), rng);
+    vm->SetWorkload(MakeWorkload(config, v, seeder.Next()));
+    world.orchestrator->Deploy(*vm, scenario.HostNameAt(v % hosts));
+    world.vms.push_back(std::move(vm));
+  }
+  world.fleet.reserve(world.vms.size());
+  for (auto& vm : world.vms) world.fleet.push_back(vm.get());
+  return world;
+}
+
+SimTime NowOf(const World& world) {
+  return world.pdes != nullptr ? world.pdes->MaxNow()
+                               : world.simulator->Now();
+}
+
+/// Quiescent advance in step-sized chunks, feeding every VM's dirty-rate
+/// sample to the policy after each chunk.
+void AdvanceObserved(World& world, PlacementPolicy& policy,
+                     SimDuration advance, SimDuration step) {
+  SimDuration remaining = advance;
+  while (remaining > SimDuration::zero()) {
+    const SimDuration chunk = std::min(step, remaining);
+    world.orchestrator->RunFor(world.fleet, chunk);
+    const SimTime now = NowOf(world);
+    for (core::VmInstance* vm : world.fleet) policy.Observe(*vm, now);
+    remaining -= chunk;
+  }
+}
+
+/// True when the VM already satisfies the demand's placement rule (no
+/// leg needed — demands are constraints, not forced moves).
+bool Satisfied(const Scenario& scenario, const Demand& demand,
+               const core::VmInstance& vm) {
+  const std::string current = vm.CurrentHost();
+  switch (demand.rule) {
+    case Demand::Candidates::kAnyOther:
+      return false;  // an evacuation: the VM must leave
+    case Demand::Candidates::kSite:
+      for (std::uint32_t h = 0; h < scenario.config.hosts_per_site; ++h) {
+        if (current == Scenario::HostName(demand.site, h)) return true;
+      }
+      return false;
+    case Demand::Candidates::kNotSite:
+      for (std::uint32_t h = 0; h < scenario.config.hosts_per_site; ++h) {
+        if (current == Scenario::HostName(demand.site, h)) return false;
+      }
+      return true;
+  }
+  VEC_CHECK_MSG(false, "unknown demand rule");
+  return true;
+}
+
+/// The demand's candidate host list (empty = "all linked", resolved by
+/// the orchestrator; the orchestrator also strips the current host).
+std::vector<core::HostId> CandidatesFor(const Scenario& scenario,
+                                        const Demand& demand) {
+  std::vector<core::HostId> candidates;
+  switch (demand.rule) {
+    case Demand::Candidates::kAnyOther:
+      break;
+    case Demand::Candidates::kSite:
+      for (std::uint32_t h = 0; h < scenario.config.hosts_per_site; ++h) {
+        candidates.push_back(Scenario::HostName(demand.site, h));
+      }
+      break;
+    case Demand::Candidates::kNotSite:
+      for (std::uint32_t i = 0; i < scenario.HostCount(); ++i) {
+        if (scenario.SiteOf(i) != demand.site) {
+          candidates.push_back(scenario.HostNameAt(i));
+        }
+      }
+      break;
+  }
+  return candidates;
+}
+
+/// Resolves one wave's demands and drains into orchestrator legs against
+/// the current placement. Leg order is demand order, then drained VMs in
+/// fleet order — deterministic by construction.
+std::vector<core::PolicyLeg> ResolveLegs(const Scenario& scenario,
+                                         const Wave& wave,
+                                         const World& world) {
+  std::vector<core::PolicyLeg> legs;
+  std::set<const core::VmInstance*> claimed;
+  for (const Demand& demand : wave.demands) {
+    VEC_CHECK_MSG(demand.vm < world.fleet.size(),
+                  "scenario demand names an unknown VM");
+    core::VmInstance* vm = world.fleet[demand.vm];
+    if (Satisfied(scenario, demand, *vm)) continue;
+    if (!claimed.insert(vm).second) continue;
+    legs.push_back(core::PolicyLeg{vm, CandidatesFor(scenario, demand),
+                                   demand.priority});
+  }
+  for (const std::uint32_t host_index : wave.drain_hosts) {
+    const std::string host = scenario.HostNameAt(host_index);
+    for (core::VmInstance* vm : world.fleet) {
+      if (vm->CurrentHost() != host) continue;
+      if (!claimed.insert(vm).second) continue;
+      legs.push_back(core::PolicyLeg{vm, {}, 0});
+    }
+  }
+  return legs;
+}
+
+RunResult RunScenario(const Scenario& scenario, PlacementPolicy& policy,
+                      const migration::MigrationConfig& config,
+                      std::size_t workers) {
+  scenario.config.Validate();
+  World world = BuildWorld(scenario, workers);
+
+  for (const Wave& wave : scenario.waves) {
+    AdvanceObserved(world, policy, wave.advance, scenario.config.step);
+    const auto legs = ResolveLegs(scenario, wave, world);
+    if (legs.empty()) continue;
+    world.orchestrator->RunPolicy(world.fleet, legs, policy, config,
+                                  scenario.config.step);
+  }
+
+  RunResult result;
+  for (const auto& completion :
+       world.orchestrator->Scheduler().Completions()) {
+    result.wire_bytes.count += completion.stats.tx_bytes.count;
+    result.bulk_exchange_bytes.count +=
+        completion.stats.bulk_exchange_bytes.count;
+    result.sum_migration_time += completion.stats.total_time;
+    result.downtimes.push_back(completion.stats.downtime);
+  }
+  result.completed = result.downtimes.size();
+  result.decisions = policy.Stats();
+
+  const std::uint64_t audit =
+      workers == 0
+          ? 0
+          : world.orchestrator->Scheduler().CombinedFingerprint();
+  std::uint64_t fp =
+      SplitMix64(audit ^ static_cast<std::uint64_t>(result.completed))
+          .Next();
+  fp = SplitMix64(fp ^ result.wire_bytes.count).Next();
+  fp = SplitMix64(
+           fp ^ static_cast<std::uint64_t>(result.P99Downtime().count()))
+           .Next();
+  result.fingerprint = fp;
+  return result;
+}
+
+}  // namespace
+
+SimDuration RunResult::P99Downtime() const {
+  if (downtimes.empty()) return SimDuration::zero();
+  std::vector<SimDuration> sorted = downtimes;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: ceil(0.99 * N), 1-based.
+  const std::size_t rank =
+      (sorted.size() * 99 + 99) / 100;  // == ceil(N * 0.99)
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+RunResult PolicyRunner::Run(const Scenario& scenario,
+                            PlacementPolicy& policy,
+                            const migration::MigrationConfig& config) {
+  return RunScenario(scenario, policy, config, 0);
+}
+
+RunResult PolicyRunner::RunSharded(const Scenario& scenario,
+                                   PlacementPolicy& policy,
+                                   const migration::MigrationConfig& config,
+                                   std::size_t workers) {
+  VEC_CHECK_MSG(workers >= 1, "sharded policy run needs >= 1 worker");
+  return RunScenario(scenario, policy, config, workers);
+}
+
+void EmitPolicyMetrics(const std::string& label,
+                       const PlacementPolicy& policy) {
+  if (!obs::EnvEnabled()) return;
+  const DecisionStats& stats = policy.Stats();
+  obs::MetricsRecord& record =
+      obs::GlobalMetrics().NewRecord(label, "policy");
+  record.Counter("decisions", stats.decisions);
+  record.Counter("deferred", stats.deferred);
+  record.Counter("affinity_hits", stats.affinity_hits);
+  record.Counter("cold_placements", stats.cold_placements);
+  const double n =
+      stats.decisions == 0 ? 1.0 : static_cast<double>(stats.decisions);
+  record.Gauge("mean_affinity", stats.affinity_sum / n);
+  record.Gauge("mean_score", stats.score_sum / n);
+  record.Gauge("max_defer_s", ToSeconds(stats.max_defer));
+}
+
+}  // namespace vecycle::policy

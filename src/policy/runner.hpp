@@ -1,0 +1,72 @@
+// PolicyRunner: executes a scenario corpus entry under one placement
+// policy and scores it.
+//
+// The runner owns the whole experiment loop: it builds the scenario's
+// world (full host mesh — LAN inside a site, 5 ms inter-site links —
+// VMs dealt round-robin onto hosts, day/night PeriodicWorkloads for the
+// cyclic corpus kinds and steady hotspot churn for follow-the-sun),
+// then replays the waves: advance the fleet quiescently in
+// ScenarioConfig::step chunks (calling PlacementPolicy::Observe on every
+// VM after each chunk so cycle detectors see dirty rates), resolve each
+// wave's demands and drains against the *current* placement, and hand
+// the resulting legs to MigrationOrchestrator::RunPolicy.
+//
+// Demands are constraints: a VM already satisfying its rule (e.g. already
+// on the demanded site) produces no leg, so consolidation waves move
+// exactly the VMs that are out of place.
+//
+// Run() drives a single Simulator; RunSharded() shards one site per PDES
+// shard and must produce a byte-identical RunResult fingerprint at every
+// worker count (tools/replay.hpp's VerifyWorkers proves it in CI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "migration/engine.hpp"
+#include "policy/placement.hpp"
+#include "policy/scenario.hpp"
+
+namespace vecycle::policy {
+
+/// Scenario-level scorecard: what one policy cost on one corpus entry.
+struct RunResult {
+  Bytes wire_bytes{0};            ///< tx_bytes over all completions
+  Bytes bulk_exchange_bytes{0};   ///< dest->source checksum exchanges
+  SimDuration sum_migration_time = SimDuration::zero();
+  std::vector<SimDuration> downtimes;  ///< per completion, in order
+  std::size_t completed = 0;
+  DecisionStats decisions;  ///< the policy's counters after the run
+  /// Chained SplitMix64 over the audit fingerprint (PDES runs; 0 base in
+  /// single-simulator mode), completion count, wire bytes and p99
+  /// downtime — the one number worker-count sweeps compare.
+  std::uint64_t fingerprint = 0;
+
+  /// Nearest-rank p99 of the downtime distribution (zero when empty).
+  [[nodiscard]] SimDuration P99Downtime() const;
+};
+
+class PolicyRunner {
+ public:
+  /// Single-simulator run.
+  [[nodiscard]] static RunResult Run(
+      const Scenario& scenario, PlacementPolicy& policy,
+      const migration::MigrationConfig& config);
+
+  /// PDES run: one shard per site, `workers` worker threads. The
+  /// fingerprint (and every other field) is independent of `workers`.
+  [[nodiscard]] static RunResult RunSharded(
+      const Scenario& scenario, PlacementPolicy& policy,
+      const migration::MigrationConfig& config, std::size_t workers);
+};
+
+/// Appends one "policy" record (decision counters plus mean affinity /
+/// score / max deferral gauges) to the global metrics registry when
+/// tracing is enabled (VECYCLE_TRACE); no-op otherwise. Validated by
+/// tools/validate_metrics.py.
+void EmitPolicyMetrics(const std::string& label,
+                       const PlacementPolicy& policy);
+
+}  // namespace vecycle::policy

@@ -1,0 +1,212 @@
+#include "policy/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace vecycle::policy {
+
+std::string_view ToString(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kDiurnal:
+      return "diurnal";
+    case ScenarioKind::kMaintenanceDrain:
+      return "maintenance_drain";
+    case ScenarioKind::kEvictionStorm:
+      return "eviction_storm";
+    case ScenarioKind::kFollowTheSun:
+      return "follow_the_sun";
+  }
+  VEC_CHECK_MSG(false, "unknown scenario kind");
+  return "";
+}
+
+void ScenarioConfig::Validate() const {
+  VEC_CHECK_MSG(kind == ScenarioKind::kDiurnal ||
+                    kind == ScenarioKind::kMaintenanceDrain ||
+                    kind == ScenarioKind::kEvictionStorm ||
+                    kind == ScenarioKind::kFollowTheSun,
+                "scenario kind must be one of the four corpus kinds");
+  VEC_CHECK_MSG(sites >= 2, "scenario needs at least two sites");
+  VEC_CHECK_MSG(hosts_per_site >= 1,
+                "scenario needs at least one host per site");
+  VEC_CHECK_MSG(vms >= 1, "scenario needs at least one VM");
+  VEC_CHECK_MSG(vm_ram.count > 0, "scenario vm_ram must be non-empty");
+  VEC_CHECK_MSG(days >= 1, "scenario needs at least one day-cycle");
+  VEC_CHECK_MSG(warmup_days <= 365,
+                "scenario warmup_days above a year is a unit mistake");
+  VEC_CHECK_MSG(step > SimDuration::zero(),
+                "scenario step must be positive");
+  VEC_CHECK_MSG(std::isfinite(busy_rate_pages_per_s) &&
+                    busy_rate_pages_per_s >= 0.0,
+                "scenario busy_rate_pages_per_s must be finite and >= 0");
+  VEC_CHECK_MSG(storm_fraction > 0.0 && storm_fraction <= 1.0,
+                "scenario storm_fraction must be in (0, 1]");
+}
+
+std::string Scenario::HostName(std::uint32_t site, std::uint32_t host) {
+  // Zero-padded so lexicographic host-id order equals numeric order.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "s%02u-h%02u", site, host);
+  return buf;
+}
+
+std::string Scenario::VmName(std::uint32_t vm) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "vm%04u", vm);
+  return buf;
+}
+
+namespace {
+
+/// All VMs demanded with one rule, in VM order.
+std::vector<Demand> EveryVm(std::uint32_t vms, Demand::Candidates rule,
+                            std::uint32_t site) {
+  std::vector<Demand> demands;
+  demands.reserve(vms);
+  for (std::uint32_t v = 0; v < vms; ++v) {
+    demands.push_back(Demand{v, rule, site, 0});
+  }
+  return demands;
+}
+
+/// The first `count` host indices of a seeded Fisher-Yates shuffle:
+/// `count` distinct hosts, uniform without replacement.
+std::vector<std::uint32_t> PickHosts(Xoshiro256& rng, std::uint32_t hosts,
+                                     std::uint32_t count) {
+  std::vector<std::uint32_t> order(hosts);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::uint32_t i = 0; i + 1 < hosts; ++i) {
+    const auto j = i + static_cast<std::uint32_t>(
+                           rng.NextBelow(hosts - i));
+    std::swap(order[i], order[j]);
+  }
+  order.resize(count);
+  return order;
+}
+
+/// Evening pack onto site 0, morning fan back out — the VDI cycle.
+std::vector<Wave> DiurnalWaves(const ScenarioConfig& config) {
+  std::vector<Wave> waves;
+  for (std::uint32_t day = 0; day < config.days; ++day) {
+    Wave evening;
+    evening.advance = Hours(10.0);
+    evening.demands =
+        EveryVm(config.vms, Demand::Candidates::kSite, 0);
+    waves.push_back(std::move(evening));
+
+    Wave morning;
+    morning.advance = Hours(14.0);
+    morning.demands =
+        EveryVm(config.vms, Demand::Candidates::kNotSite, 0);
+    waves.push_back(std::move(morning));
+  }
+  return waves;
+}
+
+/// A seeded third of the hosts evacuated per day (at least one);
+/// evictees pick any other host.
+std::vector<Wave> DrainWaves(const ScenarioConfig& config,
+                             Xoshiro256& rng) {
+  const std::uint32_t hosts = config.sites * config.hosts_per_site;
+  // One host per day on a small fleet often drains an empty host — the
+  // fleet piles up elsewhere after the first eviction — leaving the
+  // scenario with almost no legs. A third of the fleet keeps every
+  // day's wave non-trivial.
+  const std::uint32_t drained = std::max<std::uint32_t>(1, hosts / 3);
+  std::vector<Wave> waves;
+  for (std::uint32_t day = 0; day < config.days; ++day) {
+    Wave drain;
+    drain.advance = Hours(24.0);
+    drain.drain_hosts = PickHosts(rng, hosts, drained);
+    waves.push_back(std::move(drain));
+  }
+  return waves;
+}
+
+/// storm_fraction of the hosts evacuates at once mid-day, then a seeded
+/// half of the fleet rebalances overnight.
+std::vector<Wave> StormWaves(const ScenarioConfig& config,
+                             Xoshiro256& rng) {
+  const std::uint32_t hosts = config.sites * config.hosts_per_site;
+  const auto storm_size = static_cast<std::uint32_t>(std::min<double>(
+      hosts, std::ceil(config.storm_fraction * hosts)));
+  std::vector<Wave> waves;
+  for (std::uint32_t day = 0; day < config.days; ++day) {
+    Wave storm;
+    storm.advance = Hours(14.0);
+    storm.drain_hosts = PickHosts(rng, hosts, storm_size);
+    waves.push_back(std::move(storm));
+
+    Wave rebalance;
+    rebalance.advance = Hours(10.0);
+    for (std::uint32_t v = 0; v < config.vms; ++v) {
+      if (rng.NextBool(0.5)) {
+        rebalance.demands.push_back(
+            Demand{v, Demand::Candidates::kAnyOther, 0, 0});
+      }
+    }
+    waves.push_back(std::move(rebalance));
+  }
+  return waves;
+}
+
+/// Every (24 / sites) hours the whole fleet hops to the next site.
+std::vector<Wave> FollowTheSunWaves(const ScenarioConfig& config) {
+  const SimDuration hop =
+      Hours(24.0 / static_cast<double>(config.sites));
+  std::vector<Wave> waves;
+  std::uint32_t target = 1 % config.sites;
+  for (std::uint32_t day = 0; day < config.days; ++day) {
+    for (std::uint32_t s = 0; s < config.sites; ++s) {
+      Wave wave;
+      wave.advance = hop;
+      wave.demands =
+          EveryVm(config.vms, Demand::Candidates::kSite, target);
+      waves.push_back(std::move(wave));
+      target = (target + 1) % config.sites;
+    }
+  }
+  return waves;
+}
+
+}  // namespace
+
+Scenario ScenarioGen::Generate() const {
+  Scenario scenario;
+  scenario.config = config_;
+  if (config_.warmup_days > 0) {
+    // Demand-free lead-in: the fleet runs (and the policies observe) for
+    // whole cycles before the first leg, so the cycle detectors enter
+    // day one with a completed busy run per VM.
+    Wave warmup;
+    warmup.advance = Hours(24.0 * config_.warmup_days);
+    scenario.waves.push_back(std::move(warmup));
+  }
+  Xoshiro256 rng(SplitMix64(config_.seed).Next());
+  std::vector<Wave> body;
+  switch (config_.kind) {
+    case ScenarioKind::kDiurnal:
+      body = DiurnalWaves(config_);
+      break;
+    case ScenarioKind::kMaintenanceDrain:
+      body = DrainWaves(config_, rng);
+      break;
+    case ScenarioKind::kEvictionStorm:
+      body = StormWaves(config_, rng);
+      break;
+    case ScenarioKind::kFollowTheSun:
+      body = FollowTheSunWaves(config_);
+      break;
+  }
+  scenario.waves.insert(scenario.waves.end(),
+                        std::make_move_iterator(body.begin()),
+                        std::make_move_iterator(body.end()));
+  return scenario;
+}
+
+}  // namespace vecycle::policy

@@ -1,0 +1,143 @@
+// Seed-deterministic scenario corpus (policy::ScenarioGen).
+//
+// A scenario is a fleet spec plus a demand timeline: sites of hosts, VMs
+// with day/night workloads, and waves of "this VM must move, choose
+// among these candidates" demands the policies compete on. Four corpus
+// kinds cover the placement situations the paper's use cases (§2) imply:
+//
+//  * kDiurnal          — VDI-style consolidation: every evening the fleet
+//                        packs onto the core site, every morning it fans
+//                        back out. Affinity returns each VM to the host
+//                        whose checkpoint it warmed yesterday.
+//  * kMaintenanceDrain — one seeded-random host per day is evacuated;
+//                        displaced VMs choose any other host. History
+//                        accumulates, so good placement returns drained
+//                        VMs to hosts they have visited before.
+//  * kEvictionStorm    — spot-market preemption: a seeded-random
+//                        storm_fraction of hosts evacuates at once, then
+//                        the fleet rebalances overnight.
+//  * kFollowTheSun     — the §2.4 pattern at 100× the follow_the_sun
+//                        example's fleet: every (24/sites) hours all VMs
+//                        move to the next site and must pick one of its
+//                        hosts.
+//
+// Everything derives from ScenarioConfig::seed via SplitMix64 — two
+// Generate() calls yield identical corpora, which is what lets the PDES
+// worker-count sweep and the checked-in bench baseline exist at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace vecycle::policy {
+
+enum class ScenarioKind : std::uint8_t {
+  kDiurnal,
+  kMaintenanceDrain,
+  kEvictionStorm,
+  kFollowTheSun,
+};
+
+[[nodiscard]] std::string_view ToString(ScenarioKind kind);
+
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kDiurnal;
+  std::uint32_t sites = 3;
+  std::uint32_t hosts_per_site = 2;
+  std::uint32_t vms = 8;
+  Bytes vm_ram = MiB(8);
+  /// Corpus length in 24-hour cycles (demand-issuing days; the warm-up
+  /// below runs before the first of these).
+  std::uint32_t days = 4;
+  /// Demand-free 24-hour cycles prepended to the timeline. The cycle
+  /// detectors can only predict a busy phase's end after watching one
+  /// complete; two warm-up days guarantee every phase offset in the
+  /// fleet has finished a full busy run before the first demand, so
+  /// day-one legs are as deferrable as day-N ones. Zero is legal (and
+  /// right for non-cyclic workloads like kFollowTheSun).
+  std::uint32_t warmup_days = 2;
+  /// Quiescent fleet-advance granularity: the runner steps simulated
+  /// time in chunks of this, sampling every VM's dirty rate for the
+  /// cycle detectors after each step.
+  SimDuration step = Minutes(30.0);
+  /// Busy-phase write rate of the day/night workloads, pages/s.
+  double busy_rate_pages_per_s = 24.0;
+  /// Fraction of hosts evacuated per eviction storm (kEvictionStorm).
+  double storm_fraction = 0.25;
+  std::uint64_t seed = 1;
+
+  /// Rejects worlds the generator cannot lay out: the scenario kind must
+  /// be one of the four corpus kinds, the topology needs at least two
+  /// sites with at least one host each (sites, hosts_per_site), at least
+  /// one VM (vms) with non-empty RAM (vm_ram), at least one day-cycle
+  /// (days), a bounded warm-up (warmup_days, at most 365 — a longer one
+  /// is a unit mistake, not a corpus), a positive advance step, a finite
+  /// non-negative busy rate (busy_rate_pages_per_s) and a storm_fraction
+  /// in (0, 1]. Any seed is legal. Called by the ScenarioGen
+  /// constructor.
+  void Validate() const;
+};
+
+/// One leg the policy must place, resolved against the VM's position at
+/// decision time.
+struct Demand {
+  std::uint32_t vm = 0;  ///< index into the scenario's VM list
+  enum class Candidates : std::uint8_t {
+    kAnyOther,  ///< every host except the VM's current one
+    kSite,      ///< the hosts of `site` (minus the current host)
+    kNotSite,   ///< every host outside `site` (minus the current host)
+  };
+  Candidates rule = Candidates::kAnyOther;
+  std::uint32_t site = 0;  ///< for kSite / kNotSite
+  int priority = 0;
+};
+
+struct Wave {
+  /// Simulated time the fleet runs in place before this wave's decisions.
+  SimDuration advance = SimDuration::zero();
+  std::vector<Demand> demands;
+  /// Host indices to evacuate this wave: every VM found on one of them
+  /// at decision time gets a kAnyOther demand. Resolved by the runner —
+  /// who lives there depends on the policy being evaluated.
+  std::vector<std::uint32_t> drain_hosts;
+};
+
+/// A fully materialized corpus entry: config plus timeline. Hosts are
+/// indexed site-major (`site * hosts_per_site + h`), named by HostName.
+struct Scenario {
+  ScenarioConfig config;
+  std::vector<Wave> waves;
+
+  [[nodiscard]] std::uint32_t HostCount() const {
+    return config.sites * config.hosts_per_site;
+  }
+  [[nodiscard]] std::uint32_t SiteOf(std::uint32_t host_index) const {
+    return host_index / config.hosts_per_site;
+  }
+  [[nodiscard]] static std::string HostName(std::uint32_t site,
+                                            std::uint32_t host);
+  [[nodiscard]] std::string HostNameAt(std::uint32_t host_index) const {
+    return HostName(SiteOf(host_index),
+                    host_index % config.hosts_per_site);
+  }
+  [[nodiscard]] static std::string VmName(std::uint32_t vm);
+};
+
+class ScenarioGen {
+ public:
+  explicit ScenarioGen(ScenarioConfig config)
+      : config_((config.Validate(), config)) {}
+
+  /// Pure function of the config (including its seed): repeated calls
+  /// return identical scenarios.
+  [[nodiscard]] Scenario Generate() const;
+
+ private:
+  ScenarioConfig config_;
+};
+
+}  // namespace vecycle::policy

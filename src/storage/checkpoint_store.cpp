@@ -413,6 +413,27 @@ std::vector<std::uint64_t> CheckpointStore::DepartureGenerations(
   return it->second.checkpoint.Generations();
 }
 
+CheckpointStore::Overlap CheckpointStore::ContentOverlap(
+    const VmId& vm, const std::vector<std::uint64_t>& current_seeds) const {
+  // BaselineSeeds() takes the store capability itself; both backends
+  // answer from the same pristine-image source, which is what makes the
+  // flat/chunked agreement contract hold by construction.
+  std::vector<std::uint64_t> baseline = BaselineSeeds(vm);
+  Overlap overlap;
+  overlap.checkpoint_pages = baseline.size();
+  overlap.current_pages = current_seeds.size();
+  if (baseline.empty() || current_seeds.empty()) return overlap;
+  std::sort(baseline.begin(), baseline.end());
+  baseline.erase(std::unique(baseline.begin(), baseline.end()),
+                 baseline.end());
+  for (const std::uint64_t seed : current_seeds) {
+    if (std::binary_search(baseline.begin(), baseline.end(), seed)) {
+      ++overlap.matched_pages;
+    }
+  }
+  return overlap;
+}
+
 SimTime CheckpointStore::CollectGarbage(SimTime earliest) {
   common::NullLockGuard lock(mu_);
   if (!config_.chunking) return earliest;

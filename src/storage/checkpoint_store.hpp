@@ -158,6 +158,35 @@ class CheckpointStore {
   [[nodiscard]] std::vector<std::uint64_t> DepartureGenerations(
       const VmId& vm) const;
 
+  /// How much of a VM's *current* content this store could serve from
+  /// the checkpoint it holds — the affinity signal placement policies
+  /// score destinations by.
+  struct Overlap {
+    /// Pages of `current_seeds` whose content appears anywhere in the
+    /// stored checkpoint (set semantics: a page that merely moved frames
+    /// still counts, exactly like the §3.2 checksum match would find it).
+    std::uint64_t matched_pages = 0;
+    std::uint64_t checkpoint_pages = 0;  ///< 0 when no checkpoint is held
+    std::uint64_t current_pages = 0;     ///< size of the supplied vector
+
+    /// Matched fraction of the VM's current pages, in [0, 1].
+    [[nodiscard]] double Fraction() const {
+      return current_pages == 0
+                 ? 0.0
+                 : static_cast<double>(matched_pages) /
+                       static_cast<double>(current_pages);
+    }
+  };
+
+  /// Metadata-only overlap between `current_seeds` (the VM's live
+  /// per-page content, GuestMemory::Seeds()) and the checkpoint held for
+  /// `vm`; charges no disk time. Resolves through BaselineSeeds(), so
+  /// flat and chunked backends holding the same image report identical
+  /// overlap — the chunked store answers from its manifest. All-zero
+  /// when no checkpoint is held.
+  [[nodiscard]] Overlap ContentOverlap(
+      const VmId& vm, const std::vector<std::uint64_t>& current_seeds) const;
+
   /// Explicit garbage collection (chunked mode): frees every unreferenced
   /// chunk, charges the metadata writes, and emits a GC trace span.
   /// Returns when the sweep's disk work completes (`earliest` when there

@@ -1,0 +1,106 @@
+#include "vm/cycle_detector.hpp"
+
+namespace vecycle::vm {
+
+void CycleDetector::AddSample(SimTime now, std::uint64_t total_writes) {
+  if (!primed_) {
+    primed_ = true;
+    last_at_ = now;
+    last_writes_ = total_writes;
+    return;
+  }
+  VEC_CHECK_MSG(now > last_at_,
+                "cycle detector samples must advance in time");
+  if (total_writes < last_writes_) {
+    // Backwards counter: the VM's memory was replaced (a migration
+    // restarts the destination's write counter) and the caller did not
+    // Reanchor(). The interval spans two different counters, so it
+    // carries no rate information — re-anchor instead of sampling.
+    Reanchor(now, total_writes);
+    return;
+  }
+  const double seconds = ToSeconds(now - last_at_);
+  const double writes = static_cast<double>(total_writes - last_writes_);
+  samples_.push_back(Sample{now, writes / seconds});
+  if (samples_.size() > config_.window_samples) samples_.pop_front();
+  last_at_ = now;
+  last_writes_ = total_writes;
+}
+
+void CycleDetector::Reanchor(SimTime now, std::uint64_t total_writes) {
+  primed_ = true;
+  last_at_ = now;
+  last_writes_ = total_writes;
+}
+
+double CycleDetector::LatestRate() const {
+  return samples_.empty() ? 0.0 : samples_.back().rate;
+}
+
+double CycleDetector::MeanRate() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Sample& sample : samples_) sum += sample.rate;
+  return sum / static_cast<double>(samples_.size());
+}
+
+bool CycleDetector::IsHigh(const Sample& sample) const {
+  return sample.rate > config_.low_threshold * MeanRate();
+}
+
+bool CycleDetector::InLowChurnWindow() const {
+  if (samples_.size() < config_.min_samples) return true;
+  return !IsHigh(samples_.back());
+}
+
+std::deque<CycleDetector::HighRun> CycleDetector::HighRuns() const {
+  std::deque<HighRun> runs;
+  if (samples_.size() < config_.min_samples) return runs;
+  bool in_run = false;
+  bool first = true;
+  for (const Sample& sample : samples_) {
+    if (IsHigh(sample)) {
+      if (!in_run) {
+        runs.push_back(HighRun{sample.at, sample.at, false, first});
+        in_run = true;
+      }
+    } else if (in_run) {
+      runs.back().end = sample.at;
+      runs.back().completed = true;
+      in_run = false;
+    }
+    first = false;
+  }
+  return runs;
+}
+
+SimDuration CycleDetector::EstimatedPeriod() const {
+  const auto runs = HighRuns();
+  // Walk backwards for the last two run *starts* regardless of whether
+  // the newest run has completed: period is start-to-start distance.
+  if (runs.size() < 2) return SimDuration::zero();
+  return runs[runs.size() - 1].start - runs[runs.size() - 2].start;
+}
+
+SimDuration CycleDetector::TimeToLowChurn(SimTime now) const {
+  if (InLowChurnWindow()) return SimDuration::zero();
+  const auto runs = HighRuns();
+  if (runs.empty() || runs.back().completed) return SimDuration::zero();
+  const HighRun& current = runs.back();
+  // The most recent completed run is the extrapolation basis. A clipped
+  // run (its start is the window's first sample) only bounds the true
+  // length from below — using it would systematically undershoot the
+  // deferral and land the leg in the busy tail.
+  SimDuration history = SimDuration::zero();
+  for (std::size_t i = runs.size(); i-- > 0;) {
+    if (runs[i].completed && !runs[i].clipped) {
+      history = runs[i].end - runs[i].start;
+      break;
+    }
+  }
+  if (history <= SimDuration::zero()) return SimDuration::zero();
+  const SimDuration elapsed = now - current.start;
+  return elapsed >= history ? SimDuration::zero() : history - elapsed;
+}
+
+}  // namespace vecycle::vm

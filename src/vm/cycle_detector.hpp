@@ -1,0 +1,151 @@
+// Online per-VM workload-cycle detector.
+//
+// Baruchi et al. (PAPERS.md) time migrations to each VM's low-churn
+// window instead of migrating whenever the operator asks: a desktop that
+// dirties thousands of pages per second at 3 pm writes almost nothing at
+// 7 pm, and a leg deferred those four hours converges in one round with
+// near-zero downtime. The detector is the sensing half of that idea: it
+// is fed (time, TotalWrites) samples — GuestMemory's cheap global write
+// counter — at a fixed cadence by whoever advances the fleet, converts
+// them to dirty rates, and classifies the VM's current phase against the
+// windowed mean rate. From the run-length structure of past high phases
+// it predicts when the current busy phase ends, which is exactly the
+// deferral the cycle-aware placement policy applies.
+//
+// Everything here is deterministic and driven purely by simulated time:
+// identical sample streams produce identical classifications, so policy
+// decisions built on the detector replay byte-identically (the PDES
+// worker-count sweep depends on this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace vecycle::vm {
+
+class CycleDetector {
+ public:
+  struct Config {
+    /// Ring capacity: how many rate samples the windowed mean and the
+    /// phase-run scan look back over. The window must hold a *completed*
+    /// high run plus the gap after it plus the entire current run, or the
+    /// completed run's start falls off the edge and its length — the
+    /// extrapolation basis for deferral — reads short. At a 30-minute
+    /// sampling cadence the default covers well over two diurnal cycles.
+    std::size_t window_samples = 128;
+    /// A sample is a low-churn sample when its rate is at or below
+    /// `low_threshold` times the windowed mean rate.
+    double low_threshold = 0.5;
+    /// Below this many samples the detector reports "low" (no deferral):
+    /// with no history, deferring on noise would delay legs for nothing.
+    std::size_t min_samples = 4;
+
+    /// Rejects detector parameters outside their domains: the sample
+    /// window (window_samples) must hold at least two samples so a mean
+    /// and a phase edge can exist, low_threshold must sit in (0, 1) —
+    /// at 1 every sample is "low", at 0 none ever is — and min_samples
+    /// must be positive and fit inside the window. Called by the
+    /// CycleDetector constructor.
+    void Validate() const {
+      VEC_CHECK_MSG(window_samples >= 2,
+                    "cycle detector window_samples must be at least 2");
+      VEC_CHECK_MSG(low_threshold > 0.0 && low_threshold < 1.0,
+                    "cycle detector low_threshold must be in (0, 1)");
+      VEC_CHECK_MSG(min_samples >= 1 && min_samples <= window_samples,
+                    "cycle detector min_samples must be in "
+                    "[1, window_samples]");
+    }
+  };
+
+  // Defined out of line: an `= {}` default argument for a nested
+  // aggregate inside its own enclosing class trips GCC's delayed
+  // default-member-initializer parsing.
+  CycleDetector();
+  explicit CycleDetector(Config config)
+      : config_((config.Validate(), config)) {}
+
+  /// Feeds one observation: the cumulative write counter at `now`
+  /// (GuestMemory::TotalWrites). The first call only anchors the
+  /// baseline; every later call appends one rate sample covering
+  /// (previous now, now]. `now` must be strictly increasing. A counter
+  /// that went *backwards* means the VM migrated (the destination
+  /// reconstructs a fresh GuestMemory with a restarted counter); the
+  /// detector re-anchors on the new counter instead of emitting a rate
+  /// sample, keeping the retained history.
+  void AddSample(SimTime now, std::uint64_t total_writes);
+
+  /// Restarts the baseline on a new counter without touching the
+  /// retained rate history. Callers who know the VM's GuestMemory was
+  /// replaced — the cycle-aware policy sees the host change — use this
+  /// instead of AddSample: a migration's page reconstruction usually
+  /// *raises* the counter (every received page is a write), so the
+  /// backwards-counter guard in AddSample cannot catch it, and the
+  /// spanning interval would read as a rate spike that poisons the
+  /// windowed mean.
+  void Reanchor(SimTime now, std::uint64_t total_writes);
+
+  [[nodiscard]] std::size_t SampleCount() const { return samples_.size(); }
+
+  /// Dirty rate of the most recent sampling interval, in writes/s.
+  [[nodiscard]] double LatestRate() const;
+
+  /// Mean rate over the retained window (0 with no samples).
+  [[nodiscard]] double MeanRate() const;
+
+  /// True when the VM is currently in a low-churn phase — the latest
+  /// sample's rate is at or below low_threshold × MeanRate() — or when
+  /// fewer than min_samples samples exist (unknown defaults to "migrate
+  /// now", never to "defer").
+  [[nodiscard]] bool InLowChurnWindow() const;
+
+  /// Distance between the starts of the last two completed high-churn
+  /// runs — the cycle period estimate. Zero until two high runs have
+  /// completed inside the window.
+  [[nodiscard]] SimDuration EstimatedPeriod() const;
+
+  /// Predicted wait until the current high-churn phase ends, measured
+  /// from `now`: the last *completed* high run lasted H, the current run
+  /// started at S, so the prediction is max(0, H - (now - S)). Zero when
+  /// already low, when no high run has ever completed (nothing to
+  /// extrapolate from), or when the prediction is already overdue. Runs
+  /// clipped by the window edge never serve as the basis H.
+  [[nodiscard]] SimDuration TimeToLowChurn(SimTime now) const;
+
+  [[nodiscard]] const Config& GetConfig() const { return config_; }
+
+ private:
+  struct Sample {
+    SimTime at = kSimEpoch;  ///< end of the interval the rate covers
+    double rate = 0.0;       ///< writes per second over the interval
+  };
+
+  /// One maximal run of consecutive high-churn samples.
+  struct HighRun {
+    SimTime start = kSimEpoch;  ///< timestamp of the run's first sample
+    SimTime end = kSimEpoch;    ///< timestamp of the low sample after it
+    bool completed = false;     ///< a low sample closed the run
+    /// The run begins at the window's very first sample, so its true
+    /// start may predate the window and its recorded length is only a
+    /// lower bound — never use a clipped run as the extrapolation basis.
+    bool clipped = false;
+  };
+
+  [[nodiscard]] bool IsHigh(const Sample& sample) const;
+  /// Scans the retained window and returns its high runs in time order
+  /// (the last entry may be the still-open current run).
+  [[nodiscard]] std::deque<HighRun> HighRuns() const;
+
+  Config config_;
+  std::deque<Sample> samples_;
+  SimTime last_at_ = kSimEpoch;
+  std::uint64_t last_writes_ = 0;
+  bool primed_ = false;  ///< first AddSample only anchors the baseline
+};
+
+inline CycleDetector::CycleDetector() : CycleDetector(Config{}) {}
+
+}  // namespace vecycle::vm

@@ -1,5 +1,6 @@
 #include "vm/workload.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -150,6 +151,48 @@ void PageRemapWorkload::Advance(GuestMemory& memory, SimDuration dt) {
     memory.WritePage(a, memory.Seed(b));
     memory.WritePage(b, seed_a);
   }
+}
+
+void PeriodicWorkload::Config::Validate() const {
+  VEC_CHECK_MSG(period > SimDuration::zero(),
+                "periodic workload period must be positive");
+  VEC_CHECK_MSG(busy_fraction >= 0.0 && busy_fraction <= 1.0,
+                "periodic workload busy_fraction must be in [0, 1]");
+  VEC_CHECK_MSG(phase_offset >= SimDuration::zero(),
+                "periodic workload phase_offset must be non-negative");
+  busy.Validate();
+  quiet.Validate();
+}
+
+PeriodicWorkload::PeriodicWorkload(Config config)
+    : config_((config.Validate(), config)),
+      busy_(config.busy),
+      quiet_(config.quiet),
+      busy_span_(Seconds(ToSeconds(config.period) * config.busy_fraction)) {
+  position_ = config_.phase_offset % config_.period;
+}
+
+bool PeriodicWorkload::InBusyPhase() const { return position_ < busy_span_; }
+
+void PeriodicWorkload::Advance(GuestMemory& memory, SimDuration dt) {
+  while (dt > SimDuration::zero()) {
+    // Run the active phase's writer up to the next phase edge, then flip.
+    const SimDuration edge = InBusyPhase() ? busy_span_ : config_.period;
+    const SimDuration chunk = std::min(dt, edge - position_);
+    if (InBusyPhase()) {
+      busy_.Advance(memory, chunk);
+    } else {
+      quiet_.Advance(memory, chunk);
+    }
+    position_ = (position_ + chunk) % config_.period;
+    dt -= chunk;
+  }
+}
+
+void PeriodicWorkload::SetThrottle(double keep) {
+  Workload::SetThrottle(keep);
+  busy_.SetThrottle(keep);
+  quiet_.SetThrottle(keep);
 }
 
 void CompositeWorkload::Add(std::unique_ptr<Workload> workload) {

@@ -160,6 +160,48 @@ class PageRemapWorkload : public Workload {
   double carry_ = 0.0;
 };
 
+/// Day/night duty cycle: a busy writer for the first part of each period,
+/// a quiet one for the rest. This is the workload shape the cycle-aware
+/// placement policy exploits — a VM migrated inside its quiet window
+/// converges in one round, while the same leg during the busy phase
+/// fights live churn (Baruchi et al., PAPERS.md). Advance() subdivides
+/// long intervals at phase edges, so an 8-hour fleet advance applies the
+/// busy and quiet rates to exactly the right sub-spans.
+class PeriodicWorkload : public Workload {
+ public:
+  struct Config {
+    SimDuration period = Hours(24.0);
+    /// Fraction of each period spent in the busy phase; the phase order
+    /// is busy-then-quiet from the period's start.
+    double busy_fraction = 1.0 / 3.0;
+    /// Shifts this VM's cycle start, so fleets stagger their busy hours.
+    SimDuration phase_offset = SimDuration::zero();
+    HotspotWorkload::Config busy;
+    IdleWorkload::Config quiet;
+
+    /// Rejects cycles that cannot alternate: the period must be
+    /// positive, busy_fraction must be in [0, 1] (0 or 1 degenerate to a
+    /// single-phase workload, which is legal), and phase_offset
+    /// non-negative. The busy and quiet sub-configs self-validate.
+    /// Called by the PeriodicWorkload constructor.
+    void Validate() const;
+  };
+
+  explicit PeriodicWorkload(Config config);
+  void Advance(GuestMemory& memory, SimDuration dt) override;
+  void SetThrottle(double keep) override;
+
+  /// True when the cycle position is inside the busy phase.
+  [[nodiscard]] bool InBusyPhase() const;
+
+ private:
+  Config config_;
+  HotspotWorkload busy_;
+  IdleWorkload quiet_;
+  SimDuration position_;  ///< current offset into the period
+  SimDuration busy_span_;
+};
+
 /// Runs several workloads in sequence over the same interval, e.g. hotspot
 /// churn plus a remap trickle.
 class CompositeWorkload : public Workload {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -15,10 +16,14 @@
 #include "migration/engine.hpp"
 #include "migration/postcopy.hpp"
 #include "core/scheduler.hpp"
+#include "policy/placement.hpp"
+#include "policy/policies.hpp"
+#include "policy/scenario.hpp"
 #include "sim/checksum_engine.hpp"
 #include "sim/disk.hpp"
 #include "sim/link.hpp"
 #include "storage/checkpoint_store.hpp"
+#include "vm/cycle_detector.hpp"
 #include "vm/workload.hpp"
 
 namespace vecycle {
@@ -510,6 +515,102 @@ TEST(WorkloadConfigValidate, HotspotRejectsOutOfDomainSkew) {
   EXPECT_THROW(HotspotWorkload({.hot_fraction = -0.5}), CheckFailure);
 }
 
+TEST(PeriodicWorkloadConfigValidate, RejectsDegenerateCycles) {
+  using vm::PeriodicWorkload;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<PeriodicWorkload::Config>(
+      [](auto& c) { c.period = SimDuration::zero(); }, "periodic workload "
+      "period"));
+  messages.push_back(RejectionMessage<PeriodicWorkload::Config>(
+      [](auto& c) { c.busy_fraction = 1.5; }, "busy_fraction"));
+  messages.push_back(RejectionMessage<PeriodicWorkload::Config>(
+      [](auto& c) { c.phase_offset = Hours(-1.0); }, "phase_offset"));
+  // The busy and quiet sub-configs are reached too.
+  messages.push_back(RejectionMessage<PeriodicWorkload::Config>(
+      [](auto& c) { c.busy.hot_fraction = 0.0; }, "hot_fraction"));
+  messages.push_back(RejectionMessage<PeriodicWorkload::Config>(
+      [](auto& c) { c.quiet.hot_region_pages = 0; },
+      "idle hot_region_pages"));
+  ExpectDistinct(messages);
+  EXPECT_NO_THROW(PeriodicWorkload::Config{}.Validate());
+  EXPECT_THROW(PeriodicWorkload({.busy_fraction = -0.1}), CheckFailure);
+}
+
+TEST(CycleDetectorConfigValidate, RejectsUnusableWindows) {
+  using vm::CycleDetector;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<CycleDetector::Config>(
+      [](auto& c) { c.window_samples = 1; }, "window_samples"));
+  messages.push_back(RejectionMessage<CycleDetector::Config>(
+      [](auto& c) { c.low_threshold = 1.0; }, "low_threshold"));
+  messages.push_back(RejectionMessage<CycleDetector::Config>(
+      [](auto& c) { c.min_samples = 0; }, "min_samples"));
+  // min_samples must fit inside the window.
+  messages.push_back(RejectionMessage<CycleDetector::Config>(
+      [](auto& c) {
+        c.window_samples = 4;
+        c.min_samples = 5;
+      },
+      "min_samples"));
+  EXPECT_NO_THROW(CycleDetector::Config{}.Validate());
+  EXPECT_THROW(CycleDetector({.window_samples = 0}), CheckFailure);
+}
+
+TEST(PolicyConfigValidate, RejectsEachInvalidFieldDistinctly) {
+  using policy::PolicyConfig;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<PolicyConfig>(
+      [](auto& c) { c.affinity_weight = -1.0; }, "affinity_weight"));
+  messages.push_back(RejectionMessage<PolicyConfig>(
+      [](auto& c) { c.load_weight = -1.0; }, "load_weight"));
+  messages.push_back(RejectionMessage<PolicyConfig>(
+      [](auto& c) { c.min_affinity = 1.5; }, "min_affinity"));
+  messages.push_back(RejectionMessage<PolicyConfig>(
+      [](auto& c) { c.max_defer = Hours(-1.0); }, "max_defer"));
+  messages.push_back(RejectionMessage<PolicyConfig>(
+      [](auto& c) { c.defer_step = SimDuration::zero(); }, "defer_step"));
+  ExpectDistinct(messages);
+  EXPECT_NO_THROW(PolicyConfig{}.Validate());
+  EXPECT_THROW(policy::CheckpointAffinityPolicy({.affinity_weight = -1.0}),
+               CheckFailure);
+  EXPECT_THROW(
+      policy::CycleAwarePolicy(
+          std::make_unique<policy::RoundRobinPolicy>(),
+          PolicyConfig{.defer_step = SimDuration::zero()}),
+      CheckFailure);
+}
+
+TEST(ScenarioConfigValidate, RejectsUnbuildableWorlds) {
+  using policy::ScenarioConfig;
+  using policy::ScenarioKind;
+  std::vector<std::string> messages;
+  messages.push_back(RejectionMessage<ScenarioConfig>(
+      [](auto& c) { c.kind = static_cast<ScenarioKind>(99); },
+      "scenario kind"));
+  messages.push_back(RejectionMessage<ScenarioConfig>(
+      [](auto& c) { c.sites = 1; }, "at least two sites"));
+  messages.push_back(RejectionMessage<ScenarioConfig>(
+      [](auto& c) { c.hosts_per_site = 0; }, "host per site"));
+  messages.push_back(RejectionMessage<ScenarioConfig>(
+      [](auto& c) { c.vms = 0; }, "at least one VM"));
+  messages.push_back(RejectionMessage<ScenarioConfig>(
+      [](auto& c) { c.vm_ram = Bytes{0}; }, "vm_ram"));
+  messages.push_back(RejectionMessage<ScenarioConfig>(
+      [](auto& c) { c.days = 0; }, "day-cycle"));
+  messages.push_back(RejectionMessage<ScenarioConfig>(
+      [](auto& c) { c.warmup_days = 366; }, "warmup_days"));
+  messages.push_back(RejectionMessage<ScenarioConfig>(
+      [](auto& c) { c.step = SimDuration::zero(); }, "scenario step"));
+  messages.push_back(RejectionMessage<ScenarioConfig>(
+      [](auto& c) { c.busy_rate_pages_per_s = -1.0; },
+      "busy_rate_pages_per_s"));
+  messages.push_back(RejectionMessage<ScenarioConfig>(
+      [](auto& c) { c.storm_fraction = 0.0; }, "storm_fraction"));
+  ExpectDistinct(messages);
+  EXPECT_NO_THROW(ScenarioConfig{}.Validate());
+  EXPECT_THROW(policy::ScenarioGen({.sites = 1}), CheckFailure);
+}
+
 // The diagnostics must stay distinct ACROSS config types too: a log line
 // containing only the message still identifies the failing knob.
 TEST(AllValidates, MessagesAreGloballyDistinct) {
@@ -537,6 +638,16 @@ TEST(AllValidates, MessagesAreGloballyDistinct) {
       RejectionMessage<migration::AutoConvergeConfig>(
           [](auto& c) { c.trigger_rounds = 0; },
           "auto-converge trigger_rounds"),
+      RejectionMessage<policy::PolicyConfig>(
+          [](auto& c) { c.defer_step = SimDuration::zero(); },
+          "defer_step"),
+      RejectionMessage<policy::ScenarioConfig>(
+          [](auto& c) { c.warmup_days = 366; }, "warmup_days"),
+      RejectionMessage<vm::CycleDetector::Config>(
+          [](auto& c) { c.low_threshold = 0.0; }, "low_threshold"),
+      RejectionMessage<vm::PeriodicWorkload::Config>(
+          [](auto& c) { c.period = SimDuration::zero(); },
+          "periodic workload period"),
   };
   ExpectDistinct(messages);
 }

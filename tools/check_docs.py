@@ -11,6 +11,10 @@ Cross-checks, in both directions where that makes sense:
   3. tools/ scripts: every file in tools/ must be mentioned by the docs,
      and every `tools/<name>` the docs mention must exist.
   4. Relative markdown links must resolve to files in the repo.
+  5. Packages: every src/<pkg> directory that builds a library (has a
+     CMakeLists.txt) must appear in DESIGN.md — the module inventory is
+     the map of the tree, and a package missing from it is invisible to
+     readers.
 
 The doc set is README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md and
 docs/**.md. Run from anywhere; the repo root is located relative to
@@ -111,6 +115,15 @@ def main():
             errors.append(f"{path.relative_to(REPO)}: references "
                           f"tools/{name}, which does not exist")
 
+    # 5. Every src/<pkg> library appears in DESIGN.md's inventory.
+    design = docs.get(REPO / "DESIGN.md", "")
+    packages = sorted(p.name for p in (REPO / "src").iterdir()
+                      if p.is_dir() and (p / "CMakeLists.txt").is_file())
+    for pkg in packages:
+        if f"src/{pkg}" not in design:
+            errors.append(f"src/{pkg} builds a library but DESIGN.md "
+                          "never mentions it")
+
     # 4. Relative markdown links resolve.
     for path, text in docs.items():
         for target in LINK_RE.findall(text):
@@ -128,7 +141,7 @@ def main():
         return 1
     print(f"check_docs: OK ({len(docs)} documents, "
           f"{len(code_env)} env vars, {len(cmake_opts)} CMake options, "
-          f"{len(tool_files)} tools)")
+          f"{len(tool_files)} tools, {len(packages)} src packages)")
     return 0
 
 

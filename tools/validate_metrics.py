@@ -10,7 +10,10 @@ every "postcopy" record the full PostCopyStats set), so a stats field
 added without extending migration/observe.cpp fails CI here. "store"
 records (per-host CheckpointStore counters, emitted by the VDI example
 when tracing is on) must carry the full chunk-store counter set plus
-the derived dedup/tier-hit ratios.
+the derived dedup/tier-hit ratios. "policy" records (placement-policy
+decision tallies, emitted by bench_policy's smoke run) must carry the
+full DecisionStats set, and every decision must be accounted warm or
+cold: affinity_hits + cold_placements == decisions.
 
 With --trace, also checks the Chrome-trace file: it must parse, use only
 the phases the recorder emits, and contain a "round 1" span for every
@@ -52,6 +55,10 @@ STORE_COUNTERS = {
     "ssd_hits", "ssd_misses", "ssd_promotions",
 }
 STORE_GAUGES = {"dedup_ratio", "ssd_hit_rate", "footprint_mib"}
+POLICY_COUNTERS = {
+    "decisions", "deferred", "affinity_hits", "cold_placements",
+}
+POLICY_GAUGES = {"mean_affinity", "mean_score", "max_defer_s"}
 
 TRACE_PHASES = {"M", "X", "i", "C"}
 
@@ -101,6 +108,7 @@ def validate_metrics(path):
             "precopy": (PRECOPY_COUNTERS, PRECOPY_GAUGES),
             "postcopy": (POSTCOPY_COUNTERS, POSTCOPY_GAUGES),
             "store": (STORE_COUNTERS, STORE_GAUGES),
+            "policy": (POLICY_COUNTERS, POLICY_GAUGES),
         }.get(record["kind"])
         if wanted is not None:
             missing = ((wanted[0] - counters.keys())
@@ -135,6 +143,22 @@ def validate_metrics(path):
             require(counters["chunks_deduped"] == 0
                     or counters["chunks_written"] > 0,
                     f"{where}: deduped chunks without any written chunk")
+
+        # Every placement decision is either an affinity hit (a warm
+        # destination was chosen) or a cold placement; the tallies must
+        # partition the decision count, and deferrals never outnumber
+        # the decisions they delayed.
+        if record["kind"] == "policy":
+            require(counters["affinity_hits"] + counters["cold_placements"]
+                    == counters["decisions"],
+                    f"{where}: affinity_hits + cold_placements "
+                    f"({counters['affinity_hits']} + "
+                    f"{counters['cold_placements']}) != decisions "
+                    f"({counters['decisions']})")
+            require(counters["deferred"] <= counters["decisions"],
+                    f"{where}: deferred exceeds decisions")
+            require(0.0 <= gauges["mean_affinity"] <= 1.0,
+                    f"{where}: gauge mean_affinity must be in [0, 1]")
 
         # Scheduler sessions tag their label with "#<session_id>"; the
         # suffix must agree with the session_id counter.
@@ -201,7 +225,8 @@ def main():
         print(f"OK {args.metrics}: {len(kinds)} records "
               f"({kinds.count('precopy')} precopy, "
               f"{kinds.count('postcopy')} postcopy, "
-              f"{kinds.count('store')} store)")
+              f"{kinds.count('store')} store, "
+              f"{kinds.count('policy')} policy)")
         if args.trace:
             events, migrations = validate_trace(args.trace)
             print(f"OK {args.trace}: {events} events, "

@@ -48,6 +48,7 @@ UNORDERED_ITER_SCOPE = (
     "src/sim/",
     "src/storage/",
     "src/fault/",
+    "src/policy/",
 )
 
 CONFIG_SCOPE = ("src/",)
@@ -410,9 +411,9 @@ def _range_for_header(text: str, open_idx: int) -> str | None:
 @rule(
     "determinism-unordered-iteration",
     "No iteration over std::unordered_map/std::unordered_set in "
-    "src/{migration,core,sim,storage,fault}: hash order is not part of the "
-    "replay contract. Use std::map/std::set, sort first, or suppress with "
-    "a proof the loop is order-insensitive.",
+    "src/{migration,core,sim,storage,fault,policy}: hash order is not part "
+    "of the replay contract. Use std::map/std::set, sort first, or suppress "
+    "with a proof the loop is order-insensitive.",
 )
 def determinism_unordered_iteration(
     sf: SourceFile, ctx: AnalysisContext
